@@ -1,0 +1,81 @@
+//! AMAT for all nine workloads at fixed cache points.
+//!
+//! §6.2: "We experimented with multiple classes of applications
+//! (map-reduce, graph analytics, key-value stores), to explore these
+//! tradeoffs." Fig 8 plots three; this companion experiment prints the
+//! 25% and 50% cache points for every Table 2 workload under all four
+//! system models — the cross-workload view of the same tradeoff.
+
+use kona_bench::{banner, f1, ExpOptions, TextTable};
+use kona_kcachesim::{sweep_cache_size, SystemModel};
+use kona_workloads::{
+    GraphAlgorithm, GraphWorkload, HistogramWorkload, LinearRegressionWorkload, RedisWorkload,
+    VoltDbWorkload, Workload, WorkloadProfile,
+};
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    banner("AMAT across all workloads (KCacheSim)", "§6.2 (companion)");
+    let profile = if opts.quick {
+        WorkloadProfile::default()
+            .with_windows(2)
+            .with_ops_per_window(8_000)
+            .with_scale_divisor(2048)
+    } else {
+        WorkloadProfile::default()
+            .with_windows(3)
+            .with_ops_per_window(40_000)
+            .with_scale_divisor(512)
+    };
+
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(RedisWorkload::rand().with_profile(profile)),
+        Box::new(RedisWorkload::seq().with_profile(profile)),
+        Box::new(LinearRegressionWorkload::with_profile(profile)),
+        Box::new(HistogramWorkload::with_profile(profile)),
+        Box::new(GraphWorkload::with_profile(GraphAlgorithm::PageRank, profile)),
+        Box::new(GraphWorkload::with_profile(GraphAlgorithm::GraphColoring, profile)),
+        Box::new(GraphWorkload::with_profile(
+            GraphAlgorithm::ConnectedComponents,
+            profile,
+        )),
+        Box::new(GraphWorkload::with_profile(
+            GraphAlgorithm::LabelPropagation,
+            profile,
+        )),
+        Box::new(VoltDbWorkload::with_profile(profile)),
+    ];
+
+    for pct in [25u32, 50] {
+        println!("\n--- AMAT (ns) at {pct}% local cache ---");
+        let mut table = TextTable::new(&[
+            "Workload",
+            "Kona",
+            "Kona-main",
+            "LegoOS",
+            "Infiniswap",
+            "LegoOS/Kona",
+        ]);
+        for wl in &workloads {
+            let trace = wl.generate(42);
+            let amat = |sys: &SystemModel| {
+                sweep_cache_size(&trace, sys, &[pct], 4096, 4)[0].result.amat_ns
+            };
+            let kona = amat(&SystemModel::kona());
+            let lego = amat(&SystemModel::legoos());
+            table.row(vec![
+                wl.name().to_string(),
+                f1(kona),
+                f1(amat(&SystemModel::kona_main())),
+                f1(lego),
+                f1(amat(&SystemModel::infiniswap())),
+                format!("{:.2}x", lego / kona),
+            ]);
+        }
+        table.print();
+    }
+    println!(
+        "\nNote: heap-only traces (no synthetic compute mix), so absolute AMAT\n\
+         is higher than Fig 8's; the cross-system ratios are the point."
+    );
+}

@@ -1,0 +1,113 @@
+//! Fig 10: dirty-tracking speedup relative to write-protection.
+//!
+//! For each workload, KTracker runs once in coherence mode (no tracking
+//! overhead on the app) and once in write-protect mode (a minor fault per
+//! first write to each page per window plus re-protection work); the
+//! speedup is the relative reduction in total time.
+
+use kona_bench::{banner, f1, ExpOptions, TextTable};
+use kona_ktracker::{speedup_percent, KTracker, TrackingMode};
+use kona_types::Nanos;
+use kona_workloads::{
+    GraphAlgorithm, GraphWorkload, HistogramWorkload, LinearRegressionWorkload, RedisWorkload,
+    Workload, WorkloadProfile,
+};
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    banner(
+        "Fig 10: tracking speedup relative to write-protection (KTracker)",
+        "Figure 10",
+    );
+    // 1-second windows; a high op rate models the full-speed applications
+    // the paper traces (write-protect overhead scales with dirty pages per
+    // second — real Redis under memtier sustains hundreds of kops/s).
+    let ops = if opts.quick { 30_000 } else { 250_000 };
+    let windows = if opts.quick { 2 } else { 3 };
+    let scale = if opts.quick { 64 } else { 16 };
+    let profile = WorkloadProfile::default()
+        .with_windows(windows)
+        .with_window_width(Nanos::secs(1))
+        .with_ops_per_window(ops)
+        .with_scale_divisor(scale);
+
+    let workloads: Vec<(&str, Box<dyn Workload>, f64)> = vec![
+        (
+            "Redis-Rand",
+            Box::new(RedisWorkload::rand().with_profile(profile)),
+            35.0,
+        ),
+        (
+            "Redis-Seq",
+            Box::new(RedisWorkload::seq().with_profile(profile)),
+            1.0,
+        ),
+        (
+            "Histogram",
+            Box::new(HistogramWorkload::with_profile(profile)),
+            1.0,
+        ),
+        (
+            "Lin-regr",
+            Box::new(LinearRegressionWorkload::with_profile(profile)),
+            8.0,
+        ),
+        (
+            "Concomp",
+            Box::new(GraphWorkload::with_profile(
+                GraphAlgorithm::ConnectedComponents,
+                profile,
+            )),
+            13.0,
+        ),
+        (
+            "Graphcol",
+            Box::new(GraphWorkload::with_profile(
+                GraphAlgorithm::GraphColoring,
+                profile,
+            )),
+            12.0,
+        ),
+        (
+            "Labelprop",
+            Box::new(GraphWorkload::with_profile(
+                GraphAlgorithm::LabelPropagation,
+                profile,
+            )),
+            15.0,
+        ),
+        (
+            "Pagerank",
+            Box::new(GraphWorkload::with_profile(GraphAlgorithm::PageRank, profile)),
+            10.0,
+        ),
+    ];
+
+    let tracker = KTracker::new(Nanos::secs(1));
+    let mut table = TextTable::new(&[
+        "Workload",
+        "Speedup %",
+        "Paper % (approx)",
+        "vs PML %",
+    ]);
+    for (name, wl, paper) in workloads {
+        let trace = wl.generate(42);
+        let coh = tracker.run(&trace, TrackingMode::Coherence);
+        let wp = tracker.run(&trace, TrackingMode::WriteProtect);
+        // Extension: Intel PML (related work §8) removes the write faults
+        // but keeps page granularity; coherence tracking still wins.
+        let pml = tracker.run(&trace, TrackingMode::Pml);
+        table.row(vec![
+            name.to_string(),
+            f1(speedup_percent(&coh, &wp)),
+            f1(paper),
+            f1(speedup_percent(&coh, &pml)),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nExpected shape: speedup scales with dirty pages per second —\n\
+         Redis-Rand highest (paper: 35%), sequential/hot-bin workloads\n\
+         lowest (paper: ~1%)."
+    );
+}

@@ -1,0 +1,55 @@
+//! Fig 3: CDF of contiguous accessed cache-line segment lengths (Redis).
+//!
+//! Dirty-line contiguity determines how efficiently Kona's eviction
+//! handler can aggregate lines into large RDMA writes (§6.4).
+
+use kona_bench::{banner, f2, ExpOptions, TextTable};
+use kona_trace::contiguity::ContiguityAnalysis;
+use kona_workloads::{RedisWorkload, Workload};
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    banner(
+        "Fig 3: contiguous cache-line segments in a page (Redis)",
+        "Figure 3",
+    );
+    let profile = opts.table_profile();
+
+    let rand = RedisWorkload::rand().with_profile(profile);
+    let seq = RedisWorkload::seq().with_profile(profile);
+    let ca_rand = ContiguityAnalysis::over_events(rand.generate(42));
+    let ca_seq = ContiguityAnalysis::over_events(seq.generate(42));
+
+    let series = [
+        ("Reads (Rand)", ca_rand.read_segment_cdf()),
+        ("Writes (Rand)", ca_rand.write_segment_cdf()),
+        ("Reads (Seq)", ca_seq.read_segment_cdf()),
+        ("Writes (Seq)", ca_seq.write_segment_cdf()),
+    ];
+
+    let mut table = TextTable::new(&[
+        "Segment len",
+        "Reads(Rand)",
+        "Writes(Rand)",
+        "Reads(Seq)",
+        "Writes(Seq)",
+    ]);
+    for n in [1u64, 2, 3, 4, 6, 8, 16, 32, 48, 63, 64] {
+        let mut row = vec![n.to_string()];
+        for (_, cdf) in &series {
+            row.push(f2(cdf.fraction_le(n)));
+        }
+        table.row(row);
+    }
+    table.print();
+
+    println!();
+    println!(
+        "Rand: fraction of write segments with length <= 4: {:.2} (paper: most)",
+        ca_rand.write_segment_cdf().fraction_le(4)
+    );
+    println!(
+        "Seq: fraction of write segments that span a whole page: {:.2} (paper: large)",
+        ca_seq.page_length_write_fraction()
+    );
+}

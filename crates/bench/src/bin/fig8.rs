@@ -1,0 +1,168 @@
+//! Fig 8: KCacheSim AMAT simulations.
+//!
+//! Panels a-c: AMAT vs local cache size for Redis-Rand, Linear Regression
+//! and Graph Coloring under LegoOS, Kona and Kona-main (Infiniswap is
+//! "consistently worse than LegoOS by 2.3-3.7X" and printed as a column
+//! here rather than plotted, matching the paper's treatment).
+//!
+//! Panel d: AMAT vs FMem block size for Redis-Rand at 0/27/54/100% cache.
+
+use kona_bench::{banner, f1, ExpOptions, TextTable};
+use kona_kcachesim::{sweep_block_size, sweep_cache_size, SystemModel};
+use kona_trace::{Trace, TraceEvent};
+use kona_types::{align_up, MemAccess, VirtAddr, PAGE_SIZE_4K};
+use kona_workloads::{
+    GraphAlgorithm, GraphWorkload, LinearRegressionWorkload, RedisWorkload, Workload,
+    WorkloadProfile,
+};
+
+/// Non-heap accesses interleaved per trace event. The paper's Pin traces
+/// capture *every* load and store — stack, locals, code-adjacent data —
+/// which hit the L1 at very high rates and set Fig 8's y-axis scale
+/// (tens of ns). Our workload generators emit only remote-heap traffic, so
+/// the driver re-synthesizes that background as tight-loop accesses over a
+/// small per-thread region.
+const COMPUTE_ACCESSES_PER_EVENT: u64 = 12;
+const COMPUTE_REGION_BYTES: u64 = 16 * 1024;
+
+fn augment_with_compute(trace: Trace) -> Trace {
+    let base = align_up(trace.address_span() + PAGE_SIZE_4K, PAGE_SIZE_4K);
+    let mut out = Trace::with_capacity(trace.len() * (COMPUTE_ACCESSES_PER_EVENT as usize + 1));
+    let mut cursor = 0u64;
+    for e in trace.into_iter() {
+        for i in 0..COMPUTE_ACCESSES_PER_EVENT {
+            cursor = (cursor + 64) % COMPUTE_REGION_BYTES;
+            let access = if i % 4 == 0 {
+                MemAccess::write(VirtAddr::new(base + cursor), 8)
+            } else {
+                MemAccess::read(VirtAddr::new(base + cursor), 8)
+            };
+            out.push(TraceEvent::new(e.time, access));
+        }
+        out.push(e);
+    }
+    out
+}
+
+fn trace_for(panel: char, profile: WorkloadProfile) -> (String, Trace) {
+    match panel {
+        'a' | 'd' => {
+            let wl = RedisWorkload::rand().with_profile(profile);
+            (wl.name().to_string(), wl.generate(42))
+        }
+        'b' => {
+            let wl = LinearRegressionWorkload::with_profile(profile);
+            (wl.name().to_string(), wl.generate(42))
+        }
+        _ => {
+            let wl = GraphWorkload::with_profile(GraphAlgorithm::GraphColoring, profile);
+            (wl.name().to_string(), wl.generate(42))
+        }
+    }
+}
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    banner("Fig 8: simulating remote data fetch (KCacheSim)", "Figure 8");
+    // High op counts relative to the footprint give the traces the reuse
+    // the real applications have (Zipf-popular keys, hot graph vertices).
+    let profile = if opts.quick {
+        WorkloadProfile::default()
+            .with_windows(4)
+            .with_ops_per_window(25_000)
+            .with_scale_divisor(2048)
+    } else {
+        // Footprints larger than the 22 MiB LLC so the DRAM-cache sweep is
+        // meaningful (Redis-Rand: 32 MiB).
+        WorkloadProfile::default()
+            .with_windows(6)
+            .with_ops_per_window(125_000)
+            .with_scale_divisor(128)
+    };
+
+    let panels: Vec<char> = match opts.value_of("panel") {
+        Some(p) => p.chars().collect(),
+        None => vec!['a', 'b', 'c', 'd'],
+    };
+
+    for panel in panels {
+        let (name, trace) = trace_for(panel, profile);
+        let trace = augment_with_compute(trace);
+        if panel == 'd' {
+            println!("\n--- Panel (d): {name} — AMAT (ns) vs block size ---");
+            let blocks: &[u64] = &[64, 256, 1024, 4096, 8192, 16384, 32768];
+            let mut table = TextTable::new(&[
+                "Block (B)",
+                "0% cache",
+                "27% cache",
+                "54% cache",
+                "100% cache",
+            ]);
+            let mut per_frac = Vec::new();
+            for frac in [0.0, 0.27, 0.54, 1.0] {
+                per_frac.push(sweep_block_size(
+                    &trace,
+                    &SystemModel::kona(),
+                    blocks,
+                    frac,
+                    4,
+                ));
+            }
+            for (i, &bs) in blocks.iter().enumerate() {
+                table.row(vec![
+                    bs.to_string(),
+                    f1(per_frac[0][i].result.amat_ns),
+                    f1(per_frac[1][i].result.amat_ns),
+                    f1(per_frac[2][i].result.amat_ns),
+                    f1(per_frac[3][i].result.amat_ns),
+                ]);
+            }
+            table.print();
+            println!(
+                "Expected shape: small blocks miss spatial locality, huge blocks\n\
+                 conflict; ~1-4 KiB is the sweet spot (paper picked 4 KiB)."
+            );
+            continue;
+        }
+
+        println!("\n--- Panel ({panel}): {name} — AMAT (ns) vs cache size ---");
+        let percents: &[u32] = &[0, 10, 25, 50, 75, 90, 100];
+        let systems = [
+            SystemModel::legoos(),
+            SystemModel::kona(),
+            SystemModel::kona_main(),
+            SystemModel::infiniswap(),
+        ];
+        let mut sweeps = Vec::new();
+        for sys in &systems {
+            sweeps.push(sweep_cache_size(&trace, sys, percents, 4096, 4));
+        }
+        let mut table = TextTable::new(&[
+            "Cache %",
+            "LegoOS",
+            "Kona",
+            "Kona-main",
+            "Infiniswap",
+            "LegoOS/Kona",
+        ]);
+        for (i, &pct) in percents.iter().enumerate() {
+            let lego = sweeps[0][i].result.amat_ns;
+            let kona = sweeps[1][i].result.amat_ns;
+            table.row(vec![
+                pct.to_string(),
+                f1(lego),
+                f1(kona),
+                f1(sweeps[2][i].result.amat_ns),
+                f1(sweeps[3][i].result.amat_ns),
+                format!("{:.2}x", lego / kona),
+            ]);
+        }
+        table.print();
+    }
+
+    println!(
+        "\nHeadline check (paper): at 25% cache Kona achieves 1.7X lower AMAT\n\
+         than LegoOS and 5X lower than Infiniswap; Linear Regression stays\n\
+         nearly flat (streaming, no reuse)."
+    );
+}

@@ -1,0 +1,71 @@
+//! §6.1 / §2.1 latency sanity checks.
+//!
+//! Prints the modelled remote-access latencies alongside end-to-end
+//! single-access measurements from the actual runtimes, and checks the
+//! paper's sanity claims: a raw 4 KiB RDMA verb is ~3 µs while Infiniswap's
+//! software stack inflates a remote access to ~40 µs; Kona-VM is on par
+//! with LegoOS and much faster than Infiniswap.
+
+use kona::{ClusterConfig, KonaRuntime, RemoteMemoryRuntime, VmProfile, VmRuntime};
+use kona_bench::{banner, TextTable};
+use kona_net::NetworkModel;
+use kona_types::{MemAccess, Nanos};
+
+fn cold_access_latency(rt: &mut dyn RemoteMemoryRuntime) -> Nanos {
+    let addr = rt.allocate(4096).expect("allocate");
+    rt.access(MemAccess::read(addr, 8)).expect("access")
+}
+
+fn main() {
+    let _opts = kona_bench::ExpOptions::from_env();
+    banner("Remote access latency sanity checks", "§2.1 / §6.1 / §6.2");
+
+    let net = NetworkModel::connectx5();
+    println!(
+        "raw RDMA verb: 64 B = {}, 4 KiB = {} (paper: ~3 us per 4 KiB)\n",
+        net.verb_time(64),
+        net.verb_time(4096)
+    );
+
+    let mut table = TextTable::new(&["System", "Cold remote access", "Paper"]);
+
+    let mut kona = KonaRuntime::new(ClusterConfig::small().timing_only()).expect("config");
+    table.row(vec![
+        "Kona".into(),
+        format!("{}", cold_access_latency(&mut kona)),
+        "~3 us (no page fault)".into(),
+    ]);
+
+    for (profile, paper) in [
+        (VmProfile::kona_vm(), "~10 us"),
+        (VmProfile::legoos(), "10 us"),
+        (VmProfile::infiniswap(), "40 us"),
+    ] {
+        let mut rt =
+            VmRuntime::new(ClusterConfig::small().timing_only(), profile).expect("config");
+        table.row(vec![
+            profile.name().into(),
+            format!("{}", cold_access_latency(&mut rt)),
+            paper.into(),
+        ]);
+    }
+    table.print();
+
+    // §6.1 sanity: Kona-VM is similar to or faster than Infiniswap
+    // (paper: by up to 60%).
+    let mut kv = VmRuntime::new(ClusterConfig::small().timing_only(), VmProfile::kona_vm())
+        .expect("config");
+    let mut inf = VmRuntime::new(ClusterConfig::small().timing_only(), VmProfile::infiniswap())
+        .expect("config");
+    let t_kv = cold_access_latency(&mut kv);
+    let t_inf = cold_access_latency(&mut inf);
+    println!(
+        "\nKona-VM vs Infiniswap: {:.0}% faster (paper: similar or faster by up to 60%)",
+        (1.0 - t_kv.as_ns() as f64 / t_inf.as_ns() as f64) * 100.0
+    );
+    println!(
+        "Infiniswap eviction latency (paper: >32 us even though a 4 KiB RDMA\n\
+         write takes 3 us) — the gap is the virtual-memory software stack\n\
+         this project eliminates."
+    );
+}

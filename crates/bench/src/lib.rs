@@ -1,0 +1,179 @@
+//! Shared plumbing for the Kona experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md`'s per-experiment index). This library provides the
+//! common table formatting, argument handling and workload profiles so
+//! the binaries stay focused on the experiment logic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use kona_types::Nanos;
+use kona_workloads::WorkloadProfile;
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Reduce problem sizes for a fast smoke run.
+    pub quick: bool,
+    /// Extra free-form arguments (e.g. `--panel a`).
+    pub args: Vec<String>,
+}
+
+impl ExpOptions {
+    /// Parses `std::env::args`.
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        ExpOptions {
+            quick: args.iter().any(|a| a == "--quick"),
+            args,
+        }
+    }
+
+    /// The value following `--<key>`, if present.
+    pub fn value_of(&self, key: &str) -> Option<&str> {
+        let flag = format!("--{key}");
+        self.args
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// The Table 2 / Fig 9 workload profile: 10 windows for full runs,
+    /// 3 for quick ones.
+    pub fn table_profile(&self) -> WorkloadProfile {
+        let windows = if self.quick { 3 } else { 10 };
+        WorkloadProfile::default().with_windows(windows)
+    }
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            quick: true,
+            args: Vec::new(),
+        }
+    }
+}
+
+/// A fixed-width text table, printed in the paper's row/column structure.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are stringified by the caller).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a nanosecond quantity with 1 decimal.
+pub fn ns(t: Nanos) -> String {
+    format!("{:.1}", t.as_ns() as f64)
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Prints an experiment banner.
+pub fn banner(title: &str, source: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("(reproduces {source} of the ASPLOS'21 Kona paper)");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].ends_with("22"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = TextTable::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn options_parsing() {
+        let opts = ExpOptions {
+            quick: false,
+            args: vec!["--panel".into(), "a".into()],
+        };
+        assert_eq!(opts.value_of("panel"), Some("a"));
+        assert_eq!(opts.value_of("missing"), None);
+        assert_eq!(opts.table_profile().windows, 10);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ns(Nanos::from_ns(1500)), "1500.0");
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f1(1.26), "1.3");
+    }
+}

@@ -1,0 +1,197 @@
+//! Cache and hierarchy configuration.
+
+use kona_types::{ByteSize, KonaError, Result, CACHE_LINE_SIZE, PAGE_SIZE_4K};
+
+/// Geometry of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_cache_sim::CacheConfig;
+/// let l1 = CacheConfig::new("L1d", 32 * 1024, 8, 64).unwrap();
+/// assert_eq!(l1.sets(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    name: String,
+    capacity_bytes: u64,
+    ways: usize,
+    block_size: u64,
+}
+
+impl CacheConfig {
+    /// Creates a cache configuration.
+    ///
+    /// A `capacity_bytes` of zero is allowed and denotes a degenerate cache
+    /// that misses every access — used for the "0% local cache" points of
+    /// the paper's sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::InvalidConfig`] if `block_size` is not a power
+    /// of two, `ways` is zero, or a non-zero capacity is not divisible into
+    /// whole sets of `ways * block_size`.
+    pub fn new(
+        name: impl Into<String>,
+        capacity_bytes: u64,
+        ways: usize,
+        block_size: u64,
+    ) -> Result<Self> {
+        if !block_size.is_power_of_two() {
+            return Err(KonaError::InvalidConfig(format!(
+                "block size {block_size} must be a power of two"
+            )));
+        }
+        if ways == 0 {
+            return Err(KonaError::InvalidConfig("ways must be at least 1".into()));
+        }
+        if capacity_bytes > 0 {
+            let way_bytes = ways as u64 * block_size;
+            if !capacity_bytes.is_multiple_of(way_bytes) {
+                return Err(KonaError::InvalidConfig(format!(
+                    "capacity {capacity_bytes} not divisible by ways*block ({way_bytes})"
+                )));
+            }
+        }
+        Ok(CacheConfig {
+            name: name.into(),
+            capacity_bytes,
+            ways,
+            block_size,
+        })
+    }
+
+    /// Level name (e.g. `"L1d"`, `"FMem"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> ByteSize {
+        ByteSize(self.capacity_bytes)
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Block (line) size in bytes.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Number of sets (zero for a zero-capacity cache).
+    pub fn sets(&self) -> usize {
+        if self.capacity_bytes == 0 {
+            0
+        } else {
+            (self.capacity_bytes / (self.ways as u64 * self.block_size)) as usize
+        }
+    }
+}
+
+/// Configuration for a whole hierarchy: an ordered list of levels from
+/// closest-to-CPU outwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Levels in order (index 0 = L1).
+    pub levels: Vec<CacheConfig>,
+}
+
+impl HierarchyConfig {
+    /// The paper's evaluation platform: dual-socket Skylake. Per-core
+    /// 32 KiB 8-way L1d, 1 MiB 16-way L2, and a 22 MiB 11-way shared LLC
+    /// (single-core view), all with 64 B lines.
+    pub fn skylake() -> Self {
+        HierarchyConfig {
+            levels: vec![
+                CacheConfig::new("L1d", 32 * 1024, 8, CACHE_LINE_SIZE).expect("static config"),
+                CacheConfig::new("L2", 1024 * 1024, 16, CACHE_LINE_SIZE).expect("static config"),
+                CacheConfig::new("LLC", 22 * 1024 * 1024, 11, CACHE_LINE_SIZE)
+                    .expect("static config"),
+            ],
+        }
+    }
+
+    /// Skylake hierarchy plus an FMem DRAM-cache level of `capacity_bytes`
+    /// with page-sized blocks — the Kona configuration of KCacheSim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::InvalidConfig`] if the capacity does not divide
+    /// into whole 4-way sets of `block_size`.
+    pub fn skylake_with_fmem(capacity_bytes: u64, ways: usize, block_size: u64) -> Result<Self> {
+        let mut cfg = Self::skylake();
+        cfg.levels
+            .push(CacheConfig::new("FMem", capacity_bytes, ways, block_size)?);
+        Ok(cfg)
+    }
+
+    /// Default FMem geometry from the paper: 4-way set-associative with
+    /// 4 KiB blocks (§4.4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::InvalidConfig`] if the capacity does not divide
+    /// into whole sets.
+    pub fn skylake_with_default_fmem(capacity_bytes: u64) -> Result<Self> {
+        Self::skylake_with_fmem(capacity_bytes, 4, PAGE_SIZE_4K)
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig::skylake()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_config() {
+        let c = CacheConfig::new("L1", 32 * 1024, 8, 64).unwrap();
+        assert_eq!(c.sets(), 64);
+        assert_eq!(c.ways(), 8);
+        assert_eq!(c.block_size(), 64);
+        assert_eq!(c.name(), "L1");
+        assert_eq!(c.capacity().bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn zero_capacity_is_valid() {
+        let c = CacheConfig::new("null", 0, 4, 64).unwrap();
+        assert_eq!(c.sets(), 0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(CacheConfig::new("x", 1024, 4, 63).is_err()); // non-pow2 block
+        assert!(CacheConfig::new("x", 1024, 0, 64).is_err()); // zero ways
+        assert!(CacheConfig::new("x", 1000, 4, 64).is_err()); // indivisible
+    }
+
+    #[test]
+    fn skylake_shape() {
+        let h = HierarchyConfig::skylake();
+        assert_eq!(h.depth(), 3);
+        assert_eq!(h.levels[0].name(), "L1d");
+        assert_eq!(h.levels[2].capacity().bytes(), 22 * 1024 * 1024);
+    }
+
+    #[test]
+    fn fmem_level_appended() {
+        let h = HierarchyConfig::skylake_with_default_fmem(1 << 30).unwrap();
+        assert_eq!(h.depth(), 4);
+        let fmem = &h.levels[3];
+        assert_eq!(fmem.ways(), 4);
+        assert_eq!(fmem.block_size(), PAGE_SIZE_4K);
+    }
+}

@@ -1,0 +1,48 @@
+//! A MESI directory cache-coherence simulator.
+//!
+//! Kona's core insight (§3) is that the hardware *already* tracks every
+//! read and write through cache coherence: a memory controller (or a
+//! cache-coherent FPGA exporting VFMem) sees a `GetS`/`GetM` request for
+//! every line the CPU pulls in and a writeback for every modified line the
+//! CPU evicts. This crate simulates that machinery:
+//!
+//! * [`CacheAgent`] — a CPU cache at line granularity with MESI states and
+//!   LRU capacity evictions.
+//! * [`Directory`] — the home agent tracking owner/sharers per line.
+//! * [`CoherenceSystem`] — wires agents and directory together, exposes
+//!   [`CoherenceSystem::read`] / [`CoherenceSystem::write`] /
+//!   [`CoherenceSystem::recall`] (the FPGA's snoop), and queues
+//!   [`WritebackEvent`]s — precisely the stream the Kona FPGA turns into
+//!   dirty cache-line bitmaps (the `track-local-data` primitive).
+//!
+//! The protocol maintains the single-writer/multiple-reader invariant,
+//! verified by property tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use kona_coherence::{AgentId, CoherenceSystem};
+//! use kona_types::LineIndex;
+//!
+//! let mut sys = CoherenceSystem::new(2, 4); // 2 agents, 4-line caches
+//! sys.write(AgentId(0), LineIndex(1));
+//! // Agent 1 reading the line forces agent 0's dirty copy back to memory.
+//! sys.read(AgentId(1), LineIndex(1));
+//! let events = sys.drain_writebacks();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].line, LineIndex(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+mod directory;
+mod lru;
+mod system;
+
+pub use agent::{AgentStats, CacheAgent, LineState};
+pub use directory::{DirEntry, Directory};
+pub use system::{
+    AccessResult, AgentId, CoherenceStats, CoherenceSystem, WritebackCause, WritebackEvent,
+};

@@ -1,0 +1,196 @@
+//! AllocLib: the allocation interposition library.
+//!
+//! "KLib uses AllocLib, an allocation interposition library that handles
+//! fine-grained local memory allocations ... interposes on applications'
+//! malloc and mmap calls and ensures that there is sufficient disaggregated
+//! memory available" (§4.1). "Kona allocates remote memory proactively in
+//! batches, so the allocation is not on the critical path. Kona uses a
+//! local memory allocator to split a large slab for smaller allocations"
+//! (§4.4).
+//!
+//! [`SlabAllocator`] carves a contiguous VFMem address space out of
+//! controller-granted slabs: a bump allocator with per-size-class free
+//! lists for `free`/reuse.
+
+use kona_types::{align_up, KonaError, Result, VfMemAddr, CACHE_LINE_SIZE};
+use std::collections::HashMap;
+
+/// Size classes are powers of two from 64 B up.
+fn size_class(bytes: u64) -> u64 {
+    bytes.max(CACHE_LINE_SIZE).next_power_of_two()
+}
+
+/// A slab-backed allocator over the VFMem address space.
+///
+/// The runtime feeds it slabs (contiguous VFMem ranges already backed by
+/// remote memory); applications allocate and free objects from them.
+///
+/// # Examples
+///
+/// ```
+/// # use kona::SlabAllocator;
+/// # use kona_types::VfMemAddr;
+/// let mut alloc = SlabAllocator::new();
+/// alloc.add_slab(VfMemAddr::new(0), 4096);
+/// let a = alloc.allocate(100).unwrap();
+/// let b = alloc.allocate(100).unwrap();
+/// assert_ne!(a, b);
+/// alloc.free(a, 100);
+/// assert_eq!(alloc.allocate(100).unwrap(), a); // reused
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SlabAllocator {
+    /// Slabs still holding unallocated space: (cursor, end).
+    slabs: Vec<(u64, u64)>,
+    /// Per size-class free lists of object addresses.
+    free_lists: HashMap<u64, Vec<u64>>,
+    /// Total bytes handed out minus freed (size-class granularity).
+    live_bytes: u64,
+    /// Total capacity added.
+    capacity: u64,
+}
+
+impl SlabAllocator {
+    /// Creates an allocator with no slabs.
+    pub fn new() -> Self {
+        SlabAllocator::default()
+    }
+
+    /// Adds a slab `[base, base + len)` of backed VFMem.
+    pub fn add_slab(&mut self, base: VfMemAddr, len: u64) {
+        self.slabs.push((base.raw(), base.raw() + len));
+        self.capacity += len;
+    }
+
+    /// Bytes currently allocated (rounded to size classes).
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Total slab capacity added.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Whether a new slab is needed to satisfy an allocation of `bytes`.
+    pub fn needs_slab(&self, bytes: u64) -> bool {
+        let class = size_class(bytes);
+        if self.free_lists.get(&class).is_some_and(|l| !l.is_empty()) {
+            return false;
+        }
+        !self
+            .slabs
+            .iter()
+            .any(|&(cursor, end)| align_up(cursor, class) + class <= end)
+    }
+
+    /// Allocates `bytes` (rounded up to a power-of-two size class,
+    /// cache-line aligned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::OutOfLocalReservation`] when no slab has room;
+    /// the caller (the Resource Manager) should grab another slab from the
+    /// controller and retry.
+    pub fn allocate(&mut self, bytes: u64) -> Result<VfMemAddr> {
+        let class = size_class(bytes);
+        if let Some(addr) = self.free_lists.get_mut(&class).and_then(Vec::pop) {
+            self.live_bytes += class;
+            return Ok(VfMemAddr::new(addr));
+        }
+        for (cursor, end) in &mut self.slabs {
+            let aligned = align_up(*cursor, class);
+            if aligned + class <= *end {
+                *cursor = aligned + class;
+                self.live_bytes += class;
+                return Ok(VfMemAddr::new(aligned));
+            }
+        }
+        Err(KonaError::OutOfLocalReservation)
+    }
+
+    /// Returns an object of `bytes` at `addr` to the allocator.
+    ///
+    /// `bytes` must be the size passed to [`SlabAllocator::allocate`];
+    /// freeing with a different size corrupts the size-class accounting
+    /// (as with C `free` of a bad pointer, this is the caller's contract).
+    pub fn free(&mut self, addr: VfMemAddr, bytes: u64) {
+        let class = size_class(bytes);
+        self.free_lists.entry(class).or_default().push(addr.raw());
+        self.live_bytes = self.live_bytes.saturating_sub(class);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_classes() {
+        assert_eq!(size_class(1), 64);
+        assert_eq!(size_class(64), 64);
+        assert_eq!(size_class(65), 128);
+        assert_eq!(size_class(4096), 4096);
+    }
+
+    #[test]
+    fn bump_allocation_is_disjoint_and_aligned() {
+        let mut a = SlabAllocator::new();
+        a.add_slab(VfMemAddr::new(0), 1 << 16);
+        let mut addrs = Vec::new();
+        for _ in 0..16 {
+            let p = a.allocate(100).unwrap();
+            assert_eq!(p.raw() % 128, 0, "allocation not class-aligned");
+            addrs.push(p.raw());
+        }
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 16);
+        assert_eq!(a.live_bytes(), 16 * 128);
+    }
+
+    #[test]
+    fn exhaustion_and_refill() {
+        let mut a = SlabAllocator::new();
+        a.add_slab(VfMemAddr::new(0), 256);
+        a.allocate(128).unwrap();
+        a.allocate(128).unwrap();
+        assert!(a.needs_slab(128));
+        assert_eq!(a.allocate(128).unwrap_err(), KonaError::OutOfLocalReservation);
+        a.add_slab(VfMemAddr::new(4096), 256);
+        assert!(!a.needs_slab(128));
+        assert_eq!(a.allocate(128).unwrap().raw(), 4096);
+    }
+
+    #[test]
+    fn free_list_reuse() {
+        let mut a = SlabAllocator::new();
+        a.add_slab(VfMemAddr::new(0), 4096);
+        let p = a.allocate(200).unwrap();
+        let live = a.live_bytes();
+        a.free(p, 200);
+        assert_eq!(a.live_bytes(), live - 256);
+        assert!(!a.needs_slab(200));
+        assert_eq!(a.allocate(256).unwrap(), p);
+    }
+
+    #[test]
+    fn different_classes_do_not_mix() {
+        let mut a = SlabAllocator::new();
+        a.add_slab(VfMemAddr::new(0), 4096);
+        let small = a.allocate(64).unwrap();
+        a.free(small, 64);
+        let big = a.allocate(128).unwrap();
+        assert_ne!(big, small); // 64-class free slot not reused for 128
+    }
+
+    #[test]
+    fn multiple_slabs_searched() {
+        let mut a = SlabAllocator::new();
+        a.add_slab(VfMemAddr::new(0), 64);
+        a.add_slab(VfMemAddr::new(1 << 20), 4096);
+        a.allocate(64).unwrap();
+        // First slab exhausted; next allocation comes from the second.
+        assert_eq!(a.allocate(64).unwrap().raw(), 1 << 20);
+    }
+}

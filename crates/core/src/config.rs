@@ -1,0 +1,243 @@
+//! Cluster and latency configuration.
+
+use kona_fpga::NextPagePrefetcher;
+use kona_types::{ByteSize, KonaError, Nanos, Result, PAGE_SIZE_4K};
+
+/// Whether the runtime moves real bytes or only simulates timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataMode {
+    /// Full data fidelity: remote pools hold real bytes; reads return what
+    /// was written. Used by correctness tests and examples.
+    #[default]
+    Tracked,
+    /// Timing only: transfers are charged but payloads are zeros. Used by
+    /// large benchmark sweeps where holding the working set in host memory
+    /// would be wasteful.
+    Timing,
+}
+
+/// Local memory latencies of the reference architecture (§4.3).
+///
+/// CMem is CPU-attached DRAM; FMem is FPGA-attached DRAM reached over the
+/// coherent interconnect, "1.5X slower than accessing the local socket"
+/// being the paper's NUMA comparison point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyProfile {
+    /// Access served by the CPU cache hierarchy.
+    pub cpu_cache_hit: Nanos,
+    /// CPU-attached DRAM access.
+    pub cmem: Nanos,
+    /// Line fill from FMem over the coherent interconnect.
+    pub fmem_fill: Nanos,
+}
+
+impl Default for LatencyProfile {
+    fn default() -> Self {
+        LatencyProfile {
+            cpu_cache_hit: Nanos::from_ns(2),
+            cmem: Nanos::from_ns(85),
+            fmem_fill: Nanos::from_ns(250),
+        }
+    }
+}
+
+/// Configuration of a simulated rack: one compute node plus memory nodes.
+///
+/// # Examples
+///
+/// ```
+/// # use kona::ClusterConfig;
+/// let cfg = ClusterConfig::small();
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of memory nodes.
+    pub memory_nodes: u32,
+    /// Capacity of each memory node in bytes.
+    pub node_capacity: ByteSize,
+    /// Slab size for coarse-grain controller allocations.
+    pub slab_size: ByteSize,
+    /// Local DRAM cache capacity in pages (FMem for Kona, the page cache
+    /// for VM baselines).
+    pub local_cache_pages: usize,
+    /// FMem associativity (Kona only; §4.4 uses 4).
+    pub fmem_ways: usize,
+    /// Replication factor for evicted data (§4.5); 1 = no replication.
+    pub replicas: usize,
+    /// CPU cache capacity in lines, as seen by the coherence directory.
+    pub cpu_cache_lines: usize,
+    /// Number of CPU cores (coherence agents) the FPGA's directory
+    /// observes; cores share VFMem coherently.
+    pub cpu_agents: usize,
+    /// Prefetcher for Kona's FPGA.
+    pub prefetcher: NextPagePrefetcher,
+    /// Latency profile.
+    pub latency: LatencyProfile,
+    /// Data fidelity mode.
+    pub data_mode: DataMode,
+    /// Ring-buffer capacity of each node's cache-line log, in bytes.
+    pub log_capacity: ByteSize,
+}
+
+impl ClusterConfig {
+    /// A laptop-scale cluster for tests and examples: two 32 MiB memory
+    /// nodes, 1 MiB slabs, a 1024-page (4 MiB) local cache.
+    pub fn small() -> Self {
+        ClusterConfig {
+            memory_nodes: 2,
+            node_capacity: ByteSize::mib(32),
+            slab_size: ByteSize::mib(1),
+            local_cache_pages: 1024,
+            fmem_ways: 4,
+            replicas: 1,
+            cpu_cache_lines: 8192,
+            cpu_agents: 1,
+            prefetcher: NextPagePrefetcher::disabled(),
+            latency: LatencyProfile::default(),
+            data_mode: DataMode::Tracked,
+            log_capacity: ByteSize::kib(64),
+        }
+    }
+
+    /// Returns the configuration with a different local cache size.
+    #[must_use]
+    pub fn with_local_cache_pages(mut self, pages: usize) -> Self {
+        self.local_cache_pages = pages;
+        self
+    }
+
+    /// Returns the configuration with a different replication factor.
+    #[must_use]
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Returns the configuration in timing-only mode.
+    #[must_use]
+    pub fn timing_only(mut self) -> Self {
+        self.data_mode = DataMode::Timing;
+        self
+    }
+
+    /// Returns the configuration with the given prefetcher.
+    #[must_use]
+    pub fn with_prefetcher(mut self, prefetcher: NextPagePrefetcher) -> Self {
+        self.prefetcher = prefetcher;
+        self
+    }
+
+    /// Returns the configuration with `cores` CPU coherence agents.
+    #[must_use]
+    pub fn with_cpu_agents(mut self, cores: usize) -> Self {
+        self.cpu_agents = cores;
+        self
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::InvalidConfig`] when sizes are zero, the slab
+    /// size is not page-aligned or exceeds the node capacity, the replica
+    /// count is zero or exceeds the node count, or the local cache is not
+    /// divisible into FMem sets.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |msg: String| Err(KonaError::InvalidConfig(msg));
+        if self.memory_nodes == 0 {
+            return fail("at least one memory node required".into());
+        }
+        if self.slab_size.bytes() == 0 || !self.slab_size.bytes().is_multiple_of(PAGE_SIZE_4K) {
+            return fail(format!(
+                "slab size {} must be a non-zero multiple of 4 KiB",
+                self.slab_size
+            ));
+        }
+        if self.slab_size > self.node_capacity {
+            return fail("slab larger than node capacity".into());
+        }
+        if self.replicas == 0 || self.replicas > self.memory_nodes as usize {
+            return fail(format!(
+                "replicas {} must be in 1..={}",
+                self.replicas, self.memory_nodes
+            ));
+        }
+        if self.fmem_ways == 0
+            || (self.local_cache_pages > 0 && !self.local_cache_pages.is_multiple_of(self.fmem_ways))
+        {
+            return fail(format!(
+                "local cache pages {} not divisible into {}-way sets",
+                self.local_cache_pages, self.fmem_ways
+            ));
+        }
+        if self.cpu_cache_lines == 0 {
+            return fail("cpu cache must hold at least one line".into());
+        }
+        if self.cpu_agents == 0 {
+            return fail("at least one CPU agent required".into());
+        }
+        if self.log_capacity.bytes() < 1024 {
+            return fail("cache-line log must be at least 1 KiB".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_is_valid() {
+        assert!(ClusterConfig::small().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_detected() {
+        let mut c = ClusterConfig::small();
+        c.memory_nodes = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::small();
+        c.slab_size = ByteSize(1000);
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::small();
+        c.replicas = 5;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::small();
+        c.local_cache_pages = 7;
+        assert!(c.validate().is_err());
+
+        let mut c = ClusterConfig::small();
+        c.log_capacity = ByteSize(100);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders() {
+        let c = ClusterConfig::small()
+            .with_local_cache_pages(64)
+            .with_replicas(2)
+            .timing_only();
+        assert_eq!(c.local_cache_pages, 64);
+        assert_eq!(c.replicas, 2);
+        assert_eq!(c.data_mode, DataMode::Timing);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn latency_defaults_ordered() {
+        let l = LatencyProfile::default();
+        assert!(l.cpu_cache_hit < l.cmem);
+        assert!(l.cmem < l.fmem_fill);
+    }
+}

@@ -1,0 +1,216 @@
+//! The rack controller.
+//!
+//! "Disaggregated memory allocation is handled by a rack controller, which
+//! allocates memory at a coarse granularity, using large slabs ... off the
+//! critical path of the application. Each memory node has to register with
+//! the controller the amount of memory offered" (§4.1). We implement the
+//! centralized design the paper assumes.
+
+use kona_types::{ByteSize, KonaError, RemoteAddr, Result};
+
+/// A slab granted by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlabGrant {
+    /// Where the slab lives.
+    pub remote: RemoteAddr,
+    /// Slab length in bytes.
+    pub len: u64,
+}
+
+/// The centralized rack controller: tracks each node's registered pool and
+/// hands out slabs round-robin across nodes (spreading load, and giving
+/// replication distinct nodes to target).
+///
+/// # Examples
+///
+/// ```
+/// # use kona::Controller;
+/// # use kona_types::ByteSize;
+/// let mut ctl = Controller::new(ByteSize::mib(1).bytes());
+/// ctl.register_node(0, ByteSize::mib(4).bytes());
+/// let slab = ctl.allocate_slab().unwrap();
+/// assert_eq!(slab.remote.node(), 0);
+/// assert_eq!(slab.len, ByteSize::mib(1).bytes());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Controller {
+    slab_size: u64,
+    /// Per node: (id, next free offset, capacity).
+    nodes: Vec<NodeState>,
+    next_node: usize,
+    slabs_granted: u64,
+}
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    id: u32,
+    cursor: u64,
+    capacity: u64,
+    removed: bool,
+}
+
+impl Controller {
+    /// Creates a controller granting slabs of `slab_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slab_size` is zero.
+    pub fn new(slab_size: u64) -> Self {
+        assert!(slab_size > 0, "slab size must be positive");
+        Controller {
+            slab_size,
+            nodes: Vec::new(),
+            next_node: 0,
+            slabs_granted: 0,
+        }
+    }
+
+    /// The configured slab size.
+    pub fn slab_size(&self) -> u64 {
+        self.slab_size
+    }
+
+    /// Registers a memory node offering `capacity` bytes.
+    pub fn register_node(&mut self, id: u32, capacity: u64) {
+        self.nodes.push(NodeState {
+            id,
+            cursor: 0,
+            capacity,
+            removed: false,
+        });
+    }
+
+    /// Removes a node from the pool (no new slabs will target it).
+    pub fn remove_node(&mut self, id: u32) {
+        for n in &mut self.nodes {
+            if n.id == id {
+                n.removed = true;
+            }
+        }
+    }
+
+    /// Bytes still allocatable across all live nodes.
+    pub fn available(&self) -> ByteSize {
+        ByteSize(
+            self.nodes
+                .iter()
+                .filter(|n| !n.removed)
+                .map(|n| (n.capacity - n.cursor) / self.slab_size * self.slab_size)
+                .sum(),
+        )
+    }
+
+    /// Total slabs granted so far.
+    pub fn slabs_granted(&self) -> u64 {
+        self.slabs_granted
+    }
+
+    /// Allocates one slab, round-robin over live nodes with space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::OutOfRemoteMemory`] when no node can fit a
+    /// slab.
+    pub fn allocate_slab(&mut self) -> Result<SlabGrant> {
+        self.allocate_slab_excluding(&[])
+    }
+
+    /// Allocates one slab on a node not in `exclude` — used to place
+    /// replicas on distinct nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::OutOfRemoteMemory`] when no eligible node can
+    /// fit a slab.
+    pub fn allocate_slab_excluding(&mut self, exclude: &[u32]) -> Result<SlabGrant> {
+        let n = self.nodes.len();
+        for i in 0..n {
+            let idx = (self.next_node + i) % n.max(1);
+            let node = &mut self.nodes[idx];
+            if node.removed
+                || exclude.contains(&node.id)
+                || node.cursor + self.slab_size > node.capacity
+            {
+                continue;
+            }
+            let grant = SlabGrant {
+                remote: RemoteAddr::new(node.id, node.cursor),
+                len: self.slab_size,
+            };
+            node.cursor += self.slab_size;
+            self.next_node = (idx + 1) % n;
+            self.slabs_granted += 1;
+            return Ok(grant);
+        }
+        Err(KonaError::OutOfRemoteMemory {
+            requested: self.slab_size,
+            available: self.available().bytes(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> Controller {
+        let mut c = Controller::new(1 << 20);
+        c.register_node(0, 4 << 20);
+        c.register_node(1, 4 << 20);
+        c
+    }
+
+    #[test]
+    fn round_robin_across_nodes() {
+        let mut c = controller();
+        let a = c.allocate_slab().unwrap();
+        let b = c.allocate_slab().unwrap();
+        assert_ne!(a.remote.node(), b.remote.node());
+        let c2 = c.allocate_slab().unwrap();
+        assert_eq!(c2.remote.node(), a.remote.node());
+        assert_eq!(c2.remote.offset(), 1 << 20);
+        assert_eq!(c.slabs_granted(), 3);
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut c = controller();
+        for _ in 0..8 {
+            c.allocate_slab().unwrap();
+        }
+        let err = c.allocate_slab().unwrap_err();
+        assert!(matches!(err, KonaError::OutOfRemoteMemory { .. }));
+        assert_eq!(c.available().bytes(), 0);
+    }
+
+    #[test]
+    fn exclusion_for_replicas() {
+        let mut c = controller();
+        let primary = c.allocate_slab().unwrap();
+        let replica = c.allocate_slab_excluding(&[primary.remote.node()]).unwrap();
+        assert_ne!(replica.remote.node(), primary.remote.node());
+    }
+
+    #[test]
+    fn removed_node_skipped() {
+        let mut c = controller();
+        c.remove_node(0);
+        for _ in 0..4 {
+            assert_eq!(c.allocate_slab().unwrap().remote.node(), 1);
+        }
+        assert!(c.allocate_slab().is_err());
+    }
+
+    #[test]
+    fn no_nodes_errors() {
+        let mut c = Controller::new(4096);
+        assert!(c.allocate_slab().is_err());
+    }
+
+    #[test]
+    fn available_counts_whole_slabs() {
+        let mut c = Controller::new(1 << 20);
+        c.register_node(0, (1 << 20) + 512);
+        assert_eq!(c.available().bytes(), 1 << 20);
+    }
+}

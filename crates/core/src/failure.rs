@@ -1,0 +1,98 @@
+//! Failure handling (§4.5).
+//!
+//! A slow or failed network is dangerous for coherence-based remote
+//! memory: "the cache coherence protocol can result in a timeout due to
+//! slow or failed network operations, which triggers a machine check
+//! exception (MCE)". The paper offers two mitigations, both modelled here:
+//!
+//! * handle the MCE (Intel machine-check architecture), retrying or
+//!   reporting to the operator — [`FailurePolicy::HandleMce`];
+//! * fall back to page faults: mark the affected pages not-present so
+//!   software regains control and can wait out the outage —
+//!   [`FailurePolicy::PageFaultFallback`].
+//!
+//! Memory-node *data* loss is mitigated by replication during eviction
+//! (see [`crate::EvictionHandler`] and [`crate::KonaRuntime`]'s replica
+//! failover).
+
+use kona_types::{Nanos, VfMemAddr};
+
+/// How the runtime reacts when a remote fetch fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Record a machine-check event and surface the error to the caller
+    /// (the default on hardware without MCE recovery).
+    #[default]
+    HandleMce,
+    /// Mark the page not-present and retry through the page-fault path
+    /// after the outage clears; the access is charged the fault cost plus
+    /// one retry round-trip.
+    PageFaultFallback,
+}
+
+/// A recorded machine-check event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McEvent {
+    /// The VFMem address whose fill failed.
+    pub addr: VfMemAddr,
+    /// Application time at which the failure surfaced.
+    pub at: Nanos,
+}
+
+/// Failure bookkeeping shared by the runtime.
+#[derive(Debug, Clone, Default)]
+pub struct FailureState {
+    policy: FailurePolicy,
+    events: Vec<McEvent>,
+}
+
+impl FailureState {
+    /// Creates state with the given policy.
+    pub fn new(policy: FailurePolicy) -> Self {
+        FailureState {
+            policy,
+            events: Vec::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> FailurePolicy {
+        self.policy
+    }
+
+    /// Changes the policy.
+    pub fn set_policy(&mut self, policy: FailurePolicy) {
+        self.policy = policy;
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, addr: VfMemAddr, at: Nanos) {
+        self.events.push(McEvent { addr, at });
+    }
+
+    /// All recorded events.
+    pub fn events(&self) -> &[McEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_inspect() {
+        let mut st = FailureState::new(FailurePolicy::PageFaultFallback);
+        assert_eq!(st.policy(), FailurePolicy::PageFaultFallback);
+        st.record(VfMemAddr::new(0x1000), Nanos::micros(5));
+        assert_eq!(st.events().len(), 1);
+        assert_eq!(st.events()[0].addr, VfMemAddr::new(0x1000));
+        st.set_policy(FailurePolicy::HandleMce);
+        assert_eq!(st.policy(), FailurePolicy::HandleMce);
+    }
+
+    #[test]
+    fn default_policy_is_mce() {
+        assert_eq!(FailurePolicy::default(), FailurePolicy::HandleMce);
+    }
+}

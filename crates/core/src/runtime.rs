@@ -1,0 +1,814 @@
+//! The Kona runtime and the [`RemoteMemoryRuntime`] interface.
+
+use crate::alloc::SlabAllocator;
+use crate::config::{ClusterConfig, DataMode};
+use crate::controller::Controller;
+use crate::eviction::EvictionHandler;
+use crate::failure::{FailurePolicy, FailureState, McEvent};
+use crate::poller::Poller;
+use crate::stats::RuntimeStats;
+use kona_coherence::AgentId;
+use kona_fpga::{CpuAccessOutcome, FpgaConfig, KonaFpga, VictimPage};
+use kona_net::{Fabric, NetworkModel, WorkRequest};
+use kona_trace::TraceEvent;
+use kona_types::{
+    AccessKind, KonaError, MemAccess, Nanos, PageNumber, RemoteAddr, Result, VfMemAddr, VirtAddr,
+    CACHE_LINE_SIZE, PAGE_SIZE_4K,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// The common interface of Kona and the VM baselines.
+///
+/// Both runtimes are driven identically (same traces, same allocation
+/// calls, same eviction policy), so measured differences isolate the
+/// mechanism — the paper's §6.1 methodology.
+pub trait RemoteMemoryRuntime {
+    /// Runtime name for reports (e.g. `"Kona"`, `"Kona-VM"`).
+    fn name(&self) -> &str;
+
+    /// Allocates `bytes` of transparently-remote memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the rack is out of remote memory.
+    fn allocate(&mut self, bytes: u64) -> Result<VirtAddr>;
+
+    /// Returns an allocation of `bytes` at `addr`.
+    fn free(&mut self, addr: VirtAddr, bytes: u64);
+
+    /// Performs one application memory access, returning the simulated
+    /// time charged to the application.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped addresses or unrecoverable network failures.
+    fn access(&mut self, access: MemAccess) -> Result<Nanos>;
+
+    /// Writes `data` at `addr` (access + data movement).
+    ///
+    /// # Errors
+    ///
+    /// As for [`RemoteMemoryRuntime::access`].
+    fn write_bytes(&mut self, addr: VirtAddr, data: &[u8]) -> Result<Nanos>;
+
+    /// Reads into `buf` from `addr` (access + data movement).
+    ///
+    /// # Errors
+    ///
+    /// As for [`RemoteMemoryRuntime::access`].
+    fn read_bytes(&mut self, addr: VirtAddr, buf: &mut [u8]) -> Result<Nanos>;
+
+    /// Pushes all dirty local state to remote memory; returns the time
+    /// charged to the application.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network failures.
+    fn sync(&mut self) -> Result<Nanos>;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> RuntimeStats;
+
+    /// Replays a trace through [`RemoteMemoryRuntime::access`], returning
+    /// total application time (trace timestamps are ignored; the runtime's
+    /// simulated costs define time).
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first access error.
+    fn run_trace(&mut self, events: &[TraceEvent]) -> Result<Nanos> {
+        let mut total = Nanos::ZERO;
+        for e in events {
+            total += self.access(e.access)?;
+        }
+        Ok(total)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SlabInfo {
+    len: u64,
+    replicas: Vec<RemoteAddr>,
+}
+
+/// The coherence-based remote-memory runtime (the paper's contribution).
+///
+/// Virtual addresses map identity onto VFMem: the paper keeps all remote
+/// data in VFMem and everything else in CMem; our simulated applications
+/// allocate only remote data, so the identity map loses nothing.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct KonaRuntime {
+    config: ClusterConfig,
+    fpga: KonaFpga,
+    fabric: Fabric,
+    controller: Controller,
+    allocator: SlabAllocator,
+    eviction: EvictionHandler,
+    poller: Poller,
+    failure: FailureState,
+    stats: RuntimeStats,
+    vfmem_cursor: u64,
+    slabs: BTreeMap<u64, SlabInfo>,
+    /// Page data for FMem-resident pages (Tracked mode only).
+    local_pages: HashMap<u64, Vec<u8>>,
+    next_wr_id: u64,
+}
+
+impl KonaRuntime {
+    /// Builds a runtime over a fresh simulated rack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::InvalidConfig`] if the configuration is
+    /// inconsistent.
+    pub fn new(config: ClusterConfig) -> Result<Self> {
+        config.validate()?;
+        let mut fabric = Fabric::new(NetworkModel::connectx5());
+        let mut controller = Controller::new(config.slab_size.bytes());
+        let data_capacity = config.node_capacity.bytes();
+        let log_capacity = config.log_capacity.bytes();
+        for id in 0..config.memory_nodes {
+            fabric.add_node(id, data_capacity + log_capacity);
+            fabric.register(id, 0, data_capacity)?;
+            fabric.register(id, data_capacity, log_capacity)?;
+            controller.register_node(id, data_capacity);
+        }
+        let fpga = KonaFpga::new(FpgaConfig {
+            cpu_agents: config.cpu_agents.max(1),
+            cpu_cache_lines: config.cpu_cache_lines,
+            fmem_pages: config.local_cache_pages,
+            fmem_ways: config.fmem_ways,
+            prefetcher: config.prefetcher.clone(),
+        });
+        Ok(KonaRuntime {
+            eviction: EvictionHandler::new(data_capacity, log_capacity as usize),
+            fpga,
+            fabric,
+            controller,
+            allocator: SlabAllocator::new(),
+            poller: Poller::new(),
+            failure: FailureState::new(FailurePolicy::default()),
+            stats: RuntimeStats::default(),
+            vfmem_cursor: 0,
+            slabs: BTreeMap::new(),
+            local_pages: HashMap::new(),
+            config,
+            next_wr_id: 0,
+        })
+    }
+
+    /// The fabric, for failure injection in tests and examples.
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    /// The FPGA model, for inspection.
+    pub fn fpga(&self) -> &KonaFpga {
+        &self.fpga
+    }
+
+    /// Eviction-phase breakdown (Fig 11c).
+    pub fn eviction_breakdown(&self) -> crate::eviction::EvictionBreakdown {
+        self.eviction.breakdown()
+    }
+
+    /// Sets the failure policy (§4.5).
+    pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
+        self.failure.set_policy(policy);
+    }
+
+    /// Selects the eviction copy engine (§4.2's optional `copy-dirty-data`
+    /// hardware primitive).
+    pub fn set_copy_engine(&mut self, engine: crate::eviction::CopyEngine) {
+        self.eviction.set_copy_engine(engine);
+    }
+
+    /// Machine-check events recorded so far.
+    pub fn mce_events(&self) -> &[McEvent] {
+        self.failure.events()
+    }
+
+    /// Performs an access issued by a specific CPU core (cache agent).
+    /// Threads sharing lines exercise the full MESI protocol: writes by
+    /// one core invalidate the others' copies, and the resulting dirty
+    /// writebacks reach the FPGA's tracker like any others.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RemoteMemoryRuntime::access`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is not below the configured
+    /// [`ClusterConfig::cpu_agents`].
+    pub fn access_from_core(&mut self, core: u32, access: MemAccess) -> Result<Nanos> {
+        let mut elapsed = Nanos::ZERO;
+        let start = access.addr.line_start().raw();
+        let end = access.end().raw();
+        let mut line = start;
+        loop {
+            elapsed += self.access_line_from(AgentId(core), VfMemAddr::new(line), access.kind)?;
+            line += CACHE_LINE_SIZE;
+            if line >= end {
+                break;
+            }
+        }
+        if access.kind.is_write() {
+            self.stats.app_dirty_bytes += u64::from(access.len);
+        }
+        self.stats.app_time += elapsed;
+        Ok(elapsed)
+    }
+
+    fn wr_id(&mut self) -> u64 {
+        self.next_wr_id += 1;
+        self.next_wr_id
+    }
+
+    /// Resolves the replica addresses backing `page`, if any.
+    fn replicas_for(&self, page: PageNumber) -> Vec<RemoteAddr> {
+        let base = page.base_vfmem().raw();
+        if let Some((&slab_base, info)) = self.slabs.range(..=base).next_back() {
+            if base < slab_base + info.len {
+                return info
+                    .replicas
+                    .iter()
+                    .map(|r| r.add(base - slab_base))
+                    .collect();
+            }
+        }
+        Vec::new()
+    }
+
+    /// Grabs a slab (plus replicas) from the controller and wires it up,
+    /// handing the space to the fine-grained allocator.
+    fn grow(&mut self) -> Result<()> {
+        let (base, len) = self.grow_reserved()?;
+        self.allocator.add_slab(base, len);
+        Ok(())
+    }
+
+    /// Grabs a slab (plus replicas) and wires it into translation without
+    /// exposing it to the fine-grained allocator (whole-slab allocations).
+    fn grow_reserved(&mut self) -> Result<(VfMemAddr, u64)> {
+        let primary = self.controller.allocate_slab()?;
+        let mut replicas = Vec::new();
+        let mut used = vec![primary.remote.node()];
+        for _ in 1..self.config.replicas {
+            let grant = self.controller.allocate_slab_excluding(&used)?;
+            used.push(grant.remote.node());
+            replicas.push(grant.remote);
+        }
+        let base = VfMemAddr::new(self.vfmem_cursor);
+        self.vfmem_cursor += primary.len;
+        self.fpga
+            .translation_mut()
+            .register(base, primary.len, primary.remote)?;
+        self.slabs.insert(
+            base.raw(),
+            SlabInfo {
+                len: primary.len,
+                replicas,
+            },
+        );
+        Ok((base, primary.len))
+    }
+
+    /// Fetches `page` from remote memory (primary, then replicas on
+    /// failure), returning the time and storing the data locally.
+    fn fetch_page(&mut self, page: PageNumber) -> Result<Nanos> {
+        // Read-your-writes: if the page has unflushed log entries, flush
+        // them so the fetched copy is current.
+        let mut elapsed = Nanos::ZERO;
+        if self.eviction.is_pending(page.raw()) {
+            elapsed += self
+                .eviction
+                .flush_all(&mut self.fabric, &mut self.poller)?;
+        }
+
+        let primary = self.fpga.translate_page(page)?;
+        let mut targets = vec![primary];
+        targets.extend(self.replicas_for(page));
+
+        let mut last_err = None;
+        for (i, target) in targets.iter().enumerate() {
+            let wr_id = self.wr_id();
+            let wr = WorkRequest::read(wr_id, *target, PAGE_SIZE_4K).signaled();
+            match self.poller.post_and_poll(&mut self.fabric, vec![wr]) {
+                Ok((time, completions)) => {
+                    if i > 0 {
+                        // Failover fetch: note it in the stats.
+                        self.stats.mce_events += 1;
+                    }
+                    if self.config.data_mode == DataMode::Tracked {
+                        let data = completions
+                            .first()
+                            .map(|c| c.data.to_vec())
+                            .unwrap_or_else(|| vec![0; PAGE_SIZE_4K as usize]);
+                        self.local_pages.insert(page.raw(), data);
+                    }
+                    self.stats.remote_fetches += 1;
+                    return Ok(elapsed + time);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+
+        // All targets failed: apply the failure policy.
+        let err = last_err.expect("at least one target attempted");
+        let addr = page.base_vfmem();
+        match self.failure.policy() {
+            FailurePolicy::HandleMce => {
+                self.failure.record(addr, self.stats.app_time);
+                self.stats.mce_events += 1;
+                Err(KonaError::CoherenceTimeout {
+                    addr,
+                    deadline_ns: self.fabric.model().verb_time(PAGE_SIZE_4K).as_ns() * 10,
+                })
+            }
+            FailurePolicy::PageFaultFallback => {
+                // The page is marked not-present; the software handler will
+                // retry after the outage. Charge a fault's worth of time.
+                self.stats.app_time += Nanos::micros(3);
+                Err(err)
+            }
+        }
+    }
+
+    fn handle_victim(&mut self, victim: &VictimPage) -> Result<()> {
+        let page_data = self.local_pages.get(&victim.page.raw());
+        if self.config.data_mode == DataMode::Tracked && page_data.is_none() && victim.is_dirty()
+        {
+            // Degenerate (zero-cache) configurations write data through
+            // directly; there is nothing to ship from a local copy.
+            self.local_pages.remove(&victim.page.raw());
+            return Ok(());
+        }
+        let primary = self.fpga.translate_page(victim.page)?;
+        let replicas = self.replicas_for(victim.page);
+        let time = self.eviction.evict_page(
+            victim,
+            page_data.map(Vec::as_slice),
+            primary,
+            &replicas,
+            &mut self.fabric,
+            &mut self.poller,
+        )?;
+        // Eviction runs on its own thread, concurrent with the app.
+        self.stats.background_time += time;
+        self.local_pages.remove(&victim.page.raw());
+        Ok(())
+    }
+
+    fn access_line(&mut self, addr: VfMemAddr, kind: AccessKind) -> Result<Nanos> {
+        self.access_line_from(AgentId(0), addr, kind)
+    }
+
+    fn access_line_from(
+        &mut self,
+        agent: AgentId,
+        addr: VfMemAddr,
+        kind: AccessKind,
+    ) -> Result<Nanos> {
+        match self.fpga.cpu_access_from(agent, addr, kind) {
+            CpuAccessOutcome::CpuCacheHit => {
+                self.stats.local_hits += 1;
+                Ok(self.config.latency.cpu_cache_hit)
+            }
+            CpuAccessOutcome::FMemHit => {
+                self.stats.local_hits += 1;
+                Ok(self.config.latency.fmem_fill)
+            }
+            CpuAccessOutcome::RemoteFetch {
+                page,
+                victims,
+                prefetch,
+            } => {
+                for victim in &victims {
+                    self.handle_victim(victim)?;
+                }
+                let fetch = self.fetch_page(page)?;
+                for p in prefetch {
+                    // Prefetches run off the critical path.
+                    let t = self.fetch_page(p)?;
+                    self.stats.background_time += t;
+                    self.stats.prefetches += 1;
+                }
+                Ok(fetch + self.config.latency.fmem_fill)
+            }
+        }
+    }
+
+    /// Direct write-through for pages that cannot be held locally
+    /// (degenerate zero-cache configurations).
+    fn write_through(&mut self, addr: VfMemAddr, data: &[u8]) -> Result<Nanos> {
+        let remote = self.fpga.translate_page(addr.page_number())?;
+        let wr_id = self.wr_id();
+        let wr = WorkRequest::write(
+            wr_id,
+            remote.add(addr.page_offset()),
+            data.to_vec(),
+        )
+        .signaled();
+        let (time, _) = self.poller.post_and_poll(&mut self.fabric, vec![wr])?;
+        Ok(time)
+    }
+
+    fn read_through(&mut self, addr: VfMemAddr, buf: &mut [u8]) -> Result<Nanos> {
+        let remote = self.fpga.translate_page(addr.page_number())?;
+        let wr_id = self.wr_id();
+        let wr = WorkRequest::read(wr_id, remote.add(addr.page_offset()), buf.len() as u64)
+            .signaled();
+        let (time, completions) = self.poller.post_and_poll(&mut self.fabric, vec![wr])?;
+        if let Some(c) = completions.first() {
+            buf.copy_from_slice(&c.data);
+        }
+        Ok(time)
+    }
+}
+
+impl RemoteMemoryRuntime for KonaRuntime {
+    fn name(&self) -> &str {
+        "Kona"
+    }
+
+    fn allocate(&mut self, bytes: u64) -> Result<VirtAddr> {
+        // Requests near or above the slab size are served as whole
+        // contiguous slabs (the controller's coarse granularity); smaller
+        // objects go through AllocLib's size-class allocator.
+        if bytes > self.config.slab_size.bytes() / 2 {
+            let base = self.vfmem_cursor;
+            let slabs = bytes.div_ceil(self.config.slab_size.bytes());
+            for _ in 0..slabs {
+                self.grow_reserved()?;
+            }
+            return Ok(VirtAddr::new(base));
+        }
+        while self.allocator.needs_slab(bytes) {
+            self.grow()?;
+        }
+        let addr = self.allocator.allocate(bytes)?;
+        Ok(VirtAddr::new(addr.raw()))
+    }
+
+    fn free(&mut self, addr: VirtAddr, bytes: u64) {
+        self.allocator.free(VfMemAddr::new(addr.raw()), bytes);
+    }
+
+    fn access(&mut self, access: MemAccess) -> Result<Nanos> {
+        let mut elapsed = Nanos::ZERO;
+        let start = access.addr.line_start().raw();
+        let end = access.end().raw();
+        let mut line = start;
+        loop {
+            elapsed += self.access_line(VfMemAddr::new(line), access.kind)?;
+            line += CACHE_LINE_SIZE;
+            if line >= end {
+                break;
+            }
+        }
+        if access.kind.is_write() {
+            self.stats.app_dirty_bytes += u64::from(access.len);
+        }
+        self.stats.app_time += elapsed;
+        Ok(elapsed)
+    }
+
+    fn write_bytes(&mut self, addr: VirtAddr, data: &[u8]) -> Result<Nanos> {
+        // Access and data movement interleave per cache line: the line's
+        // bytes must reach the local page copy *before* the next line's
+        // fetch can evict (and ship) this page, or eviction would write
+        // stale data over the remote copy.
+        let mut elapsed = Nanos::ZERO;
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = addr + off as u64;
+            // Chunk: up to the end of the current cache line.
+            let in_line = (CACHE_LINE_SIZE - a.raw() % CACHE_LINE_SIZE) as usize;
+            let chunk = in_line.min(data.len() - off);
+            elapsed += self.access_line(VfMemAddr::new(a.line_start().raw()), AccessKind::Write)?;
+            if self.config.data_mode == DataMode::Tracked {
+                let page = a.page_number();
+                if let Some(pd) = self.local_pages.get_mut(&page.raw()) {
+                    let s = a.page_offset() as usize;
+                    pd[s..s + chunk].copy_from_slice(&data[off..off + chunk]);
+                } else {
+                    let t =
+                        self.write_through(VfMemAddr::new(a.raw()), &data[off..off + chunk])?;
+                    elapsed += t;
+                }
+            }
+            off += chunk;
+        }
+        self.stats.app_dirty_bytes += data.len() as u64;
+        self.stats.app_time += elapsed;
+        Ok(elapsed)
+    }
+
+    fn read_bytes(&mut self, addr: VirtAddr, buf: &mut [u8]) -> Result<Nanos> {
+        // Interleaved per line, mirroring write_bytes: the line's bytes are
+        // copied out while its page is guaranteed resident.
+        let mut elapsed = Nanos::ZERO;
+        let len = buf.len();
+        let mut off = 0usize;
+        while off < len {
+            let a = addr + off as u64;
+            let in_line = (CACHE_LINE_SIZE - a.raw() % CACHE_LINE_SIZE) as usize;
+            let chunk = in_line.min(len - off);
+            elapsed += self.access_line(VfMemAddr::new(a.line_start().raw()), AccessKind::Read)?;
+            if self.config.data_mode == DataMode::Tracked {
+                let page = a.page_number();
+                if let Some(pd) = self.local_pages.get(&page.raw()) {
+                    let s = a.page_offset() as usize;
+                    buf[off..off + chunk].copy_from_slice(&pd[s..s + chunk]);
+                } else {
+                    let t = self.read_through(
+                        VfMemAddr::new(a.raw()),
+                        &mut buf[off..off + chunk],
+                    )?;
+                    elapsed += t;
+                }
+            }
+            off += chunk;
+        }
+        self.stats.app_time += elapsed;
+        Ok(elapsed)
+    }
+
+    fn sync(&mut self) -> Result<Nanos> {
+        let mut elapsed = Nanos::ZERO;
+        // Write back dirty lines of pages still resident in FMem.
+        let resident: Vec<PageNumber> = self.fpga.resident_pages_list();
+        for page in resident {
+            let dirty = self.fpga.snoop_page_dirty(page);
+            if !dirty.any() {
+                continue;
+            }
+            let victim = VictimPage {
+                page,
+                dirty_lines: dirty,
+            };
+            let page_data = self.local_pages.get(&page.raw());
+            let primary = self.fpga.translate_page(page)?;
+            let replicas = self.replicas_for(page);
+            elapsed += self.eviction.evict_page(
+                &victim,
+                page_data.map(Vec::as_slice),
+                primary,
+                &replicas,
+                &mut self.fabric,
+                &mut self.poller,
+            )?;
+        }
+        elapsed += self
+            .eviction
+            .flush_all(&mut self.fabric, &mut self.poller)?;
+        self.stats.app_time += elapsed;
+        Ok(elapsed)
+    }
+
+    fn stats(&self) -> RuntimeStats {
+        let mut s = self.stats;
+        let ev = self.eviction.stats();
+        s.pages_evicted = ev.pages_evicted;
+        s.writeback_bytes = ev.dirty_bytes_written;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runtime() -> KonaRuntime {
+        KonaRuntime::new(ClusterConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn allocate_grows_slabs_on_demand() {
+        let mut rt = runtime();
+        let a = rt.allocate(1024).unwrap();
+        let b = rt.allocate(1024).unwrap();
+        assert_ne!(a, b);
+        assert!(rt.controller.slabs_granted() >= 1);
+    }
+
+    #[test]
+    fn write_read_roundtrip_within_cache() {
+        let mut rt = runtime();
+        let addr = rt.allocate(8192).unwrap();
+        rt.write_bytes(addr, &[0xAB; 300]).unwrap();
+        let mut buf = [0u8; 300];
+        rt.read_bytes(addr, &mut buf).unwrap();
+        assert_eq!(buf, [0xAB; 300]);
+    }
+
+    #[test]
+    fn roundtrip_survives_eviction_pressure() {
+        // Cache of 8 pages; write 32 pages of distinct data, then verify.
+        let mut cfg = ClusterConfig::small().with_local_cache_pages(8);
+        cfg.cpu_cache_lines = 64;
+        let mut rt = KonaRuntime::new(cfg).unwrap();
+        let base = rt.allocate(32 * 4096).unwrap();
+        for p in 0..32u64 {
+            let pattern = [p as u8 + 1; 64];
+            rt.write_bytes(base + p * 4096 + 128, &pattern).unwrap();
+        }
+        for p in 0..32u64 {
+            let mut buf = [0u8; 64];
+            rt.read_bytes(base + p * 4096 + 128, &mut buf).unwrap();
+            assert_eq!(buf, [p as u8 + 1; 64], "page {p} corrupted");
+        }
+        assert!(rt.stats().pages_evicted > 0, "pressure must evict");
+    }
+
+    #[test]
+    fn no_page_faults_ever() {
+        let mut rt = runtime();
+        let addr = rt.allocate(1 << 16).unwrap();
+        for i in 0..256u64 {
+            rt.access(MemAccess::write(addr + i * 64, 8)).unwrap();
+        }
+        let s = rt.stats();
+        assert_eq!(s.major_faults, 0);
+        assert_eq!(s.minor_faults, 0);
+        assert_eq!(s.tlb_invalidations, 0);
+        assert!(s.remote_fetches > 0);
+    }
+
+    #[test]
+    fn repeated_access_hits_cpu_cache() {
+        let mut rt = runtime();
+        let addr = rt.allocate(4096).unwrap();
+        let cold = rt.access(MemAccess::read(addr, 8)).unwrap();
+        let warm = rt.access(MemAccess::read(addr, 8)).unwrap();
+        assert!(warm < cold / 100, "warm {warm} vs cold {cold}");
+        assert_eq!(warm, rt.config.latency.cpu_cache_hit);
+    }
+
+    #[test]
+    fn sync_pushes_dirty_lines_to_remote() {
+        let mut rt = runtime();
+        let addr = rt.allocate(4096).unwrap();
+        rt.write_bytes(addr, &[0x5A; 64]).unwrap();
+        rt.sync().unwrap();
+        // The data must now be present on the remote node.
+        let primary = rt.fpga.translate_page(addr.page_number()).unwrap();
+        let node = rt.fabric.node(primary.node()).unwrap();
+        assert_eq!(
+            node.read_bytes(primary.offset(), 64),
+            &[0x5A; 64][..]
+        );
+    }
+
+    #[test]
+    fn access_unallocated_address_fails() {
+        let mut rt = runtime();
+        let err = rt
+            .access(MemAccess::read(VirtAddr::new(1 << 40), 8))
+            .unwrap_err();
+        assert!(matches!(err, KonaError::NoRemoteTranslation(_)));
+    }
+
+    #[test]
+    fn failed_node_with_mce_policy_errors() {
+        let mut cfg = ClusterConfig::small().with_local_cache_pages(4);
+        cfg.cpu_cache_lines = 64;
+        let mut rt = KonaRuntime::new(cfg).unwrap();
+        let addr = rt.allocate(64 * 4096).unwrap();
+        // Find which node backs the first page, then fail it after
+        // flushing the page out of the local cache.
+        let node = rt.fpga.translate_page(addr.page_number()).unwrap().node();
+        for p in 1..32u64 {
+            rt.access(MemAccess::read(addr + p * 4096, 8)).unwrap();
+        }
+        rt.fabric_mut().fail_node(node);
+        // The first page was evicted; re-fetching it must hit the failure.
+        let err = rt.access(MemAccess::read(addr, 8)).unwrap_err();
+        assert!(matches!(err, KonaError::CoherenceTimeout { .. }));
+        assert_eq!(rt.mce_events().len(), 1);
+    }
+
+    #[test]
+    fn failed_node_recovers_with_fallback_policy() {
+        let mut cfg = ClusterConfig::small().with_local_cache_pages(4);
+        cfg.cpu_cache_lines = 64;
+        let mut rt = KonaRuntime::new(cfg).unwrap();
+        rt.set_failure_policy(FailurePolicy::PageFaultFallback);
+        let addr = rt.allocate(64 * 4096).unwrap();
+        let node = rt.fpga.translate_page(addr.page_number()).unwrap().node();
+        for p in 1..32u64 {
+            rt.access(MemAccess::read(addr + p * 4096, 8)).unwrap();
+        }
+        rt.fabric_mut().fail_node(node);
+        assert!(rt.access(MemAccess::read(addr, 8)).is_err());
+        assert!(rt.mce_events().is_empty(), "fallback must not raise MCE");
+        // Outage resolves; the retried access succeeds.
+        rt.fabric_mut().recover_node(node);
+        assert!(rt.access(MemAccess::read(addr, 8)).is_ok());
+    }
+
+    #[test]
+    fn replication_enables_failover_reads() {
+        let mut cfg = ClusterConfig::small()
+            .with_replicas(2)
+            .with_local_cache_pages(4);
+        cfg.cpu_cache_lines = 64;
+        let mut rt = KonaRuntime::new(cfg).unwrap();
+        let addr = rt.allocate(64 * 4096).unwrap();
+        rt.write_bytes(addr, &[0x11; 64]).unwrap();
+        rt.sync().unwrap();
+        // Push the page out of the local cache.
+        for p in 1..40u64 {
+            rt.access(MemAccess::read(addr + p * 4096, 8)).unwrap();
+        }
+        rt.sync().unwrap();
+        // Fail the primary; the read must come from the replica.
+        let primary_node = rt.fpga.translate_page(addr.page_number()).unwrap().node();
+        rt.fabric_mut().fail_node(primary_node);
+        let mut buf = [0u8; 64];
+        rt.read_bytes(addr, &mut buf).unwrap();
+        assert_eq!(buf, [0x11; 64]);
+    }
+
+    #[test]
+    fn eviction_is_background_work() {
+        let mut cfg = ClusterConfig::small().with_local_cache_pages(4);
+        cfg.cpu_cache_lines = 64;
+        let mut rt = KonaRuntime::new(cfg).unwrap();
+        let addr = rt.allocate(64 * 4096).unwrap();
+        for p in 0..64u64 {
+            rt.access(MemAccess::write(addr + p * 4096, 8)).unwrap();
+        }
+        let s = rt.stats();
+        assert!(s.background_time > Nanos::ZERO);
+        assert!(s.pages_evicted > 0);
+    }
+
+    #[test]
+    fn timing_mode_skips_data() {
+        let mut rt = KonaRuntime::new(ClusterConfig::small().timing_only()).unwrap();
+        let addr = rt.allocate(4096).unwrap();
+        let t = rt.access(MemAccess::write(addr, 64)).unwrap();
+        assert!(t > Nanos::ZERO);
+        assert!(rt.local_pages.is_empty());
+    }
+
+    #[test]
+    fn multi_core_sharing_is_coherent() {
+        let mut cfg = ClusterConfig::small().with_cpu_agents(2);
+        cfg.cpu_cache_lines = 256;
+        let mut rt = KonaRuntime::new(cfg).unwrap();
+        let addr = rt.allocate(4096).unwrap();
+        // Core 0 writes; core 1 reads the same line: the read downgrades
+        // core 0's modified copy, producing an observed writeback.
+        rt.access_from_core(0, MemAccess::write(addr, 8)).unwrap();
+        let before = rt.fpga().stats().writebacks_observed;
+        rt.access_from_core(1, MemAccess::read(addr, 8)).unwrap();
+        assert!(rt.fpga().stats().writebacks_observed > before);
+        // Core 1 writing invalidates core 0's copy; a subsequent core-0
+        // read misses its own cache (but hits FMem, no remote fetch).
+        rt.access_from_core(1, MemAccess::write(addr, 8)).unwrap();
+        let fetches = rt.stats().remote_fetches;
+        rt.access_from_core(0, MemAccess::read(addr, 8)).unwrap();
+        assert_eq!(rt.stats().remote_fetches, fetches);
+    }
+
+    #[test]
+    fn hardware_copy_engine_reduces_background_time() {
+        let mk = |engine| {
+            let mut cfg = ClusterConfig::small().with_local_cache_pages(4);
+            cfg.cpu_cache_lines = 64;
+            let mut rt = KonaRuntime::new(cfg).unwrap();
+            rt.set_copy_engine(engine);
+            let addr = rt.allocate(64 * 4096).unwrap();
+            for p in 0..64u64 {
+                rt.access(MemAccess::write(addr + p * 4096, 8)).unwrap();
+            }
+            rt.sync().unwrap();
+            rt.stats().background_time
+        };
+        let sw = mk(crate::eviction::CopyEngine::SoftwareAvx);
+        let hw = mk(crate::eviction::CopyEngine::HardwareDma);
+        assert!(hw < sw, "dma {hw} should beat software {sw}");
+    }
+
+    #[test]
+    fn run_trace_accumulates() {
+        let mut rt = runtime();
+        let addr = rt.allocate(1 << 16).unwrap();
+        let events: Vec<TraceEvent> = (0..16u64)
+            .map(|i| {
+                TraceEvent::new(
+                    Nanos::from_ns(i),
+                    MemAccess::read(addr + i * 4096 % (1 << 16), 8),
+                )
+            })
+            .collect();
+        let t = rt.run_trace(&events).unwrap();
+        assert!(t > Nanos::ZERO);
+        assert_eq!(rt.stats().app_time, t);
+    }
+}

@@ -1,0 +1,77 @@
+//! Aggregate runtime statistics.
+
+use kona_types::Nanos;
+
+/// Statistics common to both runtimes; fields not applicable to a runtime
+/// stay zero (e.g. Kona never takes page faults).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Simulated time on the application's critical path.
+    pub app_time: Nanos,
+    /// Simulated time spent by background work (eviction, prefetch) that
+    /// runs concurrently with the application.
+    pub background_time: Nanos,
+    /// Line/page accesses served locally (CPU caches, FMem or CMem cache).
+    pub local_hits: u64,
+    /// Fetches from remote memory.
+    pub remote_fetches: u64,
+    /// Major page faults taken (VM runtimes only).
+    pub major_faults: u64,
+    /// Write-protection faults taken (VM runtimes only).
+    pub minor_faults: u64,
+    /// TLB invalidations + shootdowns performed (VM runtimes only).
+    pub tlb_invalidations: u64,
+    /// Pages evicted from the local cache.
+    pub pages_evicted: u64,
+    /// Dirty payload bytes written back to remote memory.
+    pub writeback_bytes: u64,
+    /// Bytes the application actually dirtied (for amplification).
+    pub app_dirty_bytes: u64,
+    /// Pages prefetched (Kona only).
+    pub prefetches: u64,
+    /// Machine-check events observed on network failures (Kona only).
+    pub mce_events: u64,
+}
+
+impl RuntimeStats {
+    /// Wall-clock estimate: the application and the eviction thread run
+    /// concurrently, so the run completes when the slower of the two does.
+    pub fn wall_time(&self) -> Nanos {
+        self.app_time.max(self.background_time)
+    }
+
+    /// Write amplification actually incurred on the wire: bytes written
+    /// back over bytes dirtied (0 when nothing was dirtied).
+    pub fn write_amplification(&self) -> f64 {
+        if self.app_dirty_bytes == 0 {
+            return 0.0;
+        }
+        self.writeback_bytes as f64 / self.app_dirty_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_time_is_max() {
+        let s = RuntimeStats {
+            app_time: Nanos::micros(5),
+            background_time: Nanos::micros(9),
+            ..Default::default()
+        };
+        assert_eq!(s.wall_time(), Nanos::micros(9));
+    }
+
+    #[test]
+    fn amplification() {
+        let s = RuntimeStats {
+            writeback_bytes: 4096,
+            app_dirty_bytes: 64,
+            ..Default::default()
+        };
+        assert_eq!(s.write_amplification(), 64.0);
+        assert_eq!(RuntimeStats::default().write_amplification(), 0.0);
+    }
+}

@@ -1,0 +1,618 @@
+//! Kona-VM: the virtual-memory baseline runtime.
+//!
+//! A faithful model of the page-based remote-memory design every
+//! state-of-the-art system shares (§2): page faults detect remote
+//! accesses, write-protection faults track dirty data at 4 KiB
+//! granularity, and eviction unmaps pages (TLB invalidations) and ships
+//! *entire* pages over RDMA.
+//!
+//! Kona-VM uses the same LRU eviction policy and the same cache capacity
+//! as [`crate::KonaRuntime`], so "the results reflect the difference
+//! between page and cache-line granularities and not a difference in
+//! eviction algorithms" (§6.1). [`VmProfile`]s reproduce the measured
+//! remote-access latencies of the paper's systems: Kona-VM / LegoOS at
+//! 10 µs and Infiniswap at 40 µs (§6.2).
+
+use crate::alloc::SlabAllocator;
+use crate::config::{ClusterConfig, DataMode};
+use crate::controller::Controller;
+use crate::runtime::RemoteMemoryRuntime;
+use crate::stats::RuntimeStats;
+use kona_cache_sim::{CacheConfig, SetAssocCache};
+use kona_fpga::RemoteTranslation;
+use kona_net::{CopyModel, Fabric, NetworkModel, WorkRequest};
+use kona_types::{
+    AccessKind, MemAccess, Nanos, PageNumber, RemoteAddr, Result, VfMemAddr, VirtAddr,
+    CACHE_LINE_SIZE, PAGE_SIZE_4K,
+};
+use kona_vm_sim::{LruPageList, Mmu, PageFaultKind, VmCosts};
+use std::collections::HashMap;
+
+/// Pages batched into one RDMA eviction chain.
+const EVICT_BATCH_PAGES: usize = 16;
+
+/// A named latency/behaviour profile for the VM baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmProfile {
+    name: &'static str,
+    /// End-to-end remote fetch latency, including the page fault and the
+    /// software stack (the paper's measured constants).
+    remote_fetch: Nanos,
+    /// Whether dirty data is tracked with write-protection faults.
+    write_protect: bool,
+}
+
+impl VmProfile {
+    /// The paper's own VM baseline (userfaultfd-based): ~10 µs remote
+    /// fetch, "similar remote access latency with LegoOS" (§6.2).
+    pub fn kona_vm() -> Self {
+        VmProfile {
+            name: "Kona-VM",
+            remote_fetch: Nanos::micros(10),
+            write_protect: true,
+        }
+    }
+
+    /// LegoOS: 10 µs remote fetch (§2.1).
+    pub fn legoos() -> Self {
+        VmProfile {
+            name: "LegoOS",
+            remote_fetch: Nanos::micros(10),
+            write_protect: true,
+        }
+    }
+
+    /// Infiniswap: 40 µs remote fetch (§2.1).
+    pub fn infiniswap() -> Self {
+        VmProfile {
+            name: "Infiniswap",
+            remote_fetch: Nanos::micros(40),
+            write_protect: true,
+        }
+    }
+
+    /// Kona-VM without write protection: only one fault per page, but
+    /// dirty tracking is impossible — "this version cannot track dirty
+    /// pages so it is incomplete" (§6.1). Evictions are silent.
+    pub fn kona_vm_nowp() -> Self {
+        VmProfile {
+            name: "Kona-VM-NoWP",
+            remote_fetch: Nanos::micros(10),
+            write_protect: false,
+        }
+    }
+
+    /// The profile's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The remote-fetch latency constant.
+    pub fn remote_fetch_latency(&self) -> Nanos {
+        self.remote_fetch
+    }
+}
+
+/// The page-fault-based baseline runtime.
+///
+/// # Examples
+///
+/// ```
+/// use kona::{ClusterConfig, RemoteMemoryRuntime, VmProfile, VmRuntime};
+///
+/// let mut rt = VmRuntime::new(ClusterConfig::small(), VmProfile::kona_vm()).unwrap();
+/// let addr = rt.allocate(4096).unwrap();
+/// rt.write_bytes(addr, &[7; 64]).unwrap();
+/// let mut buf = [0u8; 64];
+/// rt.read_bytes(addr, &mut buf).unwrap();
+/// assert_eq!(buf, [7; 64]);
+/// assert!(rt.stats().major_faults >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VmRuntime {
+    profile: VmProfile,
+    config: ClusterConfig,
+    mmu: Mmu,
+    lru: LruPageList,
+    cpu_cache: SetAssocCache,
+    fabric: Fabric,
+    controller: Controller,
+    allocator: SlabAllocator,
+    translation: RemoteTranslation,
+    copy: CopyModel,
+    /// Resident page data (virtual page number → bytes).
+    resident: HashMap<u64, Vec<u8>>,
+    /// Dirty pages staged for a batched RDMA eviction write.
+    evict_batch: Vec<(RemoteAddr, Vec<u8>)>,
+    stats: RuntimeStats,
+    next_wr_id: u64,
+    vfmem_cursor: u64,
+}
+
+impl VmRuntime {
+    /// Builds the baseline over a fresh simulated rack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`kona_types::KonaError::InvalidConfig`] on an inconsistent
+    /// configuration.
+    pub fn new(config: ClusterConfig, profile: VmProfile) -> Result<Self> {
+        config.validate()?;
+        let mut fabric = Fabric::new(NetworkModel::connectx5());
+        let mut controller = Controller::new(config.slab_size.bytes());
+        for id in 0..config.memory_nodes {
+            fabric.add_node(id, config.node_capacity.bytes());
+            fabric.register(id, 0, config.node_capacity.bytes())?;
+            controller.register_node(id, config.node_capacity.bytes());
+        }
+        let cpu_cache = SetAssocCache::new(CacheConfig::new(
+            "cpu",
+            config.cpu_cache_lines as u64 * CACHE_LINE_SIZE,
+            8,
+            CACHE_LINE_SIZE,
+        )?);
+        Ok(VmRuntime {
+            profile,
+            mmu: Mmu::new(VmCosts::default()),
+            lru: LruPageList::new(),
+            cpu_cache,
+            fabric,
+            controller,
+            allocator: SlabAllocator::new(),
+            translation: RemoteTranslation::new(),
+            copy: CopyModel::skylake(),
+            resident: HashMap::new(),
+            evict_batch: Vec::new(),
+            stats: RuntimeStats::default(),
+            config,
+            next_wr_id: 0,
+            vfmem_cursor: 0,
+        })
+    }
+
+    /// The configured profile.
+    pub fn profile(&self) -> VmProfile {
+        self.profile
+    }
+
+    /// The fabric, for failure injection.
+    pub fn fabric_mut(&mut self) -> &mut Fabric {
+        &mut self.fabric
+    }
+
+    fn wr_id(&mut self) -> u64 {
+        self.next_wr_id += 1;
+        self.next_wr_id
+    }
+
+    fn remote_of(&self, page: PageNumber) -> Result<RemoteAddr> {
+        self.translation.translate(page.base_vfmem())
+    }
+
+    /// Fetches a page: the single constant the paper measures, covering
+    /// fault entry, software stack and the RDMA transfer.
+    fn fetch_page(&mut self, page: PageNumber) -> Result<Nanos> {
+        let remote = self.remote_of(page)?;
+        // Read-your-writes: if this page's writeback is still staged in the
+        // eviction batch, push the batch out before fetching.
+        if self
+            .evict_batch
+            .iter()
+            .any(|(r, _)| r.node() == remote.node() && r.offset() == remote.offset())
+        {
+            self.flush_evict_batch()?;
+        }
+        let wr_id = self.wr_id();
+        let wr = WorkRequest::read(wr_id, remote, PAGE_SIZE_4K).signaled();
+        // The RDMA time is already included in the profile's measured
+        // remote-fetch latency; the fabric call moves data and counts stats.
+        let (_, completions) = self.fabric.post(vec![wr])?;
+        if self.config.data_mode == DataMode::Tracked {
+            let data = completions
+                .first()
+                .map(|c| c.data.to_vec())
+                .unwrap_or_else(|| vec![0; PAGE_SIZE_4K as usize]);
+            self.resident.insert(page.raw(), data);
+        }
+        // Map present; write-protected when dirty tracking is on.
+        self.mmu.map(page, !self.profile.write_protect);
+        self.lru.touch(page);
+        self.stats.remote_fetches += 1;
+        self.stats.major_faults += 1;
+
+        let mut elapsed = self.profile.remote_fetch;
+        // Make room if over capacity.
+        while self.lru.len() > self.config.local_cache_pages.max(1) {
+            elapsed += self.evict_lru()?;
+        }
+        Ok(elapsed)
+    }
+
+    /// Evicts the LRU page: unmap (TLB invalidation on the app's time),
+    /// and for dirty pages a full-page copy + batched RDMA write on the
+    /// eviction thread's time.
+    fn evict_lru(&mut self) -> Result<Nanos> {
+        let Some(victim) = self.lru.pop_lru() else {
+            return Ok(Nanos::ZERO);
+        };
+        let pte = self.mmu.unmap(victim);
+        self.cpu_cache_invalidate_page(victim);
+        self.stats.tlb_invalidations += 1;
+        self.stats.pages_evicted += 1;
+        // Unmapping requires a local invalidation plus a shootdown IPI
+        // round: the eviction thread always runs beside the app thread, so
+        // other cores may cache the translation (§2.1: "evicting pages ...
+        // incurs additional TLB invalidations").
+        let mut app_cost = self.mmu.costs().tlb_invalidate + self.mmu.costs().tlb_shootdown;
+
+        let dirty = pte.is_some_and(|p| p.dirty);
+        let data = self.resident.remove(&victim.raw());
+        if dirty && self.profile.write_protect {
+            let bytes = data.unwrap_or_else(|| vec![0; PAGE_SIZE_4K as usize]);
+            // Local copy into the RDMA-registered buffer.
+            self.stats.background_time += self.copy.avx_copy(PAGE_SIZE_4K);
+            let remote = self.remote_of(victim)?;
+            self.evict_batch.push((remote, bytes));
+            self.stats.writeback_bytes += PAGE_SIZE_4K;
+            if self.evict_batch.len() >= EVICT_BATCH_PAGES {
+                self.flush_evict_batch()?;
+            }
+        }
+        // NoWP cannot know what is dirty; it evicts silently (incomplete).
+        self.stats.app_time += app_cost;
+        app_cost += Nanos::ZERO;
+        Ok(app_cost)
+    }
+
+    fn flush_evict_batch(&mut self) -> Result<()> {
+        if self.evict_batch.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(&mut self.evict_batch);
+        let n = batch.len();
+        let mut chain: Vec<WorkRequest> = batch
+            .into_iter()
+            .map(|(remote, data)| {
+                let wr_id = self.wr_id();
+                WorkRequest::write(wr_id, remote, data)
+            })
+            .collect();
+        if let Some(last) = chain.last_mut() {
+            *last = last.clone().signaled();
+        }
+        let (time, _) = self.fabric.post(chain)?;
+        let _ = n;
+        self.stats.background_time += time;
+        Ok(())
+    }
+
+    fn cpu_cache_invalidate_page(&mut self, page: PageNumber) {
+        let base = page.base_virt().raw();
+        for i in 0..(PAGE_SIZE_4K / CACHE_LINE_SIZE) {
+            self.cpu_cache
+                .invalidate(VirtAddr::new(base + i * CACHE_LINE_SIZE));
+        }
+    }
+
+    /// Registers the next slab at the linear VFMem cursor.
+    fn grow_slab(&mut self) -> Result<(u64, u64)> {
+        let grant = self.controller.allocate_slab()?;
+        let base = self.vfmem_cursor;
+        self.vfmem_cursor += grant.len;
+        self.translation
+            .register(VfMemAddr::new(base), grant.len, grant.remote)?;
+        Ok((base, grant.len))
+    }
+
+    fn access_line(&mut self, addr: VirtAddr, kind: AccessKind) -> Result<Nanos> {
+        let mut elapsed = Nanos::ZERO;
+        // Resolve faults (at most: major, then write-protect).
+        for _ in 0..3 {
+            match self.mmu.translate(addr, kind) {
+                Ok(tr) => {
+                    elapsed += tr.cost;
+                    self.lru.touch(tr.page);
+                    // CPU cache hit vs DRAM (CMem) access.
+                    elapsed += if self.cpu_cache.access(addr).is_hit() {
+                        self.stats.local_hits += 1;
+                        self.config.latency.cpu_cache_hit
+                    } else {
+                        self.config.latency.cmem
+                    };
+                    return Ok(elapsed);
+                }
+                Err(fault) => match fault.kind {
+                    PageFaultKind::MajorFetch => {
+                        // The profile latency subsumes the raise cost.
+                        elapsed += self.fetch_page(fault.page)?;
+                    }
+                    PageFaultKind::WriteProtect => {
+                        elapsed += fault.raise_cost;
+                        self.stats.minor_faults += 1;
+                        self.mmu.make_writable(fault.page);
+                    }
+                },
+            }
+        }
+        unreachable!("faults must resolve within two rounds");
+    }
+}
+
+impl RemoteMemoryRuntime for VmRuntime {
+    fn name(&self) -> &str {
+        self.profile.name
+    }
+
+    fn allocate(&mut self, bytes: u64) -> Result<VirtAddr> {
+        // Whole-slab path for large requests, size-class path for small
+        // ones — mirroring KonaRuntime so both runtimes lay data out
+        // identically.
+        if bytes > self.config.slab_size.bytes() / 2 {
+            let base = self.vfmem_cursor;
+            let slabs = bytes.div_ceil(self.config.slab_size.bytes());
+            for _ in 0..slabs {
+                self.grow_slab()?;
+            }
+            return Ok(VirtAddr::new(base));
+        }
+        while self.allocator.needs_slab(bytes) {
+            let (base, len) = self.grow_slab()?;
+            self.allocator.add_slab(VfMemAddr::new(base), len);
+        }
+        let addr = self.allocator.allocate(bytes)?;
+        Ok(VirtAddr::new(addr.raw()))
+    }
+
+    fn free(&mut self, addr: VirtAddr, bytes: u64) {
+        self.allocator.free(VfMemAddr::new(addr.raw()), bytes);
+    }
+
+    fn access(&mut self, access: MemAccess) -> Result<Nanos> {
+        let mut elapsed = Nanos::ZERO;
+        let start = access.addr.line_start().raw();
+        let end = access.end().raw();
+        let mut line = start;
+        loop {
+            elapsed += self.access_line(VirtAddr::new(line), access.kind)?;
+            line += CACHE_LINE_SIZE;
+            if line >= end {
+                break;
+            }
+        }
+        if access.kind.is_write() {
+            self.stats.app_dirty_bytes += u64::from(access.len);
+        }
+        self.stats.app_time += elapsed;
+        Ok(elapsed)
+    }
+
+    fn write_bytes(&mut self, addr: VirtAddr, data: &[u8]) -> Result<Nanos> {
+        // Per-page interleaving: the page's bytes are updated while it is
+        // guaranteed resident, before a later page's fault can evict it.
+        let mut elapsed = Nanos::ZERO;
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = addr + off as u64;
+            let in_page = (PAGE_SIZE_4K - a.page_offset()) as usize;
+            let chunk = in_page.min(data.len() - off);
+            elapsed += self.access(MemAccess::write(a, chunk as u32))?;
+            if self.config.data_mode == DataMode::Tracked {
+                let page = a.page_number();
+                let pd = self
+                    .resident
+                    .get_mut(&page.raw())
+                    .expect("page resident after access");
+                let s = a.page_offset() as usize;
+                pd[s..s + chunk].copy_from_slice(&data[off..off + chunk]);
+            }
+            off += chunk;
+        }
+        Ok(elapsed)
+    }
+
+    fn read_bytes(&mut self, addr: VirtAddr, buf: &mut [u8]) -> Result<Nanos> {
+        let mut elapsed = Nanos::ZERO;
+        let len = buf.len();
+        let mut off = 0usize;
+        while off < len {
+            let a = addr + off as u64;
+            let in_page = (PAGE_SIZE_4K - a.page_offset()) as usize;
+            let chunk = in_page.min(len - off);
+            elapsed += self.access(MemAccess::read(a, chunk as u32))?;
+            if self.config.data_mode == DataMode::Tracked {
+                let page = a.page_number();
+                let pd = self
+                    .resident
+                    .get(&page.raw())
+                    .expect("page resident after access");
+                let s = a.page_offset() as usize;
+                buf[off..off + chunk].copy_from_slice(&pd[s..s + chunk]);
+            }
+            off += chunk;
+        }
+        Ok(elapsed)
+    }
+
+    fn sync(&mut self) -> Result<Nanos> {
+        let mut elapsed = Nanos::ZERO;
+        // Write back all dirty resident pages (full pages) and re-protect.
+        let dirty_pages = self.mmu.dirty_pages();
+        for page in dirty_pages {
+            let data = match self.resident.get(&page.raw()) {
+                Some(d) => d.clone(),
+                None => vec![0; PAGE_SIZE_4K as usize],
+            };
+            elapsed += self.copy.avx_copy(PAGE_SIZE_4K);
+            let remote = self.remote_of(page)?;
+            self.evict_batch.push((remote, data));
+            self.stats.writeback_bytes += PAGE_SIZE_4K;
+            // Re-protect to resume dirty tracking: TLB invalidation.
+            if self.profile.write_protect {
+                self.mmu.protect(page, false);
+                self.stats.tlb_invalidations += 1;
+                elapsed += self.mmu.costs().tlb_invalidate;
+            }
+            if self.evict_batch.len() >= EVICT_BATCH_PAGES {
+                self.flush_evict_batch_foreground(&mut elapsed)?;
+            }
+        }
+        self.flush_evict_batch_foreground(&mut elapsed)?;
+        self.stats.app_time += elapsed;
+        Ok(elapsed)
+    }
+
+    fn stats(&self) -> RuntimeStats {
+        let mut s = self.stats;
+        s.tlb_invalidations = s
+            .tlb_invalidations
+            .max(self.mmu.tlb_stats().invalidations);
+        s
+    }
+}
+
+impl VmRuntime {
+    fn flush_evict_batch_foreground(&mut self, elapsed: &mut Nanos) -> Result<()> {
+        if self.evict_batch.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::take(&mut self.evict_batch);
+        let mut chain: Vec<WorkRequest> = batch
+            .into_iter()
+            .map(|(remote, data)| {
+                let wr_id = self.wr_id();
+                WorkRequest::write(wr_id, remote, data)
+            })
+            .collect();
+        if let Some(last) = chain.last_mut() {
+            *last = last.clone().signaled();
+        }
+        let (time, _) = self.fabric.post(chain)?;
+        *elapsed += time;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runtime(profile: VmProfile) -> VmRuntime {
+        VmRuntime::new(ClusterConfig::small(), profile).unwrap()
+    }
+
+    #[test]
+    fn first_touch_takes_major_fault() {
+        let mut rt = runtime(VmProfile::kona_vm());
+        let addr = rt.allocate(4096).unwrap();
+        let t = rt.access(MemAccess::read(addr, 8)).unwrap();
+        assert!(t >= Nanos::micros(10));
+        assert_eq!(rt.stats().major_faults, 1);
+    }
+
+    #[test]
+    fn first_write_takes_write_protect_fault() {
+        let mut rt = runtime(VmProfile::kona_vm());
+        let addr = rt.allocate(4096).unwrap();
+        rt.access(MemAccess::read(addr, 8)).unwrap();
+        rt.access(MemAccess::write(addr, 8)).unwrap();
+        assert_eq!(rt.stats().minor_faults, 1);
+        // Second write: no further fault.
+        rt.access(MemAccess::write(addr, 8)).unwrap();
+        assert_eq!(rt.stats().minor_faults, 1);
+    }
+
+    #[test]
+    fn nowp_skips_write_fault() {
+        let mut rt = runtime(VmProfile::kona_vm_nowp());
+        let addr = rt.allocate(4096).unwrap();
+        rt.access(MemAccess::write(addr, 8)).unwrap();
+        assert_eq!(rt.stats().minor_faults, 0);
+    }
+
+    #[test]
+    fn warm_access_is_fast() {
+        let mut rt = runtime(VmProfile::kona_vm());
+        let addr = rt.allocate(4096).unwrap();
+        rt.access(MemAccess::read(addr, 8)).unwrap();
+        let warm = rt.access(MemAccess::read(addr, 8)).unwrap();
+        assert!(warm <= Nanos::from_ns(100), "warm access {warm}");
+    }
+
+    #[test]
+    fn infiniswap_slower_than_kona_vm() {
+        let mut a = runtime(VmProfile::kona_vm());
+        let mut b = runtime(VmProfile::infiniswap());
+        let addr_a = a.allocate(1 << 16).unwrap();
+        let addr_b = b.allocate(1 << 16).unwrap();
+        let mut ta = Nanos::ZERO;
+        let mut tb = Nanos::ZERO;
+        for p in 0..16u64 {
+            ta += a.access(MemAccess::read(addr_a + p * 4096, 8)).unwrap();
+            tb += b.access(MemAccess::read(addr_b + p * 4096, 8)).unwrap();
+        }
+        assert!(tb > ta * 3, "infiniswap {tb} vs kona-vm {ta}");
+    }
+
+    #[test]
+    fn eviction_writes_full_pages() {
+        let mut cfg = ClusterConfig::small().with_local_cache_pages(4);
+        cfg.cpu_cache_lines = 64;
+        let mut rt = VmRuntime::new(cfg, VmProfile::kona_vm()).unwrap();
+        let addr = rt.allocate(64 * 4096).unwrap();
+        for p in 0..32u64 {
+            rt.access(MemAccess::write(addr + p * 4096, 8)).unwrap();
+        }
+        let s = rt.stats();
+        assert!(s.pages_evicted > 0);
+        // Full-page writebacks: 4096 bytes per dirty evicted page even
+        // though only 8 bytes were written.
+        assert!(s.writeback_bytes >= s.pages_evicted * 4096 / 2);
+        assert!(s.write_amplification() > 100.0);
+    }
+
+    #[test]
+    fn data_survives_eviction_roundtrip() {
+        let mut cfg = ClusterConfig::small().with_local_cache_pages(4);
+        cfg.cpu_cache_lines = 64;
+        let mut rt = VmRuntime::new(cfg, VmProfile::kona_vm()).unwrap();
+        let base = rt.allocate(32 * 4096).unwrap();
+        for p in 0..32u64 {
+            rt.write_bytes(base + p * 4096, &[p as u8 + 1; 64]).unwrap();
+        }
+        for p in 0..32u64 {
+            let mut buf = [0u8; 64];
+            rt.read_bytes(base + p * 4096, &mut buf).unwrap();
+            assert_eq!(buf, [p as u8 + 1; 64], "page {p}");
+        }
+    }
+
+    #[test]
+    fn sync_reprotects_pages() {
+        let mut rt = runtime(VmProfile::kona_vm());
+        let addr = rt.allocate(4096).unwrap();
+        rt.access(MemAccess::write(addr, 8)).unwrap();
+        rt.sync().unwrap();
+        // Next write faults again (tracking was reset).
+        let minors_before = rt.stats().minor_faults;
+        rt.access(MemAccess::write(addr, 8)).unwrap();
+        assert_eq!(rt.stats().minor_faults, minors_before + 1);
+    }
+
+    #[test]
+    fn tlb_invalidations_accumulate_on_eviction() {
+        let mut cfg = ClusterConfig::small().with_local_cache_pages(4);
+        cfg.cpu_cache_lines = 64;
+        let mut rt = VmRuntime::new(cfg, VmProfile::kona_vm()).unwrap();
+        let addr = rt.allocate(64 * 4096).unwrap();
+        for p in 0..32u64 {
+            rt.access(MemAccess::read(addr + p * 4096, 8)).unwrap();
+        }
+        assert!(rt.stats().tlb_invalidations > 0);
+    }
+
+    #[test]
+    fn profiles_expose_constants() {
+        assert_eq!(VmProfile::infiniswap().remote_fetch_latency(), Nanos::micros(40));
+        assert_eq!(VmProfile::legoos().name(), "LegoOS");
+    }
+}

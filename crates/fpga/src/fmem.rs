@@ -1,0 +1,214 @@
+//! The FMem page cache.
+//!
+//! FMem (the FPGA-attached DRAM) caches VFMem at *page* granularity: "FMem
+//! always caches entire pages ... The purpose for the FMem cache is to
+//! ensure that applications can also benefit from spatial locality" (§4.4).
+//! It is organised as a 4-way set-associative cache with page-sized blocks,
+//! "a good tradeoff that reduces the size of the metadata required to
+//! translate VFMem to FMem".
+
+use kona_types::PageNumber;
+
+/// A set-associative, page-granularity residency cache for FMem.
+///
+/// Tracks which VFMem pages are resident; the actual bytes live with the
+/// runtime (and, authoritatively, in remote memory).
+///
+/// # Examples
+///
+/// ```
+/// # use kona_fpga::FMemCache;
+/// # use kona_types::PageNumber;
+/// let mut fmem = FMemCache::new(8, 4);
+/// assert!(!fmem.contains(PageNumber(1)));
+/// assert_eq!(fmem.insert(PageNumber(1)), None);
+/// assert!(fmem.contains(PageNumber(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FMemCache {
+    sets: Vec<Vec<u64>>, // MRU-first page numbers
+    ways: usize,
+}
+
+impl FMemCache {
+    /// Creates a cache holding `capacity_pages` pages with `ways`
+    /// associativity.
+    ///
+    /// A zero capacity is allowed (degenerate cache for 0% sweeps): every
+    /// lookup misses and inserts evict immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or a non-zero capacity is not divisible by
+    /// `ways`.
+    pub fn new(capacity_pages: usize, ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        if capacity_pages == 0 {
+            return FMemCache { sets: vec![], ways };
+        }
+        assert!(
+            capacity_pages.is_multiple_of(ways),
+            "capacity {capacity_pages} not divisible by ways {ways}"
+        );
+        FMemCache {
+            sets: vec![Vec::with_capacity(ways); capacity_pages / ways],
+            ways,
+        }
+    }
+
+    /// Total capacity in pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if `page` is resident (no LRU update).
+    pub fn contains(&self, page: PageNumber) -> bool {
+        if self.sets.is_empty() {
+            return false;
+        }
+        let set = (page.raw() % self.sets.len() as u64) as usize;
+        self.sets[set].contains(&page.raw())
+    }
+
+    /// Touches `page` if resident (LRU update); returns whether it was.
+    pub fn touch(&mut self, page: PageNumber) -> bool {
+        if self.sets.is_empty() {
+            return false;
+        }
+        let set_idx = (page.raw() % self.sets.len() as u64) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&p| p == page.raw()) {
+            let p = set.remove(pos);
+            set.insert(0, p);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Makes `page` resident, returning the page evicted to make room (if
+    /// any). Inserting an already-resident page just touches it.
+    pub fn insert(&mut self, page: PageNumber) -> Option<PageNumber> {
+        if self.sets.is_empty() {
+            // Degenerate cache: the page is "evicted" immediately, i.e. it
+            // never becomes resident.
+            return Some(page);
+        }
+        if self.touch(page) {
+            return None;
+        }
+        let set_idx = (page.raw() % self.sets.len() as u64) as usize;
+        let set = &mut self.sets[set_idx];
+        set.insert(0, page.raw());
+        if set.len() > self.ways {
+            set.pop().map(PageNumber)
+        } else {
+            None
+        }
+    }
+
+    /// Drops `page` from residency (eviction-handler initiated); returns
+    /// whether it was resident.
+    pub fn remove(&mut self, page: PageNumber) -> bool {
+        if self.sets.is_empty() {
+            return false;
+        }
+        let set_idx = (page.raw() % self.sets.len() as u64) as usize;
+        let set = &mut self.sets[set_idx];
+        let before = set.len();
+        set.retain(|&p| p != page.raw());
+        set.len() != before
+    }
+
+    /// The least-recently-used resident page of the fullest set, if any —
+    /// a reasonable global eviction candidate for the eviction handler.
+    pub fn eviction_candidate(&self) -> Option<PageNumber> {
+        self.sets
+            .iter()
+            .max_by_key(|s| s.len())
+            .and_then(|s| s.last())
+            .map(|&p| PageNumber(p))
+    }
+
+    /// Iterates over all resident pages (unspecified order).
+    pub fn resident(&self) -> impl Iterator<Item = PageNumber> + '_ {
+        self.sets.iter().flatten().map(|&p| PageNumber(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_touch_remove() {
+        let mut f = FMemCache::new(8, 4);
+        assert_eq!(f.capacity_pages(), 8);
+        assert_eq!(f.insert(PageNumber(1)), None);
+        assert!(f.contains(PageNumber(1)));
+        assert!(f.touch(PageNumber(1)));
+        assert!(f.remove(PageNumber(1)));
+        assert!(!f.remove(PageNumber(1)));
+        assert_eq!(f.resident_pages(), 0);
+    }
+
+    #[test]
+    fn set_conflict_evicts_lru() {
+        // 2 sets × 2 ways; pages 0,2,4 all map to set 0.
+        let mut f = FMemCache::new(4, 2);
+        f.insert(PageNumber(0));
+        f.insert(PageNumber(2));
+        f.touch(PageNumber(0)); // 2 becomes LRU of set 0
+        assert_eq!(f.insert(PageNumber(4)), Some(PageNumber(2)));
+        assert!(f.contains(PageNumber(0)));
+        assert!(f.contains(PageNumber(4)));
+    }
+
+    #[test]
+    fn reinsert_is_touch() {
+        let mut f = FMemCache::new(4, 2);
+        f.insert(PageNumber(0));
+        assert_eq!(f.insert(PageNumber(0)), None);
+        assert_eq!(f.resident_pages(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_never_resident() {
+        let mut f = FMemCache::new(0, 4);
+        assert_eq!(f.insert(PageNumber(3)), Some(PageNumber(3)));
+        assert!(!f.contains(PageNumber(3)));
+        assert_eq!(f.capacity_pages(), 0);
+        assert!(f.eviction_candidate().is_none());
+    }
+
+    #[test]
+    fn eviction_candidate_prefers_fullest_set() {
+        let mut f = FMemCache::new(4, 2);
+        f.insert(PageNumber(0)); // set 0
+        f.insert(PageNumber(2)); // set 0 (full)
+        f.insert(PageNumber(1)); // set 1
+        let cand = f.eviction_candidate().unwrap();
+        assert_eq!(cand, PageNumber(0)); // LRU of the full set
+    }
+
+    #[test]
+    #[should_panic]
+    fn indivisible_capacity_panics() {
+        FMemCache::new(5, 4);
+    }
+
+    #[test]
+    fn resident_iterator() {
+        let mut f = FMemCache::new(4, 2);
+        f.insert(PageNumber(1));
+        f.insert(PageNumber(2));
+        let mut pages: Vec<u64> = f.resident().map(|p| p.raw()).collect();
+        pages.sort_unstable();
+        assert_eq!(pages, vec![1, 2]);
+    }
+}

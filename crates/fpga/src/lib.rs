@@ -1,0 +1,57 @@
+//! The cache-coherent FPGA model (§4.3 of the paper).
+//!
+//! The reference architecture attaches an FPGA to the CPU over a coherent
+//! interconnect. The FPGA exports **VFMem**, a fake physical address space
+//! larger than its attached DRAM (**FMem**), and backs it with remote
+//! memory. Because the FPGA implements the coherence directory for VFMem,
+//! it observes every cache-line request (the `cache-remote-data` primitive)
+//! and every writeback (the `track-local-data` primitive) — with no page
+//! faults and at cache-line granularity.
+//!
+//! [`KonaFpga`] composes:
+//!
+//! * a [`kona_coherence::CoherenceSystem`] as the VFMem directory,
+//! * [`FMemCache`] — a 4-way set-associative, page-block cache over FMem
+//!   (§4.4's local translation),
+//! * [`DirtyTracker`] — per-page dirty cache-line bitmaps fed by observed
+//!   writebacks,
+//! * [`RemoteTranslation`] — the slab hashmap from VFMem pages to remote
+//!   addresses (§4.4's remote translation),
+//! * [`NextPagePrefetcher`] — sequential prefetch across page boundaries,
+//!   which page-fault-based systems cannot do (§4.4).
+//!
+//! The FPGA model is *mechanism only*: the Kona runtime (crate `kona`)
+//! performs the actual RDMA transfers and charges latencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use kona_fpga::{CpuAccessOutcome, FpgaConfig, KonaFpga};
+//! use kona_types::{AccessKind, VfMemAddr};
+//!
+//! let mut fpga = KonaFpga::new(FpgaConfig::small());
+//! match fpga.cpu_access(VfMemAddr::new(0x1000), AccessKind::Read) {
+//!     CpuAccessOutcome::RemoteFetch { page, .. } => assert_eq!(page.raw(), 1),
+//!     other => panic!("expected remote fetch, got {other:?}"),
+//! }
+//! // Same line again: now a CPU cache hit.
+//! assert!(matches!(
+//!     fpga.cpu_access(VfMemAddr::new(0x1000), AccessKind::Read),
+//!     CpuAccessOutcome::CpuCacheHit
+//! ));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod dirty;
+mod fmem;
+mod prefetch;
+mod translation;
+
+pub use device::{CpuAccessOutcome, FpgaConfig, FpgaStats, KonaFpga, VictimPage};
+pub use dirty::DirtyTracker;
+pub use fmem::FMemCache;
+pub use prefetch::NextPagePrefetcher;
+pub use translation::RemoteTranslation;

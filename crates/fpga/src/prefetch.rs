@@ -1,0 +1,151 @@
+//! Sequential prefetching across page boundaries.
+//!
+//! Page-fault-based remote memory cannot prefetch past a fault: "a
+//! prefetch operation does not happen across a page fault, so current
+//! remote memory systems cannot benefit from the existing hardware
+//! prefetchers" (§3). Kona's pages are always mapped present, so the
+//! hardware prefetcher's requests reach the FPGA, which can pull whole
+//! pages from remote memory ahead of use (§4.4).
+//!
+//! [`NextPagePrefetcher`] is a simple stream detector: after `threshold`
+//! consecutive page fetches it suggests prefetching `depth` pages ahead.
+
+use kona_types::PageNumber;
+
+/// Detects ascending page-fetch streams and suggests prefetch candidates.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_fpga::NextPagePrefetcher;
+/// # use kona_types::PageNumber;
+/// let mut pf = NextPagePrefetcher::new(2, 1);
+/// assert!(pf.observe_fetch(PageNumber(10)).is_empty());
+/// // Second consecutive page confirms a stream: prefetch the next one.
+/// assert_eq!(pf.observe_fetch(PageNumber(11)), vec![PageNumber(12)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NextPagePrefetcher {
+    threshold: u32,
+    depth: u64,
+    last_page: Option<u64>,
+    run_length: u32,
+}
+
+impl NextPagePrefetcher {
+    /// Creates a prefetcher that confirms a stream after `threshold`
+    /// consecutive pages and then prefetches `depth` pages ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: u32, depth: u64) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        NextPagePrefetcher {
+            threshold,
+            depth,
+            last_page: None,
+            run_length: 0,
+        }
+    }
+
+    /// A disabled prefetcher (suggests nothing) — the configuration used
+    /// by KCacheSim's conservative simulations ("our simulations are with
+    /// memory prefetching turned off", §6.2).
+    pub fn disabled() -> Self {
+        NextPagePrefetcher {
+            threshold: u32::MAX,
+            depth: 0,
+            last_page: None,
+            run_length: 0,
+        }
+    }
+
+    /// Records a demand fetch of `page`; returns pages to prefetch.
+    pub fn observe_fetch(&mut self, page: PageNumber) -> Vec<PageNumber> {
+        let p = page.raw();
+        self.run_length = match self.last_page {
+            Some(last) if p == last + 1 => self.run_length.saturating_add(1),
+            _ => 1,
+        };
+        self.last_page = Some(p);
+        if self.run_length >= self.threshold && self.depth > 0 {
+            (1..=self.depth).map(|d| PageNumber(p + d)).collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Resets stream state (e.g. after the eviction handler reshuffles the
+    /// cache).
+    pub fn reset(&mut self) {
+        self.last_page = None;
+        self.run_length = 0;
+    }
+}
+
+impl Default for NextPagePrefetcher {
+    fn default() -> Self {
+        NextPagePrefetcher::new(2, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_confirmation() {
+        let mut pf = NextPagePrefetcher::new(3, 2);
+        assert!(pf.observe_fetch(PageNumber(5)).is_empty());
+        assert!(pf.observe_fetch(PageNumber(6)).is_empty());
+        assert_eq!(
+            pf.observe_fetch(PageNumber(7)),
+            vec![PageNumber(8), PageNumber(9)]
+        );
+        // Stream continues.
+        assert_eq!(
+            pf.observe_fetch(PageNumber(8)),
+            vec![PageNumber(9), PageNumber(10)]
+        );
+    }
+
+    #[test]
+    fn random_access_never_triggers() {
+        let mut pf = NextPagePrefetcher::new(2, 1);
+        for p in [3u64, 9, 5, 100, 42] {
+            assert!(pf.observe_fetch(PageNumber(p)).is_empty());
+        }
+    }
+
+    #[test]
+    fn break_resets_run() {
+        let mut pf = NextPagePrefetcher::new(2, 1);
+        pf.observe_fetch(PageNumber(1));
+        assert!(!pf.observe_fetch(PageNumber(2)).is_empty());
+        assert!(pf.observe_fetch(PageNumber(9)).is_empty()); // break: run restarts at 1
+        assert!(!pf.observe_fetch(PageNumber(10)).is_empty()); // run=2 triggers again
+    }
+
+    #[test]
+    fn disabled_never_suggests() {
+        let mut pf = NextPagePrefetcher::disabled();
+        for p in 0..100u64 {
+            assert!(pf.observe_fetch(PageNumber(p)).is_empty());
+        }
+    }
+
+    #[test]
+    fn reset_clears_stream() {
+        let mut pf = NextPagePrefetcher::new(2, 1);
+        pf.observe_fetch(PageNumber(1));
+        pf.reset();
+        assert!(pf.observe_fetch(PageNumber(2)).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threshold_rejected() {
+        NextPagePrefetcher::new(0, 1);
+    }
+}

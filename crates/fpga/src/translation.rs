@@ -1,0 +1,168 @@
+//! Remote translation: VFMem slabs → remote addresses.
+//!
+//! "Upon a memory allocation, Kona stores metadata in a hashmap recording
+//! the remote memory addresses corresponding to each allocated slab ...
+//! The FPGA never updates the map, but it consults it when it fetches data
+//! from a remote host or when it writes dirty data back" (§4.4).
+
+use kona_types::{KonaError, RemoteAddr, Result, VfMemAddr};
+use std::collections::BTreeMap;
+
+/// Maps contiguous VFMem ranges (slabs) to remote memory.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_fpga::RemoteTranslation;
+/// # use kona_types::{RemoteAddr, VfMemAddr};
+/// let mut rt = RemoteTranslation::new();
+/// rt.register(VfMemAddr::new(0x10000), 0x4000, RemoteAddr::new(2, 0x800000)).unwrap();
+/// let remote = rt.translate(VfMemAddr::new(0x11000)).unwrap();
+/// assert_eq!(remote, RemoteAddr::new(2, 0x801000));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RemoteTranslation {
+    /// slab start → (len, remote base), ordered for range lookup.
+    slabs: BTreeMap<u64, (u64, RemoteAddr)>,
+}
+
+impl RemoteTranslation {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        RemoteTranslation::default()
+    }
+
+    /// Registers the slab `[base, base + len)` as backed by `remote`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::InvalidConfig`] if the range overlaps an
+    /// existing slab.
+    pub fn register(&mut self, base: VfMemAddr, len: u64, remote: RemoteAddr) -> Result<()> {
+        let start = base.raw();
+        let end = start + len;
+        // Check the previous and next slabs for overlap.
+        if let Some((&prev_start, &(prev_len, _))) = self.slabs.range(..=start).next_back() {
+            if prev_start + prev_len > start {
+                return Err(KonaError::InvalidConfig(format!(
+                    "slab at {start:#x} overlaps existing slab at {prev_start:#x}"
+                )));
+            }
+        }
+        if let Some((&next_start, _)) = self.slabs.range(start..).next() {
+            if next_start < end {
+                return Err(KonaError::InvalidConfig(format!(
+                    "slab at {start:#x} overlaps existing slab at {next_start:#x}"
+                )));
+            }
+        }
+        self.slabs.insert(start, (len, remote));
+        Ok(())
+    }
+
+    /// Removes the slab starting exactly at `base`; returns its remote
+    /// base if it existed.
+    pub fn unregister(&mut self, base: VfMemAddr) -> Option<RemoteAddr> {
+        self.slabs.remove(&base.raw()).map(|(_, r)| r)
+    }
+
+    /// Translates a VFMem address to its remote location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::NoRemoteTranslation`] if no slab covers the
+    /// address.
+    pub fn translate(&self, addr: VfMemAddr) -> Result<RemoteAddr> {
+        let a = addr.raw();
+        if let Some((&start, &(len, remote))) = self.slabs.range(..=a).next_back() {
+            if a < start + len {
+                return Ok(remote.add(a - start));
+            }
+        }
+        Err(KonaError::NoRemoteTranslation(addr))
+    }
+
+    /// Number of registered slabs.
+    pub fn slab_count(&self) -> usize {
+        self.slabs.len()
+    }
+
+    /// Total VFMem bytes covered.
+    pub fn covered_bytes(&self) -> u64 {
+        self.slabs.values().map(|&(len, _)| len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn translate_within_slab() {
+        let mut rt = RemoteTranslation::new();
+        rt.register(VfMemAddr::new(4096), 8192, RemoteAddr::new(1, 0))
+            .unwrap();
+        assert_eq!(rt.translate(VfMemAddr::new(4096)).unwrap(), RemoteAddr::new(1, 0));
+        assert_eq!(
+            rt.translate(VfMemAddr::new(4096 + 8191)).unwrap(),
+            RemoteAddr::new(1, 8191)
+        );
+        assert!(rt.translate(VfMemAddr::new(4095)).is_err());
+        assert!(rt.translate(VfMemAddr::new(4096 + 8192)).is_err());
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut rt = RemoteTranslation::new();
+        rt.register(VfMemAddr::new(0), 4096, RemoteAddr::new(0, 0))
+            .unwrap();
+        assert!(rt
+            .register(VfMemAddr::new(2048), 4096, RemoteAddr::new(0, 8192))
+            .is_err());
+        assert!(rt
+            .register(VfMemAddr::new(4096), 4096, RemoteAddr::new(0, 8192))
+            .is_ok());
+        // New slab ending inside an existing one.
+        assert!(rt
+            .register(VfMemAddr::new(0), 1, RemoteAddr::new(0, 0))
+            .is_err());
+    }
+
+    #[test]
+    fn unregister() {
+        let mut rt = RemoteTranslation::new();
+        rt.register(VfMemAddr::new(0), 4096, RemoteAddr::new(3, 64))
+            .unwrap();
+        assert_eq!(rt.unregister(VfMemAddr::new(0)), Some(RemoteAddr::new(3, 64)));
+        assert_eq!(rt.unregister(VfMemAddr::new(0)), None);
+        assert!(rt.translate(VfMemAddr::new(0)).is_err());
+    }
+
+    #[test]
+    fn counts() {
+        let mut rt = RemoteTranslation::new();
+        rt.register(VfMemAddr::new(0), 4096, RemoteAddr::new(0, 0))
+            .unwrap();
+        rt.register(VfMemAddr::new(8192), 4096, RemoteAddr::new(1, 0))
+            .unwrap();
+        assert_eq!(rt.slab_count(), 2);
+        assert_eq!(rt.covered_bytes(), 8192);
+    }
+
+    proptest! {
+        /// For any registered slab, translation is a linear offset map.
+        #[test]
+        fn prop_linear_translation(off in 0u64..65536, len in 1u64..65536, probe in 0u64..65536) {
+            let mut rt = RemoteTranslation::new();
+            rt.register(VfMemAddr::new(off), len, RemoteAddr::new(7, 1 << 20)).unwrap();
+            let addr = VfMemAddr::new(off + probe);
+            let result = rt.translate(addr);
+            if probe < len {
+                prop_assert_eq!(result.unwrap(), RemoteAddr::new(7, (1 << 20) + probe));
+            } else {
+                prop_assert!(result.is_err());
+            }
+        }
+    }
+}

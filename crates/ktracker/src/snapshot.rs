@@ -1,0 +1,149 @@
+//! Page snapshots and cache-line diffing.
+
+use crate::memory::AppMemory;
+use kona_types::{LineBitmap, CACHE_LINE_SIZE, LINES_PER_PAGE_4K, PAGE_SIZE_4K};
+use std::collections::HashMap;
+
+/// Snapshots of application pages, diffed at cache-line granularity.
+///
+/// This is KTracker's core mechanism: "it diffs the application's memory
+/// with the copy to find out dirty cache lines" (§5).
+///
+/// # Examples
+///
+/// ```
+/// # use kona_ktracker::{AppMemory, SnapshotStore};
+/// # use kona_types::{MemAccess, VirtAddr};
+/// let mut mem = AppMemory::new();
+/// let mut snaps = SnapshotStore::new();
+/// mem.apply(MemAccess::write(VirtAddr::new(0), 8));
+/// snaps.refresh(&mem);
+/// mem.apply(MemAccess::write(VirtAddr::new(64), 8)); // line 1
+/// let dirty = snaps.diff(&mem);
+/// assert_eq!(dirty.get(&0).unwrap().iter_set().collect::<Vec<_>>(), vec![1]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotStore {
+    pages: HashMap<u64, Vec<u8>>,
+    /// Bytes copied over the store's lifetime (emulation overhead input).
+    bytes_copied: u64,
+    /// Bytes compared over the store's lifetime.
+    bytes_compared: u64,
+}
+
+impl SnapshotStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        SnapshotStore::default()
+    }
+
+    /// Copies the current state of every touched page ("includes all
+    /// accessed pages", §5).
+    pub fn refresh(&mut self, memory: &AppMemory) {
+        for (page, data) in memory.iter() {
+            self.bytes_copied += PAGE_SIZE_4K;
+            self.pages.insert(page, data.to_vec());
+        }
+    }
+
+    /// Diffs current memory against the snapshots: per page, the bitmap of
+    /// cache lines whose bytes changed. Pages without changes are omitted;
+    /// pages never snapshotted count as fully relevant only where nonzero
+    /// (fresh pages diff against zeros).
+    pub fn diff(&mut self, memory: &AppMemory) -> HashMap<u64, LineBitmap> {
+        let zero = vec![0u8; PAGE_SIZE_4K as usize];
+        let mut dirty = HashMap::new();
+        for (page, data) in memory.iter() {
+            let base = self.pages.get(&page).unwrap_or(&zero);
+            self.bytes_compared += PAGE_SIZE_4K;
+            let mut bm = LineBitmap::new(LINES_PER_PAGE_4K);
+            for line in 0..LINES_PER_PAGE_4K {
+                let s = line * CACHE_LINE_SIZE as usize;
+                let e = s + CACHE_LINE_SIZE as usize;
+                if data[s..e] != base[s..e] {
+                    bm.set(line);
+                }
+            }
+            if bm.any() {
+                dirty.insert(page, bm);
+            }
+        }
+        dirty
+    }
+
+    /// Lifetime `(bytes_copied, bytes_compared)` — the inputs to the §6.3
+    /// simulation-overhead accounting (95% of KTracker's overhead is
+    /// copying and comparing).
+    pub fn overhead_bytes(&self) -> (u64, u64) {
+        (self.bytes_copied, self.bytes_compared)
+    }
+
+    /// Number of snapshotted pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Returns `true` if nothing has been snapshotted.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kona_types::{MemAccess, VirtAddr};
+
+    #[test]
+    fn no_changes_no_dirty() {
+        let mut mem = AppMemory::new();
+        mem.apply(MemAccess::write(VirtAddr::new(0), 8));
+        let mut snaps = SnapshotStore::new();
+        snaps.refresh(&mem);
+        assert!(snaps.diff(&mem).is_empty());
+    }
+
+    #[test]
+    fn fresh_page_diffs_against_zeros() {
+        let mut mem = AppMemory::new();
+        mem.apply(MemAccess::write(VirtAddr::new(128), 8));
+        let mut snaps = SnapshotStore::new();
+        let dirty = snaps.diff(&mem);
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[&0].iter_set().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn reads_never_dirty() {
+        let mut mem = AppMemory::new();
+        mem.apply(MemAccess::read(VirtAddr::new(0), 4096));
+        let mut snaps = SnapshotStore::new();
+        snaps.refresh(&mem);
+        mem.apply(MemAccess::read(VirtAddr::new(0), 4096));
+        assert!(snaps.diff(&mem).is_empty());
+    }
+
+    #[test]
+    fn multi_line_write_sets_all_lines() {
+        let mut mem = AppMemory::new();
+        let mut snaps = SnapshotStore::new();
+        snaps.refresh(&mem);
+        mem.apply(MemAccess::write(VirtAddr::new(0), 256));
+        let dirty = snaps.diff(&mem);
+        assert_eq!(dirty[&0].count_set(), 4);
+    }
+
+    #[test]
+    fn overhead_accounting() {
+        let mut mem = AppMemory::new();
+        mem.apply(MemAccess::write(VirtAddr::new(0), 8));
+        let mut snaps = SnapshotStore::new();
+        snaps.refresh(&mem);
+        snaps.diff(&mem);
+        let (copied, compared) = snaps.overhead_bytes();
+        assert_eq!(copied, 4096);
+        assert_eq!(compared, 4096);
+        assert_eq!(snaps.len(), 1);
+        assert!(!snaps.is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! The fabric: nodes + verbs + timing, with failure injection.
+
+use crate::latency::NetworkModel;
+use crate::node::NodeMemory;
+use crate::verbs::{Completion, Opcode, WorkRequest};
+use bytes::Bytes;
+use kona_types::{KonaError, Nanos, Result};
+use std::collections::HashMap;
+
+/// Fabric-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Work requests executed.
+    pub requests: u64,
+    /// Posted chains (doorbells rung).
+    pub posts: u64,
+    /// Total bytes moved on the wire.
+    pub wire_bytes: u64,
+    /// Completions generated.
+    pub completions: u64,
+}
+
+/// The RDMA fabric connecting the compute node to the memory nodes.
+///
+/// `post` executes a *linked chain* of work requests against the registered
+/// node pools and returns the chain's simulated duration plus the
+/// completions of its signaled requests. See the
+/// [crate documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    model: NetworkModel,
+    nodes: HashMap<u32, NodeMemory>,
+    stats: NetStats,
+    /// When set, all verbs to this node fail (failure injection, §4.5).
+    failed_nodes: Vec<u32>,
+    /// Added to every chain's latency (slow-network injection, §4.5).
+    injected_delay: Nanos,
+}
+
+impl Fabric {
+    /// Creates an empty fabric with the given latency model.
+    pub fn new(model: NetworkModel) -> Self {
+        Fabric {
+            model,
+            nodes: HashMap::new(),
+            stats: NetStats::default(),
+            failed_nodes: Vec::new(),
+            injected_delay: Nanos::ZERO,
+        }
+    }
+
+    /// The latency model.
+    pub fn model(&self) -> NetworkModel {
+        self.model
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Adds a memory node with `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id already exists.
+    pub fn add_node(&mut self, id: u32, capacity: u64) {
+        let prev = self.nodes.insert(id, NodeMemory::new(id, capacity));
+        assert!(prev.is_none(), "node {id} already exists");
+    }
+
+    /// Registers `[offset, offset+len)` on node `id` for RDMA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::UnknownMemoryNode`] if the node does not exist.
+    pub fn register(&mut self, id: u32, offset: u64, len: u64) -> Result<()> {
+        self.nodes
+            .get_mut(&id)
+            .ok_or(KonaError::UnknownMemoryNode(id))?
+            .register(offset, len);
+        Ok(())
+    }
+
+    /// Immutable access to a node's memory.
+    pub fn node(&self, id: u32) -> Option<&NodeMemory> {
+        self.nodes.get(&id)
+    }
+
+    /// Mutable access to a node's memory (the node's own CPU, e.g. the
+    /// cache-line log receiver).
+    pub fn node_mut(&mut self, id: u32) -> Option<&mut NodeMemory> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// Marks a node failed; subsequent verbs to it error.
+    pub fn fail_node(&mut self, id: u32) {
+        if !self.failed_nodes.contains(&id) {
+            self.failed_nodes.push(id);
+        }
+    }
+
+    /// Restores a failed node.
+    pub fn recover_node(&mut self, id: u32) {
+        self.failed_nodes.retain(|&n| n != id);
+    }
+
+    /// Injects `delay` into every subsequent chain (simulates congestion;
+    /// set back to zero to clear).
+    pub fn inject_delay(&mut self, delay: Nanos) {
+        self.injected_delay = delay;
+    }
+
+    /// Executes a linked chain of work requests.
+    ///
+    /// All requests execute (writes land, reads return data) and the chain
+    /// is charged as one doorbell: base latency once, per-link overhead for
+    /// the rest, serialization for all bytes, plus one completion cost per
+    /// signaled request.
+    ///
+    /// # Errors
+    ///
+    /// Fails atomically-before-side-effects on: unknown node
+    /// ([`KonaError::UnknownMemoryNode`]), failed node
+    /// ([`KonaError::MemoryNodeFailed`]) or unregistered memory
+    /// ([`KonaError::UnregisteredMemory`]).
+    pub fn post(&mut self, chain: Vec<WorkRequest>) -> Result<(Nanos, Vec<Completion>)> {
+        // Validate everything first so errors have no side effects.
+        for wr in &chain {
+            let node_id = wr.remote.node();
+            if self.failed_nodes.contains(&node_id) {
+                return Err(KonaError::MemoryNodeFailed(node_id));
+            }
+            let node = self
+                .nodes
+                .get(&node_id)
+                .ok_or(KonaError::UnknownMemoryNode(node_id))?;
+            match wr.opcode {
+                Opcode::Write => {
+                    node.check_registered(wr.remote.offset(), wr.payload.len() as u64)?
+                }
+                Opcode::Read => node.check_registered(wr.remote.offset(), wr.read_len)?,
+                Opcode::Send => {}
+            }
+        }
+
+        let sizes: Vec<u64> = chain.iter().map(WorkRequest::wire_bytes).collect();
+        let signaled = chain.iter().filter(|w| w.is_signaled).count();
+        let mut completions = Vec::with_capacity(signaled);
+
+        for wr in chain {
+            let node = self
+                .nodes
+                .get_mut(&wr.remote.node())
+                .expect("validated above");
+            let data = match wr.opcode {
+                Opcode::Write => {
+                    node.write_bytes(wr.remote.offset(), &wr.payload)
+                        .expect("validated above");
+                    Bytes::new()
+                }
+                Opcode::Read => Bytes::from(
+                    node.rdma_read(wr.remote.offset(), wr.read_len)
+                        .expect("validated above"),
+                ),
+                Opcode::Send => Bytes::new(), // control payloads handled by caller
+            };
+            self.stats.requests += 1;
+            self.stats.wire_bytes += wr.wire_bytes();
+            if wr.is_signaled {
+                completions.push(Completion {
+                    wr_id: wr.wr_id,
+                    data,
+                });
+            }
+        }
+        self.stats.posts += 1;
+        self.stats.completions += completions.len() as u64;
+        let time = self.model.chain_time(&sizes, signaled) + self.injected_delay;
+        Ok((time, completions))
+    }
+}
+
+impl Default for Fabric {
+    fn default() -> Self {
+        Fabric::new(NetworkModel::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kona_types::RemoteAddr;
+    use proptest::prelude::*;
+
+    fn fabric() -> Fabric {
+        let mut f = Fabric::new(NetworkModel::connectx5());
+        f.add_node(0, 1 << 16);
+        f.register(0, 0, 1 << 16).unwrap();
+        f
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut f = fabric();
+        f.post(vec![WorkRequest::write(1, RemoteAddr::new(0, 100), vec![7; 64])])
+            .unwrap();
+        let (_, comps) = f
+            .post(vec![WorkRequest::read(2, RemoteAddr::new(0, 100), 64).signaled()])
+            .unwrap();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(&comps[0].data[..], &[7u8; 64][..]);
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut f = fabric();
+        let err = f
+            .post(vec![WorkRequest::write(1, RemoteAddr::new(9, 0), vec![0])])
+            .unwrap_err();
+        assert_eq!(err, KonaError::UnknownMemoryNode(9));
+    }
+
+    #[test]
+    fn failed_node_rejected_and_recovers() {
+        let mut f = fabric();
+        f.fail_node(0);
+        let err = f
+            .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0])])
+            .unwrap_err();
+        assert_eq!(err, KonaError::MemoryNodeFailed(0));
+        f.recover_node(0);
+        assert!(f
+            .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0])])
+            .is_ok());
+    }
+
+    #[test]
+    fn validation_happens_before_side_effects() {
+        let mut f = fabric();
+        f.add_node(1, 64); // nothing registered on node 1
+        let chain = vec![
+            WorkRequest::write(1, RemoteAddr::new(0, 0), vec![9; 8]),
+            WorkRequest::write(2, RemoteAddr::new(1, 0), vec![9; 8]),
+        ];
+        assert!(f.post(chain).is_err());
+        // First write must NOT have landed.
+        assert_eq!(f.node(0).unwrap().read_bytes(0, 8), &[0u8; 8]);
+    }
+
+    #[test]
+    fn chain_cheaper_than_individual_posts() {
+        let mut f = fabric();
+        let chain: Vec<_> = (0..8)
+            .map(|i| WorkRequest::write(i, RemoteAddr::new(0, i * 64), vec![1; 64]))
+            .collect();
+        let (chained, _) = f.post(chain).unwrap();
+        let mut individual = Nanos::ZERO;
+        for i in 0..8u64 {
+            let (t, _) = f
+                .post(vec![WorkRequest::write(i, RemoteAddr::new(0, i * 64), vec![1; 64])])
+                .unwrap();
+            individual += t;
+        }
+        assert!(chained < individual / 4);
+    }
+
+    #[test]
+    fn injected_delay_applies() {
+        let mut f = fabric();
+        let (base, _) = f
+            .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0; 64])])
+            .unwrap();
+        f.inject_delay(Nanos::millis(1));
+        let (slow, _) = f
+            .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0; 64])])
+            .unwrap();
+        assert_eq!(slow - base, Nanos::millis(1));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut f = fabric();
+        f.post(vec![
+            WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0; 64]),
+            WorkRequest::write(2, RemoteAddr::new(0, 64), vec![0; 64]).signaled(),
+        ])
+        .unwrap();
+        let s = f.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.posts, 1);
+        assert_eq!(s.wire_bytes, 128);
+        assert_eq!(s.completions, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_node_panics() {
+        let mut f = fabric();
+        f.add_node(0, 64);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The fabric behaves like plain remote memory: any sequence of
+        /// writes followed by reads returns exactly what a byte-array
+        /// mirror holds, and total time is positive and additive.
+        #[test]
+        fn prop_fabric_is_remote_memory(
+            ops in proptest::collection::vec((0u64..1024, 1usize..128, any::<u8>()), 1..50)
+        ) {
+            let mut f = fabric();
+            let mut mirror = vec![0u8; 1 << 16];
+            let mut total = Nanos::ZERO;
+            for &(off, len, byte) in &ops {
+                let off = off * 64; // keep inside the registered region
+                let data = vec![byte; len];
+                let (t, _) = f
+                    .post(vec![WorkRequest::write(0, RemoteAddr::new(0, off), data.clone())])
+                    .unwrap();
+                total += t;
+                mirror[off as usize..off as usize + len].copy_from_slice(&data);
+            }
+            for &(off, len, _) in &ops {
+                let off = off * 64;
+                let (t, comps) = f
+                    .post(vec![WorkRequest::read(1, RemoteAddr::new(0, off), len as u64)
+                        .signaled()])
+                    .unwrap();
+                total += t;
+                prop_assert_eq!(&comps[0].data[..], &mirror[off as usize..off as usize + len]);
+            }
+            prop_assert!(total >= f.model().base_latency * (ops.len() as u64 * 2));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Network and memory-copy latency models.
+
+use kona_types::Nanos;
+
+/// One-sided RDMA verb timing: `base + bytes / bandwidth`, with a reduced
+/// per-request cost for linked (batched) requests after the first.
+///
+/// Calibration: the paper measures 3 µs for a 4 KiB verb on 100 Gbps RoCE.
+/// 4 KiB at 12.5 GB/s is ~330 ns of serialization, so the base (NIC
+/// processing + fabric propagation + remote NIC) is ~2.67 µs.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_net::NetworkModel;
+/// let m = NetworkModel::connectx5();
+/// let t = m.verb_time(4096);
+/// assert!((2900..3100).contains(&t.as_ns()), "4 KiB verb should be ~3us, got {t}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkModel {
+    /// Fixed cost of the first verb in a posted chain.
+    pub base_latency: Nanos,
+    /// Incremental NIC processing cost of each linked verb after the first.
+    pub linked_op_overhead: Nanos,
+    /// Link bandwidth in bytes per microsecond.
+    pub bytes_per_us: u64,
+    /// Cost of generating one completion (CQE) for a signaled request.
+    pub completion_overhead: Nanos,
+}
+
+impl NetworkModel {
+    /// The paper's testbed: ConnectX-5 on 100 Gbps RoCE.
+    pub fn connectx5() -> Self {
+        NetworkModel {
+            base_latency: Nanos::from_ns(2_670),
+            linked_op_overhead: Nanos::from_ns(150),
+            bytes_per_us: 12_500, // 100 Gbps = 12.5 GB/s
+            completion_overhead: Nanos::from_ns(100),
+        }
+    }
+
+    /// Serialization time for `bytes` on the link.
+    pub fn wire_time(&self, bytes: u64) -> Nanos {
+        Nanos::from_ns(bytes * 1_000 / self.bytes_per_us)
+    }
+
+    /// Total time of a single, unlinked verb moving `bytes`.
+    pub fn verb_time(&self, bytes: u64) -> Nanos {
+        self.base_latency + self.wire_time(bytes)
+    }
+
+    /// Total time of a posted chain: the first verb pays
+    /// [`NetworkModel::base_latency`], each subsequent verb pays
+    /// [`NetworkModel::linked_op_overhead`], and all bytes are serialized.
+    pub fn chain_time(&self, sizes: &[u64], signaled_count: usize) -> Nanos {
+        if sizes.is_empty() {
+            return Nanos::ZERO;
+        }
+        let total_bytes: u64 = sizes.iter().sum();
+        self.base_latency
+            + self.linked_op_overhead * (sizes.len() as u64 - 1)
+            + self.wire_time(total_bytes)
+            + self.completion_overhead * signaled_count as u64
+    }
+
+    /// Round-trip time of a minimal message (e.g. an acknowledgment).
+    pub fn rtt(&self) -> Nanos {
+        self.verb_time(0) * 2
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::connectx5()
+    }
+}
+
+/// Local memory-copy timing (staging data into RDMA-registered buffers).
+///
+/// §5.1: "copying data within the same host takes a lot of time but needs
+/// to be done because all RDMA reads and writes use buffers registered with
+/// the NIC; AVX instructions significantly reduce the overhead of the local
+/// copy."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyModel {
+    /// Fixed per-copy cost (call overhead, cache effects).
+    pub per_copy_overhead: Nanos,
+    /// Scalar copy bandwidth, bytes per microsecond.
+    pub scalar_bytes_per_us: u64,
+    /// AVX copy bandwidth, bytes per microsecond.
+    pub avx_bytes_per_us: u64,
+}
+
+impl CopyModel {
+    /// Skylake-class defaults: ~8 GB/s scalar, ~24 GB/s AVX-512 streaming.
+    pub fn skylake() -> Self {
+        CopyModel {
+            per_copy_overhead: Nanos::from_ns(40),
+            scalar_bytes_per_us: 8_000,
+            avx_bytes_per_us: 24_000,
+        }
+    }
+
+    /// Time to copy `bytes` with scalar loads/stores.
+    pub fn scalar_copy(&self, bytes: u64) -> Nanos {
+        self.per_copy_overhead + Nanos::from_ns(bytes * 1_000 / self.scalar_bytes_per_us)
+    }
+
+    /// Time to copy `bytes` with AVX streaming.
+    pub fn avx_copy(&self, bytes: u64) -> Nanos {
+        self.per_copy_overhead + Nanos::from_ns(bytes * 1_000 / self.avx_bytes_per_us)
+    }
+
+    /// Pure streaming bandwidth cost with no per-call overhead — used for
+    /// tight loops that amortize setup across many items (e.g. the log
+    /// receiver walking a contiguous buffer).
+    pub fn streaming_copy(&self, bytes: u64) -> Nanos {
+        Nanos::from_ns(bytes * 1_000 / self.avx_bytes_per_us)
+    }
+}
+
+impl Default for CopyModel {
+    fn default() -> Self {
+        CopyModel::skylake()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_to_paper() {
+        let m = NetworkModel::connectx5();
+        // 4 KiB verb ≈ 3 µs (paper §2.1).
+        let t = m.verb_time(4096).as_ns();
+        assert!((2_900..=3_100).contains(&t), "got {t}");
+        // 64 B verb is dominated by base latency.
+        assert!(m.verb_time(64).as_ns() < 2_800);
+    }
+
+    #[test]
+    fn batching_amortizes_base_latency() {
+        let m = NetworkModel::connectx5();
+        let individual: u64 = (0..8).map(|_| m.verb_time(64).as_ns()).sum();
+        let chained = m.chain_time(&[64; 8], 1).as_ns();
+        assert!(
+            chained < individual / 4,
+            "chained {chained} vs individual {individual}"
+        );
+    }
+
+    #[test]
+    fn signaled_completions_cost_extra() {
+        let m = NetworkModel::connectx5();
+        let unsig = m.chain_time(&[64; 4], 1);
+        let all_sig = m.chain_time(&[64; 4], 4);
+        assert_eq!(all_sig - unsig, m.completion_overhead * 3);
+    }
+
+    #[test]
+    fn empty_chain_is_free() {
+        assert_eq!(NetworkModel::connectx5().chain_time(&[], 0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn rtt_is_twice_min_verb() {
+        let m = NetworkModel::connectx5();
+        assert_eq!(m.rtt(), m.verb_time(0) * 2);
+    }
+
+    #[test]
+    fn avx_copy_faster_than_scalar() {
+        let c = CopyModel::skylake();
+        assert!(c.avx_copy(4096) < c.scalar_copy(4096));
+        // Tiny copies are dominated by overhead.
+        assert_eq!(c.avx_copy(0), c.per_copy_overhead);
+    }
+
+    #[test]
+    fn wire_time_linear() {
+        let m = NetworkModel::connectx5();
+        assert_eq!(m.wire_time(12_500), Nanos::micros(1));
+        assert_eq!(m.wire_time(0), Nanos::ZERO);
+    }
+}

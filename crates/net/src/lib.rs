@@ -1,0 +1,45 @@
+//! An RDMA network simulator.
+//!
+//! The paper's testbed is Mellanox ConnectX-5 NICs on a 100 Gbps RoCE
+//! switch, where a 4 KiB one-sided read or write takes ~3 µs (§2.1). That
+//! hardware is the reproduction gate, so this crate models it:
+//!
+//! * [`NodeMemory`] — a memory node's byte pool with registered-region
+//!   checking (verbs touching unregistered memory fail, as on real NICs).
+//! * [`WorkRequest`] / [`Completion`] / [`QueuePair`] — one-sided READ and
+//!   WRITE verbs plus two-sided SEND, with *linking/batching* (a posted
+//!   chain pays the base latency once) and *unsignaled completions* (only
+//!   signaled requests generate CQEs) — the two optimizations §5.1 found
+//!   essential.
+//! * [`NetworkModel`] — latency = base + bytes/bandwidth, calibrated to the
+//!   paper's 3 µs per 4 KiB verb; [`CopyModel`] charges the local copies
+//!   into RDMA-registered buffers (with the AVX speedup §5.1 describes).
+//!
+//! # Examples
+//!
+//! ```
+//! use kona_net::{Fabric, NetworkModel, WorkRequest};
+//! use kona_types::RemoteAddr;
+//!
+//! let mut fabric = Fabric::new(NetworkModel::connectx5());
+//! fabric.add_node(0, 1 << 20);
+//! fabric.register(0, 0, 4096).unwrap();
+//! let wr = WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0xAB; 64]).signaled();
+//! let (time, completions) = fabric.post(vec![wr]).unwrap();
+//! assert_eq!(completions.len(), 1);
+//! assert!(time.as_ns() > 0);
+//! assert_eq!(fabric.node(0).unwrap().read_bytes(0, 1)[0], 0xAB);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fabric;
+mod latency;
+mod node;
+mod verbs;
+
+pub use fabric::{Fabric, NetStats};
+pub use latency::{CopyModel, NetworkModel};
+pub use node::NodeMemory;
+pub use verbs::{Completion, Opcode, QueuePair, WorkRequest};

@@ -1,0 +1,181 @@
+//! A memory node's byte pool with RDMA registration checking.
+
+use kona_types::{KonaError, RemoteAddr, Result};
+
+/// The memory pool of one disaggregated-memory node.
+///
+/// One-sided verbs may only touch byte ranges that have been registered
+/// (as with real NIC memory regions); [`NodeMemory::check_registered`]
+/// enforces this.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_net::NodeMemory;
+/// let mut node = NodeMemory::new(0, 8192);
+/// node.register(0, 4096);
+/// node.write_bytes(64, &[1, 2, 3]).unwrap();
+/// assert_eq!(node.read_bytes(64, 3), &[1, 2, 3]);
+/// assert!(node.write_bytes(4096, &[0]).is_err()); // unregistered
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeMemory {
+    id: u32,
+    bytes: Vec<u8>,
+    /// Registered `(offset, len)` ranges, kept sorted by offset.
+    regions: Vec<(u64, u64)>,
+}
+
+impl NodeMemory {
+    /// Creates a node with `capacity` zeroed bytes and nothing registered.
+    pub fn new(id: u32, capacity: u64) -> Self {
+        NodeMemory {
+            id,
+            bytes: vec![0; capacity as usize],
+            regions: Vec::new(),
+        }
+    }
+
+    /// The node id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Total pool capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Registers `[offset, offset + len)` for RDMA access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the pool.
+    pub fn register(&mut self, offset: u64, len: u64) {
+        assert!(
+            offset + len <= self.capacity(),
+            "registration beyond pool capacity"
+        );
+        self.regions.push((offset, len));
+        self.regions.sort_unstable();
+    }
+
+    /// Checks that `[offset, offset+len)` lies inside one registered region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::UnregisteredMemory`] otherwise.
+    pub fn check_registered(&self, offset: u64, len: u64) -> Result<()> {
+        let covered = self
+            .regions
+            .iter()
+            .any(|&(start, rlen)| offset >= start && offset + len <= start + rlen);
+        if covered {
+            Ok(())
+        } else {
+            Err(KonaError::UnregisteredMemory {
+                addr: RemoteAddr::new(self.id, offset),
+                len,
+            })
+        }
+    }
+
+    /// Writes `data` at `offset` (the landing of an RDMA WRITE).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::UnregisteredMemory`] if the range is not
+    /// registered.
+    pub fn write_bytes(&mut self, offset: u64, data: &[u8]) -> Result<()> {
+        self.check_registered(offset, data.len() as u64)?;
+        self.bytes[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `offset` without a registration check (local
+    /// access by the node's own CPU, e.g. the cache-line log receiver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the pool.
+    pub fn read_bytes(&self, offset: u64, len: u64) -> &[u8] {
+        &self.bytes[offset as usize..(offset + len) as usize]
+    }
+
+    /// Reads `len` bytes at `offset` as an RDMA READ (registration
+    /// checked).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::UnregisteredMemory`] if the range is not
+    /// registered.
+    pub fn rdma_read(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.check_registered(offset, len)?;
+        Ok(self.read_bytes(offset, len).to_vec())
+    }
+
+    /// Local (non-RDMA) write by the node's own CPU, e.g. the cache-line
+    /// log receiver distributing lines to their home addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the pool.
+    pub fn local_write(&mut self, offset: u64, data: &[u8]) {
+        self.bytes[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_access() {
+        let mut n = NodeMemory::new(3, 1024);
+        assert_eq!(n.id(), 3);
+        assert_eq!(n.capacity(), 1024);
+        n.register(0, 512);
+        assert!(n.check_registered(0, 512).is_ok());
+        assert!(n.check_registered(500, 20).is_err()); // crosses boundary
+        assert!(n.check_registered(512, 1).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut n = NodeMemory::new(0, 1024);
+        n.register(128, 256);
+        n.write_bytes(130, b"hello").unwrap();
+        assert_eq!(n.rdma_read(130, 5).unwrap(), b"hello");
+        assert_eq!(n.read_bytes(130, 5), b"hello");
+    }
+
+    #[test]
+    fn unregistered_write_fails() {
+        let mut n = NodeMemory::new(0, 1024);
+        let err = n.write_bytes(0, &[1]).unwrap_err();
+        assert!(matches!(err, KonaError::UnregisteredMemory { .. }));
+    }
+
+    #[test]
+    fn local_write_bypasses_registration() {
+        let mut n = NodeMemory::new(0, 64);
+        n.local_write(10, &[9]);
+        assert_eq!(n.read_bytes(10, 1), &[9]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn register_beyond_capacity_panics() {
+        NodeMemory::new(0, 64).register(0, 128);
+    }
+
+    #[test]
+    fn multiple_regions() {
+        let mut n = NodeMemory::new(0, 1024);
+        n.register(512, 256);
+        n.register(0, 128);
+        assert!(n.check_registered(64, 64).is_ok());
+        assert!(n.check_registered(600, 100).is_ok());
+        assert!(n.check_registered(200, 8).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! RDMA work requests, completions and queue pairs.
+
+use bytes::Bytes;
+use kona_types::RemoteAddr;
+use std::collections::VecDeque;
+
+/// RDMA operation codes used by Kona.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    /// One-sided read from remote memory.
+    Read,
+    /// One-sided write to remote memory.
+    Write,
+    /// Two-sided send (control messages, acknowledgments).
+    Send,
+}
+
+/// One RDMA work request.
+///
+/// Requests are *unsignaled* by default; mark the last request of a batch
+/// [`WorkRequest::signaled`] to receive a single completion for the whole
+/// chain, the optimization the paper applies to both Kona and baselines
+/// (§5.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkRequest {
+    /// Caller-chosen identifier echoed in the completion.
+    pub wr_id: u64,
+    /// Operation.
+    pub opcode: Opcode,
+    /// Remote location (ignored for `Send`, which targets the node's
+    /// receive queue).
+    pub remote: RemoteAddr,
+    /// Payload for `Write`/`Send`; empty for `Read`.
+    pub payload: Bytes,
+    /// Bytes to read for `Read`; 0 otherwise.
+    pub read_len: u64,
+    /// Whether this request generates a completion.
+    pub is_signaled: bool,
+}
+
+impl WorkRequest {
+    /// Builds a one-sided WRITE of `payload` to `remote`.
+    pub fn write(wr_id: u64, remote: RemoteAddr, payload: impl Into<Bytes>) -> Self {
+        WorkRequest {
+            wr_id,
+            opcode: Opcode::Write,
+            remote,
+            payload: payload.into(),
+            read_len: 0,
+            is_signaled: false,
+        }
+    }
+
+    /// Builds a one-sided READ of `len` bytes from `remote`.
+    pub fn read(wr_id: u64, remote: RemoteAddr, len: u64) -> Self {
+        WorkRequest {
+            wr_id,
+            opcode: Opcode::Read,
+            remote,
+            payload: Bytes::new(),
+            read_len: len,
+            is_signaled: false,
+        }
+    }
+
+    /// Builds a SEND of `payload` to the node owning `remote`.
+    pub fn send(wr_id: u64, remote: RemoteAddr, payload: impl Into<Bytes>) -> Self {
+        WorkRequest {
+            wr_id,
+            opcode: Opcode::Send,
+            remote,
+            payload: payload.into(),
+            read_len: 0,
+            is_signaled: false,
+        }
+    }
+
+    /// Marks the request signaled (it will produce a [`Completion`]).
+    #[must_use]
+    pub fn signaled(mut self) -> Self {
+        self.is_signaled = true;
+        self
+    }
+
+    /// Bytes this request moves on the wire.
+    pub fn wire_bytes(&self) -> u64 {
+        match self.opcode {
+            Opcode::Read => self.read_len,
+            _ => self.payload.len() as u64,
+        }
+    }
+}
+
+/// A work completion (CQE).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The `wr_id` of the completed request.
+    pub wr_id: u64,
+    /// Data returned by a READ; empty otherwise.
+    pub data: Bytes,
+}
+
+/// A queue pair's completion queue. The fabric pushes completions here;
+/// the Poller component drains them.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_net::{Completion, QueuePair};
+/// let mut qp = QueuePair::new(7);
+/// qp.push_completion(Completion { wr_id: 1, data: Default::default() });
+/// assert_eq!(qp.poll().unwrap().wr_id, 1);
+/// assert!(qp.poll().is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QueuePair {
+    qp_num: u32,
+    cq: VecDeque<Completion>,
+}
+
+impl QueuePair {
+    /// Creates a queue pair with the given number.
+    pub fn new(qp_num: u32) -> Self {
+        QueuePair {
+            qp_num,
+            cq: VecDeque::new(),
+        }
+    }
+
+    /// The queue pair number.
+    pub fn qp_num(&self) -> u32 {
+        self.qp_num
+    }
+
+    /// Enqueues a completion (called by the fabric).
+    pub fn push_completion(&mut self, completion: Completion) {
+        self.cq.push_back(completion);
+    }
+
+    /// Polls one completion, if available.
+    pub fn poll(&mut self) -> Option<Completion> {
+        self.cq.pop_front()
+    }
+
+    /// Number of completions waiting.
+    pub fn pending(&self) -> usize {
+        self.cq.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let w = WorkRequest::write(1, RemoteAddr::new(0, 64), vec![1, 2, 3]);
+        assert_eq!(w.opcode, Opcode::Write);
+        assert_eq!(w.wire_bytes(), 3);
+        assert!(!w.is_signaled);
+        let r = WorkRequest::read(2, RemoteAddr::new(0, 0), 4096).signaled();
+        assert_eq!(r.opcode, Opcode::Read);
+        assert_eq!(r.wire_bytes(), 4096);
+        assert!(r.is_signaled);
+        let s = WorkRequest::send(3, RemoteAddr::new(1, 0), vec![0; 8]);
+        assert_eq!(s.opcode, Opcode::Send);
+        assert_eq!(s.wire_bytes(), 8);
+    }
+
+    #[test]
+    fn queue_pair_fifo() {
+        let mut qp = QueuePair::new(1);
+        assert_eq!(qp.qp_num(), 1);
+        for i in 0..3 {
+            qp.push_completion(Completion {
+                wr_id: i,
+                data: Bytes::new(),
+            });
+        }
+        assert_eq!(qp.pending(), 3);
+        assert_eq!(qp.poll().unwrap().wr_id, 0);
+        assert_eq!(qp.poll().unwrap().wr_id, 1);
+        assert_eq!(qp.poll().unwrap().wr_id, 2);
+        assert!(qp.poll().is_none());
+    }
+}

@@ -1,0 +1,372 @@
+//! Dirty-data amplification analysis (Table 2, Fig 9).
+//!
+//! The paper defines amplification as *"the ratio of data marked as dirty
+//! using the tracking granularity to the actual number of bytes written by
+//! the application"* (§2.1), measured against the number of **dirty bytes**
+//! (unique bytes written) in each window.
+//!
+//! [`AmplificationAnalysis`] computes, in a single pass over the write
+//! events of a window, the exact set of dirty bytes (via per-line byte
+//! masks) and the number of distinct tracking units dirtied at 64 B
+//! cache-line, 4 KiB page and 2 MiB page granularity.
+
+use crate::trace::TraceEvent;
+use kona_types::{MemAccess, CACHE_LINE_SIZE, PAGE_SIZE_2M, PAGE_SIZE_4K};
+use std::collections::HashMap;
+
+/// Dirty-byte and tracking-unit counts for one batch of write events.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_trace::amplification::AmplificationAnalysis;
+/// # use kona_types::{MemAccess, VirtAddr};
+/// let mut amp = AmplificationAnalysis::new();
+/// // Two 8-byte writes to the same line: 16 dirty bytes, 1 dirty line.
+/// amp.record(MemAccess::write(VirtAddr::new(0), 8));
+/// amp.record(MemAccess::write(VirtAddr::new(8), 8));
+/// assert_eq!(amp.dirty_bytes(), 16);
+/// assert_eq!(amp.dirty_lines(), 1);
+/// assert_eq!(amp.amplification_line(), 4.0); // 64 / 16
+/// assert_eq!(amp.amplification_4k(), 256.0); // 4096 / 16
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AmplificationAnalysis {
+    /// Per dirty cache line, the mask of bytes actually written.
+    line_masks: HashMap<u64, u64>,
+    /// Total bytes written including re-writes (for reference).
+    bytes_written_total: u64,
+}
+
+impl AmplificationAnalysis {
+    /// Creates an empty analysis.
+    pub fn new() -> Self {
+        AmplificationAnalysis::default()
+    }
+
+    /// Builds an analysis over the write events of an event stream
+    /// (read events are ignored).
+    pub fn over_events<I: IntoIterator<Item = TraceEvent>>(events: I) -> Self {
+        let mut amp = AmplificationAnalysis::new();
+        for e in events {
+            amp.record(e.access);
+        }
+        amp
+    }
+
+    /// Records one access; reads are ignored.
+    pub fn record(&mut self, access: MemAccess) {
+        if !access.kind.is_write() {
+            return;
+        }
+        self.bytes_written_total += u64::from(access.len);
+        let mut addr = access.addr.raw();
+        let end = access.end().raw();
+        while addr < end {
+            let line = addr / CACHE_LINE_SIZE;
+            let off = (addr % CACHE_LINE_SIZE) as u32;
+            let span = ((CACHE_LINE_SIZE - u64::from(off)).min(end - addr)) as u32;
+            // Mask of `span` bits starting at `off`.
+            let mask = if span >= 64 {
+                u64::MAX
+            } else {
+                ((1u64 << span) - 1) << off
+            };
+            *self.line_masks.entry(line).or_insert(0) |= mask;
+            addr += u64::from(span);
+        }
+    }
+
+    /// Unique bytes written (the paper's "number of dirty bytes").
+    pub fn dirty_bytes(&self) -> u64 {
+        self.line_masks.values().map(|m| u64::from(m.count_ones())).sum()
+    }
+
+    /// Total bytes written, counting re-writes of the same byte.
+    pub fn bytes_written_total(&self) -> u64 {
+        self.bytes_written_total
+    }
+
+    /// Number of distinct dirty 64 B cache lines.
+    pub fn dirty_lines(&self) -> usize {
+        self.line_masks.len()
+    }
+
+    /// Number of distinct dirty 4 KiB pages.
+    pub fn dirty_pages_4k(&self) -> usize {
+        self.distinct_units(PAGE_SIZE_4K / CACHE_LINE_SIZE)
+    }
+
+    /// Number of distinct dirty 2 MiB pages.
+    pub fn dirty_pages_2m(&self) -> usize {
+        self.distinct_units(PAGE_SIZE_2M / CACHE_LINE_SIZE)
+    }
+
+    fn distinct_units(&self, lines_per_unit: u64) -> usize {
+        let mut units: Vec<u64> = self
+            .line_masks
+            .keys()
+            .map(|&line| line / lines_per_unit)
+            .collect();
+        units.sort_unstable();
+        units.dedup();
+        units.len()
+    }
+
+    /// Amplification with 64 B cache-line tracking.
+    pub fn amplification_line(&self) -> f64 {
+        self.ratio(self.dirty_lines() as u64 * CACHE_LINE_SIZE)
+    }
+
+    /// Amplification with 4 KiB page tracking.
+    pub fn amplification_4k(&self) -> f64 {
+        self.ratio(self.dirty_pages_4k() as u64 * PAGE_SIZE_4K)
+    }
+
+    /// Amplification with 2 MiB page tracking.
+    pub fn amplification_2m(&self) -> f64 {
+        self.ratio(self.dirty_pages_2m() as u64 * PAGE_SIZE_2M)
+    }
+
+    fn ratio(&self, tracked_bytes: u64) -> f64 {
+        let dirty = self.dirty_bytes();
+        if dirty == 0 {
+            return 0.0;
+        }
+        tracked_bytes as f64 / dirty as f64
+    }
+
+    /// Returns `true` if no write was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.line_masks.is_empty()
+    }
+}
+
+/// One row of the per-window amplification series plotted in Fig 9.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowAmplification {
+    /// Window index (window = 1 s in the paper's Fig 9).
+    pub window: usize,
+    /// Amplification at 4 KiB tracking in this window.
+    pub amp_4k: f64,
+    /// Amplification at 2 MiB tracking in this window.
+    pub amp_2m: f64,
+    /// Amplification at cache-line tracking in this window.
+    pub amp_line: f64,
+    /// Unique dirty bytes in this window.
+    pub dirty_bytes: u64,
+}
+
+impl WindowAmplification {
+    /// The paper's Fig 9 y-axis: 4 KiB amplification relative to cache-line
+    /// amplification.
+    pub fn relative_4k_over_line(&self) -> f64 {
+        if self.amp_line == 0.0 {
+            0.0
+        } else {
+            self.amp_4k / self.amp_line
+        }
+    }
+}
+
+/// Computes the per-window amplification series for a windowed trace
+/// (the drive loop behind Fig 9 and the Table 2 averages).
+///
+/// Windows with no writes produce no entry, matching the paper's exclusion
+/// of idle windows. The paper also excludes the final (process tear-down)
+/// window; callers regenerate that decision via
+/// [`drop_last_window`](fn@per_window_series) semantics in the bench
+/// harness.
+pub fn per_window_series<'a, I>(windows: I) -> Vec<WindowAmplification>
+where
+    I: IntoIterator<Item = &'a [TraceEvent]>,
+{
+    windows
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, events)| {
+            let amp = AmplificationAnalysis::over_events(events.iter().copied());
+            if amp.is_empty() {
+                return None;
+            }
+            Some(WindowAmplification {
+                window: i,
+                amp_4k: amp.amplification_4k(),
+                amp_2m: amp.amplification_2m(),
+                amp_line: amp.amplification_line(),
+                dirty_bytes: amp.dirty_bytes(),
+            })
+        })
+        .collect()
+}
+
+/// Averages a per-window series into the three Table 2 columns, weighting
+/// each window by its dirty bytes (so long idle windows don't distort the
+/// application-level number).
+pub fn averaged(series: &[WindowAmplification]) -> (f64, f64, f64) {
+    let total: u64 = series.iter().map(|w| w.dirty_bytes).sum();
+    if total == 0 {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut a4 = 0.0;
+    let mut a2 = 0.0;
+    let mut al = 0.0;
+    for w in series {
+        let weight = w.dirty_bytes as f64 / total as f64;
+        a4 += w.amp_4k * weight;
+        a2 += w.amp_2m * weight;
+        al += w.amp_line * weight;
+    }
+    (a4, a2, al)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+    use crate::window::Windows;
+    use kona_types::{Nanos, VirtAddr};
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_full_line_write() {
+        let mut amp = AmplificationAnalysis::new();
+        amp.record(MemAccess::write(VirtAddr::new(0), 64));
+        assert_eq!(amp.dirty_bytes(), 64);
+        assert_eq!(amp.dirty_lines(), 1);
+        assert_eq!(amp.dirty_pages_4k(), 1);
+        assert_eq!(amp.dirty_pages_2m(), 1);
+        assert_eq!(amp.amplification_line(), 1.0);
+        assert_eq!(amp.amplification_4k(), 64.0);
+        assert_eq!(amp.amplification_2m(), 32768.0);
+    }
+
+    #[test]
+    fn reads_ignored() {
+        let mut amp = AmplificationAnalysis::new();
+        amp.record(MemAccess::read(VirtAddr::new(0), 64));
+        assert!(amp.is_empty());
+        assert_eq!(amp.amplification_4k(), 0.0);
+    }
+
+    #[test]
+    fn rewrites_do_not_double_count_dirty_bytes() {
+        let mut amp = AmplificationAnalysis::new();
+        amp.record(MemAccess::write(VirtAddr::new(0), 8));
+        amp.record(MemAccess::write(VirtAddr::new(0), 8));
+        assert_eq!(amp.dirty_bytes(), 8);
+        assert_eq!(amp.bytes_written_total(), 16);
+    }
+
+    #[test]
+    fn write_straddling_lines() {
+        let mut amp = AmplificationAnalysis::new();
+        amp.record(MemAccess::write(VirtAddr::new(60), 8));
+        assert_eq!(amp.dirty_lines(), 2);
+        assert_eq!(amp.dirty_bytes(), 8);
+    }
+
+    #[test]
+    fn sequential_full_page_write_has_unit_line_amplification() {
+        let mut amp = AmplificationAnalysis::new();
+        for i in 0..64 {
+            amp.record(MemAccess::write(VirtAddr::new(i * 64), 64));
+        }
+        assert_eq!(amp.dirty_bytes(), 4096);
+        assert_eq!(amp.amplification_line(), 1.0);
+        assert_eq!(amp.amplification_4k(), 1.0);
+    }
+
+    #[test]
+    fn sparse_random_writes_have_high_page_amplification() {
+        let mut amp = AmplificationAnalysis::new();
+        // One 8-byte write in each of 16 different pages.
+        for p in 0..16u64 {
+            amp.record(MemAccess::write(VirtAddr::new(p * 4096 + 128), 8));
+        }
+        assert_eq!(amp.dirty_bytes(), 128);
+        assert_eq!(amp.dirty_pages_4k(), 16);
+        assert_eq!(amp.amplification_4k(), 512.0); // 16*4096/128
+        assert_eq!(amp.amplification_line(), 8.0); // 16*64/128
+    }
+
+    #[test]
+    fn per_window_series_skips_idle_windows() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::new(
+            Nanos::secs(0),
+            MemAccess::write(VirtAddr::new(0), 8),
+        ));
+        t.push(TraceEvent::new(
+            Nanos::secs(2),
+            MemAccess::write(VirtAddr::new(4096), 8),
+        ));
+        let series = per_window_series(Windows::new(&t, Nanos::secs(1)).iter());
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].window, 0);
+        assert_eq!(series[1].window, 2);
+        assert_eq!(series[0].relative_4k_over_line(), 512.0 / 8.0);
+    }
+
+    #[test]
+    fn averaged_weights_by_dirty_bytes() {
+        let series = vec![
+            WindowAmplification {
+                window: 0,
+                amp_4k: 10.0,
+                amp_2m: 100.0,
+                amp_line: 1.0,
+                dirty_bytes: 100,
+            },
+            WindowAmplification {
+                window: 1,
+                amp_4k: 20.0,
+                amp_2m: 200.0,
+                amp_line: 2.0,
+                dirty_bytes: 300,
+            },
+        ];
+        let (a4, a2, al) = averaged(&series);
+        assert!((a4 - 17.5).abs() < 1e-9);
+        assert!((a2 - 175.0).abs() < 1e-9);
+        assert!((al - 1.75).abs() < 1e-9);
+        assert_eq!(averaged(&[]), (0.0, 0.0, 0.0));
+    }
+
+    proptest! {
+        /// Amplification is never below 1 for any granularity (you cannot
+        /// track fewer bytes than were dirtied), and coarser granularities
+        /// never amplify less than finer ones.
+        #[test]
+        fn prop_granularity_ordering(
+            writes in proptest::collection::vec((0u64..1u64 << 24, 1u32..256), 1..100)
+        ) {
+            let mut amp = AmplificationAnalysis::new();
+            for (addr, len) in writes {
+                amp.record(MemAccess::write(VirtAddr::new(addr), len));
+            }
+            let line = amp.amplification_line();
+            let p4 = amp.amplification_4k();
+            let p2 = amp.amplification_2m();
+            prop_assert!(line >= 1.0 - 1e-12);
+            prop_assert!(p4 >= line - 1e-9);
+            prop_assert!(p2 >= p4 - 1e-9);
+        }
+
+        /// Dirty bytes equal the size of the union of written intervals.
+        #[test]
+        fn prop_dirty_bytes_match_interval_union(
+            writes in proptest::collection::vec((0u64..4096, 1u32..64), 1..50)
+        ) {
+            let mut amp = AmplificationAnalysis::new();
+            let mut model = vec![false; 8192];
+            for (addr, len) in writes {
+                amp.record(MemAccess::write(VirtAddr::new(addr), len));
+                for b in addr..addr + u64::from(len) {
+                    model[b as usize] = true;
+                }
+            }
+            prop_assert_eq!(amp.dirty_bytes(), model.iter().filter(|&&b| b).count() as u64);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Contiguity analysis: contiguous accessed-line segments (Fig 3).
+//!
+//! The paper defines a *segment* as "a group of contiguous cache-lines
+//! within a 4 KB page that were accessed (read or written) in the same
+//! window" (§2.2). Segment lengths determine how efficiently the eviction
+//! handler can aggregate dirty lines into large RDMA writes (§6.4), which
+//! is why Fig 3 plots their CDF.
+
+use crate::stats::Cdf;
+use crate::trace::TraceEvent;
+use kona_types::{AccessKind, LineBitmap, MemAccess, PageGeometry};
+use std::collections::HashMap;
+
+/// Accumulates per-page accessed-line bitmaps and reports segment-length
+/// distributions.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_trace::contiguity::ContiguityAnalysis;
+/// # use kona_types::{MemAccess, VirtAddr};
+/// let mut ca = ContiguityAnalysis::new();
+/// // Lines 0-2 written contiguously, line 10 in isolation.
+/// ca.record(MemAccess::write(VirtAddr::new(0), 192));
+/// ca.record(MemAccess::write(VirtAddr::new(640), 8));
+/// let cdf = ca.write_segment_cdf();
+/// assert_eq!(cdf.total(), 2); // two segments
+/// assert_eq!(cdf.fraction_le(1), 0.5);
+/// assert_eq!(cdf.fraction_le(3), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContiguityAnalysis {
+    geometry: PageGeometry,
+    read_pages: HashMap<u64, LineBitmap>,
+    write_pages: HashMap<u64, LineBitmap>,
+}
+
+impl ContiguityAnalysis {
+    /// Creates an analysis over 4 KiB pages.
+    pub fn new() -> Self {
+        ContiguityAnalysis {
+            geometry: PageGeometry::base(),
+            read_pages: HashMap::new(),
+            write_pages: HashMap::new(),
+        }
+    }
+
+    /// Builds an analysis over an event stream.
+    pub fn over_events<I: IntoIterator<Item = TraceEvent>>(events: I) -> Self {
+        let mut ca = ContiguityAnalysis::new();
+        for e in events {
+            ca.record(e.access);
+        }
+        ca
+    }
+
+    /// Records one access.
+    pub fn record(&mut self, access: MemAccess) {
+        let pages = match access.kind {
+            AccessKind::Read => &mut self.read_pages,
+            AccessKind::Write => &mut self.write_pages,
+        };
+        let lines_per_page = self.geometry.lines_per_page();
+        for (page, line) in self.geometry.lines_in_range(access.addr, u64::from(access.len)) {
+            pages
+                .entry(page)
+                .or_insert_with(|| LineBitmap::new(lines_per_page))
+                .set(line);
+        }
+    }
+
+    /// CDF of read-segment lengths (in cache lines).
+    pub fn read_segment_cdf(&self) -> Cdf {
+        Self::segment_cdf(&self.read_pages)
+    }
+
+    /// CDF of write-segment lengths (in cache lines).
+    pub fn write_segment_cdf(&self) -> Cdf {
+        Self::segment_cdf(&self.write_pages)
+    }
+
+    /// Mean write-segment length; the longer, the better eviction can batch.
+    pub fn mean_write_segment_len(&self) -> f64 {
+        self.write_segment_cdf().mean()
+    }
+
+    /// Fraction of write segments that span the entire page — dominant for
+    /// sequential workloads in the paper.
+    pub fn page_length_write_fraction(&self) -> f64 {
+        let cdf = self.write_segment_cdf();
+        if cdf.is_empty() {
+            return 0.0;
+        }
+        let full = self.geometry.lines_per_page() as u64;
+        1.0 - cdf.fraction_le(full - 1)
+    }
+
+    fn segment_cdf(pages: &HashMap<u64, LineBitmap>) -> Cdf {
+        let mut cdf = Cdf::new();
+        for bm in pages.values() {
+            for (_, len) in bm.segments() {
+                cdf.add(len as u64, 1);
+            }
+        }
+        cdf
+    }
+}
+
+impl Default for ContiguityAnalysis {
+    fn default() -> Self {
+        ContiguityAnalysis::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kona_types::VirtAddr;
+    use proptest::prelude::*;
+
+    #[test]
+    fn isolated_lines_are_length_one_segments() {
+        let mut ca = ContiguityAnalysis::new();
+        ca.record(MemAccess::write(VirtAddr::new(0), 8));
+        ca.record(MemAccess::write(VirtAddr::new(128), 8));
+        let cdf = ca.write_segment_cdf();
+        assert_eq!(cdf.total(), 2);
+        assert_eq!(cdf.fraction_le(1), 1.0);
+    }
+
+    #[test]
+    fn adjacent_lines_merge_into_one_segment() {
+        let mut ca = ContiguityAnalysis::new();
+        ca.record(MemAccess::write(VirtAddr::new(0), 8));
+        ca.record(MemAccess::write(VirtAddr::new(64), 8));
+        let cdf = ca.write_segment_cdf();
+        assert_eq!(cdf.total(), 1);
+        assert_eq!(cdf.quantile(1.0), Some(2));
+    }
+
+    #[test]
+    fn full_page_is_one_64_line_segment() {
+        let mut ca = ContiguityAnalysis::new();
+        ca.record(MemAccess::write(VirtAddr::new(4096), 4096));
+        assert_eq!(ca.write_segment_cdf().quantile(1.0), Some(64));
+        assert_eq!(ca.page_length_write_fraction(), 1.0);
+    }
+
+    #[test]
+    fn reads_and_writes_independent() {
+        let mut ca = ContiguityAnalysis::new();
+        ca.record(MemAccess::read(VirtAddr::new(0), 8));
+        assert!(ca.write_segment_cdf().is_empty());
+        assert_eq!(ca.read_segment_cdf().total(), 1);
+    }
+
+    #[test]
+    fn segments_do_not_span_pages() {
+        let mut ca = ContiguityAnalysis::new();
+        // Last line of page 0 and first line of page 1.
+        ca.record(MemAccess::write(VirtAddr::new(4096 - 64), 128));
+        let cdf = ca.write_segment_cdf();
+        assert_eq!(cdf.total(), 2);
+        assert_eq!(cdf.fraction_le(1), 1.0);
+    }
+
+    #[test]
+    fn mean_segment_len() {
+        let mut ca = ContiguityAnalysis::new();
+        ca.record(MemAccess::write(VirtAddr::new(0), 128)); // one 2-line segment
+        ca.record(MemAccess::write(VirtAddr::new(4096), 64)); // one 1-line segment
+        assert!((ca.mean_write_segment_len() - 1.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Total segment length equals the number of accessed lines.
+        #[test]
+        fn prop_segments_partition_lines(
+            writes in proptest::collection::vec((0u64..1u64 << 16, 1u32..256), 1..100)
+        ) {
+            let mut ca = ContiguityAnalysis::new();
+            let mut lines = std::collections::HashSet::new();
+            for &(addr, len) in &writes {
+                ca.record(MemAccess::write(VirtAddr::new(addr), len));
+                lines.extend(
+                    PageGeometry::base().lines_in_range(VirtAddr::new(addr), u64::from(len)),
+                );
+            }
+            let cdf = ca.write_segment_cdf();
+            let total_len: f64 = cdf.mean() * cdf.total() as f64;
+            prop_assert!((total_len - lines.len() as f64).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Binary trace serialization.
+//!
+//! A compact fixed-record format so traces can be captured once (e.g. from
+//! an instrumented application, the way the paper used Pin) and re-analyzed
+//! many times. No external dependencies: 16-byte little-endian records
+//! behind a magic/version header.
+//!
+//! Layout: `b"KTRC" u16 version u16 reserved u64 event_count` followed by
+//! `event_count` records of `u64 time_ns | u64 addr | u32 len | u16 thread
+//! | u8 kind | u8 pad`.
+
+use crate::trace::{Trace, TraceEvent};
+use kona_types::{MemAccess, Nanos, VirtAddr};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"KTRC";
+const VERSION: u16 = 1;
+const RECORD_BYTES: usize = 24;
+
+/// Writes `trace` to `writer` in the binary trace format.
+///
+/// Generic writers can be passed by mutable reference (`&mut w`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&0u16.to_le_bytes())?;
+    writer.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for e in trace.iter() {
+        let mut rec = [0u8; RECORD_BYTES];
+        rec[0..8].copy_from_slice(&e.time.as_ns().to_le_bytes());
+        rec[8..16].copy_from_slice(&e.access.addr.raw().to_le_bytes());
+        rec[16..20].copy_from_slice(&e.access.len.to_le_bytes());
+        rec[20..22].copy_from_slice(&e.thread.to_le_bytes());
+        rec[22] = u8::from(e.access.kind.is_write());
+        writer.write_all(&rec)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on a bad magic, unsupported
+/// version or malformed record, and propagates reader I/O errors.
+pub fn read_trace<R: Read>(mut reader: R) -> io::Result<Trace> {
+    let mut header = [0u8; 16];
+    reader.read_exact(&mut header)?;
+    if &header[0..4] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    let count = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let mut trace = Trace::with_capacity(count.min(1 << 24) as usize);
+    let mut rec = [0u8; RECORD_BYTES];
+    for _ in 0..count {
+        reader.read_exact(&mut rec)?;
+        let time = Nanos::from_ns(u64::from_le_bytes(rec[0..8].try_into().expect("8")));
+        let addr = VirtAddr::new(u64::from_le_bytes(rec[8..16].try_into().expect("8")));
+        let len = u32::from_le_bytes(rec[16..20].try_into().expect("4"));
+        let thread = u16::from_le_bytes(rec[20..22].try_into().expect("2"));
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "zero-length access record",
+            ));
+        }
+        let access = match rec[22] {
+            0 => MemAccess::read(addr, len),
+            1 => MemAccess::write(addr, len),
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad access kind {other}"),
+                ))
+            }
+        };
+        trace.push(TraceEvent::on_thread(time, access, thread));
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(TraceEvent::new(Nanos::ZERO, MemAccess::read(VirtAddr::new(64), 8)));
+        t.push(TraceEvent::on_thread(
+            Nanos::micros(5),
+            MemAccess::write(VirtAddr::new(4096), 128),
+            3,
+        ));
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        assert_eq!(buf.len(), 16 + 2 * RECORD_BYTES);
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &Trace::new()).unwrap();
+        assert!(read_trace(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"[..])
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &Trace::new()).unwrap();
+        buf[4] = 99;
+        assert_eq!(
+            read_trace(buf.as_slice()).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_trace()).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupt_kind_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_trace()).unwrap();
+        buf[16 + 22] = 7; // first record's kind byte
+        assert_eq!(
+            read_trace(buf.as_slice()).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(specs in proptest::collection::vec(
+            (0u64..1 << 40, 1u32..1 << 16, 0u16..8, any::<bool>()), 0..200)
+        ) {
+            let mut t = Trace::new();
+            for (i, &(addr, len, thread, write)) in specs.iter().enumerate() {
+                let access = if write {
+                    MemAccess::write(VirtAddr::new(addr), len)
+                } else {
+                    MemAccess::read(VirtAddr::new(addr), len)
+                };
+                t.push(TraceEvent::on_thread(Nanos::from_ns(i as u64), access, thread));
+            }
+            let mut buf = Vec::new();
+            write_trace(&mut buf, &t).unwrap();
+            prop_assert_eq!(read_trace(buf.as_slice()).unwrap(), t);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Memory-access traces and locality analysis for Kona.
+//!
+//! This crate provides:
+//!
+//! * [`TraceEvent`] / [`Trace`] — timestamped application memory accesses,
+//!   the interchange format between workload generators
+//!   (`kona-workloads`) and every simulator in the workspace.
+//! * [`Windows`] — splitting a trace into fixed real-time windows, the way
+//!   the paper's Pin-based methodology measures behaviour "online in each
+//!   window" (§2.1; Table 2 uses 10 s windows, KTracker uses 1 s).
+//! * [`amplification`] — dirty-data amplification at 4 KiB-page, 2 MiB-page
+//!   and 64 B cache-line tracking granularity (Table 2, Fig 9).
+//! * [`spatial`] — the CDF of accessed cache-lines per page (Fig 2).
+//! * [`contiguity`] — the CDF of contiguous accessed-line segment lengths
+//!   within a page (Fig 3).
+//!
+//! # Examples
+//!
+//! ```
+//! use kona_trace::{Trace, TraceEvent, amplification::AmplificationAnalysis};
+//! use kona_types::{MemAccess, Nanos, VirtAddr};
+//!
+//! let mut trace = Trace::new();
+//! trace.push(TraceEvent::new(Nanos::ZERO, MemAccess::write(VirtAddr::new(0), 64)));
+//! let amp = AmplificationAnalysis::over_events(trace.iter().copied());
+//! // One 64-byte write dirties one line and one page: 4 KiB tracking
+//! // amplifies 64 dirty bytes to 4096 tracked bytes.
+//! assert_eq!(amp.amplification_4k(), 64.0);
+//! assert_eq!(amp.amplification_line(), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amplification;
+pub mod contiguity;
+pub mod io;
+pub mod spatial;
+mod stats;
+mod trace;
+mod window;
+
+pub use stats::Cdf;
+pub use trace::{Trace, TraceEvent};
+pub use window::{Windows, WindowsIter};

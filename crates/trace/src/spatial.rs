@@ -1,0 +1,228 @@
+//! Spatial locality analysis: accessed cache-lines per page (Fig 2).
+//!
+//! For each 4 KiB page touched in a window, count how many distinct cache
+//! lines were accessed, separately for reads and writes, then report the
+//! distribution over pages as a CDF. The paper's key observation (§2.2) is
+//! bimodality: pages either have 1–8 lines accessed or all 64.
+
+use crate::stats::Cdf;
+use crate::trace::TraceEvent;
+use kona_types::{AccessKind, LineBitmap, MemAccess, PageGeometry};
+use std::collections::HashMap;
+
+/// Accumulates per-page accessed-line bitmaps split by access kind.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_trace::spatial::SpatialAnalysis;
+/// # use kona_types::{MemAccess, VirtAddr};
+/// let mut sp = SpatialAnalysis::new();
+/// sp.record(MemAccess::read(VirtAddr::new(0), 8));
+/// sp.record(MemAccess::read(VirtAddr::new(256), 8));
+/// let cdf = sp.read_cdf();
+/// // One page with two accessed lines.
+/// assert_eq!(cdf.total(), 1);
+/// assert_eq!(cdf.fraction_le(2), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialAnalysis {
+    geometry: PageGeometry,
+    read_pages: HashMap<u64, LineBitmap>,
+    write_pages: HashMap<u64, LineBitmap>,
+}
+
+impl SpatialAnalysis {
+    /// Creates an analysis over 4 KiB pages.
+    pub fn new() -> Self {
+        Self::with_geometry(PageGeometry::base())
+    }
+
+    /// Creates an analysis over a custom page geometry.
+    pub fn with_geometry(geometry: PageGeometry) -> Self {
+        SpatialAnalysis {
+            geometry,
+            read_pages: HashMap::new(),
+            write_pages: HashMap::new(),
+        }
+    }
+
+    /// Builds an analysis over an event stream.
+    pub fn over_events<I: IntoIterator<Item = TraceEvent>>(events: I) -> Self {
+        let mut sp = SpatialAnalysis::new();
+        for e in events {
+            sp.record(e.access);
+        }
+        sp
+    }
+
+    /// Records one access.
+    pub fn record(&mut self, access: MemAccess) {
+        let pages = match access.kind {
+            AccessKind::Read => &mut self.read_pages,
+            AccessKind::Write => &mut self.write_pages,
+        };
+        let lines_per_page = self.geometry.lines_per_page();
+        for (page, line) in self.geometry.lines_in_range(access.addr, u64::from(access.len)) {
+            pages
+                .entry(page)
+                .or_insert_with(|| LineBitmap::new(lines_per_page))
+                .set(line);
+        }
+    }
+
+    /// CDF over pages of the number of distinct lines **read** per page.
+    pub fn read_cdf(&self) -> Cdf {
+        Self::cdf_of(&self.read_pages)
+    }
+
+    /// CDF over pages of the number of distinct lines **written** per page.
+    pub fn write_cdf(&self) -> Cdf {
+        Self::cdf_of(&self.write_pages)
+    }
+
+    /// Number of pages with at least one read.
+    pub fn read_page_count(&self) -> usize {
+        self.read_pages.len()
+    }
+
+    /// Number of pages with at least one write.
+    pub fn write_page_count(&self) -> usize {
+        self.write_pages.len()
+    }
+
+    /// Fraction of written pages that are fully written (all lines dirty) —
+    /// the "all 64 cache-lines accessed" mode of the paper's bimodal
+    /// distribution.
+    pub fn fully_written_fraction(&self) -> f64 {
+        if self.write_pages.is_empty() {
+            return 0.0;
+        }
+        let full = self
+            .write_pages
+            .values()
+            .filter(|bm| bm.all())
+            .count();
+        full as f64 / self.write_pages.len() as f64
+    }
+
+    fn cdf_of(pages: &HashMap<u64, LineBitmap>) -> Cdf {
+        pages
+            .values()
+            .map(|bm| bm.count_set() as u64)
+            .collect()
+    }
+
+    /// Merges another analysis (e.g. from a different window) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometries differ.
+    pub fn merge(&mut self, other: &SpatialAnalysis) {
+        assert_eq!(self.geometry, other.geometry, "geometries must match");
+        for (page, bm) in &other.read_pages {
+            self.read_pages
+                .entry(*page)
+                .or_insert_with(|| LineBitmap::new(bm.len()))
+                .union_with(bm);
+        }
+        for (page, bm) in &other.write_pages {
+            self.write_pages
+                .entry(*page)
+                .or_insert_with(|| LineBitmap::new(bm.len()))
+                .union_with(bm);
+        }
+    }
+}
+
+impl Default for SpatialAnalysis {
+    fn default() -> Self {
+        SpatialAnalysis::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kona_types::VirtAddr;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reads_and_writes_tracked_separately() {
+        let mut sp = SpatialAnalysis::new();
+        sp.record(MemAccess::read(VirtAddr::new(0), 8));
+        sp.record(MemAccess::write(VirtAddr::new(4096), 8));
+        assert_eq!(sp.read_page_count(), 1);
+        assert_eq!(sp.write_page_count(), 1);
+        assert_eq!(sp.read_cdf().total(), 1);
+        assert_eq!(sp.write_cdf().total(), 1);
+    }
+
+    #[test]
+    fn distinct_lines_counted_once() {
+        let mut sp = SpatialAnalysis::new();
+        for _ in 0..10 {
+            sp.record(MemAccess::read(VirtAddr::new(100), 4));
+        }
+        assert_eq!(sp.read_cdf().quantile(1.0), Some(1));
+    }
+
+    #[test]
+    fn full_page_write() {
+        let mut sp = SpatialAnalysis::new();
+        sp.record(MemAccess::write(VirtAddr::new(0), 4096));
+        assert_eq!(sp.write_cdf().quantile(1.0), Some(64));
+        assert_eq!(sp.fully_written_fraction(), 1.0);
+    }
+
+    #[test]
+    fn fully_written_fraction_mixed() {
+        let mut sp = SpatialAnalysis::new();
+        sp.record(MemAccess::write(VirtAddr::new(0), 4096));
+        sp.record(MemAccess::write(VirtAddr::new(4096), 64));
+        assert_eq!(sp.fully_written_fraction(), 0.5);
+        assert_eq!(SpatialAnalysis::new().fully_written_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_unions_bitmaps() {
+        let mut a = SpatialAnalysis::new();
+        a.record(MemAccess::read(VirtAddr::new(0), 8));
+        let mut b = SpatialAnalysis::new();
+        b.record(MemAccess::read(VirtAddr::new(64), 8));
+        a.merge(&b);
+        assert_eq!(a.read_cdf().quantile(1.0), Some(2));
+    }
+
+    #[test]
+    fn custom_geometry() {
+        let mut sp = SpatialAnalysis::with_geometry(PageGeometry::with_page_size(1024));
+        sp.record(MemAccess::write(VirtAddr::new(0), 1024));
+        assert_eq!(sp.write_cdf().quantile(1.0), Some(16));
+    }
+
+    proptest! {
+        /// Line counts per page never exceed the page's line capacity, and
+        /// the number of pages in the CDF matches the distinct pages touched.
+        #[test]
+        fn prop_bounds(accesses in proptest::collection::vec((0u64..1u64 << 20, 1u32..512, any::<bool>()), 1..200)) {
+            let mut sp = SpatialAnalysis::new();
+            let mut read_pages = std::collections::HashSet::new();
+            for &(addr, len, w) in &accesses {
+                let a = if w {
+                    MemAccess::write(VirtAddr::new(addr), len)
+                } else {
+                    read_pages.extend(
+                        PageGeometry::base().lines_in_range(VirtAddr::new(addr), u64::from(len))
+                            .map(|(p, _)| p),
+                    );
+                    MemAccess::read(VirtAddr::new(addr), len)
+                };
+                sp.record(a);
+            }
+            prop_assert_eq!(sp.read_page_count(), read_pages.len());
+            prop_assert_eq!(sp.read_cdf().quantile(1.0).is_none_or(|v| v <= 64), true);
+            prop_assert_eq!(sp.write_cdf().quantile(1.0).is_none_or(|v| v <= 64), true);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Small statistics helpers shared by the analyses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An empirical CDF over integer-valued observations.
+///
+/// Built from a histogram of counts; [`Cdf::fraction_le`] answers "what
+/// fraction of observations are ≤ x", which is exactly the y-axis of the
+/// paper's Figs 2 and 3.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_trace::Cdf;
+/// let mut cdf = Cdf::new();
+/// cdf.add(1, 3); // three observations of value 1
+/// cdf.add(4, 1);
+/// assert_eq!(cdf.fraction_le(1), 0.75);
+/// assert_eq!(cdf.fraction_le(4), 1.0);
+/// assert_eq!(cdf.fraction_le(0), 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cdf {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Cdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Self {
+        Cdf::default()
+    }
+
+    /// Adds `count` observations of `value`.
+    pub fn add(&mut self, value: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += count;
+        self.total += count;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns `true` if no observations were added.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Fraction of observations with value ≤ `x` (0.0 when empty).
+    pub fn fraction_le(&self, x: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let below: u64 = self
+            .counts
+            .range(..=x)
+            .map(|(_, &c)| c)
+            .sum();
+        below as f64 / self.total as f64
+    }
+
+    /// The smallest value v such that `fraction_le(v) >= q` (`None` when
+    /// empty). `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (&v, &c) in &self.counts {
+            acc += c;
+            if acc >= target {
+                return Some(v);
+            }
+        }
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .map(|(&v, &c)| v as f64 * c as f64)
+            .sum();
+        sum / self.total as f64
+    }
+
+    /// Iterates over `(value, cumulative_fraction)` pairs in value order —
+    /// the series a plotting frontend needs.
+    pub fn points(&self) -> Vec<(u64, f64)> {
+        let mut acc = 0u64;
+        self.counts
+            .iter()
+            .map(|(&v, &c)| {
+                acc += c;
+                (v, acc as f64 / self.total as f64)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Cdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cdf({} observations", self.total)?;
+        if let (Some(p50), Some(p99)) = (self.quantile(0.5), self.quantile(0.99)) {
+            write!(f, ", p50={p50}, p99={p99}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl FromIterator<u64> for Cdf {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut cdf = Cdf::new();
+        for v in iter {
+            cdf.add(v, 1);
+        }
+        cdf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fractions() {
+        let cdf: Cdf = vec![1, 1, 2, 8].into_iter().collect();
+        assert_eq!(cdf.total(), 4);
+        assert_eq!(cdf.fraction_le(0), 0.0);
+        assert_eq!(cdf.fraction_le(1), 0.5);
+        assert_eq!(cdf.fraction_le(2), 0.75);
+        assert_eq!(cdf.fraction_le(100), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let cdf: Cdf = (1..=100).collect();
+        assert_eq!(cdf.quantile(0.5), Some(50));
+        assert_eq!(cdf.quantile(0.0), Some(1));
+        assert_eq!(cdf.quantile(1.0), Some(100));
+        assert_eq!(Cdf::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn mean_and_points() {
+        let cdf: Cdf = vec![2, 4].into_iter().collect();
+        assert_eq!(cdf.mean(), 3.0);
+        assert_eq!(cdf.points(), vec![(2, 0.5), (4, 1.0)]);
+    }
+
+    #[test]
+    fn zero_count_ignored() {
+        let mut cdf = Cdf::new();
+        cdf.add(5, 0);
+        assert!(cdf.is_empty());
+    }
+
+    #[test]
+    fn display() {
+        let cdf: Cdf = vec![1, 2, 3].into_iter().collect();
+        assert!(cdf.to_string().contains("3 observations"));
+    }
+
+    proptest! {
+        /// The CDF is monotone and reaches 1.0 at the maximum value.
+        #[test]
+        fn prop_monotone(values in proptest::collection::vec(0u64..1000, 1..100)) {
+            let cdf: Cdf = values.iter().copied().collect();
+            let max = *values.iter().max().unwrap();
+            let mut prev = 0.0;
+            for x in 0..=max {
+                let f = cdf.fraction_le(x);
+                prop_assert!(f >= prev);
+                prev = f;
+            }
+            prop_assert!((cdf.fraction_le(max) - 1.0).abs() < 1e-12);
+        }
+
+        /// quantile() inverts fraction_le.
+        #[test]
+        fn prop_quantile_consistent(values in proptest::collection::vec(0u64..100, 1..50), q in 0.0f64..1.0) {
+            let cdf: Cdf = values.iter().copied().collect();
+            let v = cdf.quantile(q).unwrap();
+            prop_assert!(cdf.fraction_le(v) >= q - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Trace containers.
+
+use kona_types::{MemAccess, Nanos};
+use std::fmt;
+
+/// A timestamped memory access, optionally tagged with the issuing thread.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_trace::TraceEvent;
+/// # use kona_types::{MemAccess, Nanos, VirtAddr};
+/// let e = TraceEvent::new(Nanos::micros(5), MemAccess::read(VirtAddr::new(64), 8));
+/// assert_eq!(e.time, Nanos::micros(5));
+/// assert_eq!(e.thread, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceEvent {
+    /// Simulated instant at which the access was issued.
+    pub time: Nanos,
+    /// The access itself.
+    pub access: MemAccess,
+    /// Issuing thread (0 for single-threaded workloads).
+    pub thread: u16,
+}
+
+impl TraceEvent {
+    /// Creates an event on thread 0.
+    pub fn new(time: Nanos, access: MemAccess) -> Self {
+        TraceEvent {
+            time,
+            access,
+            thread: 0,
+        }
+    }
+
+    /// Creates an event tagged with a thread id.
+    pub fn on_thread(time: Nanos, access: MemAccess, thread: u16) -> Self {
+        TraceEvent {
+            time,
+            access,
+            thread,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} t{}] {}", self.time, self.thread, self.access)
+    }
+}
+
+/// An in-memory sequence of [`TraceEvent`]s, ordered by time.
+///
+/// Workload generators produce traces; analyses and simulators consume them
+/// either as a whole or streamed through [`Trace::iter`].
+///
+/// # Examples
+///
+/// ```
+/// # use kona_trace::{Trace, TraceEvent};
+/// # use kona_types::{MemAccess, Nanos, VirtAddr};
+/// let mut t = Trace::new();
+/// t.push(TraceEvent::new(Nanos::ZERO, MemAccess::write(VirtAddr::new(0), 8)));
+/// t.push(TraceEvent::new(Nanos::secs(1), MemAccess::read(VirtAddr::new(64), 8)));
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.duration(), Nanos::secs(1));
+/// assert_eq!(t.write_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an empty trace with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the event is older than the last one;
+    /// traces must be time-ordered.
+    pub fn push(&mut self, event: TraceEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| last.time <= event.time),
+            "trace events must be pushed in time order"
+        );
+        self.events.push(event);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the events.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Borrows the events as a slice.
+    pub fn as_slice(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Time span from the first to the last event ([`Nanos::ZERO`] when
+    /// fewer than two events exist).
+    pub fn duration(&self) -> Nanos {
+        match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => b.time - a.time,
+            _ => Nanos::ZERO,
+        }
+    }
+
+    /// Number of write events.
+    pub fn write_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.access.kind.is_write())
+            .count()
+    }
+
+    /// Number of read events.
+    pub fn read_count(&self) -> usize {
+        self.len() - self.write_count()
+    }
+
+    /// Total bytes touched by write events (with repetition).
+    pub fn bytes_written(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.access.kind.is_write())
+            .map(|e| u64::from(e.access.len))
+            .sum()
+    }
+
+    /// Highest address touched plus one, i.e. the size of the address range
+    /// the trace requires (assuming it starts at zero).
+    pub fn address_span(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| e.access.end().raw())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
+        let mut t = Trace::new();
+        for e in iter {
+            t.push(e);
+        }
+        t
+    }
+}
+
+impl Extend<TraceEvent> for Trace {
+    fn extend<I: IntoIterator<Item = TraceEvent>>(&mut self, iter: I) {
+        for e in iter {
+            self.push(e);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEvent;
+    type IntoIter = std::slice::Iter<'a, TraceEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = TraceEvent;
+    type IntoIter = std::vec::IntoIter<TraceEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kona_types::{MemAccess, VirtAddr};
+
+    fn ev(t_ns: u64, addr: u64, len: u32, write: bool) -> TraceEvent {
+        let a = if write {
+            MemAccess::write(VirtAddr::new(addr), len)
+        } else {
+            MemAccess::read(VirtAddr::new(addr), len)
+        };
+        TraceEvent::new(Nanos::from_ns(t_ns), a)
+    }
+
+    #[test]
+    fn push_and_stats() {
+        let mut t = Trace::with_capacity(4);
+        t.push(ev(0, 0, 8, true));
+        t.push(ev(10, 64, 8, false));
+        t.push(ev(20, 128, 16, true));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.write_count(), 2);
+        assert_eq!(t.read_count(), 1);
+        assert_eq!(t.bytes_written(), 24);
+        assert_eq!(t.duration(), Nanos::from_ns(20));
+        assert_eq!(t.address_span(), 144);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.duration(), Nanos::ZERO);
+        assert_eq!(t.address_span(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn out_of_order_push_panics() {
+        let mut t = Trace::new();
+        t.push(ev(10, 0, 8, true));
+        t.push(ev(5, 0, 8, true));
+    }
+
+    #[test]
+    fn from_and_into_iterator() {
+        let t: Trace = vec![ev(0, 0, 8, true), ev(1, 8, 8, false)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.len(), 2);
+        let back: Vec<TraceEvent> = t.clone().into_iter().collect();
+        assert_eq!(back.len(), 2);
+        let mut t2 = Trace::new();
+        t2.extend(back);
+        assert_eq!(t2, t);
+        assert_eq!((&t).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn thread_tagging() {
+        let e = TraceEvent::on_thread(Nanos::ZERO, MemAccess::read(VirtAddr::new(0), 1), 3);
+        assert_eq!(e.thread, 3);
+        assert!(e.to_string().contains("t3"));
+    }
+}

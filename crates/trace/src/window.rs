@@ -1,0 +1,189 @@
+//! Splitting traces into fixed real-time windows.
+//!
+//! The paper's methodology measures application behaviour "in discrete time
+//! windows" — 10 s windows for the Table 2 amplification study and 1 s
+//! windows for KTracker. [`Windows`] reproduces that: it yields consecutive
+//! slices of a trace, each covering one window of simulated time.
+
+use crate::trace::{Trace, TraceEvent};
+use kona_types::Nanos;
+
+/// A view of a trace split into fixed-duration windows.
+///
+/// Windows are aligned to the trace's first event time. Empty windows in
+/// the middle of a trace are yielded as empty slices so window numbering
+/// matches wall-clock time (the paper plots amplification per window number).
+///
+/// # Examples
+///
+/// ```
+/// # use kona_trace::{Trace, TraceEvent, Windows};
+/// # use kona_types::{MemAccess, Nanos, VirtAddr};
+/// let mut t = Trace::new();
+/// t.push(TraceEvent::new(Nanos::secs(0), MemAccess::read(VirtAddr::new(0), 8)));
+/// t.push(TraceEvent::new(Nanos::secs(2), MemAccess::read(VirtAddr::new(8), 8)));
+/// let windows: Vec<_> = Windows::new(&t, Nanos::secs(1)).collect();
+/// assert_eq!(windows.len(), 3);
+/// assert_eq!(windows[0].len(), 1);
+/// assert!(windows[1].is_empty());
+/// assert_eq!(windows[2].len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Windows<'a> {
+    trace: &'a Trace,
+    width: Nanos,
+}
+
+impl<'a> Windows<'a> {
+    /// Creates a window view with the given window `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(trace: &'a Trace, width: Nanos) -> Self {
+        assert!(width > Nanos::ZERO, "window width must be non-zero");
+        Windows { trace, width }
+    }
+
+    /// Number of windows the trace spans.
+    pub fn count(&self) -> usize {
+        if self.trace.is_empty() {
+            return 0;
+        }
+        (self.trace.duration().as_ns() / self.width.as_ns()) as usize + 1
+    }
+}
+
+impl<'a> IntoIterator for Windows<'a> {
+    type Item = &'a [TraceEvent];
+    type IntoIter = WindowsIter<'a>;
+
+    fn into_iter(self) -> WindowsIter<'a> {
+        let origin = self
+            .trace
+            .as_slice()
+            .first()
+            .map(|e| e.time)
+            .unwrap_or(Nanos::ZERO);
+        WindowsIter {
+            rest: self.trace.as_slice(),
+            width: self.width,
+            next_boundary: origin + self.width,
+            done: self.trace.is_empty(),
+        }
+    }
+}
+
+impl<'a> Windows<'a> {
+    /// Iterates over the window slices. Equivalent to `into_iter()` but
+    /// usable on a borrow.
+    pub fn iter(&self) -> WindowsIter<'a> {
+        self.clone().into_iter()
+    }
+}
+
+/// Iterator over window slices; see [`Windows`].
+#[derive(Debug)]
+pub struct WindowsIter<'a> {
+    rest: &'a [TraceEvent],
+    width: Nanos,
+    next_boundary: Nanos,
+    done: bool,
+}
+
+impl<'a> Iterator for WindowsIter<'a> {
+    type Item = &'a [TraceEvent];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let boundary = self.next_boundary;
+        let split = self.rest.partition_point(|e| e.time < boundary);
+        let (window, rest) = self.rest.split_at(split);
+        self.rest = rest;
+        self.next_boundary = boundary + self.width;
+        if rest.is_empty() {
+            self.done = true;
+        }
+        Some(window)
+    }
+}
+
+// `Windows::collect()` convenience: allow `Windows::new(..).collect::<Vec<_>>()`
+// through Iterator on the view itself.
+impl<'a> Windows<'a> {
+    /// Collects all window slices into a vector.
+    pub fn collect<B: FromIterator<&'a [TraceEvent]>>(self) -> B {
+        self.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kona_types::{MemAccess, VirtAddr};
+
+    fn ev(sec: u64) -> TraceEvent {
+        TraceEvent::new(Nanos::secs(sec), MemAccess::read(VirtAddr::new(sec * 8), 8))
+    }
+
+    #[test]
+    fn empty_trace_yields_no_windows() {
+        let t = Trace::new();
+        assert_eq!(Windows::new(&t, Nanos::secs(1)).iter().count(), 0);
+        assert_eq!(Windows::new(&t, Nanos::secs(1)).count(), 0);
+    }
+
+    #[test]
+    fn single_window() {
+        let t: Trace = vec![ev(0)].into_iter().collect();
+        let w: Vec<_> = Windows::new(&t, Nanos::secs(10)).collect();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].len(), 1);
+    }
+
+    #[test]
+    fn events_assigned_to_correct_windows() {
+        let t: Trace = vec![ev(0), ev(0), ev(1), ev(3)].into_iter().collect();
+        let w: Vec<_> = Windows::new(&t, Nanos::secs(1)).collect();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.iter().map(|s| s.len()).collect::<Vec<_>>(), vec![2, 1, 0, 1]);
+        assert_eq!(Windows::new(&t, Nanos::secs(1)).count(), 4);
+    }
+
+    #[test]
+    fn windows_align_to_first_event() {
+        let mut t = Trace::new();
+        t.push(ev(5));
+        t.push(ev(6));
+        let w: Vec<_> = Windows::new(&t, Nanos::secs(1)).collect();
+        // First window starts at t=5s, so both events land in windows 0 and 1.
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].len(), 1);
+        assert_eq!(w[1].len(), 1);
+    }
+
+    #[test]
+    fn boundary_event_goes_to_next_window() {
+        let t: Trace = vec![ev(0), ev(1)].into_iter().collect();
+        let w: Vec<_> = Windows::new(&t, Nanos::secs(1)).collect();
+        // An event exactly on the boundary belongs to the following window.
+        assert_eq!(w[0].len(), 1);
+        assert_eq!(w[1].len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_panics() {
+        let t = Trace::new();
+        Windows::new(&t, Nanos::ZERO);
+    }
+
+    #[test]
+    fn all_events_covered_exactly_once() {
+        let t: Trace = (0..50).map(ev).collect();
+        let total: usize = Windows::new(&t, Nanos::secs(7)).iter().map(|w| w.len()).sum();
+        assert_eq!(total, 50);
+    }
+}

@@ -1,0 +1,127 @@
+//! Memory access events.
+
+use crate::addr::VirtAddr;
+use std::fmt;
+
+/// Whether a memory access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Write`].
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+
+    /// Returns `true` for [`AccessKind::Read`].
+    pub const fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("R"),
+            AccessKind::Write => f.write_str("W"),
+        }
+    }
+}
+
+/// A single application memory access: address, length in bytes, and kind.
+///
+/// This is the unit that workload generators emit and that every simulator
+/// in the workspace consumes.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_types::{MemAccess, AccessKind, VirtAddr};
+/// let a = MemAccess::write(VirtAddr::new(0x100), 8);
+/// assert!(a.kind.is_write());
+/// assert_eq!(a.end(), VirtAddr::new(0x108));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// First byte touched.
+    pub addr: VirtAddr,
+    /// Number of bytes touched (at least 1).
+    pub len: u32,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl MemAccess {
+    /// Creates an access event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero — a zero-length access is meaningless and
+    /// almost always a bug in a workload generator.
+    pub fn new(addr: VirtAddr, len: u32, kind: AccessKind) -> Self {
+        assert!(len > 0, "memory access length must be non-zero");
+        MemAccess { addr, len, kind }
+    }
+
+    /// Convenience constructor for a read.
+    pub fn read(addr: VirtAddr, len: u32) -> Self {
+        Self::new(addr, len, AccessKind::Read)
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(addr: VirtAddr, len: u32) -> Self {
+        Self::new(addr, len, AccessKind::Write)
+    }
+
+    /// One past the last byte touched.
+    pub fn end(self) -> VirtAddr {
+        self.addr + u64::from(self.len)
+    }
+}
+
+impl fmt::Display for MemAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:#x}+{}", self.kind, self.addr.raw(), self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds() {
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Write.is_read());
+        assert!(AccessKind::Read.is_read());
+        assert_eq!(AccessKind::Read.to_string(), "R");
+    }
+
+    #[test]
+    fn constructors_and_end() {
+        let r = MemAccess::read(VirtAddr::new(10), 4);
+        assert_eq!(r.kind, AccessKind::Read);
+        assert_eq!(r.end().raw(), 14);
+        let w = MemAccess::write(VirtAddr::new(0), 1);
+        assert_eq!(w.end().raw(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_length_rejected() {
+        MemAccess::read(VirtAddr::new(0), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            MemAccess::write(VirtAddr::new(0x40), 8).to_string(),
+            "W 0x40+8"
+        );
+    }
+}

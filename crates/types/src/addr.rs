@@ -1,0 +1,302 @@
+//! Strongly-typed addresses.
+//!
+//! Kona's design distinguishes three address spaces that are easy to confuse
+//! when they are all `u64`:
+//!
+//! * [`VirtAddr`] — a process virtual address (what the application sees).
+//! * [`VfMemAddr`] — an address in *VFMem*, the fake physical address space
+//!   exported by the cache-coherent FPGA and backed by remote memory.
+//! * [`RemoteAddr`] — a `(memory node, offset)` location in disaggregated
+//!   memory.
+//!
+//! Newtypes keep translations explicit: page tables map `VirtAddr →
+//! VfMemAddr`, and the FPGA's remote-translation hashmap maps `VfMemAddr →
+//! RemoteAddr`.
+
+use crate::size::{CACHE_LINE_SIZE, PAGE_SIZE_4K};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+macro_rules! addr_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw address value.
+            pub const fn new(raw: u64) -> Self {
+                $name(raw)
+            }
+
+            /// The raw address value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The 4 KiB page number containing this address.
+            pub const fn page_number(self) -> PageNumber {
+                PageNumber(self.0 / PAGE_SIZE_4K)
+            }
+
+            /// The offset of this address within its 4 KiB page.
+            pub const fn page_offset(self) -> u64 {
+                self.0 % PAGE_SIZE_4K
+            }
+
+            /// The global cache-line index containing this address.
+            pub const fn line_index(self) -> LineIndex {
+                LineIndex(self.0 / CACHE_LINE_SIZE)
+            }
+
+            /// This address rounded down to its cache-line start.
+            pub const fn line_start(self) -> Self {
+                $name(self.0 & !(CACHE_LINE_SIZE - 1))
+            }
+
+            /// This address rounded down to its 4 KiB page start.
+            pub const fn page_start(self) -> Self {
+                $name(self.0 & !(PAGE_SIZE_4K - 1))
+            }
+
+            /// Checked addition of a byte offset.
+            pub fn checked_add(self, offset: u64) -> Option<Self> {
+                self.0.checked_add(offset).map($name)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({:#x})", stringify!($name), self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = $name;
+            fn add(self, rhs: u64) -> $name {
+                $name(self.0 + rhs)
+            }
+        }
+
+        impl AddAssign<u64> for $name {
+            fn add_assign(&mut self, rhs: u64) {
+                self.0 += rhs;
+            }
+        }
+
+        impl Sub<$name> for $name {
+            type Output = u64;
+            fn sub(self, rhs: $name) -> u64 {
+                self.0 - rhs.0
+            }
+        }
+    };
+}
+
+addr_newtype! {
+    /// A process virtual address.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use kona_types::VirtAddr;
+    /// let a = VirtAddr::new(0x1042);
+    /// assert_eq!(a.page_number().raw(), 1);
+    /// assert_eq!(a.page_offset(), 0x42);
+    /// assert_eq!(a.line_start(), VirtAddr::new(0x1040));
+    /// ```
+    VirtAddr
+}
+
+addr_newtype! {
+    /// An address in VFMem, the fake physical address space exported by the
+    /// cache-coherent FPGA (§4.3 of the paper). VFMem is larger than the
+    /// FPGA-attached DRAM (FMem) and is backed by remote memory.
+    VfMemAddr
+}
+
+/// A location in disaggregated memory: a memory node plus a byte offset into
+/// that node's registered pool.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_types::RemoteAddr;
+/// let r = RemoteAddr::new(2, 0x8000);
+/// assert_eq!(r.node(), 2);
+/// assert_eq!(r.offset(), 0x8000);
+/// assert_eq!(r.add(0x40).offset(), 0x8040);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RemoteAddr {
+    node: u32,
+    offset: u64,
+}
+
+impl RemoteAddr {
+    /// Creates a remote address on `node` at byte `offset`.
+    pub const fn new(node: u32, offset: u64) -> Self {
+        RemoteAddr { node, offset }
+    }
+
+    /// The memory node identifier.
+    pub const fn node(self) -> u32 {
+        self.node
+    }
+
+    /// The byte offset within the node's memory pool.
+    pub const fn offset(self) -> u64 {
+        self.offset
+    }
+
+    /// Returns this address advanced by `bytes` on the same node.
+    #[must_use]
+    pub const fn add(self, bytes: u64) -> Self {
+        RemoteAddr {
+            node: self.node,
+            offset: self.offset + bytes,
+        }
+    }
+}
+
+impl fmt::Display for RemoteAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}:{:#x}", self.node, self.offset)
+    }
+}
+
+/// A 4 KiB page number (an address shifted right by 12 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageNumber(pub u64);
+
+impl PageNumber {
+    /// The raw page number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first address of this page, as a virtual address.
+    pub const fn base_virt(self) -> VirtAddr {
+        VirtAddr::new(self.0 * PAGE_SIZE_4K)
+    }
+
+    /// The first address of this page, as a VFMem address.
+    pub const fn base_vfmem(self) -> VfMemAddr {
+        VfMemAddr::new(self.0 * PAGE_SIZE_4K)
+    }
+}
+
+impl fmt::Display for PageNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn{:#x}", self.0)
+    }
+}
+
+/// A global cache-line index (an address shifted right by 6 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineIndex(pub u64);
+
+impl LineIndex {
+    /// The raw line index.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this line (as a virtual address).
+    pub const fn base_virt(self) -> VirtAddr {
+        VirtAddr::new(self.0 * CACHE_LINE_SIZE)
+    }
+
+    /// The 4 KiB page this line belongs to.
+    pub const fn page_number(self) -> PageNumber {
+        PageNumber(self.0 / (PAGE_SIZE_4K / CACHE_LINE_SIZE))
+    }
+
+    /// The index of this line within its 4 KiB page (0..64).
+    pub const fn index_in_page(self) -> usize {
+        (self.0 % (PAGE_SIZE_4K / CACHE_LINE_SIZE)) as usize
+    }
+}
+
+impl fmt::Display for LineIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virt_addr_page_math() {
+        let a = VirtAddr::new(0x3042);
+        assert_eq!(a.page_number(), PageNumber(3));
+        assert_eq!(a.page_offset(), 0x42);
+        assert_eq!(a.page_start(), VirtAddr::new(0x3000));
+        assert_eq!(a.line_start(), VirtAddr::new(0x3040));
+        assert_eq!(a.line_index(), LineIndex(0x3042 / 64));
+    }
+
+    #[test]
+    fn addr_arithmetic() {
+        let a = VirtAddr::new(100);
+        assert_eq!(a + 28, VirtAddr::new(128));
+        assert_eq!(VirtAddr::new(128) - a, 28);
+        let mut b = a;
+        b += 1;
+        assert_eq!(b.raw(), 101);
+        assert_eq!(a.checked_add(u64::MAX), None);
+    }
+
+    #[test]
+    fn line_index_page_relationship() {
+        let l = LineIndex(65);
+        assert_eq!(l.page_number(), PageNumber(1));
+        assert_eq!(l.index_in_page(), 1);
+        assert_eq!(l.base_virt(), VirtAddr::new(65 * 64));
+    }
+
+    #[test]
+    fn page_number_bases() {
+        let p = PageNumber(2);
+        assert_eq!(p.base_virt().raw(), 8192);
+        assert_eq!(p.base_vfmem().raw(), 8192);
+    }
+
+    #[test]
+    fn remote_addr_ops() {
+        let r = RemoteAddr::new(1, 4096);
+        assert_eq!(r.add(64), RemoteAddr::new(1, 4160));
+        assert_eq!(r.to_string(), "node1:0x1000");
+    }
+
+    #[test]
+    fn distinct_types_do_not_compare() {
+        // Compile-time property: VirtAddr and VfMemAddr are distinct types.
+        // (This test simply documents the intent.)
+        let v = VirtAddr::new(1);
+        let f = VfMemAddr::new(1);
+        assert_eq!(v.raw(), f.raw());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VirtAddr::new(0x10).to_string(), "VirtAddr(0x10)");
+        assert_eq!(format!("{:x}", VfMemAddr::new(255)), "ff");
+        assert_eq!(PageNumber(1).to_string(), "pfn0x1");
+        assert_eq!(LineIndex(1).to_string(), "line0x1");
+    }
+}

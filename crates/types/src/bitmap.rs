@@ -1,0 +1,292 @@
+//! Dirty cache-line bitmaps.
+//!
+//! The FPGA tracks which cache lines of each cached page have been written
+//! back (and are therefore dirty) in a per-page bitmap. [`LineBitmap`] is
+//! that structure: a compact bitset sized in cache lines, with the segment
+//! iteration the eviction handler needs to aggregate contiguous dirty lines.
+
+use std::fmt;
+
+/// A bitset with one bit per cache line.
+///
+/// For a 4 KiB page this is 64 bits; the structure supports arbitrary sizes
+/// so huge-page tracking (32768 lines) uses the same code.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_types::LineBitmap;
+/// let mut bm = LineBitmap::new(64);
+/// bm.set(3);
+/// bm.set(4);
+/// bm.set(10);
+/// assert_eq!(bm.count_set(), 3);
+/// assert_eq!(bm.segments().collect::<Vec<_>>(), vec![(3, 2), (10, 1)]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LineBitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl LineBitmap {
+    /// Creates an all-clear bitmap covering `len` lines.
+    pub fn new(len: usize) -> Self {
+        LineBitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of lines covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the bitmap covers zero lines.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets the bit for line `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    pub fn set(&mut self, idx: usize) {
+        assert!(idx < self.len, "line index {idx} out of range {}", self.len);
+        self.words[idx / 64] |= 1 << (idx % 64);
+    }
+
+    /// Clears the bit for line `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    pub fn clear(&mut self, idx: usize) {
+        assert!(idx < self.len, "line index {idx} out of range {}", self.len);
+        self.words[idx / 64] &= !(1 << (idx % 64));
+    }
+
+    /// Tests the bit for line `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "line index {idx} out of range {}", self.len);
+        self.words[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Sets every bit.
+    pub fn set_all(&mut self) {
+        for i in 0..self.words.len() {
+            self.words[i] = u64::MAX;
+        }
+        self.mask_tail();
+    }
+
+    /// Number of set bits.
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if any bit is set.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Returns `true` if every bit is set.
+    pub fn all(&self) -> bool {
+        self.count_set() == self.len
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+
+    /// Iterates over maximal runs of set bits as `(start, run_length)` pairs.
+    ///
+    /// The eviction handler uses this to aggregate contiguous dirty cache
+    /// lines into single log entries / RDMA writes.
+    pub fn segments(&self) -> Segments<'_> {
+        Segments {
+            bitmap: self,
+            cursor: 0,
+        }
+    }
+
+    /// Merges another bitmap of the same length into this one (bitwise OR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn union_with(&mut self, other: &LineBitmap) {
+        assert_eq!(self.len, other.len, "bitmap lengths must match");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for LineBitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineBitmap({}/{} set)", self.count_set(), self.len)
+    }
+}
+
+/// Iterator over maximal set-bit runs; see [`LineBitmap::segments`].
+#[derive(Debug)]
+pub struct Segments<'a> {
+    bitmap: &'a LineBitmap,
+    cursor: usize,
+}
+
+impl Iterator for Segments<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // Skip clear bits.
+        while self.cursor < self.bitmap.len && !self.bitmap.get(self.cursor) {
+            self.cursor += 1;
+        }
+        if self.cursor >= self.bitmap.len {
+            return None;
+        }
+        let start = self.cursor;
+        while self.cursor < self.bitmap.len && self.bitmap.get(self.cursor) {
+            self.cursor += 1;
+        }
+        Some((start, self.cursor - start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut bm = LineBitmap::new(64);
+        assert!(!bm.any());
+        bm.set(0);
+        bm.set(63);
+        assert!(bm.get(0) && bm.get(63) && !bm.get(1));
+        assert_eq!(bm.count_set(), 2);
+        bm.clear(0);
+        assert!(!bm.get(0));
+        assert_eq!(bm.count_set(), 1);
+    }
+
+    #[test]
+    fn non_word_sized() {
+        let mut bm = LineBitmap::new(100);
+        bm.set(99);
+        assert!(bm.get(99));
+        assert_eq!(bm.count_set(), 1);
+        bm.set_all();
+        assert_eq!(bm.count_set(), 100);
+        assert!(bm.all());
+        bm.clear_all();
+        assert!(!bm.any());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        LineBitmap::new(64).get(64);
+    }
+
+    #[test]
+    fn segments_basic() {
+        let mut bm = LineBitmap::new(64);
+        for i in [0, 1, 2, 10, 20, 21] {
+            bm.set(i);
+        }
+        let segs: Vec<_> = bm.segments().collect();
+        assert_eq!(segs, vec![(0, 3), (10, 1), (20, 2)]);
+    }
+
+    #[test]
+    fn segments_full_and_empty() {
+        let mut bm = LineBitmap::new(64);
+        assert_eq!(bm.segments().count(), 0);
+        bm.set_all();
+        assert_eq!(bm.segments().collect::<Vec<_>>(), vec![(0, 64)]);
+    }
+
+    #[test]
+    fn union() {
+        let mut a = LineBitmap::new(64);
+        let mut b = LineBitmap::new(64);
+        a.set(1);
+        b.set(2);
+        a.union_with(&b);
+        assert!(a.get(1) && a.get(2));
+    }
+
+    #[test]
+    fn iter_set_order() {
+        let mut bm = LineBitmap::new(70);
+        bm.set(69);
+        bm.set(5);
+        assert_eq!(bm.iter_set().collect::<Vec<_>>(), vec![5, 69]);
+    }
+
+    proptest! {
+        /// Segments partition exactly the set bits: total segment length
+        /// equals the popcount, and every segment is a maximal run.
+        #[test]
+        fn prop_segments_cover_set_bits(bits in proptest::collection::vec(any::<bool>(), 1..300)) {
+            let mut bm = LineBitmap::new(bits.len());
+            for (i, &b) in bits.iter().enumerate() {
+                if b { bm.set(i); }
+            }
+            let segs: Vec<_> = bm.segments().collect();
+            let total: usize = segs.iter().map(|&(_, l)| l).sum();
+            prop_assert_eq!(total, bm.count_set());
+            for &(start, len) in &segs {
+                for i in start..start + len {
+                    prop_assert!(bm.get(i));
+                }
+                if start > 0 {
+                    prop_assert!(!bm.get(start - 1));
+                }
+                if start + len < bm.len() {
+                    prop_assert!(!bm.get(start + len));
+                }
+            }
+        }
+
+        /// set/clear round-trips and count_set matches a naive model.
+        #[test]
+        fn prop_count_matches_model(ops in proptest::collection::vec((0usize..128, any::<bool>()), 0..200)) {
+            let mut bm = LineBitmap::new(128);
+            let mut model = [false; 128];
+            for (idx, set) in ops {
+                if set { bm.set(idx); model[idx] = true; }
+                else { bm.clear(idx); model[idx] = false; }
+            }
+            prop_assert_eq!(bm.count_set(), model.iter().filter(|&&b| b).count());
+            for (i, &expected) in model.iter().enumerate() {
+                prop_assert_eq!(bm.get(i), expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The shared error type for the Kona workspace.
+
+use crate::addr::{RemoteAddr, VfMemAddr, VirtAddr};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Convenience alias for `Result<T, KonaError>`.
+pub type Result<T> = std::result::Result<T, KonaError>;
+
+/// Errors produced by the Kona runtime and its simulators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KonaError {
+    /// A virtual address was accessed with no mapping installed.
+    Unmapped(VirtAddr),
+    /// A VFMem address has no remote translation registered.
+    NoRemoteTranslation(VfMemAddr),
+    /// The rack controller has no free slabs left to satisfy an allocation.
+    OutOfRemoteMemory {
+        /// Bytes requested from the controller.
+        requested: u64,
+        /// Bytes still available across all memory nodes.
+        available: u64,
+    },
+    /// The compute node's local allocator exhausted its reserved slabs and
+    /// the controller could not provide more.
+    OutOfLocalReservation,
+    /// An RDMA verb referenced memory outside any registered region.
+    UnregisteredMemory {
+        /// The offending remote location.
+        addr: RemoteAddr,
+        /// Length of the attempted transfer.
+        len: u64,
+    },
+    /// The referenced memory node does not exist or has been removed.
+    UnknownMemoryNode(u32),
+    /// A network operation exceeded the coherence-protocol deadline and
+    /// raised a (simulated) machine-check exception (§4.5).
+    CoherenceTimeout {
+        /// The VFMem address whose fill timed out.
+        addr: VfMemAddr,
+        /// The configured deadline in nanoseconds.
+        deadline_ns: u64,
+    },
+    /// A memory node failed while holding application data.
+    MemoryNodeFailed(u32),
+    /// Not enough replicas acknowledged an eviction writeback.
+    ReplicationQuorumFailed {
+        /// Acks received.
+        acked: usize,
+        /// Acks required.
+        required: usize,
+    },
+    /// An operation was attempted on a runtime that has been shut down.
+    RuntimeShutDown,
+    /// A configuration value was invalid (message explains which).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for KonaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KonaError::Unmapped(addr) => write!(f, "no mapping for {addr}"),
+            KonaError::NoRemoteTranslation(addr) => {
+                write!(f, "no remote translation for {addr}")
+            }
+            KonaError::OutOfRemoteMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of remote memory: requested {requested} bytes, {available} available"
+            ),
+            KonaError::OutOfLocalReservation => {
+                f.write_str("local slab reservation exhausted")
+            }
+            KonaError::UnregisteredMemory { addr, len } => {
+                write!(f, "rdma access to unregistered memory at {addr} len {len}")
+            }
+            KonaError::UnknownMemoryNode(node) => {
+                write!(f, "unknown memory node {node}")
+            }
+            KonaError::CoherenceTimeout { addr, deadline_ns } => write!(
+                f,
+                "coherence fill for {addr} exceeded {deadline_ns}ns deadline (machine check)"
+            ),
+            KonaError::MemoryNodeFailed(node) => {
+                write!(f, "memory node {node} failed")
+            }
+            KonaError::ReplicationQuorumFailed { acked, required } => write!(
+                f,
+                "replication quorum failed: {acked} of {required} acks"
+            ),
+            KonaError::RuntimeShutDown => f.write_str("runtime has been shut down"),
+            KonaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl StdError for KonaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = KonaError::Unmapped(VirtAddr::new(0x42));
+        assert_eq!(e.to_string(), "no mapping for VirtAddr(0x42)");
+        let e = KonaError::OutOfRemoteMemory {
+            requested: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = KonaError::ReplicationQuorumFailed {
+            acked: 1,
+            required: 3,
+        };
+        assert!(e.to_string().contains("1 of 3"));
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_err<E: StdError + Send + Sync + 'static>() {}
+        assert_err::<KonaError>();
+    }
+}

@@ -1,0 +1,40 @@
+//! Common vocabulary types for the Kona disaggregated-memory runtime.
+//!
+//! This crate defines the types shared by every other crate in the Kona
+//! workspace: strongly-typed addresses ([`VirtAddr`], [`VfMemAddr`],
+//! [`RemoteAddr`]), geometry constants and helpers ([`CACHE_LINE_SIZE`],
+//! [`PAGE_SIZE_4K`], [`PageGeometry`]), memory access events
+//! ([`MemAccess`], [`AccessKind`]), simulated time ([`Nanos`], [`SimClock`]),
+//! per-page dirty cache-line bitmaps ([`LineBitmap`]) and the shared error
+//! type ([`KonaError`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use kona_types::{VirtAddr, PageGeometry, CACHE_LINE_SIZE};
+//!
+//! let geo = PageGeometry::base();
+//! let addr = VirtAddr::new(0x1000_0042);
+//! assert_eq!(geo.page_of(addr).start(), VirtAddr::new(0x1000_0000));
+//! assert_eq!(geo.line_index_in_page(addr), 0x42 / CACHE_LINE_SIZE as usize);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod addr;
+mod bitmap;
+mod error;
+mod size;
+mod time;
+
+pub use access::{AccessKind, MemAccess};
+pub use addr::{LineIndex, PageNumber, RemoteAddr, VfMemAddr, VirtAddr};
+pub use bitmap::LineBitmap;
+pub use error::{KonaError, Result};
+pub use size::{
+    align_down, align_up, is_aligned, ByteSize, Page, PageGeometry, CACHE_LINE_SIZE,
+    LINES_PER_PAGE_4K, PAGE_SIZE_2M, PAGE_SIZE_4K,
+};
+pub use time::{Nanos, SimClock};

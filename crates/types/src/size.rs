@@ -1,0 +1,354 @@
+//! Geometry constants and alignment helpers.
+
+use crate::addr::VirtAddr;
+use std::fmt;
+
+/// Size of a CPU cache line in bytes (64 B on all x86-64 parts the paper
+/// evaluates on).
+pub const CACHE_LINE_SIZE: u64 = 64;
+
+/// Size of a base page in bytes (4 KiB).
+pub const PAGE_SIZE_4K: u64 = 4096;
+
+/// Size of a huge page in bytes (2 MiB).
+pub const PAGE_SIZE_2M: u64 = 2 * 1024 * 1024;
+
+/// Number of cache lines in a 4 KiB page (64).
+pub const LINES_PER_PAGE_4K: usize = (PAGE_SIZE_4K / CACHE_LINE_SIZE) as usize;
+
+/// Rounds `value` down to the nearest multiple of `align`.
+///
+/// # Panics
+///
+/// Panics if `align` is not a power of two.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_types::align_down;
+/// assert_eq!(align_down(4097, 4096), 4096);
+/// assert_eq!(align_down(4096, 4096), 4096);
+/// ```
+#[inline]
+pub fn align_down(value: u64, align: u64) -> u64 {
+    assert!(align.is_power_of_two(), "alignment must be a power of two");
+    value & !(align - 1)
+}
+
+/// Rounds `value` up to the nearest multiple of `align`.
+///
+/// # Panics
+///
+/// Panics if `align` is not a power of two, or if rounding up overflows.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_types::align_up;
+/// assert_eq!(align_up(4097, 4096), 8192);
+/// assert_eq!(align_up(4096, 4096), 4096);
+/// ```
+#[inline]
+pub fn align_up(value: u64, align: u64) -> u64 {
+    assert!(align.is_power_of_two(), "alignment must be a power of two");
+    value
+        .checked_add(align - 1)
+        .expect("align_up overflow")
+        & !(align - 1)
+}
+
+/// Returns `true` if `value` is a multiple of `align` (power of two).
+#[inline]
+pub fn is_aligned(value: u64, align: u64) -> bool {
+    align_down(value, align) == value
+}
+
+/// A byte count with a human-readable `Display` (`4.0 KiB`, `1.5 GiB`, ...).
+///
+/// # Examples
+///
+/// ```
+/// # use kona_types::ByteSize;
+/// assert_eq!(ByteSize(4096).to_string(), "4.0 KiB");
+/// assert_eq!(ByteSize::gib(4).0, 4 << 30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// Constructs a size of `n` kibibytes.
+    pub const fn kib(n: u64) -> Self {
+        ByteSize(n << 10)
+    }
+
+    /// Constructs a size of `n` mebibytes.
+    pub const fn mib(n: u64) -> Self {
+        ByteSize(n << 20)
+    }
+
+    /// Constructs a size of `n` gibibytes.
+    pub const fn gib(n: u64) -> Self {
+        ByteSize(n << 30)
+    }
+
+    /// The raw number of bytes.
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const UNITS: [(&str, u64); 4] = [
+            ("GiB", 1 << 30),
+            ("MiB", 1 << 20),
+            ("KiB", 1 << 10),
+            ("B", 1),
+        ];
+        for (name, scale) in UNITS {
+            if self.0 >= scale {
+                return write!(f, "{:.1} {}", self.0 as f64 / scale as f64, name);
+            }
+        }
+        write!(f, "0 B")
+    }
+}
+
+impl From<u64> for ByteSize {
+    fn from(bytes: u64) -> Self {
+        ByteSize(bytes)
+    }
+}
+
+/// Describes a page size and derived cache-line geometry.
+///
+/// Kona decouples *tracking* granularity (cache lines) from *translation*
+/// granularity (pages); analysis code is generic over the page size via this
+/// type so the same pipeline measures 4 KiB, 2 MiB and cache-line tracking.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_types::{PageGeometry, VirtAddr};
+/// let geo = PageGeometry::huge();
+/// assert_eq!(geo.page_size(), 2 * 1024 * 1024);
+/// assert_eq!(geo.lines_per_page(), 32768);
+/// let a = VirtAddr::new(0x2040);
+/// assert_eq!(geo.page_of(a).number(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageGeometry {
+    page_size: u64,
+}
+
+impl PageGeometry {
+    /// Geometry for 4 KiB base pages.
+    pub const fn base() -> Self {
+        PageGeometry {
+            page_size: PAGE_SIZE_4K,
+        }
+    }
+
+    /// Geometry for 2 MiB huge pages.
+    pub const fn huge() -> Self {
+        PageGeometry {
+            page_size: PAGE_SIZE_2M,
+        }
+    }
+
+    /// Geometry for an arbitrary power-of-two page size that is a multiple
+    /// of the cache-line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is not a power of two or is smaller than a
+    /// cache line.
+    pub fn with_page_size(page_size: u64) -> Self {
+        assert!(
+            page_size.is_power_of_two() && page_size >= CACHE_LINE_SIZE,
+            "page size must be a power of two and at least one cache line"
+        );
+        PageGeometry { page_size }
+    }
+
+    /// The page size in bytes.
+    pub const fn page_size(self) -> u64 {
+        self.page_size
+    }
+
+    /// Number of cache lines per page.
+    pub const fn lines_per_page(self) -> usize {
+        (self.page_size / CACHE_LINE_SIZE) as usize
+    }
+
+    /// The page containing `addr`.
+    pub fn page_of(self, addr: VirtAddr) -> Page {
+        Page {
+            number: addr.raw() / self.page_size,
+            geometry: self,
+        }
+    }
+
+    /// Index of the cache line containing `addr` within its page.
+    pub fn line_index_in_page(self, addr: VirtAddr) -> usize {
+        ((addr.raw() % self.page_size) / CACHE_LINE_SIZE) as usize
+    }
+
+    /// Splits the byte range `[addr, addr + len)` into `(page_number,
+    /// line_index)` pairs, one per touched cache line.
+    ///
+    /// This is the canonical way analysis code decomposes an access event
+    /// into tracked cache lines.
+    pub fn lines_in_range(self, addr: VirtAddr, len: u64) -> LinesInRange {
+        let start = align_down(addr.raw(), CACHE_LINE_SIZE);
+        let end = align_up(addr.raw().saturating_add(len.max(1)), CACHE_LINE_SIZE);
+        LinesInRange {
+            geometry: self,
+            cursor: start,
+            end,
+        }
+    }
+}
+
+impl Default for PageGeometry {
+    fn default() -> Self {
+        PageGeometry::base()
+    }
+}
+
+/// A page identified by number under a particular [`PageGeometry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Page {
+    number: u64,
+    geometry: PageGeometry,
+}
+
+impl Page {
+    /// The page number (address divided by page size).
+    pub fn number(self) -> u64 {
+        self.number
+    }
+
+    /// The first address of the page.
+    pub fn start(self) -> VirtAddr {
+        VirtAddr::new(self.number * self.geometry.page_size())
+    }
+
+    /// The geometry this page was derived under.
+    pub fn geometry(self) -> PageGeometry {
+        self.geometry
+    }
+}
+
+/// Iterator over `(page_number, line_index)` pairs produced by
+/// [`PageGeometry::lines_in_range`].
+#[derive(Debug, Clone)]
+pub struct LinesInRange {
+    geometry: PageGeometry,
+    cursor: u64,
+    end: u64,
+}
+
+impl Iterator for LinesInRange {
+    type Item = (u64, usize);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.end {
+            return None;
+        }
+        let addr = VirtAddr::new(self.cursor);
+        let page = self.geometry.page_of(addr).number();
+        let line = self.geometry.line_index_in_page(addr);
+        self.cursor += CACHE_LINE_SIZE;
+        Some((page, line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_helpers() {
+        assert_eq!(align_down(0, 64), 0);
+        assert_eq!(align_down(63, 64), 0);
+        assert_eq!(align_down(64, 64), 64);
+        assert_eq!(align_up(0, 64), 0);
+        assert_eq!(align_up(1, 64), 64);
+        assert_eq!(align_up(64, 64), 64);
+        assert!(is_aligned(128, 64));
+        assert!(!is_aligned(100, 64));
+    }
+
+    #[test]
+    #[should_panic]
+    fn align_requires_power_of_two() {
+        align_down(10, 3);
+    }
+
+    #[test]
+    fn byte_size_display() {
+        assert_eq!(ByteSize(0).to_string(), "0 B");
+        assert_eq!(ByteSize(512).to_string(), "512.0 B");
+        assert_eq!(ByteSize::kib(4).to_string(), "4.0 KiB");
+        assert_eq!(ByteSize::mib(2).to_string(), "2.0 MiB");
+        assert_eq!(ByteSize::gib(1).to_string(), "1.0 GiB");
+        assert_eq!(ByteSize(1536).to_string(), "1.5 KiB");
+    }
+
+    #[test]
+    fn geometry_base_and_huge() {
+        assert_eq!(PageGeometry::base().lines_per_page(), 64);
+        assert_eq!(PageGeometry::huge().lines_per_page(), 32768);
+    }
+
+    #[test]
+    fn page_of_and_line_index() {
+        let geo = PageGeometry::base();
+        let a = VirtAddr::new(PAGE_SIZE_4K * 3 + 130);
+        let p = geo.page_of(a);
+        assert_eq!(p.number(), 3);
+        assert_eq!(p.start(), VirtAddr::new(PAGE_SIZE_4K * 3));
+        assert_eq!(geo.line_index_in_page(a), 2);
+    }
+
+    #[test]
+    fn lines_in_range_single_byte() {
+        let geo = PageGeometry::base();
+        let lines: Vec<_> = geo.lines_in_range(VirtAddr::new(100), 1).collect();
+        assert_eq!(lines, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn lines_in_range_straddles_lines_and_pages() {
+        let geo = PageGeometry::base();
+        // 8 bytes straddling a line boundary.
+        let lines: Vec<_> = geo.lines_in_range(VirtAddr::new(60), 8).collect();
+        assert_eq!(lines, vec![(0, 0), (0, 1)]);
+        // Straddling a page boundary.
+        let lines: Vec<_> = geo
+            .lines_in_range(VirtAddr::new(PAGE_SIZE_4K - 32), 64)
+            .collect();
+        assert_eq!(lines, vec![(0, 63), (1, 0)]);
+    }
+
+    #[test]
+    fn lines_in_range_zero_len_counts_one_line() {
+        let geo = PageGeometry::base();
+        let lines: Vec<_> = geo.lines_in_range(VirtAddr::new(0), 0).collect();
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn custom_geometry() {
+        let geo = PageGeometry::with_page_size(1024);
+        assert_eq!(geo.lines_per_page(), 16);
+        assert_eq!(geo.page_of(VirtAddr::new(1025)).number(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn custom_geometry_rejects_sub_line() {
+        PageGeometry::with_page_size(32);
+    }
+}

@@ -1,0 +1,226 @@
+//! Simulated time.
+//!
+//! All Kona simulators charge costs in nanoseconds of *simulated* time so
+//! experiments are deterministic and independent of host machine speed.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A span (or instant) of simulated time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_types::Nanos;
+/// let t = Nanos::micros(3) + Nanos::from_ns(500);
+/// assert_eq!(t.as_ns(), 3_500);
+/// assert_eq!(t.to_string(), "3.500us");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// Zero time.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Constructs from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Constructs from microseconds.
+    pub const fn micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Constructs from seconds.
+    pub const fn secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// The value in nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// The value in (fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The value in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// The value in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Constructs from a fractional nanosecond count, rounding to nearest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or not finite.
+    pub fn from_ns_f64(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "invalid nanosecond value");
+        Nanos(ns.round() as u64)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, Add::add)
+    }
+}
+
+/// A monotonically advancing simulated clock.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_types::{Nanos, SimClock};
+/// let mut clock = SimClock::new();
+/// clock.advance(Nanos::micros(3));
+/// assert_eq!(clock.now(), Nanos::micros(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: Nanos,
+}
+
+impl SimClock {
+    /// A clock starting at time zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Advances the clock by `delta`.
+    pub fn advance(&mut self, delta: Nanos) {
+        self.now += delta;
+    }
+
+    /// Advances the clock to `instant` if it is in the future; a clock never
+    /// moves backwards.
+    pub fn advance_to(&mut self, instant: Nanos) {
+        if instant > self.now {
+            self.now = instant;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Nanos::micros(1).as_ns(), 1_000);
+        assert_eq!(Nanos::millis(1).as_ns(), 1_000_000);
+        assert_eq!(Nanos::secs(1).as_ns(), 1_000_000_000);
+        assert_eq!(Nanos::from_ns_f64(2.6).as_ns(), 3);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos::from_ns(100);
+        let b = Nanos::from_ns(40);
+        assert_eq!((a + b).as_ns(), 140);
+        assert_eq!((a - b).as_ns(), 60);
+        assert_eq!((a * 3).as_ns(), 300);
+        assert_eq!((a / 2).as_ns(), 50);
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        let total: Nanos = vec![a, b, b].into_iter().sum();
+        assert_eq!(total.as_ns(), 180);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(Nanos::from_ns(5).to_string(), "5ns");
+        assert_eq!(Nanos::micros(2).to_string(), "2.000us");
+        assert_eq!(Nanos::millis(2).to_string(), "2.000ms");
+        assert_eq!(Nanos::secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn clock_monotonic() {
+        let mut c = SimClock::new();
+        c.advance(Nanos::from_ns(10));
+        c.advance_to(Nanos::from_ns(5)); // no-op: in the past
+        assert_eq!(c.now().as_ns(), 10);
+        c.advance_to(Nanos::from_ns(50));
+        assert_eq!(c.now().as_ns(), 50);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_ns_f64_rejects_negative() {
+        Nanos::from_ns_f64(-1.0);
+    }
+}

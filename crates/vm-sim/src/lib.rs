@@ -1,0 +1,47 @@
+//! A virtual-memory subsystem simulator.
+//!
+//! Page-based remote-memory systems (Infiniswap, LegoOS, the paper's
+//! Kona-VM baseline) lean on exactly three virtual-memory mechanisms, all
+//! modelled here:
+//!
+//! 1. **Page faults** to detect accesses to non-resident remote pages
+//!    ([`PageFaultKind::MajorFetch`]).
+//! 2. **Write-protection faults** to track dirty pages
+//!    ([`PageFaultKind::WriteProtect`]).
+//! 3. **TLB invalidations / shootdowns** when pages are write-protected or
+//!    evicted ([`Tlb`], [`Mmu::protect`], [`Mmu::unmap`]).
+//!
+//! The [`Mmu`] charges each mechanism's simulated cost from a [`VmCosts`]
+//! table whose defaults come from the paper's measurements, so baseline
+//! runtimes built on this crate reproduce the overheads of §2.1.
+//!
+//! # Examples
+//!
+//! ```
+//! use kona_vm_sim::{Mmu, VmCosts};
+//! use kona_types::{AccessKind, PageNumber, VirtAddr};
+//!
+//! let mut mmu = Mmu::new(VmCosts::default());
+//! mmu.map(PageNumber(1), false); // present, read-only
+//! // A read hits; a write takes a write-protect fault.
+//! assert!(mmu.translate(VirtAddr::new(4096), AccessKind::Read).is_ok());
+//! let fault = mmu.translate(VirtAddr::new(4096), AccessKind::Write).unwrap_err();
+//! assert_eq!(fault.kind, kona_vm_sim::PageFaultKind::WriteProtect);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod costs;
+mod mmu;
+mod page_table;
+mod pml;
+mod reclaim;
+mod tlb;
+
+pub use costs::VmCosts;
+pub use mmu::{Mmu, MmuStats, PageFault, PageFaultKind, Translation};
+pub use page_table::{PageTable, Pte};
+pub use pml::{PmlLog, PML_APPEND_COST, PML_BUFFER_ENTRIES, PML_EXIT_COST};
+pub use reclaim::LruPageList;
+pub use tlb::{Tlb, TlbConfig, TlbStats};

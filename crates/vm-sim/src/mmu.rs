@@ -1,0 +1,362 @@
+//! The MMU: translation, fault generation and cost accounting.
+
+use crate::costs::VmCosts;
+use crate::page_table::{PageTable, Pte};
+use crate::tlb::{Tlb, TlbConfig, TlbStats};
+use kona_types::{AccessKind, Nanos, PageNumber, VirtAddr};
+
+/// Why a translation faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageFaultKind {
+    /// The page is unmapped or not present — the runtime must fetch it
+    /// (a *major* fault in remote-memory systems).
+    MajorFetch,
+    /// The page is present but write-protected and the access is a write —
+    /// the dirty-tracking minor fault.
+    WriteProtect,
+}
+
+/// A page fault raised by [`Mmu::translate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageFault {
+    /// The faulting page.
+    pub page: PageNumber,
+    /// Why it faulted.
+    pub kind: PageFaultKind,
+    /// Simulated cost already charged for raising the fault (kernel entry,
+    /// pipeline flush). Handling costs are charged by the runtime.
+    pub raise_cost: Nanos,
+}
+
+/// A successful translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// The translated page.
+    pub page: PageNumber,
+    /// Whether the TLB already held the translation.
+    pub tlb_hit: bool,
+    /// Simulated cost of the translation (zero for a TLB hit).
+    pub cost: Nanos,
+}
+
+/// Aggregate MMU counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MmuStats {
+    /// Successful translations.
+    pub translations: u64,
+    /// Major (fetch) faults raised.
+    pub major_faults: u64,
+    /// Write-protect (dirty-tracking) faults raised.
+    pub minor_faults: u64,
+    /// Total simulated time charged by the MMU.
+    pub time_charged: Nanos,
+}
+
+/// The MMU couples a [`PageTable`] and a [`Tlb`] and models the access
+/// checks a page-based remote-memory system relies on.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_vm_sim::{Mmu, PageFaultKind, VmCosts};
+/// # use kona_types::{AccessKind, PageNumber, VirtAddr};
+/// let mut mmu = Mmu::new(VmCosts::default());
+/// let fault = mmu.translate(VirtAddr::new(0), AccessKind::Read).unwrap_err();
+/// assert_eq!(fault.kind, PageFaultKind::MajorFetch);
+/// mmu.map(PageNumber(0), true);
+/// assert!(mmu.translate(VirtAddr::new(0), AccessKind::Write).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mmu {
+    page_table: PageTable,
+    tlb: Tlb,
+    costs: VmCosts,
+    stats: MmuStats,
+}
+
+impl Mmu {
+    /// Creates an MMU with a default (Skylake-sized) TLB.
+    pub fn new(costs: VmCosts) -> Self {
+        Self::with_tlb(costs, TlbConfig::default())
+    }
+
+    /// Creates an MMU with an explicit TLB geometry.
+    pub fn with_tlb(costs: VmCosts, tlb: TlbConfig) -> Self {
+        Mmu {
+            page_table: PageTable::new(),
+            tlb: Tlb::new(tlb),
+            costs,
+            stats: MmuStats::default(),
+        }
+    }
+
+    /// The page table (for inspection).
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// MMU counters.
+    pub fn stats(&self) -> MmuStats {
+        self.stats
+    }
+
+    /// TLB counters.
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.tlb.stats()
+    }
+
+    /// The configured cost table.
+    pub fn costs(&self) -> VmCosts {
+        self.costs
+    }
+
+    /// Maps `page` present, with the given writability, leaving dirty and
+    /// accessed clear.
+    pub fn map(&mut self, page: PageNumber, writable: bool) {
+        let pte = if writable {
+            Pte::present_rw()
+        } else {
+            Pte::present_ro()
+        };
+        self.page_table.insert(page, pte);
+        // Any stale TLB entry must go (e.g. remapping after eviction).
+        self.tlb.invalidate(page);
+    }
+
+    /// Unmaps `page` (marks not present and invalidates the TLB entry),
+    /// returning the old entry and charging the invalidation cost.
+    pub fn unmap(&mut self, page: PageNumber) -> Option<Pte> {
+        let old = self.page_table.remove(page);
+        if old.is_some() {
+            self.tlb.invalidate(page);
+            self.charge(self.costs.tlb_invalidate);
+        }
+        old
+    }
+
+    /// Write-protects `page` and clears its dirty bit — the dirty-tracking
+    /// reset a VM-based runtime performs after each eviction round.
+    /// Charges a TLB invalidation (plus shootdown when `shootdown` is set,
+    /// modelling multi-core runs).
+    pub fn protect(&mut self, page: PageNumber, shootdown: bool) {
+        if let Some(pte) = self.page_table.get_mut(page) {
+            pte.writable = false;
+            pte.dirty = false;
+            self.tlb.invalidate(page);
+            self.charge(self.costs.tlb_invalidate);
+            if shootdown {
+                self.charge(self.costs.tlb_shootdown);
+            }
+        }
+    }
+
+    /// Translates an access.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PageFault`] when the page is not present
+    /// ([`PageFaultKind::MajorFetch`]) or written while write-protected
+    /// ([`PageFaultKind::WriteProtect`]). The fault's `raise_cost` has
+    /// already been charged to the MMU's clock.
+    pub fn translate(
+        &mut self,
+        addr: VirtAddr,
+        kind: AccessKind,
+    ) -> Result<Translation, PageFault> {
+        let page = addr.page_number();
+
+        // TLB lookup first.
+        let (cached, tlb_hit) = match self.tlb.lookup(page) {
+            Some(pte) => (Some(pte), true),
+            None => (None, false),
+        };
+        let mut walk_cost = Nanos::ZERO;
+        let pte = match cached {
+            Some(pte) => Some(pte),
+            None => {
+                walk_cost = self.costs.table_walk;
+                self.page_table.get(page)
+            }
+        };
+
+        let Some(pte) = pte else {
+            self.stats.major_faults += 1;
+            let raise_cost = walk_cost + self.costs.major_fault_entry;
+            self.charge(raise_cost);
+            return Err(PageFault {
+                page,
+                kind: PageFaultKind::MajorFetch,
+                raise_cost,
+            });
+        };
+
+        if !pte.present {
+            self.stats.major_faults += 1;
+            let raise_cost = walk_cost + self.costs.major_fault_entry;
+            self.charge(raise_cost);
+            return Err(PageFault {
+                page,
+                kind: PageFaultKind::MajorFetch,
+                raise_cost,
+            });
+        }
+
+        if kind.is_write() && !pte.writable {
+            self.stats.minor_faults += 1;
+            // A write-protect fault invalidates the (stale, read-only) TLB
+            // entry as part of handling.
+            self.tlb.invalidate(page);
+            let raise_cost = walk_cost + self.costs.minor_fault;
+            self.charge(raise_cost);
+            return Err(PageFault {
+                page,
+                kind: PageFaultKind::WriteProtect,
+                raise_cost,
+            });
+        }
+
+        // Success: update A/D bits in the page table and refresh the TLB.
+        if let Some(entry) = self.page_table.get_mut(page) {
+            entry.accessed = true;
+            if kind.is_write() {
+                entry.dirty = true;
+            }
+            let fresh = *entry;
+            if !tlb_hit {
+                self.tlb.insert(page, fresh);
+            }
+        }
+        self.stats.translations += 1;
+        self.charge(walk_cost);
+        Ok(Translation {
+            page,
+            tlb_hit,
+            cost: walk_cost,
+        })
+    }
+
+    /// Removes write protection from `page` (the handler's job after a
+    /// write-protect fault) and marks it dirty.
+    pub fn make_writable(&mut self, page: PageNumber) {
+        if let Some(pte) = self.page_table.get_mut(page) {
+            pte.writable = true;
+            pte.dirty = true;
+        }
+    }
+
+    /// Pages currently marked dirty in the page table.
+    pub fn dirty_pages(&self) -> Vec<PageNumber> {
+        self.page_table.dirty_pages()
+    }
+
+    fn charge(&mut self, cost: Nanos) {
+        self.stats.time_charged += cost;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mmu() -> Mmu {
+        Mmu::new(VmCosts::default())
+    }
+
+    #[test]
+    fn unmapped_access_major_faults() {
+        let mut m = mmu();
+        let f = m.translate(VirtAddr::new(0x5000), AccessKind::Read).unwrap_err();
+        assert_eq!(f.kind, PageFaultKind::MajorFetch);
+        assert_eq!(f.page, PageNumber(5));
+        assert_eq!(m.stats().major_faults, 1);
+        assert!(m.stats().time_charged > Nanos::ZERO);
+    }
+
+    #[test]
+    fn write_to_protected_page_minor_faults() {
+        let mut m = mmu();
+        m.map(PageNumber(1), false);
+        assert!(m.translate(VirtAddr::new(4096), AccessKind::Read).is_ok());
+        let f = m.translate(VirtAddr::new(4096), AccessKind::Write).unwrap_err();
+        assert_eq!(f.kind, PageFaultKind::WriteProtect);
+        assert_eq!(m.stats().minor_faults, 1);
+    }
+
+    #[test]
+    fn make_writable_resolves_wp_fault() {
+        let mut m = mmu();
+        m.map(PageNumber(1), false);
+        let _ = m.translate(VirtAddr::new(4096), AccessKind::Write);
+        m.make_writable(PageNumber(1));
+        assert!(m.translate(VirtAddr::new(4096), AccessKind::Write).is_ok());
+        assert_eq!(m.dirty_pages(), vec![PageNumber(1)]);
+    }
+
+    #[test]
+    fn tlb_hit_is_free_and_counted() {
+        let mut m = mmu();
+        m.map(PageNumber(2), true);
+        let first = m.translate(VirtAddr::new(0x2000), AccessKind::Read).unwrap();
+        assert!(!first.tlb_hit);
+        assert_eq!(first.cost, VmCosts::default().table_walk);
+        let second = m.translate(VirtAddr::new(0x2000), AccessKind::Read).unwrap();
+        assert!(second.tlb_hit);
+        assert_eq!(second.cost, Nanos::ZERO);
+    }
+
+    #[test]
+    fn protect_clears_dirty_and_invalidate_tlb() {
+        let mut m = mmu();
+        m.map(PageNumber(3), true);
+        m.translate(VirtAddr::new(0x3000), AccessKind::Write).unwrap();
+        assert_eq!(m.dirty_pages(), vec![PageNumber(3)]);
+        m.protect(PageNumber(3), true);
+        assert!(m.dirty_pages().is_empty());
+        // Next write faults again.
+        let f = m.translate(VirtAddr::new(0x3000), AccessKind::Write).unwrap_err();
+        assert_eq!(f.kind, PageFaultKind::WriteProtect);
+    }
+
+    #[test]
+    fn stale_tlb_entry_does_not_survive_protect() {
+        let mut m = mmu();
+        m.map(PageNumber(4), true);
+        // Load translation into TLB as writable.
+        m.translate(VirtAddr::new(0x4000), AccessKind::Write).unwrap();
+        m.protect(PageNumber(4), false);
+        // Even though the TLB held a writable entry, protect invalidated it.
+        let f = m.translate(VirtAddr::new(0x4000), AccessKind::Write).unwrap_err();
+        assert_eq!(f.kind, PageFaultKind::WriteProtect);
+    }
+
+    #[test]
+    fn unmap_makes_accesses_fault() {
+        let mut m = mmu();
+        m.map(PageNumber(1), true);
+        m.translate(VirtAddr::new(4096), AccessKind::Read).unwrap();
+        let old = m.unmap(PageNumber(1)).unwrap();
+        assert!(old.present);
+        let f = m.translate(VirtAddr::new(4096), AccessKind::Read).unwrap_err();
+        assert_eq!(f.kind, PageFaultKind::MajorFetch);
+        assert!(m.unmap(PageNumber(1)).is_none());
+    }
+
+    #[test]
+    fn accessed_and_dirty_bits_set() {
+        let mut m = mmu();
+        m.map(PageNumber(1), true);
+        m.translate(VirtAddr::new(4096), AccessKind::Read).unwrap();
+        let pte = m.page_table().get(PageNumber(1)).unwrap();
+        assert!(pte.accessed && !pte.dirty);
+        m.translate(VirtAddr::new(4096), AccessKind::Write).unwrap();
+        assert!(m.page_table().get(PageNumber(1)).unwrap().dirty);
+    }
+
+    #[test]
+    fn zero_cost_table_charges_nothing_on_success() {
+        let mut m = Mmu::new(VmCosts::free());
+        m.map(PageNumber(1), true);
+        m.translate(VirtAddr::new(4096), AccessKind::Write).unwrap();
+        assert_eq!(m.stats().time_charged, Nanos::ZERO);
+    }
+}

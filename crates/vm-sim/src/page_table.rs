@@ -1,0 +1,158 @@
+//! Page tables and page-table entries.
+
+use kona_types::PageNumber;
+use std::collections::HashMap;
+
+/// A page-table entry.
+///
+/// Kona and the VM baselines only need the architectural bits that matter
+/// to remote memory: present, writable, dirty and accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pte {
+    /// Page is mapped and resident (accesses do not fault).
+    pub present: bool,
+    /// Page may be written (clear = write-protected, writes fault).
+    pub writable: bool,
+    /// Set by the MMU on the first write after the dirty bit was cleared.
+    pub dirty: bool,
+    /// Set by the MMU on any access.
+    pub accessed: bool,
+}
+
+impl Pte {
+    /// A present, writable, clean entry.
+    pub fn present_rw() -> Self {
+        Pte {
+            present: true,
+            writable: true,
+            dirty: false,
+            accessed: false,
+        }
+    }
+
+    /// A present, write-protected, clean entry.
+    pub fn present_ro() -> Self {
+        Pte {
+            present: true,
+            writable: false,
+            dirty: false,
+            accessed: false,
+        }
+    }
+}
+
+/// A flat page table: virtual page number → [`Pte`].
+///
+/// Real hardware uses a radix tree; a hash map gives identical semantics
+/// for simulation purposes while staying fast and simple.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_vm_sim::{PageTable, Pte};
+/// # use kona_types::PageNumber;
+/// let mut pt = PageTable::new();
+/// pt.insert(PageNumber(7), Pte::present_ro());
+/// assert!(pt.get(PageNumber(7)).unwrap().present);
+/// assert!(pt.get(PageNumber(8)).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    entries: HashMap<u64, Pte>,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        PageTable::default()
+    }
+
+    /// Installs (or replaces) the entry for `page`.
+    pub fn insert(&mut self, page: PageNumber, pte: Pte) {
+        self.entries.insert(page.raw(), pte);
+    }
+
+    /// Looks up the entry for `page`.
+    pub fn get(&self, page: PageNumber) -> Option<Pte> {
+        self.entries.get(&page.raw()).copied()
+    }
+
+    /// Mutable access to the entry for `page`.
+    pub fn get_mut(&mut self, page: PageNumber) -> Option<&mut Pte> {
+        self.entries.get_mut(&page.raw())
+    }
+
+    /// Removes the entry for `page`, returning it if present.
+    pub fn remove(&mut self, page: PageNumber) -> Option<Pte> {
+        self.entries.remove(&page.raw())
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(page, pte)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageNumber, Pte)> + '_ {
+        self.entries.iter().map(|(&p, &e)| (PageNumber(p), e))
+    }
+
+    /// Pages whose dirty bit is set.
+    pub fn dirty_pages(&self) -> Vec<PageNumber> {
+        let mut v: Vec<PageNumber> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.dirty)
+            .map(|(&p, _)| PageNumber(p))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut pt = PageTable::new();
+        assert!(pt.is_empty());
+        pt.insert(PageNumber(1), Pte::present_rw());
+        assert_eq!(pt.len(), 1);
+        assert!(pt.get(PageNumber(1)).unwrap().writable);
+        assert!(pt.remove(PageNumber(1)).is_some());
+        assert!(pt.remove(PageNumber(1)).is_none());
+    }
+
+    #[test]
+    fn get_mut_flips_bits() {
+        let mut pt = PageTable::new();
+        pt.insert(PageNumber(2), Pte::present_ro());
+        pt.get_mut(PageNumber(2)).unwrap().dirty = true;
+        assert!(pt.get(PageNumber(2)).unwrap().dirty);
+    }
+
+    #[test]
+    fn dirty_pages_sorted() {
+        let mut pt = PageTable::new();
+        for p in [5u64, 1, 9] {
+            let mut e = Pte::present_rw();
+            e.dirty = p != 1;
+            pt.insert(PageNumber(p), e);
+        }
+        assert_eq!(pt.dirty_pages(), vec![PageNumber(5), PageNumber(9)]);
+    }
+
+    #[test]
+    fn pte_constructors() {
+        assert!(Pte::present_rw().writable);
+        assert!(!Pte::present_ro().writable);
+        assert!(!Pte::default().present);
+    }
+}

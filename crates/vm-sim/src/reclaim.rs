@@ -1,0 +1,210 @@
+//! LRU page reclaim list.
+//!
+//! Both Kona's FMem cache and the VM baselines need an eviction policy for
+//! the local DRAM cache. The paper keeps the policy identical between Kona
+//! and Kona-VM ("both use the same algorithm and make the same decisions
+//! about which pages to evict", §6.1), so this single LRU implementation is
+//! shared by both runtimes.
+
+use kona_types::PageNumber;
+use std::collections::HashMap;
+
+/// An LRU list over pages with O(1) touch via an intrusive doubly-linked
+/// list stored in a hash map.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_vm_sim::LruPageList;
+/// # use kona_types::PageNumber;
+/// let mut lru = LruPageList::new();
+/// lru.touch(PageNumber(1));
+/// lru.touch(PageNumber(2));
+/// lru.touch(PageNumber(1)); // 2 is now least recent
+/// assert_eq!(lru.pop_lru(), Some(PageNumber(2)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LruPageList {
+    /// page -> (prev, next); None = list end.
+    links: HashMap<u64, (Option<u64>, Option<u64>)>,
+    head: Option<u64>, // most recent
+    tail: Option<u64>, // least recent
+}
+
+impl LruPageList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        LruPageList::default()
+    }
+
+    /// Number of tracked pages.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Returns `true` if no pages are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Returns `true` if `page` is tracked.
+    pub fn contains(&self, page: PageNumber) -> bool {
+        self.links.contains_key(&page.raw())
+    }
+
+    /// Marks `page` most-recently-used, inserting it if new.
+    pub fn touch(&mut self, page: PageNumber) {
+        let p = page.raw();
+        if self.links.contains_key(&p) {
+            self.unlink(p);
+        }
+        // Push at head.
+        let old_head = self.head;
+        self.links.insert(p, (None, old_head));
+        if let Some(h) = old_head {
+            self.links.get_mut(&h).expect("head must be linked").0 = Some(p);
+        }
+        self.head = Some(p);
+        if self.tail.is_none() {
+            self.tail = Some(p);
+        }
+    }
+
+    /// Removes and returns the least-recently-used page.
+    pub fn pop_lru(&mut self) -> Option<PageNumber> {
+        let t = self.tail?;
+        self.unlink(t);
+        self.links.remove(&t);
+        Some(PageNumber(t))
+    }
+
+    /// Peeks at the least-recently-used page without removing it.
+    pub fn peek_lru(&self) -> Option<PageNumber> {
+        self.tail.map(PageNumber)
+    }
+
+    /// Removes `page` from the list; returns whether it was tracked.
+    pub fn remove(&mut self, page: PageNumber) -> bool {
+        let p = page.raw();
+        if self.links.contains_key(&p) {
+            self.unlink(p);
+            self.links.remove(&p);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns up to `n` least-recently-used pages.
+    pub fn pop_lru_batch(&mut self, n: usize) -> Vec<PageNumber> {
+        (0..n).map_while(|_| self.pop_lru()).collect()
+    }
+
+    fn unlink(&mut self, p: u64) {
+        let (prev, next) = *self.links.get(&p).expect("unlink of untracked page");
+        match prev {
+            Some(q) => self.links.get_mut(&q).expect("prev must be linked").1 = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(q) => self.links.get_mut(&q).expect("next must be linked").0 = prev,
+            None => self.tail = prev,
+        }
+        // Leave self.links[p] present but stale; callers re-link or remove.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lru_order_basic() {
+        let mut lru = LruPageList::new();
+        for p in 1..=3 {
+            lru.touch(PageNumber(p));
+        }
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.pop_lru(), Some(PageNumber(1)));
+        assert_eq!(lru.pop_lru(), Some(PageNumber(2)));
+        assert_eq!(lru.pop_lru(), Some(PageNumber(3)));
+        assert_eq!(lru.pop_lru(), None);
+    }
+
+    #[test]
+    fn touch_moves_to_front() {
+        let mut lru = LruPageList::new();
+        for p in 1..=3 {
+            lru.touch(PageNumber(p));
+        }
+        lru.touch(PageNumber(1));
+        assert_eq!(lru.pop_lru(), Some(PageNumber(2)));
+        assert_eq!(lru.peek_lru(), Some(PageNumber(3)));
+    }
+
+    #[test]
+    fn remove_middle() {
+        let mut lru = LruPageList::new();
+        for p in 1..=3 {
+            lru.touch(PageNumber(p));
+        }
+        assert!(lru.remove(PageNumber(2)));
+        assert!(!lru.remove(PageNumber(2)));
+        assert_eq!(lru.pop_lru(), Some(PageNumber(1)));
+        assert_eq!(lru.pop_lru(), Some(PageNumber(3)));
+    }
+
+    #[test]
+    fn singleton_list() {
+        let mut lru = LruPageList::new();
+        lru.touch(PageNumber(9));
+        assert!(lru.contains(PageNumber(9)));
+        assert_eq!(lru.peek_lru(), Some(PageNumber(9)));
+        assert_eq!(lru.pop_lru(), Some(PageNumber(9)));
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn batch_pop() {
+        let mut lru = LruPageList::new();
+        for p in 0..5 {
+            lru.touch(PageNumber(p));
+        }
+        let batch = lru.pop_lru_batch(3);
+        assert_eq!(batch, vec![PageNumber(0), PageNumber(1), PageNumber(2)]);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.pop_lru_batch(10).len(), 2);
+    }
+
+    proptest! {
+        /// The list behaves identically to a naive Vec-based LRU model.
+        #[test]
+        fn prop_matches_vec_model(ops in proptest::collection::vec((0u64..20, 0u8..3), 1..300)) {
+            let mut lru = LruPageList::new();
+            let mut model: Vec<u64> = Vec::new(); // front = MRU
+            for (page, op) in ops {
+                match op {
+                    0 => {
+                        lru.touch(PageNumber(page));
+                        model.retain(|&p| p != page);
+                        model.insert(0, page);
+                    }
+                    1 => {
+                        let got = lru.pop_lru().map(|p| p.raw());
+                        let want = model.pop();
+                        prop_assert_eq!(got, want);
+                    }
+                    _ => {
+                        let got = lru.remove(PageNumber(page));
+                        let want = model.contains(&page);
+                        model.retain(|&p| p != page);
+                        prop_assert_eq!(got, want);
+                    }
+                }
+                prop_assert_eq!(lru.len(), model.len());
+                prop_assert_eq!(lru.peek_lru().map(|p| p.raw()), model.last().copied());
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! A set-associative translation look-aside buffer.
+
+use crate::page_table::Pte;
+use kona_types::PageNumber;
+
+/// TLB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Entries per set.
+    pub ways: usize,
+}
+
+impl TlbConfig {
+    /// A Skylake-like L2 dTLB: 1536 entries, 12-way.
+    pub fn skylake() -> Self {
+        TlbConfig { sets: 128, ways: 12 }
+    }
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        TlbConfig::skylake()
+    }
+}
+
+/// TLB event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that found a cached translation.
+    pub hits: u64,
+    /// Lookups that missed (page-table walk required).
+    pub misses: u64,
+    /// Single-entry invalidations.
+    pub invalidations: u64,
+    /// Full flushes.
+    pub flushes: u64,
+}
+
+/// A set-associative TLB with LRU replacement, caching [`Pte`] copies.
+///
+/// Remote-memory baselines pay for TLB invalidations on every
+/// write-protection change and eviction; the counters here let runtimes
+/// charge those costs and report them.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_vm_sim::{Tlb, TlbConfig};
+/// # use kona_vm_sim::Pte;
+/// # use kona_types::PageNumber;
+/// let mut tlb = Tlb::new(TlbConfig::default());
+/// assert!(tlb.lookup(PageNumber(1)).is_none());
+/// tlb.insert(PageNumber(1), Pte::present_rw());
+/// assert!(tlb.lookup(PageNumber(1)).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    /// Per set: (page, pte) in MRU-first order.
+    sets: Vec<Vec<(u64, Pte)>>,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero sets or ways.
+    pub fn new(config: TlbConfig) -> Self {
+        assert!(config.sets > 0 && config.ways > 0, "TLB must be non-empty");
+        Tlb {
+            sets: vec![Vec::with_capacity(config.ways); config.sets],
+            config,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    fn set_of(&self, page: PageNumber) -> usize {
+        (page.raw() % self.config.sets as u64) as usize
+    }
+
+    /// Looks up a translation, updating LRU order and hit/miss counters.
+    pub fn lookup(&mut self, page: PageNumber) -> Option<Pte> {
+        let set_idx = self.set_of(page);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&(p, _)| p == page.raw()) {
+            let entry = set.remove(pos);
+            set.insert(0, entry);
+            self.stats.hits += 1;
+            Some(entry.1)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Installs a translation (evicting the set's LRU entry if full).
+    pub fn insert(&mut self, page: PageNumber, pte: Pte) {
+        let ways = self.config.ways;
+        let set_idx = self.set_of(page);
+        let set = &mut self.sets[set_idx];
+        set.retain(|&(p, _)| p != page.raw());
+        set.insert(0, (page.raw(), pte));
+        set.truncate(ways);
+    }
+
+    /// Invalidates the entry for `page` if cached; returns whether it was.
+    pub fn invalidate(&mut self, page: PageNumber) -> bool {
+        self.stats.invalidations += 1;
+        let set_idx = self.set_of(page);
+        let set = &mut self.sets[set_idx];
+        let before = set.len();
+        set.retain(|&(p, _)| p != page.raw());
+        set.len() != before
+    }
+
+    /// Flushes the entire TLB.
+    pub fn flush(&mut self) {
+        self.stats.flushes += 1;
+        self.sets.iter_mut().for_each(Vec::clear);
+    }
+
+    /// Number of cached translations.
+    pub fn entries(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig { sets: 1, ways: 2 })
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut tlb = tiny();
+        tlb.insert(PageNumber(1), Pte::present_rw());
+        assert!(tlb.lookup(PageNumber(1)).is_some());
+        assert_eq!(tlb.stats().hits, 1);
+    }
+
+    #[test]
+    fn miss_counted() {
+        let mut tlb = tiny();
+        assert!(tlb.lookup(PageNumber(9)).is_none());
+        assert_eq!(tlb.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut tlb = tiny();
+        tlb.insert(PageNumber(1), Pte::present_rw());
+        tlb.insert(PageNumber(2), Pte::present_rw());
+        tlb.lookup(PageNumber(1)); // 2 becomes LRU
+        tlb.insert(PageNumber(3), Pte::present_rw());
+        assert!(tlb.lookup(PageNumber(2)).is_none());
+        assert!(tlb.lookup(PageNumber(1)).is_some());
+        assert!(tlb.lookup(PageNumber(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_not_duplicates() {
+        let mut tlb = tiny();
+        tlb.insert(PageNumber(1), Pte::present_ro());
+        tlb.insert(PageNumber(1), Pte::present_rw());
+        assert_eq!(tlb.entries(), 1);
+        assert!(tlb.lookup(PageNumber(1)).unwrap().writable);
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut tlb = tiny();
+        tlb.insert(PageNumber(1), Pte::present_rw());
+        assert!(tlb.invalidate(PageNumber(1)));
+        assert!(!tlb.invalidate(PageNumber(1)));
+        tlb.insert(PageNumber(2), Pte::present_rw());
+        tlb.flush();
+        assert_eq!(tlb.entries(), 0);
+        assert_eq!(tlb.stats().invalidations, 2);
+        assert_eq!(tlb.stats().flushes, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_geometry_rejected() {
+        Tlb::new(TlbConfig { sets: 0, ways: 1 });
+    }
+
+    #[test]
+    fn skylake_capacity() {
+        let c = TlbConfig::skylake();
+        assert_eq!(c.sets * c.ways, 1536);
+    }
+}

@@ -1,0 +1,140 @@
+//! Shared workload profile parameters.
+
+use kona_types::Nanos;
+
+/// Pacing and sizing parameters shared by all workload generators.
+///
+/// A trace consists of `windows` measurement windows of `window_width`
+/// simulated time each (the paper uses 10 s windows for the Table 2 study
+/// and 1 s windows for KTracker), with `ops_per_window` application
+/// operations spread uniformly through each window.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_workloads::WorkloadProfile;
+/// let p = WorkloadProfile::default().with_windows(4).with_ops_per_window(1000);
+/// assert_eq!(p.windows, 4);
+/// assert_eq!(p.total_ops(), 4000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadProfile {
+    /// Number of measurement windows to generate.
+    pub windows: usize,
+    /// Simulated width of each window.
+    pub window_width: Nanos,
+    /// Application operations per window.
+    pub ops_per_window: usize,
+    /// Footprint divisor relative to the paper's full-size run (16 means
+    /// the trace touches 1/16 of the paper's memory).
+    pub scale_divisor: u64,
+}
+
+impl WorkloadProfile {
+    /// The default profile: 12 windows of 10 s, 6000 ops per window,
+    /// footprints scaled to 1/16 of the paper's.
+    pub fn new() -> Self {
+        WorkloadProfile {
+            windows: 12,
+            window_width: Nanos::secs(10),
+            ops_per_window: 6_000,
+            scale_divisor: 16,
+        }
+    }
+
+    /// Returns the profile with a different window count.
+    #[must_use]
+    pub fn with_windows(mut self, windows: usize) -> Self {
+        self.windows = windows;
+        self
+    }
+
+    /// Returns the profile with a different window width.
+    #[must_use]
+    pub fn with_window_width(mut self, width: Nanos) -> Self {
+        self.window_width = width;
+        self
+    }
+
+    /// Returns the profile with a different per-window operation count.
+    #[must_use]
+    pub fn with_ops_per_window(mut self, ops: usize) -> Self {
+        self.ops_per_window = ops;
+        self
+    }
+
+    /// Returns the profile with a different footprint scale divisor.
+    #[must_use]
+    pub fn with_scale_divisor(mut self, divisor: u64) -> Self {
+        self.scale_divisor = divisor.max(1);
+        self
+    }
+
+    /// Total operations across all windows.
+    pub fn total_ops(&self) -> usize {
+        self.windows * self.ops_per_window
+    }
+
+    /// Scales a paper-reported footprint (in bytes) by the divisor,
+    /// rounding up to at least one 4 KiB page.
+    pub fn scaled(&self, paper_bytes: u64) -> u64 {
+        (paper_bytes / self.scale_divisor).max(4096)
+    }
+
+    /// The simulated timestamp of operation `op` within window `window`.
+    pub fn op_time(&self, window: usize, op: usize) -> Nanos {
+        let w = self.window_width.as_ns();
+        Nanos::from_ns(window as u64 * w + (op as u64 * w) / self.ops_per_window.max(1) as u64)
+    }
+}
+
+impl Default for WorkloadProfile {
+    fn default() -> Self {
+        WorkloadProfile::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let p = WorkloadProfile::default();
+        assert_eq!(p.windows, 12);
+        assert_eq!(p.window_width, Nanos::secs(10));
+        assert_eq!(p.total_ops(), 72_000);
+    }
+
+    #[test]
+    fn builders() {
+        let p = WorkloadProfile::default()
+            .with_windows(3)
+            .with_window_width(Nanos::secs(1))
+            .with_ops_per_window(10)
+            .with_scale_divisor(0);
+        assert_eq!(p.windows, 3);
+        assert_eq!(p.scale_divisor, 1); // clamped
+        assert_eq!(p.total_ops(), 30);
+    }
+
+    #[test]
+    fn scaled_footprint_has_floor() {
+        let p = WorkloadProfile::default().with_scale_divisor(1 << 40);
+        assert_eq!(p.scaled(4096), 4096);
+        let p = WorkloadProfile::default().with_scale_divisor(16);
+        assert_eq!(p.scaled(16 << 30), 1 << 30);
+    }
+
+    #[test]
+    fn op_times_monotone_within_and_across_windows() {
+        let p = WorkloadProfile::default()
+            .with_windows(2)
+            .with_ops_per_window(100)
+            .with_window_width(Nanos::secs(10));
+        assert_eq!(p.op_time(0, 0), Nanos::ZERO);
+        assert!(p.op_time(0, 99) < Nanos::secs(10));
+        assert_eq!(p.op_time(1, 0), Nanos::secs(10));
+        assert!(p.op_time(0, 50) < p.op_time(0, 51));
+    }
+}

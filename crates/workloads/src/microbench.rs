@@ -1,0 +1,220 @@
+//! Microbenchmark access patterns used by the paper's §6.1 and §6.4
+//! experiments.
+//!
+//! * Fig 7's benchmark "reads and writes 1 cache-line in every page" of a
+//!   4 GB-per-thread region.
+//! * Fig 11's benchmark "continuously writes N cache-lines out of each 4 KB
+//!   page in a 1 GB region", with N contiguous or alternate lines.
+//!
+//! [`PerPageWriter`] generates both shapes.
+
+use crate::Workload;
+use kona_trace::{Trace, TraceEvent};
+use kona_types::{ByteSize, MemAccess, Nanos, VirtAddr, CACHE_LINE_SIZE, PAGE_SIZE_4K};
+
+/// How dirty lines are placed within each page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinePattern {
+    /// Lines 0..n of each page (the paper's "contiguous" case).
+    Contiguous,
+    /// Every other line starting at 0 (the paper's "alternate" case,
+    /// representing random placement).
+    Alternate,
+}
+
+/// Writes (optionally after reading) `lines_per_page` cache lines in every
+/// 4 KiB page of a region — the canonical remote-memory stress pattern.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_workloads::{LinePattern, PerPageWriter, Workload};
+/// let wl = PerPageWriter::new(4, 2, LinePattern::Contiguous).with_read_before_write(true);
+/// let t = wl.generate(0);
+/// // 4 pages × 2 lines × (1 read + 1 write).
+/// assert_eq!(t.len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerPageWriter {
+    pages: u64,
+    lines_per_page: usize,
+    pattern: LinePattern,
+    read_before_write: bool,
+    base: VirtAddr,
+}
+
+impl PerPageWriter {
+    /// Creates a writer over `pages` pages touching `lines_per_page` lines
+    /// in each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines_per_page` is 0 or exceeds 64, or (for
+    /// [`LinePattern::Alternate`]) exceeds 32.
+    pub fn new(pages: u64, lines_per_page: usize, pattern: LinePattern) -> Self {
+        assert!(
+            (1..=64).contains(&lines_per_page),
+            "lines_per_page must be 1..=64"
+        );
+        if pattern == LinePattern::Alternate {
+            assert!(
+                lines_per_page <= 32,
+                "alternate placement fits at most 32 lines per page"
+            );
+        }
+        PerPageWriter {
+            pages,
+            lines_per_page,
+            pattern,
+            read_before_write: false,
+            base: VirtAddr::new(0),
+        }
+    }
+
+    /// Also issue a read of each line before writing it (the Fig 7
+    /// benchmark reads and writes each line).
+    #[must_use]
+    pub fn with_read_before_write(mut self, yes: bool) -> Self {
+        self.read_before_write = yes;
+        self
+    }
+
+    /// Places the region at `base` instead of address 0 (used to give each
+    /// benchmark thread a distinct region).
+    #[must_use]
+    pub fn with_base(mut self, base: VirtAddr) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Line indices touched within each page.
+    pub fn line_indices(&self) -> Vec<usize> {
+        match self.pattern {
+            LinePattern::Contiguous => (0..self.lines_per_page).collect(),
+            LinePattern::Alternate => (0..self.lines_per_page).map(|i| i * 2).collect(),
+        }
+    }
+
+    /// Number of pages covered.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+}
+
+impl Workload for PerPageWriter {
+    fn name(&self) -> &str {
+        match self.pattern {
+            LinePattern::Contiguous => "per-page-writer-contiguous",
+            LinePattern::Alternate => "per-page-writer-alternate",
+        }
+    }
+
+    fn footprint(&self) -> ByteSize {
+        ByteSize(self.pages * PAGE_SIZE_4K)
+    }
+
+    fn generate(&self, _seed: u64) -> Trace {
+        let mut trace = Trace::with_capacity(
+            self.pages as usize * self.lines_per_page * if self.read_before_write { 2 } else { 1 },
+        );
+        let indices = self.line_indices();
+        let mut t = 0u64;
+        for page in 0..self.pages {
+            let page_base = self.base + page * PAGE_SIZE_4K;
+            for &line in &indices {
+                let addr = page_base + line as u64 * CACHE_LINE_SIZE;
+                if self.read_before_write {
+                    trace.push(TraceEvent::new(
+                        Nanos::from_ns(t),
+                        MemAccess::read(addr, CACHE_LINE_SIZE as u32),
+                    ));
+                    t += 1;
+                }
+                trace.push(TraceEvent::new(
+                    Nanos::from_ns(t),
+                    MemAccess::write(addr, CACHE_LINE_SIZE as u32),
+                ));
+                t += 1;
+            }
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kona_trace::amplification::AmplificationAnalysis;
+    use kona_trace::contiguity::ContiguityAnalysis;
+
+    #[test]
+    fn contiguous_indices() {
+        let w = PerPageWriter::new(1, 4, LinePattern::Contiguous);
+        assert_eq!(w.line_indices(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn alternate_indices() {
+        let w = PerPageWriter::new(1, 4, LinePattern::Alternate);
+        assert_eq!(w.line_indices(), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn alternate_rejects_more_than_32() {
+        PerPageWriter::new(1, 33, LinePattern::Alternate);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_lines() {
+        PerPageWriter::new(1, 0, LinePattern::Contiguous);
+    }
+
+    #[test]
+    fn amplification_is_64_over_n() {
+        for n in [1usize, 4, 16, 64] {
+            let w = PerPageWriter::new(8, n, LinePattern::Contiguous);
+            let amp = AmplificationAnalysis::over_events(w.generate(0).iter().copied());
+            let expected = 64.0 / n as f64;
+            assert!((amp.amplification_4k() - expected).abs() < 1e-9);
+            assert_eq!(amp.amplification_line(), 1.0);
+        }
+    }
+
+    #[test]
+    fn contiguous_forms_one_segment_per_page() {
+        let w = PerPageWriter::new(4, 8, LinePattern::Contiguous);
+        let ca = ContiguityAnalysis::over_events(w.generate(0).iter().copied());
+        let cdf = ca.write_segment_cdf();
+        assert_eq!(cdf.total(), 4);
+        assert_eq!(cdf.quantile(1.0), Some(8));
+    }
+
+    #[test]
+    fn alternate_forms_n_singleton_segments() {
+        let w = PerPageWriter::new(4, 8, LinePattern::Alternate);
+        let ca = ContiguityAnalysis::over_events(w.generate(0).iter().copied());
+        let cdf = ca.write_segment_cdf();
+        assert_eq!(cdf.total(), 32);
+        assert_eq!(cdf.quantile(1.0), Some(1));
+    }
+
+    #[test]
+    fn read_before_write_doubles_events() {
+        let a = PerPageWriter::new(2, 2, LinePattern::Contiguous).generate(0);
+        let b = PerPageWriter::new(2, 2, LinePattern::Contiguous)
+            .with_read_before_write(true)
+            .generate(0);
+        assert_eq!(b.len(), a.len() * 2);
+        assert_eq!(b.read_count(), a.len());
+    }
+
+    #[test]
+    fn base_offset_applied() {
+        let w = PerPageWriter::new(1, 1, LinePattern::Contiguous)
+            .with_base(VirtAddr::new(1 << 30));
+        let t = w.generate(0);
+        assert_eq!(t.as_slice()[0].access.addr, VirtAddr::new(1 << 30));
+    }
+}

@@ -1,0 +1,146 @@
+//! A Zipfian sampler.
+//!
+//! Key-value and OLTP workloads are famously skewed; we use a Zipf
+//! distribution for key popularity (Redis) and warehouse selection (TPC-C).
+//! `rand` does not ship one, so this is a small implementation of the
+//! standard rejection-inversion method (Hörmann & Derflinger 1996), the
+//! same algorithm `rand_distr::Zipf` uses.
+
+use rand::Rng;
+
+/// Zipf distribution over `1..=n` with exponent `s > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use kona_workloads::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(1000, 0.99);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let v = zipf.sample(&mut rng);
+/// assert!((1..=1000).contains(&v));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    // Precomputed constants for rejection-inversion sampling.
+    h_x1: f64,
+    h_n: f64,
+    one_minus_s_inv: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `s <= 0`, or `s == 1` exactly (use `0.999…`; the
+    /// harmonic special case is not needed by any workload here).
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "zipf n must be positive");
+        assert!(s > 0.0 && (s - 1.0).abs() > 1e-9, "zipf exponent must be > 0 and != 1");
+        let one_minus_s = 1.0 - s;
+        let h = |x: f64| (x.powf(one_minus_s)) / one_minus_s;
+        Zipf {
+            n,
+            s,
+            h_x1: h(1.5) - 1.0,
+            h_n: h(n as f64 + 0.5),
+            one_minus_s_inv: 1.0 / one_minus_s,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one rank in `1..=n`; rank 1 is the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let one_minus_s = 1.0 - self.s;
+        let h_inv = |x: f64| (one_minus_s * x).powf(self.one_minus_s_inv);
+        loop {
+            let u = self.h_x1 + rng.gen::<f64>() * (self.h_n - self.h_x1);
+            let x = h_inv(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            // Acceptance test.
+            let h_k = (k + 0.5).powf(one_minus_s) / one_minus_s;
+            if u >= h_k - k.powf(-self.s) {
+                return k as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let zipf = Zipf::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = zipf.sample(&mut rng);
+            assert!((1..=100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn skew_favors_low_ranks() {
+        let zipf = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut top10 = 0;
+        let total = 20_000;
+        for _ in 0..total {
+            if zipf.sample(&mut rng) <= 10 {
+                top10 += 1;
+            }
+        }
+        // With s≈1 over 1000 ranks, the top-10 ranks carry roughly 40% of
+        // the mass; assert a loose lower bound.
+        assert!(
+            top10 as f64 / total as f64 > 0.25,
+            "top-10 fraction {} too small",
+            top10 as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn near_uniform_when_s_small() {
+        let zipf = Zipf::new(10, 0.01);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        for _ in 0..50_000 {
+            counts[(zipf.sample(&mut rng) - 1) as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.5, "distribution too skewed for s=0.01");
+    }
+
+    #[test]
+    fn n_one_always_returns_one() {
+        let zipf = Zipf::new(1, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_n() {
+        Zipf::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_s_equal_one() {
+        Zipf::new(10, 1.0);
+    }
+}

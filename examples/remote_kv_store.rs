@@ -1,0 +1,142 @@
+//! A Redis-like key-value store running on disaggregated memory.
+//!
+//! ```bash
+//! cargo run --release --example remote_kv_store
+//! ```
+//!
+//! Builds a small open-addressing hash table whose buckets and values live
+//! entirely in remote memory, then runs the same randomly-keyed workload on
+//! the Kona runtime and the page-fault (Kona-VM) baseline. Because the
+//! store writes small values at random locations — the paper's worst case
+//! (Redis-Rand, 31x dirty amplification at 4 KiB) — the runtimes diverge
+//! exactly as §6 predicts: same results, very different time and wire
+//! traffic.
+
+use kona::{ClusterConfig, KonaRuntime, RemoteMemoryRuntime, VmProfile, VmRuntime};
+use kona_types::{Nanos, VirtAddr};
+
+/// Fixed-size slots: 8-byte key hash, 2-byte value length, value bytes.
+const SLOT_BYTES: u64 = 256;
+const MAX_VALUE: usize = 160;
+
+/// An open-addressing (linear-probing) hash table over a remote region.
+struct RemoteKvStore<'rt> {
+    runtime: &'rt mut dyn RemoteMemoryRuntime,
+    base: VirtAddr,
+    slots: u64,
+}
+
+impl<'rt> RemoteKvStore<'rt> {
+    fn create(
+        runtime: &'rt mut dyn RemoteMemoryRuntime,
+        slots: u64,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        let base = runtime.allocate(slots * SLOT_BYTES)?;
+        Ok(RemoteKvStore {
+            runtime,
+            base,
+            slots,
+        })
+    }
+
+    fn hash(key: &str) -> u64 {
+        // FNV-1a.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in key.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h | 1 // never zero: zero marks an empty slot
+    }
+
+    fn slot_addr(&self, index: u64) -> VirtAddr {
+        self.base + (index % self.slots) * SLOT_BYTES
+    }
+
+    fn put(&mut self, key: &str, value: &[u8]) -> Result<(), Box<dyn std::error::Error>> {
+        assert!(value.len() <= MAX_VALUE, "value too large");
+        let h = Self::hash(key);
+        for probe in 0..self.slots {
+            let addr = self.slot_addr(h.wrapping_add(probe));
+            let mut header = [0u8; 10];
+            self.runtime.read_bytes(addr, &mut header)?;
+            let stored = u64::from_le_bytes(header[..8].try_into()?);
+            if stored == 0 || stored == h {
+                let mut record = Vec::with_capacity(10 + value.len());
+                record.extend_from_slice(&h.to_le_bytes());
+                record.extend_from_slice(&(value.len() as u16).to_le_bytes());
+                record.extend_from_slice(value);
+                self.runtime.write_bytes(addr, &record)?;
+                return Ok(());
+            }
+        }
+        Err("table full".into())
+    }
+
+    fn get(&mut self, key: &str) -> Result<Option<Vec<u8>>, Box<dyn std::error::Error>> {
+        let h = Self::hash(key);
+        for probe in 0..self.slots {
+            let addr = self.slot_addr(h.wrapping_add(probe));
+            let mut header = [0u8; 10];
+            self.runtime.read_bytes(addr, &mut header)?;
+            let stored = u64::from_le_bytes(header[..8].try_into()?);
+            if stored == 0 {
+                return Ok(None);
+            }
+            if stored == h {
+                let len = usize::from(u16::from_le_bytes(header[8..10].try_into()?));
+                let mut value = vec![0u8; len];
+                self.runtime.read_bytes(addr + 10, &mut value)?;
+                return Ok(Some(value));
+            }
+        }
+        Ok(None)
+    }
+}
+
+fn drive(runtime: &mut dyn RemoteMemoryRuntime) -> Result<Nanos, Box<dyn std::error::Error>> {
+    let name = runtime.name().to_string();
+    let mut store = RemoteKvStore::create(runtime, 8192)?;
+    // Insert and verify 2000 keys with value sizes like the paper's
+    // Redis-Rand (48-144 B).
+    for i in 0..2000u32 {
+        let key = format!("user:{i}");
+        let value = vec![(i % 251) as u8; 48 + (i as usize % 96)];
+        store.put(&key, &value)?;
+    }
+    for i in (0..2000u32).step_by(17) {
+        let key = format!("user:{i}");
+        let got = store.get(&key)?.expect("key must exist");
+        assert_eq!(got[0], (i % 251) as u8);
+    }
+    assert!(store.get("missing")?.is_none());
+    let time = runtime.sync()? + runtime.stats().app_time;
+    let stats = runtime.stats();
+    println!(
+        "{name:<10} app time {:>12}  faults {:>5}  writeback {:>9} B  amplification {:>6.2}",
+        format!("{time}"),
+        stats.major_faults + stats.minor_faults,
+        stats.writeback_bytes,
+        stats.write_amplification(),
+    );
+    Ok(time)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 8192 slots x 256 B = 2 MiB of table; cache only 1 MiB of it locally
+    // so the runtimes constantly fetch and evict.
+    let cfg = ClusterConfig::small().with_local_cache_pages(256);
+
+    println!("running the same KV workload on both runtimes:\n");
+    let mut kona = KonaRuntime::new(cfg.clone())?;
+    let t_kona = drive(&mut kona)?;
+
+    let mut vm = VmRuntime::new(cfg, VmProfile::kona_vm())?;
+    let t_vm = drive(&mut vm)?;
+
+    println!(
+        "\nKona speedup: {:.1}x (paper §6.1 reports 4-6.6x on its microbenchmark)",
+        t_vm.as_ns() as f64 / t_kona.as_ns() as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! Replication and failure handling (§4.5).
+//!
+//! ```bash
+//! cargo run --release --example replicated_eviction
+//! ```
+//!
+//! Runs the same workload twice: once without replication (a memory-node
+//! failure loses the data and surfaces as a machine-check event) and once
+//! with 2-way replicated eviction (reads transparently fail over to the
+//! replica). Also demonstrates the page-fault fallback policy for slow
+//! networks.
+
+use kona::{ClusterConfig, FailurePolicy, KonaRuntime, RemoteMemoryRuntime};
+use kona_types::{KonaError, MemAccess, Nanos, VirtAddr};
+
+/// Write recognizable data, force it out of the local cache, and return
+/// the node that holds the primary copy of `addr`.
+fn write_and_displace(
+    rt: &mut KonaRuntime,
+    addr: VirtAddr,
+    region_pages: u64,
+) -> Result<u32, Box<dyn std::error::Error>> {
+    rt.write_bytes(addr, &[0xC0; 64])?;
+    rt.sync()?;
+    // Touch enough other pages to push `addr`'s page out of FMem.
+    for p in 1..region_pages {
+        rt.access(MemAccess::read(addr + p * 4096, 8))?;
+    }
+    rt.sync()?;
+    let node = rt
+        .fpga()
+        .translate_page(addr.page_number())
+        .expect("translated")
+        .node();
+    Ok(node)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base_cfg = {
+        let mut cfg = ClusterConfig::small().with_local_cache_pages(8);
+        cfg.cpu_cache_lines = 64;
+        cfg.memory_nodes = 3;
+        cfg
+    };
+
+    // --- Without replication: the failure is fatal for that data. ---
+    println!("=== replicas = 1 (no replication) ===");
+    let mut rt = KonaRuntime::new(base_cfg.clone())?;
+    let addr = rt.allocate(64 * 4096)?;
+    let primary = write_and_displace(&mut rt, addr, 64)?;
+    rt.fabric_mut().fail_node(primary);
+    match rt.read_bytes(addr, &mut [0u8; 64]) {
+        Err(KonaError::CoherenceTimeout { .. }) => {
+            println!(
+                "primary node {primary} failed -> machine check exception ({} recorded)",
+                rt.mce_events().len()
+            );
+        }
+        other => panic!("expected a coherence timeout, got {other:?}"),
+    }
+
+    // --- The page-fault fallback policy instead keeps software in control.
+    println!("\n=== page-fault fallback for slow networks ===");
+    let mut rt = KonaRuntime::new(base_cfg.clone())?;
+    rt.set_failure_policy(FailurePolicy::PageFaultFallback);
+    let addr = rt.allocate(64 * 4096)?;
+    let primary = write_and_displace(&mut rt, addr, 64)?;
+    rt.fabric_mut().fail_node(primary);
+    assert!(rt.read_bytes(addr, &mut [0u8; 64]).is_err());
+    println!("outage hit: access failed softly (no MCE: {})", rt.mce_events().is_empty());
+    rt.fabric_mut().recover_node(primary);
+    rt.fabric_mut().inject_delay(Nanos::micros(50)); // congested, but alive
+    let mut buf = [0u8; 64];
+    rt.read_bytes(addr, &mut buf)?;
+    assert_eq!(buf, [0xC0; 64]);
+    println!("after recovery the retried access succeeds, data intact");
+
+    // --- With 2-way replication: reads fail over transparently. ---
+    println!("\n=== replicas = 2 (replicated eviction) ===");
+    let mut rt = KonaRuntime::new(base_cfg.with_replicas(2))?;
+    let addr = rt.allocate(64 * 4096)?;
+    let primary = write_and_displace(&mut rt, addr, 64)?;
+    rt.fabric_mut().fail_node(primary);
+    let mut buf = [0u8; 64];
+    rt.read_bytes(addr, &mut buf)?;
+    assert_eq!(buf, [0xC0; 64]);
+    println!("primary node {primary} failed, read served from the replica");
+    println!(
+        "failover fetches recorded: {}",
+        rt.stats().mce_events
+    );
+    println!(
+        "\nNote (§4.5): replication costs eviction bandwidth, not application\n\
+         time — eviction is off the critical path, and Kona's cache-line\n\
+         granularity shrinks each replica's write stream."
+    );
+    Ok(())
+}

@@ -1,0 +1,185 @@
+//! End-to-end differential fuzzing: both runtimes against a reference
+//! model, plus the "life of a memory access" invariants of the paper's
+//! Fig 1.
+
+use kona::{ClusterConfig, KonaRuntime, RemoteMemoryRuntime, VmProfile, VmRuntime};
+use kona_types::{ByteSize, MemAccess, VirtAddr};
+use std::collections::HashMap;
+
+/// Simple deterministic PRNG (no external deps needed here).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+/// Random writes + reads against a byte-accurate mirror; every read must
+/// observe the latest write regardless of caching and eviction.
+fn differential_run(rt: &mut dyn RemoteMemoryRuntime, seed: u64, ops: usize) {
+    let pages = 96u64;
+    let base = rt.allocate(pages * 4096).unwrap();
+    let mut rng = Lcg(seed);
+    let mut mirror: HashMap<u64, Vec<u8>> = HashMap::new();
+
+    for op in 0..ops {
+        let slot = rng.next() % (pages * 16); // 256 B slots
+        let addr = base + slot * 256;
+        match rng.next() % 3 {
+            0 | 1 => {
+                let len = (rng.next() % 200 + 1) as usize;
+                let byte = (rng.next() % 255 + 1) as u8;
+                rt.write_bytes(addr, &vec![byte; len]).unwrap();
+                mirror.insert(slot, vec![byte; len]);
+            }
+            _ => {
+                if let Some(expected) = mirror.get(&slot) {
+                    let mut buf = vec![0u8; expected.len()];
+                    rt.read_bytes(addr, &mut buf).unwrap();
+                    assert_eq!(&buf, expected, "op {op}: slot {slot} diverged");
+                }
+            }
+        }
+    }
+    // Durability: after sync, the mirror must be readable even through a
+    // cold cache (reads go to the remote copy eventually).
+    rt.sync().unwrap();
+    for (slot, expected) in &mirror {
+        let mut buf = vec![0u8; expected.len()];
+        rt.read_bytes(base + slot * 256, &mut buf).unwrap();
+        assert_eq!(&buf, expected, "slot {slot} lost after sync");
+    }
+}
+
+fn pressured() -> ClusterConfig {
+    let mut cfg = ClusterConfig::small().with_local_cache_pages(12);
+    cfg.cpu_cache_lines = 128;
+    cfg.node_capacity = ByteSize::mib(8);
+    cfg
+}
+
+#[test]
+fn kona_differential_fuzz() {
+    for seed in [1u64, 99, 2026] {
+        let mut rt = KonaRuntime::new(pressured()).unwrap();
+        differential_run(&mut rt, seed, 1_500);
+    }
+}
+
+#[test]
+fn vm_differential_fuzz() {
+    for seed in [1u64, 99, 2026] {
+        let mut rt = VmRuntime::new(pressured(), VmProfile::kona_vm()).unwrap();
+        differential_run(&mut rt, seed, 1_500);
+    }
+}
+
+#[test]
+fn kona_replicated_differential_fuzz() {
+    let mut cfg = pressured().with_replicas(2);
+    cfg.memory_nodes = 2;
+    let mut rt = KonaRuntime::new(cfg).unwrap();
+    differential_run(&mut rt, 7, 1_200);
+}
+
+/// Fig 1's life-of-an-access invariants, VM side: TLB hit → no walk; page
+/// present → no fault; write to protected page → exactly one minor fault;
+/// eviction → TLB invalidation.
+#[test]
+fn fig1_lifecycle_vm() {
+    let mut cfg = ClusterConfig::small().with_local_cache_pages(4);
+    cfg.cpu_cache_lines = 64;
+    let mut rt = VmRuntime::new(cfg, VmProfile::kona_vm()).unwrap();
+    let base = rt.allocate(32 * 4096).unwrap();
+
+    // Step 5-6: first touch faults and installs translation.
+    rt.access(MemAccess::read(base, 8)).unwrap();
+    assert_eq!(rt.stats().major_faults, 1);
+
+    // Step 1: second touch is TLB/cache hit, no new faults.
+    rt.access(MemAccess::read(base, 8)).unwrap();
+    assert_eq!(rt.stats().major_faults, 1);
+
+    // Step 9-10: dirty the page, force eviction, re-fetch sees the data.
+    rt.write_bytes(base, &[9; 8]).unwrap();
+    assert_eq!(rt.stats().minor_faults, 1);
+    for p in 1..32u64 {
+        rt.access(MemAccess::read(base + p * 4096, 8)).unwrap();
+    }
+    assert!(rt.stats().tlb_invalidations > 0);
+    let mut buf = [0u8; 8];
+    rt.read_bytes(base, &mut buf).unwrap();
+    assert_eq!(buf, [9; 8]);
+}
+
+/// Fig 1's lifecycle, Kona side: no step 5/6/9 (no faults, no TLB work);
+/// the FPGA serves fills and observes writebacks instead.
+#[test]
+fn fig1_lifecycle_kona() {
+    let mut cfg = ClusterConfig::small().with_local_cache_pages(4);
+    cfg.cpu_cache_lines = 64;
+    let mut rt = KonaRuntime::new(cfg).unwrap();
+    let base = rt.allocate(32 * 4096).unwrap();
+
+    rt.write_bytes(base, &[7; 8]).unwrap();
+    for p in 1..32u64 {
+        rt.access(MemAccess::read(base + p * 4096, 8)).unwrap();
+    }
+    let mut buf = [0u8; 8];
+    rt.read_bytes(base, &mut buf).unwrap();
+    assert_eq!(buf, [7; 8]);
+
+    let s = rt.stats();
+    assert_eq!(s.major_faults + s.minor_faults, 0);
+    assert_eq!(s.tlb_invalidations, 0);
+    assert!(rt.fpga().stats().writebacks_observed > 0);
+    assert!(rt.fpga().stats().remote_fetches > 0);
+}
+
+/// Mixed object sizes spanning line, page and slab boundaries.
+#[test]
+fn boundary_spanning_objects() {
+    let mut rt = KonaRuntime::new(pressured()).unwrap();
+    let sizes: &[u64] = &[1, 63, 64, 65, 4095, 4096, 4097, 100_000, 2 << 20];
+    let mut addrs = Vec::new();
+    for &size in sizes {
+        let addr = rt.allocate(size).unwrap();
+        let pattern = (size % 251) as u8 + 1;
+        let data = vec![pattern; size.min(10_000) as usize];
+        rt.write_bytes(addr, &data).unwrap();
+        addrs.push((addr, data));
+    }
+    rt.sync().unwrap();
+    for (addr, expected) in addrs {
+        let mut buf = vec![0u8; expected.len()];
+        rt.read_bytes(addr, &mut buf).unwrap();
+        assert_eq!(buf, expected);
+    }
+}
+
+/// The paper's transparency claim: the same application code (differential
+/// run) works on both runtimes without modification.
+#[test]
+fn transparency_across_runtimes() {
+    let drive = |rt: &mut dyn RemoteMemoryRuntime| {
+        let addr = rt.allocate(8192).unwrap();
+        rt.write_bytes(addr, b"transparent").unwrap();
+        let mut buf = [0u8; 11];
+        rt.read_bytes(addr, &mut buf).unwrap();
+        buf
+    };
+    let mut kona = KonaRuntime::new(ClusterConfig::small()).unwrap();
+    let mut vm = VmRuntime::new(ClusterConfig::small(), VmProfile::legoos()).unwrap();
+    assert_eq!(&drive(&mut kona), b"transparent");
+    assert_eq!(&drive(&mut vm), b"transparent");
+}
+
+#[test]
+fn virt_addr_sanity() {
+    assert_eq!(VirtAddr::new(4096).page_number().raw(), 1);
+}

@@ -1,0 +1,172 @@
+//! Integration: the dirty-data path from CPU write to remote byte.
+//!
+//! Verifies that Kona's coherence-observed dirty tracking, cache-line log
+//! and log receiver move exactly the right bytes to exactly the right
+//! remote locations — under cache pressure, replication and interleaved
+//! reads.
+
+use kona::{ClusterConfig, KonaRuntime, RemoteMemoryRuntime};
+use kona_types::{ByteSize, MemAccess, VirtAddr};
+
+fn pressured_config() -> ClusterConfig {
+    let mut cfg = ClusterConfig::small().with_local_cache_pages(8);
+    cfg.cpu_cache_lines = 64;
+    cfg
+}
+
+#[test]
+fn every_written_byte_reaches_its_remote_home() {
+    let mut rt = KonaRuntime::new(pressured_config()).unwrap();
+    let pages = 64u64;
+    let base = rt.allocate(pages * 4096).unwrap();
+
+    // Distinct pattern at a distinct offset in every page.
+    for p in 0..pages {
+        let off = (p % 60) * 64 + 8;
+        rt.write_bytes(base + p * 4096 + off, &[(p + 1) as u8; 40])
+            .unwrap();
+    }
+    rt.sync().unwrap();
+
+    // Check the actual bytes on the memory nodes.
+    for p in 0..pages {
+        let page = (base + p * 4096).page_number();
+        let remote = rt.fpga().translate_page(page).unwrap();
+        let off = (p % 60) * 64 + 8;
+        let node = rt.fabric_mut().node(remote.node()).unwrap();
+        let bytes = node.read_bytes(remote.offset() + off, 40);
+        assert_eq!(bytes, &[(p + 1) as u8; 40][..], "page {p} not durable");
+    }
+}
+
+#[test]
+fn unwritten_neighbour_lines_stay_clean_remotely() {
+    // Kona must ship only dirty lines: bytes adjacent to a write (in other
+    // lines of the same page) must remain zero remotely.
+    let mut rt = KonaRuntime::new(pressured_config()).unwrap();
+    let base = rt.allocate(64 * 4096).unwrap();
+    rt.write_bytes(base + 128, &[0xEE; 64]).unwrap(); // line 2 only
+    rt.sync().unwrap();
+
+    let remote = rt.fpga().translate_page(base.page_number()).unwrap();
+    let node = rt.fabric_mut().node(remote.node()).unwrap();
+    assert_eq!(node.read_bytes(remote.offset() + 128, 64), &[0xEE; 64][..]);
+    assert_eq!(node.read_bytes(remote.offset(), 64), &[0u8; 64][..]);
+    assert_eq!(node.read_bytes(remote.offset() + 192, 64), &[0u8; 64][..]);
+}
+
+#[test]
+fn eviction_under_pressure_preserves_interleaved_read_write() {
+    let mut rt = KonaRuntime::new(pressured_config()).unwrap();
+    let pages = 48u64;
+    let base = rt.allocate(pages * 4096).unwrap();
+
+    // Interleave writes with reads of previously-written pages, far enough
+    // apart that the 8-page cache has evicted them.
+    for round in 0..3u64 {
+        for p in 0..pages {
+            rt.write_bytes(base + p * 4096, &[(round * 100 + p % 90) as u8 + 1; 16])
+                .unwrap();
+            if p >= 20 {
+                let q = p - 20;
+                let mut buf = [0u8; 16];
+                rt.read_bytes(base + q * 4096, &mut buf).unwrap();
+                assert_eq!(
+                    buf,
+                    [(round * 100 + q % 90) as u8 + 1; 16],
+                    "round {round} page {q}"
+                );
+            }
+        }
+    }
+    assert!(rt.stats().pages_evicted > pages, "pressure must recycle pages");
+}
+
+#[test]
+fn rewriting_same_line_ships_latest_value() {
+    let mut rt = KonaRuntime::new(pressured_config()).unwrap();
+    let base = rt.allocate(64 * 4096).unwrap();
+    for value in [1u8, 2, 3] {
+        rt.write_bytes(base, &[value; 64]).unwrap();
+        // Evict by touching other pages.
+        for p in 1..32u64 {
+            rt.access(MemAccess::read(base + p * 4096, 8)).unwrap();
+        }
+    }
+    rt.sync().unwrap();
+    let mut buf = [0u8; 64];
+    rt.read_bytes(base, &mut buf).unwrap();
+    assert_eq!(buf, [3u8; 64]);
+}
+
+#[test]
+fn replicated_eviction_keeps_replicas_identical() {
+    let mut cfg = pressured_config().with_replicas(2);
+    cfg.memory_nodes = 2;
+    cfg.node_capacity = ByteSize::mib(32);
+    let mut rt = KonaRuntime::new(cfg).unwrap();
+    let pages = 32u64;
+    let base = rt.allocate(pages * 4096).unwrap();
+    for p in 0..pages {
+        rt.write_bytes(base + p * 4096 + 256, &[(p + 3) as u8; 32])
+            .unwrap();
+    }
+    rt.sync().unwrap();
+
+    for p in 0..pages {
+        let page = (base + p * 4096).page_number();
+        let primary = rt.fpga().translate_page(page).unwrap();
+        let primary_bytes = rt
+            .fabric_mut()
+            .node(primary.node())
+            .unwrap()
+            .read_bytes(primary.offset() + 256, 32)
+            .to_vec();
+        assert_eq!(primary_bytes, vec![(p + 3) as u8; 32], "primary page {p}");
+        // Replica node: the other node at the mirrored offset.
+        let replica_node = 1 - primary.node();
+        let replica_bytes = rt
+            .fabric_mut()
+            .node(replica_node)
+            .unwrap()
+            .read_bytes(primary.offset() + 256, 32)
+            .to_vec();
+        assert_eq!(replica_bytes, primary_bytes, "replica diverged for page {p}");
+    }
+}
+
+#[test]
+fn fmem_eviction_candidates_are_resident() {
+    let mut rt = KonaRuntime::new(pressured_config()).unwrap();
+    let base = rt.allocate(64 * 4096).unwrap();
+    for p in 0..16u64 {
+        rt.access(MemAccess::read(base + p * 4096, 8)).unwrap();
+    }
+    let candidate = rt.fpga().eviction_candidate().expect("cache non-empty");
+    assert!(rt.fpga().fmem_resident(candidate));
+    assert!(rt.fpga().fmem_resident_pages() <= 8);
+}
+
+#[test]
+fn timing_mode_matches_tracked_mode_timing() {
+    // Data handling must not change simulated timing.
+    let run = |cfg: ClusterConfig| {
+        let mut rt = KonaRuntime::new(cfg).unwrap();
+        let base = rt.allocate(64 * 4096).unwrap();
+        let mut total = kona_types::Nanos::ZERO;
+        for p in 0..64u64 {
+            total += rt.access(MemAccess::write(base + p * 4096, 8)).unwrap();
+        }
+        total
+    };
+    let tracked = run(pressured_config());
+    let timing = run(pressured_config().timing_only());
+    assert_eq!(tracked, timing);
+}
+
+#[test]
+fn addr_page_helper() {
+    // Guard for the test helpers themselves.
+    let a = VirtAddr::new(5 * 4096 + 17);
+    assert_eq!(a.page_number().raw(), 5);
+}

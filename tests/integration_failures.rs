@@ -1,0 +1,134 @@
+//! Integration: failure handling (§4.5) across the stack.
+
+use kona::{ClusterConfig, FailurePolicy, KonaRuntime, RemoteMemoryRuntime, VmProfile, VmRuntime};
+use kona_types::{KonaError, MemAccess, Nanos};
+
+fn cfg() -> ClusterConfig {
+    let mut cfg = ClusterConfig::small().with_local_cache_pages(8);
+    cfg.cpu_cache_lines = 64;
+    cfg.memory_nodes = 3;
+    cfg
+}
+
+/// Write a marker, push the page out of the cache, and return the primary
+/// node backing it.
+fn displace(rt: &mut KonaRuntime, base: kona_types::VirtAddr) -> u32 {
+    rt.write_bytes(base, &[0xAB; 64]).unwrap();
+    rt.sync().unwrap();
+    for p in 1..40u64 {
+        rt.access(MemAccess::read(base + p * 4096, 8)).unwrap();
+    }
+    rt.sync().unwrap();
+    rt.fpga().translate_page(base.page_number()).unwrap().node()
+}
+
+#[test]
+fn mce_policy_surfaces_coherence_timeout() {
+    let mut rt = KonaRuntime::new(cfg()).unwrap();
+    let base = rt.allocate(64 * 4096).unwrap();
+    let node = displace(&mut rt, base);
+    rt.fabric_mut().fail_node(node);
+    let err = rt.access(MemAccess::read(base, 8)).unwrap_err();
+    assert!(matches!(err, KonaError::CoherenceTimeout { .. }));
+    assert_eq!(rt.mce_events().len(), 1);
+    assert_eq!(rt.mce_events()[0].addr.raw(), base.raw() & !4095);
+    assert!(rt.stats().mce_events >= 1);
+}
+
+#[test]
+fn fallback_policy_charges_fault_and_recovers() {
+    let mut rt = KonaRuntime::new(cfg()).unwrap();
+    rt.set_failure_policy(FailurePolicy::PageFaultFallback);
+    let base = rt.allocate(64 * 4096).unwrap();
+    let node = displace(&mut rt, base);
+    rt.fabric_mut().fail_node(node);
+
+    let before = rt.stats().app_time;
+    assert!(rt.access(MemAccess::read(base, 8)).is_err());
+    // The fallback charged a fault's worth of time but raised no MCE.
+    assert!(rt.stats().app_time >= before + Nanos::micros(3));
+    assert!(rt.mce_events().is_empty());
+
+    rt.fabric_mut().recover_node(node);
+    let mut buf = [0u8; 64];
+    rt.read_bytes(base, &mut buf).unwrap();
+    assert_eq!(buf, [0xAB; 64], "data must survive the outage");
+}
+
+#[test]
+fn replica_failover_is_transparent_and_correct() {
+    let mut rt = KonaRuntime::new(cfg().with_replicas(2)).unwrap();
+    let base = rt.allocate(64 * 4096).unwrap();
+    let node = displace(&mut rt, base);
+    rt.fabric_mut().fail_node(node);
+
+    // No error at all: the fetch silently fails over.
+    let mut buf = [0u8; 64];
+    rt.read_bytes(base, &mut buf).unwrap();
+    assert_eq!(buf, [0xAB; 64]);
+    assert!(rt.stats().mce_events >= 1, "failover recorded");
+    assert!(rt.mce_events().is_empty(), "but no MCE raised");
+}
+
+#[test]
+fn double_failure_with_two_replicas_is_fatal() {
+    let mut rt = KonaRuntime::new(cfg().with_replicas(2)).unwrap();
+    let base = rt.allocate(64 * 4096).unwrap();
+    let node = displace(&mut rt, base);
+    // Fail every node: nothing can serve the data.
+    for n in 0..3 {
+        rt.fabric_mut().fail_node(n);
+    }
+    let err = rt.access(MemAccess::read(base, 8)).unwrap_err();
+    assert!(matches!(err, KonaError::CoherenceTimeout { .. }));
+    let _ = node;
+}
+
+#[test]
+fn slow_network_inflates_fetch_latency_but_not_correctness() {
+    let mut rt = KonaRuntime::new(cfg()).unwrap();
+    let base = rt.allocate(64 * 4096).unwrap();
+    displace(&mut rt, base);
+    rt.fabric_mut().inject_delay(Nanos::millis(1));
+    let t = rt.access(MemAccess::read(base, 8)).unwrap();
+    assert!(t >= Nanos::millis(1), "delay must surface: {t}");
+    let mut buf = [0u8; 64];
+    rt.read_bytes(base, &mut buf).unwrap();
+    assert_eq!(buf, [0xAB; 64]);
+}
+
+#[test]
+fn vm_runtime_surfaces_node_failure_too() {
+    let mut vm_cfg = cfg();
+    vm_cfg.local_cache_pages = 8;
+    let mut rt = VmRuntime::new(vm_cfg, VmProfile::kona_vm()).unwrap();
+    let base = rt.allocate(64 * 4096).unwrap();
+    rt.write_bytes(base, &[1; 8]).unwrap();
+    for p in 1..40u64 {
+        rt.access(MemAccess::read(base + p * 4096, 8)).unwrap();
+    }
+    // Fail all nodes; the next fetch of page 0 must error.
+    for n in 0..3 {
+        rt.fabric_mut().fail_node(n);
+    }
+    let err = rt.access(MemAccess::read(base, 8)).unwrap_err();
+    assert!(matches!(err, KonaError::MemoryNodeFailed(_)));
+}
+
+#[test]
+fn allocation_fails_cleanly_when_rack_is_full() {
+    let mut rt = KonaRuntime::new(cfg()).unwrap();
+    // Exhaust the rack: 3 nodes x 32 MiB.
+    let mut allocated = 0u64;
+    loop {
+        match rt.allocate(1 << 20) {
+            Ok(_) => allocated += 1,
+            Err(KonaError::OutOfRemoteMemory { .. }) => break,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+        assert!(allocated < 1000, "allocation should eventually fail");
+    }
+    assert!(allocated >= 90, "should fit ~96 slabs, got {allocated}");
+    // The runtime still works for already-allocated memory.
+    rt.write_bytes(kona_types::VirtAddr::new(0), &[5; 8]).unwrap();
+}

@@ -1,0 +1,143 @@
+//! Cross-crate integration: workloads driving both runtimes.
+//!
+//! These tests exercise the full stack — workload generator → runtime →
+//! FPGA/coherence (or MMU/TLB) → RDMA fabric → memory nodes — and check
+//! the paper's qualitative claims end to end.
+
+use kona::{ClusterConfig, KonaRuntime, RemoteMemoryRuntime, VmProfile, VmRuntime};
+use kona_types::{ByteSize, MemAccess, Nanos};
+use kona_workloads::{RedisWorkload, Workload, WorkloadProfile};
+
+fn small_profile() -> WorkloadProfile {
+    WorkloadProfile::default()
+        .with_windows(1)
+        .with_ops_per_window(1_500)
+        .with_scale_divisor(1024)
+}
+
+fn cluster_for(footprint: u64, cache_pages: usize) -> ClusterConfig {
+    let mut cfg = ClusterConfig::small().timing_only();
+    cfg.node_capacity = ByteSize((footprint * 2).max(4 << 20));
+    cfg.local_cache_pages = cache_pages - cache_pages % 4;
+    cfg
+}
+
+#[test]
+fn kona_beats_kona_vm_on_redis_rand() {
+    let wl = RedisWorkload::rand().with_profile(small_profile());
+    let trace = wl.generate(42);
+    let footprint = wl.footprint().bytes();
+    let cache_pages = (footprint / 4096 / 2) as usize; // 50% local cache
+
+    let mut kona = KonaRuntime::new(cluster_for(footprint, cache_pages)).unwrap();
+    kona.allocate(footprint).unwrap();
+    let t_kona = kona.run_trace(trace.as_slice()).unwrap();
+
+    let mut vm = VmRuntime::new(cluster_for(footprint, cache_pages), VmProfile::kona_vm())
+        .unwrap();
+    vm.allocate(footprint).unwrap();
+    let t_vm = vm.run_trace(trace.as_slice()).unwrap();
+
+    assert!(
+        t_vm > t_kona * 2,
+        "Kona should be at least 2x faster: kona={t_kona} vm={t_vm}"
+    );
+    assert_eq!(kona.stats().major_faults, 0);
+    assert!(vm.stats().major_faults > 0);
+}
+
+#[test]
+fn infiniswap_profile_slower_than_legoos_profile() {
+    let wl = RedisWorkload::rand().with_profile(small_profile());
+    let trace = wl.generate(7);
+    let footprint = wl.footprint().bytes();
+    let cache_pages = (footprint / 4096 / 4) as usize; // 25% cache
+
+    let run = |profile: VmProfile| {
+        let mut rt = VmRuntime::new(cluster_for(footprint, cache_pages), profile).unwrap();
+        rt.allocate(footprint).unwrap();
+        rt.run_trace(trace.as_slice()).unwrap()
+    };
+    let t_lego = run(VmProfile::legoos());
+    let t_inf = run(VmProfile::infiniswap());
+    // Paper: Infiniswap is consistently 2.3-3.7X worse than LegoOS.
+    let ratio = t_inf.as_ns() as f64 / t_lego.as_ns() as f64;
+    assert!(ratio > 1.5, "Infiniswap/LegoOS ratio {ratio:.2}");
+}
+
+#[test]
+fn same_trace_same_allocation_layout() {
+    // Both runtimes must lay out allocations identically so traces are
+    // comparable (the §6.1 methodology requirement).
+    let mut kona = KonaRuntime::new(ClusterConfig::small()).unwrap();
+    let mut vm = VmRuntime::new(ClusterConfig::small(), VmProfile::kona_vm()).unwrap();
+    for bytes in [100u64, 4096, 64, 2 << 20, 256] {
+        let a = kona.allocate(bytes).unwrap();
+        let b = vm.allocate(bytes).unwrap();
+        assert_eq!(a, b, "layout diverged for {bytes}-byte allocation");
+    }
+}
+
+#[test]
+fn write_amplification_gap_on_sparse_writes() {
+    // One 8-byte write per page: Kona ships ~64 B/page, VM ships 4096.
+    let pages = 256u64;
+    let cfg = cluster_for(pages * 4096, 64);
+
+    let mut kona = KonaRuntime::new(cfg.clone()).unwrap();
+    let base = kona.allocate(pages * 4096).unwrap();
+    for p in 0..pages {
+        kona.access(MemAccess::write(base + p * 4096, 8)).unwrap();
+    }
+    kona.sync().unwrap();
+
+    let mut vm = VmRuntime::new(cfg, VmProfile::kona_vm()).unwrap();
+    let base = vm.allocate(pages * 4096).unwrap();
+    for p in 0..pages {
+        vm.access(MemAccess::write(base + p * 4096, 8)).unwrap();
+    }
+    vm.sync().unwrap();
+
+    let kona_amp = kona.stats().write_amplification();
+    let vm_amp = vm.stats().write_amplification();
+    assert!(
+        vm_amp > kona_amp * 20.0,
+        "VM amplification {vm_amp:.1} should dwarf Kona's {kona_amp:.1}"
+    );
+    // Kona tracks at line granularity: 64 B shipped per 8 B written = 8x.
+    assert!((4.0..16.0).contains(&kona_amp), "kona amp {kona_amp}");
+    // VM tracks at page granularity: 4096/8 = 512x.
+    assert!(vm_amp > 200.0, "vm amp {vm_amp}");
+}
+
+#[test]
+fn kona_warm_accesses_are_nanoseconds() {
+    let mut rt = KonaRuntime::new(ClusterConfig::small()).unwrap();
+    let addr = rt.allocate(1 << 16).unwrap();
+    rt.access(MemAccess::read(addr, 64)).unwrap();
+    // Everything warm: cache-hit latencies only.
+    let mut total = Nanos::ZERO;
+    for _ in 0..100 {
+        total += rt.access(MemAccess::read(addr, 8)).unwrap();
+    }
+    assert!(total < Nanos::micros(1), "warm accesses too slow: {total}");
+}
+
+#[test]
+fn stats_are_consistent_across_the_stack() {
+    let wl = RedisWorkload::seq().with_profile(small_profile());
+    let trace = wl.generate(3);
+    let footprint = wl.footprint().bytes();
+    let mut rt = KonaRuntime::new(cluster_for(footprint, 128)).unwrap();
+    rt.allocate(footprint).unwrap();
+    rt.run_trace(trace.as_slice()).unwrap();
+    rt.sync().unwrap();
+
+    let s = rt.stats();
+    assert!(s.remote_fetches > 0);
+    assert_eq!(s.remote_fetches, rt.fpga().stats().remote_fetches + s.mce_events);
+    assert!(s.app_time > Nanos::ZERO);
+    assert!(s.wall_time() >= s.app_time);
+    // The FPGA observed every writeback that produced shipped bytes.
+    assert!(rt.fpga().stats().writebacks_observed >= s.writeback_bytes / 4096);
+}

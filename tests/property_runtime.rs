@@ -1,0 +1,116 @@
+//! Property-based tests over the full runtime stack.
+//!
+//! The central property: under *any* interleaving of allocations, writes,
+//! reads and syncs, both runtimes behave like plain local memory — reads
+//! observe the latest write, and synced data survives arbitrary cache
+//! pressure. A second property checks the paper's invariant that Kona's
+//! wire writeback never exceeds a page-granularity evictor's.
+
+use kona::{ClusterConfig, KonaRuntime, RemoteMemoryRuntime, VmProfile, VmRuntime};
+use kona_types::ByteSize;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { slot: u64, len: usize, byte: u8 },
+    Read { slot: u64 },
+    Sync,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..512, 1usize..200, 1u8..255).prop_map(|(slot, len, byte)| Op::Write {
+            slot,
+            len,
+            byte
+        }),
+        2 => (0u64..512,).prop_map(|(slot,)| Op::Read { slot }),
+        1 => Just(Op::Sync),
+    ]
+}
+
+fn pressured() -> ClusterConfig {
+    let mut cfg = ClusterConfig::small().with_local_cache_pages(8);
+    cfg.cpu_cache_lines = 64;
+    cfg.node_capacity = ByteSize::mib(8);
+    cfg
+}
+
+fn check_memory_semantics(rt: &mut dyn RemoteMemoryRuntime, ops: &[Op]) {
+    let base = rt.allocate(512 * 256).unwrap();
+    let mut mirror: std::collections::BTreeMap<u64, Vec<u8>> = std::collections::BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Write { slot, len, byte } => {
+                let data = vec![*byte; *len];
+                rt.write_bytes(base + slot * 256, &data).unwrap();
+                mirror.insert(*slot, data);
+            }
+            Op::Read { slot } => {
+                if let Some(expected) = mirror.get(slot) {
+                    let mut buf = vec![0u8; expected.len()];
+                    rt.read_bytes(base + slot * 256, &mut buf).unwrap();
+                    assert_eq!(&buf, expected, "slot {slot} diverged");
+                }
+            }
+            Op::Sync => {
+                rt.sync().unwrap();
+            }
+        }
+    }
+    rt.sync().unwrap();
+    for (slot, expected) in &mirror {
+        let mut buf = vec![0u8; expected.len()];
+        rt.read_bytes(base + slot * 256, &mut buf).unwrap();
+        assert_eq!(&buf, expected, "slot {slot} lost after final sync");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_kona_is_memory(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut rt = KonaRuntime::new(pressured()).unwrap();
+        check_memory_semantics(&mut rt, &ops);
+    }
+
+    #[test]
+    fn prop_kona_vm_is_memory(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut rt = VmRuntime::new(pressured(), VmProfile::kona_vm()).unwrap();
+        check_memory_semantics(&mut rt, &ops);
+    }
+
+    #[test]
+    fn prop_kona_replicated_is_memory(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut rt = KonaRuntime::new(pressured().with_replicas(2)).unwrap();
+        check_memory_semantics(&mut rt, &ops);
+    }
+
+    /// Kona never takes a fault and never ships more writeback bytes than
+    /// the page-granularity equivalent would.
+    #[test]
+    fn prop_kona_granularity_advantage(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let mut rt = KonaRuntime::new(pressured()).unwrap();
+        check_memory_semantics(&mut rt, &ops);
+        let s = rt.stats();
+        prop_assert_eq!(s.major_faults + s.minor_faults, 0);
+        prop_assert_eq!(s.tlb_invalidations, 0);
+        // Page-granularity equivalent: every dirty page eviction ships 4 KiB.
+        if s.pages_evicted > 0 {
+            prop_assert!(s.writeback_bytes <= s.pages_evicted * 4096);
+        }
+    }
+
+    /// Timing determinism: the same op sequence always costs the same
+    /// simulated time.
+    #[test]
+    fn prop_timing_deterministic(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let run = || {
+            let mut rt = KonaRuntime::new(pressured()).unwrap();
+            check_memory_semantics(&mut rt, &ops);
+            rt.stats().app_time
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
