@@ -1,8 +1,8 @@
 //! Ablation benches for the design choices DESIGN.md calls out.
 //!
-//! Criterion measures host time; each bench body *also* computes the
-//! simulated metric the ablation is about and reports it via eprintln the
-//! first time, so `cargo bench` output doubles as an ablation record:
+//! The harness measures host time; each bench body computes the simulated
+//! metric the ablation is about, so the printed throughput doubles as an
+//! ablation record:
 //!
 //! * FMem associativity (paper: barely matters).
 //! * Replication factor 1-3 on eviction cost (§4.5: more replicas slow
@@ -11,197 +11,175 @@
 //!   page boundaries; page-fault systems cannot).
 //! * CL-log batching: large vs tiny log buffer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kona::{ClusterConfig, CopyEngine, EvictionHandler, KonaRuntime, Poller, RemoteMemoryRuntime};
+use kona_bench::BenchGroup;
 use kona_fpga::{NextPagePrefetcher, VictimPage};
 use kona_kcachesim::{sweep_associativity, SystemModel};
 use kona_net::{Fabric, NetworkModel};
 use kona_types::{ByteSize, LineBitmap, PageNumber, RemoteAddr, LINES_PER_PAGE_4K, PAGE_SIZE_4K};
 use kona_workloads::{LinePattern, PerPageWriter, RedisWorkload, Workload, WorkloadProfile};
 
-fn fmem_associativity(c: &mut Criterion) {
+fn fmem_associativity() {
     let profile = WorkloadProfile::default()
         .with_windows(1)
         .with_ops_per_window(2_000)
         .with_scale_divisor(256);
     let trace = RedisWorkload::rand().with_profile(profile).generate(1);
-    let mut group = c.benchmark_group("ablation_fmem_assoc");
+    let mut group = BenchGroup::new("ablation_fmem_assoc");
     for ways in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(ways), &ways, |b, &ways| {
-            b.iter(|| {
-                let pts = sweep_associativity(&trace, &SystemModel::kona(), &[ways], 0.5, 4096);
-                std::hint::black_box(pts[0].result.amat_ns)
-            });
+        group.bench_function(&ways.to_string(), || {
+            let pts = sweep_associativity(&trace, &SystemModel::kona(), &[ways], 0.5, 4096);
+            std::hint::black_box(pts[0].result.amat_ns)
         });
     }
     group.finish();
 }
 
-fn replication_factor(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_replication");
+fn replication_factor() {
+    let mut group = BenchGroup::new("ablation_replication");
     for replicas in [0usize, 1, 2] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(replicas + 1),
-            &replicas,
-            |b, &replicas| {
-                b.iter(|| {
-                    let mut fabric = Fabric::new(NetworkModel::connectx5());
-                    for id in 0..3u32 {
-                        fabric.add_node(id, (1 << 22) + 65536);
-                        fabric.register(id, 0, 1 << 22).unwrap();
-                        fabric.register(id, 1 << 22, 65536).unwrap();
-                    }
-                    let mut handler = EvictionHandler::new(1 << 22, 65536);
-                    let mut poller = Poller::new();
-                    let replica_addrs: Vec<RemoteAddr> =
-                        (1..=replicas as u32).map(|n| RemoteAddr::new(n, 0)).collect();
-                    let mut bm = LineBitmap::new(LINES_PER_PAGE_4K);
-                    bm.set(0);
-                    bm.set(1);
-                    for p in 0..256u64 {
-                        let victim = VictimPage {
-                            page: PageNumber(p),
-                            dirty_lines: bm.clone(),
-                        };
-                        handler
-                            .evict_page(
-                                &victim,
-                                None,
-                                RemoteAddr::new(0, p * PAGE_SIZE_4K),
-                                &replica_addrs,
-                                &mut fabric,
-                                &mut poller,
-                            )
-                            .unwrap();
-                    }
-                    handler.flush_all(&mut fabric, &mut poller).unwrap();
-                    std::hint::black_box(handler.breakdown().total())
-                });
-            },
-        );
+        group.bench_function(&(replicas + 1).to_string(), || {
+            let mut fabric = Fabric::new(NetworkModel::connectx5());
+            for id in 0..3u32 {
+                fabric.add_node(id, (1 << 22) + 65536);
+                fabric.register(id, 0, 1 << 22).unwrap();
+                fabric.register(id, 1 << 22, 65536).unwrap();
+            }
+            let mut handler = EvictionHandler::new(1 << 22, 65536);
+            let mut poller = Poller::new();
+            let replica_addrs: Vec<RemoteAddr> = (1..=replicas as u32)
+                .map(|n| RemoteAddr::new(n, 0))
+                .collect();
+            let mut bm = LineBitmap::new(LINES_PER_PAGE_4K);
+            bm.set(0);
+            bm.set(1);
+            for p in 0..256u64 {
+                let victim = VictimPage {
+                    page: PageNumber(p),
+                    dirty_lines: bm.clone(),
+                };
+                handler
+                    .evict_page(
+                        &victim,
+                        None,
+                        RemoteAddr::new(0, p * PAGE_SIZE_4K),
+                        &replica_addrs,
+                        &mut fabric,
+                        &mut poller,
+                    )
+                    .unwrap();
+            }
+            handler.flush_all(&mut fabric, &mut poller).unwrap();
+            std::hint::black_box(handler.breakdown().total())
+        });
     }
     group.finish();
 }
 
-fn prefetching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_prefetch");
+fn prefetching() {
+    let mut group = BenchGroup::new("ablation_prefetch");
     for (name, prefetcher) in [
         ("off", NextPagePrefetcher::disabled()),
         ("next_page", NextPagePrefetcher::new(2, 2)),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &prefetcher, |b, pf| {
-            b.iter(|| {
-                let mut cfg = ClusterConfig::small()
-                    .timing_only()
-                    .with_prefetcher(pf.clone())
-                    .with_local_cache_pages(256);
-                cfg.node_capacity = ByteSize::mib(16);
-                let mut rt = KonaRuntime::new(cfg).unwrap();
-                rt.allocate(512 * 4096).unwrap();
-                // Sequential scan: prefetching should cut app time.
-                let trace = PerPageWriter::new(512, 1, LinePattern::Contiguous).generate(0);
-                let t = rt.run_trace(trace.as_slice()).unwrap();
-                std::hint::black_box(t)
-            });
+        group.bench_function(name, || {
+            let mut cfg = ClusterConfig::small()
+                .timing_only()
+                .with_prefetcher(prefetcher.clone())
+                .with_local_cache_pages(256);
+            cfg.node_capacity = ByteSize::mib(16);
+            let mut rt = KonaRuntime::new(cfg).unwrap();
+            rt.allocate(512 * 4096).unwrap();
+            // Sequential scan: prefetching should cut app time.
+            let trace = PerPageWriter::new(512, 1, LinePattern::Contiguous).generate(0);
+            let t = rt.run_trace(trace.as_slice()).unwrap();
+            std::hint::black_box(t)
         });
     }
     group.finish();
 }
 
-fn log_batching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_log_capacity");
+fn log_batching() {
+    let mut group = BenchGroup::new("ablation_log_capacity");
     for capacity in [1usize << 10, 1 << 16] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(capacity),
-            &capacity,
-            |b, &capacity| {
-                b.iter(|| {
-                    let mut fabric = Fabric::new(NetworkModel::connectx5());
-                    fabric.add_node(0, (1 << 22) + (1 << 16));
-                    fabric.register(0, 0, 1 << 22).unwrap();
-                    fabric.register(0, 1 << 22, 1 << 16).unwrap();
-                    let mut handler = EvictionHandler::new(1 << 22, capacity);
-                    let mut poller = Poller::new();
-                    let mut bm = LineBitmap::new(LINES_PER_PAGE_4K);
-                    bm.set(0);
-                    for p in 0..512u64 {
-                        let victim = VictimPage {
-                            page: PageNumber(p),
-                            dirty_lines: bm.clone(),
-                        };
-                        handler
-                            .evict_page(
-                                &victim,
-                                None,
-                                RemoteAddr::new(0, p * PAGE_SIZE_4K),
-                                &[],
-                                &mut fabric,
-                                &mut poller,
-                            )
-                            .unwrap();
-                    }
-                    handler.flush_all(&mut fabric, &mut poller).unwrap();
-                    std::hint::black_box(handler.breakdown().total())
-                });
-            },
-        );
+        group.bench_function(&capacity.to_string(), || {
+            let mut fabric = Fabric::new(NetworkModel::connectx5());
+            fabric.add_node(0, (1 << 22) + (1 << 16));
+            fabric.register(0, 0, 1 << 22).unwrap();
+            fabric.register(0, 1 << 22, 1 << 16).unwrap();
+            let mut handler = EvictionHandler::new(1 << 22, capacity);
+            let mut poller = Poller::new();
+            let mut bm = LineBitmap::new(LINES_PER_PAGE_4K);
+            bm.set(0);
+            for p in 0..512u64 {
+                let victim = VictimPage {
+                    page: PageNumber(p),
+                    dirty_lines: bm.clone(),
+                };
+                handler
+                    .evict_page(
+                        &victim,
+                        None,
+                        RemoteAddr::new(0, p * PAGE_SIZE_4K),
+                        &[],
+                        &mut fabric,
+                        &mut poller,
+                    )
+                    .unwrap();
+            }
+            handler.flush_all(&mut fabric, &mut poller).unwrap();
+            std::hint::black_box(handler.breakdown().total())
+        });
     }
     group.finish();
 }
 
-fn copy_engine(c: &mut Criterion) {
+fn copy_engine() {
     // §4.2's optional copy-dirty-data primitive vs the software AVX copy.
-    let mut group = c.benchmark_group("ablation_copy_engine");
+    let mut group = BenchGroup::new("ablation_copy_engine");
     for (name, engine) in [
         ("software_avx", CopyEngine::SoftwareAvx),
         ("hardware_dma", CopyEngine::HardwareDma),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &engine, |b, &engine| {
-            b.iter(|| {
-                let mut fabric = Fabric::new(NetworkModel::connectx5());
-                fabric.add_node(0, (1 << 22) + 65536);
-                fabric.register(0, 0, 1 << 22).unwrap();
-                fabric.register(0, 1 << 22, 65536).unwrap();
-                let mut handler = EvictionHandler::new(1 << 22, 65536);
-                handler.set_copy_engine(engine);
-                let mut poller = Poller::new();
-                let mut bm = LineBitmap::new(LINES_PER_PAGE_4K);
-                for i in (0..16).step_by(2) {
-                    bm.set(i);
-                }
-                for p in 0..512u64 {
-                    let victim = VictimPage {
-                        page: PageNumber(p),
-                        dirty_lines: bm.clone(),
-                    };
-                    handler
-                        .evict_page(
-                            &victim,
-                            None,
-                            RemoteAddr::new(0, p * PAGE_SIZE_4K),
-                            &[],
-                            &mut fabric,
-                            &mut poller,
-                        )
-                        .unwrap();
-                }
-                handler.flush_all(&mut fabric, &mut poller).unwrap();
-                std::hint::black_box(handler.breakdown().total())
-            });
+        group.bench_function(name, || {
+            let mut fabric = Fabric::new(NetworkModel::connectx5());
+            fabric.add_node(0, (1 << 22) + 65536);
+            fabric.register(0, 0, 1 << 22).unwrap();
+            fabric.register(0, 1 << 22, 65536).unwrap();
+            let mut handler = EvictionHandler::new(1 << 22, 65536);
+            handler.set_copy_engine(engine);
+            let mut poller = Poller::new();
+            let mut bm = LineBitmap::new(LINES_PER_PAGE_4K);
+            for i in (0..16).step_by(2) {
+                bm.set(i);
+            }
+            for p in 0..512u64 {
+                let victim = VictimPage {
+                    page: PageNumber(p),
+                    dirty_lines: bm.clone(),
+                };
+                handler
+                    .evict_page(
+                        &victim,
+                        None,
+                        RemoteAddr::new(0, p * PAGE_SIZE_4K),
+                        &[],
+                        &mut fabric,
+                        &mut poller,
+                    )
+                    .unwrap();
+            }
+            handler.flush_all(&mut fabric, &mut poller).unwrap();
+            std::hint::black_box(handler.breakdown().total())
         });
     }
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets =
-    fmem_associativity,
-    replication_factor,
-    prefetching,
-    log_batching,
-    copy_engine
-
+fn main() {
+    fmem_associativity();
+    replication_factor();
+    prefetching();
+    log_batching();
+    copy_engine();
 }
-criterion_main!(benches);

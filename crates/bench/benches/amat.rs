@@ -1,30 +1,19 @@
-//! Criterion bench: end-to-end KCacheSim simulation cost per trace event.
+//! Micro-bench: end-to-end KCacheSim simulation cost per trace event.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kona_bench::BenchGroup;
 use kona_kcachesim::{simulate, SystemModel};
 use kona_workloads::{RedisWorkload, Workload, WorkloadProfile};
 
-fn bench_amat(c: &mut Criterion) {
+fn main() {
     let profile = WorkloadProfile::default()
         .with_windows(1)
         .with_ops_per_window(2_000)
         .with_scale_divisor(256);
     let trace = RedisWorkload::rand().with_profile(profile).generate(1);
-    let mut group = c.benchmark_group("amat");
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("kcachesim_redis_rand", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                simulate(&trace, &SystemModel::kona(), 0.25, 4096, 4).amat_ns,
-            )
-        });
+    let mut group = BenchGroup::new("amat");
+    group.throughput_elements(trace.len() as u64);
+    group.bench_function("kcachesim_redis_rand", || {
+        std::hint::black_box(simulate(&trace, &SystemModel::kona(), 0.25, 4096, 4).amat_ns)
     });
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_amat
-}
-criterion_main!(benches);

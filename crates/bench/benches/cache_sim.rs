@@ -1,46 +1,35 @@
-//! Criterion bench: cache-hierarchy simulation throughput.
+//! Micro-bench: cache-hierarchy simulation throughput.
 //!
 //! Measures how fast the Cachegrind-equivalent substrate processes
 //! accesses — the cost that dominates KCacheSim runs (the paper reports
 //! 43X slowdown for Redis under its simulator; ours is the analogous
 //! bottleneck).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kona_bench::BenchGroup;
 use kona_cache_sim::{CacheHierarchy, HierarchyConfig};
 use kona_types::{AccessKind, VirtAddr};
 
-fn bench_hierarchy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache_sim");
+fn main() {
+    let mut group = BenchGroup::new("cache_sim");
     for &span in &[1u64 << 20, 16 << 20] {
         // Pre-generate a pseudo-random access stream.
         let mut x = 7u64;
         let addrs: Vec<u64> = (0..10_000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 16) % span
             })
             .collect();
-        group.throughput(Throughput::Elements(addrs.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("random_access", format!("{}MiB", span >> 20)),
-            &addrs,
-            |b, addrs| {
-                let mut h =
-                    CacheHierarchy::new(HierarchyConfig::skylake_with_default_fmem(span / 2).unwrap());
-                b.iter(|| {
-                    for &a in addrs {
-                        std::hint::black_box(h.access(VirtAddr::new(a), AccessKind::Read));
-                    }
-                });
-            },
-        );
+        group.throughput_elements(addrs.len() as u64);
+        let mut h =
+            CacheHierarchy::new(HierarchyConfig::skylake_with_default_fmem(span / 2).unwrap());
+        group.bench_function(&format!("random_access/{}MiB", span >> 20), || {
+            for &a in &addrs {
+                std::hint::black_box(h.access(VirtAddr::new(a), AccessKind::Read));
+            }
+        });
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_hierarchy
-}
-criterion_main!(benches);

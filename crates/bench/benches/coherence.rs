@@ -1,49 +1,38 @@
-//! Criterion bench: MESI protocol operation throughput.
+//! Micro-bench: MESI protocol operation throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kona_bench::BenchGroup;
 use kona_coherence::{AgentId, CoherenceSystem};
 use kona_types::LineIndex;
 
-fn bench_coherence(c: &mut Criterion) {
-    let mut group = c.benchmark_group("coherence");
-    group.throughput(Throughput::Elements(10_000));
+fn main() {
+    let mut group = BenchGroup::new("coherence");
+    group.throughput_elements(10_000);
 
-    group.bench_function("single_agent_mixed", |b| {
-        b.iter(|| {
-            let mut sys = CoherenceSystem::new(1, 1024);
-            for i in 0..10_000u64 {
-                let line = LineIndex(i % 2048);
-                if i % 3 == 0 {
-                    sys.write(AgentId(0), line);
-                } else {
-                    sys.read(AgentId(0), line);
-                }
+    group.bench_function("single_agent_mixed", || {
+        let mut sys = CoherenceSystem::new(1, 1024);
+        for i in 0..10_000u64 {
+            let line = LineIndex(i % 2048);
+            if i % 3 == 0 {
+                sys.write(AgentId(0), line);
+            } else {
+                sys.read(AgentId(0), line);
             }
-            std::hint::black_box(sys.stats())
-        });
+        }
+        std::hint::black_box(sys.stats())
     });
 
-    group.bench_function("two_agents_sharing", |b| {
-        b.iter(|| {
-            let mut sys = CoherenceSystem::new(2, 512);
-            for i in 0..10_000u64 {
-                let line = LineIndex(i % 256);
-                let agent = AgentId((i % 2) as u32);
-                if i % 4 == 0 {
-                    sys.write(agent, line);
-                } else {
-                    sys.read(agent, line);
-                }
+    group.bench_function("two_agents_sharing", || {
+        let mut sys = CoherenceSystem::new(2, 512);
+        for i in 0..10_000u64 {
+            let line = LineIndex(i % 256);
+            let agent = AgentId((i % 2) as u32);
+            if i % 4 == 0 {
+                sys.write(agent, line);
+            } else {
+                sys.read(agent, line);
             }
-            std::hint::black_box(sys.drain_writebacks().len())
-        });
+        }
+        std::hint::black_box(sys.drain_writebacks().len())
     });
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_coherence
-}
-criterion_main!(benches);

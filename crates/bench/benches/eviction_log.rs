@@ -1,48 +1,37 @@
-//! Criterion bench: cache-line log encode/decode/apply throughput.
+//! Micro-bench: cache-line log encode/decode/apply throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use kona::{CacheLineLog, LogEntry, LogReceiver};
+use kona_bench::BenchGroup;
 use kona_net::NodeMemory;
 use kona_types::RemoteAddr;
 
-fn bench_log(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eviction_log");
+fn main() {
+    let mut group = BenchGroup::new("eviction_log");
     let entries: Vec<LogEntry> = (0..500)
         .map(|i| LogEntry {
             remote: RemoteAddr::new(0, i * 128),
             data: vec![i as u8; 64],
         })
         .collect();
-    group.throughput(Throughput::Elements(entries.len() as u64));
+    group.throughput_elements(entries.len() as u64);
 
-    group.bench_function("append_drain", |b| {
-        b.iter(|| {
-            let mut log = CacheLineLog::new(1 << 20);
-            for e in &entries {
-                log.append(e.clone());
-            }
-            std::hint::black_box(log.drain_encoded().len())
-        });
-    });
-
-    group.bench_function("receiver_apply", |b| {
+    group.bench_function("append_drain", || {
         let mut log = CacheLineLog::new(1 << 20);
         for e in &entries {
             log.append(e.clone());
         }
-        let encoded = log.drain_encoded();
-        b.iter(|| {
-            let mut node = NodeMemory::new(0, 1 << 20);
-            let mut rx = LogReceiver::new();
-            std::hint::black_box(rx.apply(&mut node, &encoded).entries)
-        });
+        std::hint::black_box(log.drain_encoded().len())
+    });
+
+    let mut log = CacheLineLog::new(1 << 20);
+    for e in &entries {
+        log.append(e.clone());
+    }
+    let encoded = log.drain_encoded();
+    group.bench_function("receiver_apply", || {
+        let mut node = NodeMemory::new(0, 1 << 20);
+        let mut rx = LogReceiver::new();
+        std::hint::black_box(rx.apply(&mut node, &encoded).entries)
     });
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_log
-}
-criterion_main!(benches);

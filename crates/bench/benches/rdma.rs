@@ -1,43 +1,32 @@
-//! Criterion bench: RDMA fabric simulation throughput.
+//! Micro-bench: RDMA fabric simulation throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kona_bench::BenchGroup;
 use kona_net::{Fabric, NetworkModel, WorkRequest};
 use kona_types::RemoteAddr;
 
-fn bench_fabric(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rdma");
-    group.throughput(Throughput::Elements(256));
+fn main() {
+    let mut group = BenchGroup::new("rdma");
+    group.throughput_elements(256);
 
-    group.bench_function("post_chain_256x64B", |b| {
-        let mut fabric = Fabric::new(NetworkModel::connectx5());
-        fabric.add_node(0, 1 << 20);
-        fabric.register(0, 0, 1 << 20).unwrap();
-        b.iter(|| {
-            let chain: Vec<WorkRequest> = (0..256u64)
-                .map(|i| WorkRequest::write(i, RemoteAddr::new(0, i * 64), vec![1u8; 64]))
-                .collect();
-            std::hint::black_box(fabric.post(chain).unwrap().0)
-        });
+    let mut fabric = Fabric::new(NetworkModel::connectx5());
+    fabric.add_node(0, 1 << 20);
+    fabric.register(0, 0, 1 << 20).unwrap();
+    group.bench_function("post_chain_256x64B", || {
+        let chain: Vec<WorkRequest> = (0..256u64)
+            .map(|i| WorkRequest::write(i, RemoteAddr::new(0, i * 64), vec![1u8; 64]))
+            .collect();
+        std::hint::black_box(fabric.post(chain).unwrap().0)
     });
 
-    group.bench_function("post_individual_4KiB", |b| {
-        let mut fabric = Fabric::new(NetworkModel::connectx5());
-        fabric.add_node(0, 1 << 24);
-        fabric.register(0, 0, 1 << 24).unwrap();
-        b.iter(|| {
-            for i in 0..16u64 {
-                let wr =
-                    WorkRequest::write(i, RemoteAddr::new(0, i * 4096), vec![1u8; 4096]).signaled();
-                std::hint::black_box(fabric.post(vec![wr]).unwrap().0);
-            }
-        });
+    let mut fabric = Fabric::new(NetworkModel::connectx5());
+    fabric.add_node(0, 1 << 24);
+    fabric.register(0, 0, 1 << 24).unwrap();
+    group.bench_function("post_individual_4KiB", || {
+        for i in 0..16u64 {
+            let wr =
+                WorkRequest::write(i, RemoteAddr::new(0, i * 4096), vec![1u8; 4096]).signaled();
+            std::hint::black_box(fabric.post(vec![wr]).unwrap().0);
+        }
     });
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_fabric
-}
-criterion_main!(benches);

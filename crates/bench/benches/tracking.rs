@@ -1,31 +1,24 @@
-//! Criterion bench: KTracker snapshot/diff cost (the paper's §6.3
+//! Micro-bench: KTracker snapshot/diff cost (the paper's §6.3
 //! simulation-overhead discussion: 95% of KTracker's cost is copying and
 //! comparing memory).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kona_bench::BenchGroup;
 use kona_ktracker::{KTracker, TrackingMode};
 use kona_types::Nanos;
 use kona_workloads::{RedisWorkload, Workload, WorkloadProfile};
 
-fn bench_tracking(c: &mut Criterion) {
+fn main() {
     let profile = WorkloadProfile::default()
         .with_windows(2)
         .with_window_width(Nanos::secs(1))
         .with_ops_per_window(2_000)
         .with_scale_divisor(256);
     let trace = RedisWorkload::rand().with_profile(profile).generate(1);
-    let mut group = c.benchmark_group("tracking");
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.bench_function("ktracker_snapshot_diff", |b| {
-        let tracker = KTracker::new(Nanos::secs(1));
-        b.iter(|| std::hint::black_box(tracker.run(&trace, TrackingMode::Coherence).windows.len()));
+    let mut group = BenchGroup::new("tracking");
+    group.throughput_elements(trace.len() as u64);
+    let tracker = KTracker::new(Nanos::secs(1));
+    group.bench_function("ktracker_snapshot_diff", || {
+        std::hint::black_box(tracker.run(&trace, TrackingMode::Coherence).windows.len())
     });
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_tracking
-}
-criterion_main!(benches);

@@ -10,6 +10,7 @@ use kona::{EvictionHandler, Poller};
 use kona_bench::{banner, f2, ExpOptions, TextTable};
 use kona_fpga::VictimPage;
 use kona_net::{CopyModel, Fabric, NetworkModel};
+use kona_telemetry::Telemetry;
 use kona_types::{LineBitmap, Nanos, PageNumber, RemoteAddr, LINES_PER_PAGE_4K, PAGE_SIZE_4K};
 
 /// Pages batched per RDMA chain for the page-granularity baselines.
@@ -37,14 +38,16 @@ fn victim(page: u64, n: usize, placement: Placement) -> VictimPage {
 }
 
 /// Runs Kona's real eviction handler over the whole region and returns
-/// total time.
-fn kona_cl_log(pages: u64, n: usize, placement: Placement) -> Nanos {
+/// total time. All runs publish into the shared telemetry registry.
+fn kona_cl_log(pages: u64, n: usize, placement: Placement, tel: &Telemetry) -> Nanos {
     let mut fabric = Fabric::new(NetworkModel::connectx5());
     let data = pages * PAGE_SIZE_4K;
     fabric.add_node(0, data + 65536);
     fabric.register(0, 0, data).expect("register data");
     fabric.register(0, data, 65536).expect("register log");
+    fabric.set_telemetry(tel);
     let mut handler = EvictionHandler::new(data, 65536);
+    handler.set_telemetry(tel);
     let mut poller = Poller::new();
     for p in 0..pages {
         handler
@@ -98,7 +101,7 @@ fn goodput_gbps(dirty_bytes: u64, time: Nanos) -> f64 {
     dirty_bytes as f64 / time.as_ns() as f64 // bytes per ns == GB/s
 }
 
-fn panel_goodput(pages: u64, placement: Placement, ns_list: &[usize]) {
+fn panel_goodput(pages: u64, placement: Placement, ns_list: &[usize], tel: &Telemetry) {
     let title = match placement {
         Placement::Contiguous => "contiguous",
         Placement::Alternate => "alternate",
@@ -115,7 +118,7 @@ fn panel_goodput(pages: u64, placement: Placement, ns_list: &[usize]) {
     for &n in ns_list {
         let dirty = pages * n as u64 * 64;
         let vm = goodput_gbps(dirty, kona_vm(pages));
-        let kona = goodput_gbps(dirty, kona_cl_log(pages, n, placement));
+        let kona = goodput_gbps(dirty, kona_cl_log(pages, n, placement, tel));
         let pnc = goodput_gbps(dirty, page_writes_no_copy(pages));
         let clnc = goodput_gbps(dirty, cl_writes_no_copy(pages, n, placement));
         table.row(vec![
@@ -138,16 +141,19 @@ fn main() {
     println!("region: {} pages ({} MiB; paper used 1 GiB)", pages, (pages * 4096) >> 20);
 
     let panels = opts.value_of("panel").unwrap_or("abc").to_string();
+    // One registry for the whole invocation: every eviction run's fabric
+    // and handler publish into it, so `--metrics-out` reflects all panels.
+    let tel = Telemetry::disabled();
 
     if panels.contains('a') {
-        panel_goodput(pages, Placement::Contiguous, &[1, 2, 4, 6, 8, 12, 16, 32, 64]);
+        panel_goodput(pages, Placement::Contiguous, &[1, 2, 4, 6, 8, 12, 16, 32, 64], &tel);
         println!(
             "Expected: Kona 4-5X for 1-4 contiguous lines; parity when the\n\
              whole page is dirty; 4KB no-copy ~1.5X over Kona-VM."
         );
     }
     if panels.contains('b') {
-        panel_goodput(pages, Placement::Alternate, &[1, 2, 4, 8, 12, 16, 32]);
+        panel_goodput(pages, Placement::Alternate, &[1, 2, 4, 8, 12, 16, 32], &tel);
         println!(
             "Expected: Kona 2-3X for 2-4 alternate lines; CL no-copy collapses\n\
              (one verb per line); Kona falls below Kona-VM only past ~16\n\
@@ -170,7 +176,9 @@ fn main() {
             fabric.add_node(0, data + 65536);
             fabric.register(0, 0, data).expect("register");
             fabric.register(0, data, 65536).expect("register log");
+            fabric.set_telemetry(&tel);
             let mut handler = EvictionHandler::new(data, 65536);
+            handler.set_telemetry(&tel);
             let mut poller = Poller::new();
             for p in 0..pages {
                 handler
@@ -201,5 +209,10 @@ fn main() {
             "Expected: Copy dominates; RDMA write and Bitmap each 15-20%;\n\
              Ack wait small (paper Fig 11c)."
         );
+    }
+
+    if let Some(path) = opts.value_of("metrics-out") {
+        std::fs::write(path, tel.metrics_json()).expect("write metrics");
+        println!("\nmetrics snapshot written to {path}");
     }
 }

@@ -9,16 +9,23 @@
 use kona::{ClusterConfig, KonaRuntime, RemoteMemoryRuntime, VmProfile, VmRuntime};
 use kona_bench::{banner, TextTable};
 use kona_net::NetworkModel;
+use kona_telemetry::Telemetry;
 use kona_types::{MemAccess, Nanos};
 
-fn cold_access_latency(rt: &mut dyn RemoteMemoryRuntime) -> Nanos {
+/// Measures one cold access and records it under
+/// `latency.<system>.cold_ns` in the shared registry.
+fn cold_access_latency(rt: &mut dyn RemoteMemoryRuntime, tel: &Telemetry) -> Nanos {
     let addr = rt.allocate(4096).expect("allocate");
-    rt.access(MemAccess::read(addr, 8)).expect("access")
+    let t = rt.access(MemAccess::read(addr, 8)).expect("access");
+    let slug = rt.name().to_lowercase().replace('-', "_");
+    tel.histogram(&format!("latency.{slug}.cold_ns")).record(t.as_ns());
+    t
 }
 
 fn main() {
-    let _opts = kona_bench::ExpOptions::from_env();
+    let opts = kona_bench::ExpOptions::from_env();
     banner("Remote access latency sanity checks", "§2.1 / §6.1 / §6.2");
+    let tel = Telemetry::disabled();
 
     let net = NetworkModel::connectx5();
     println!(
@@ -32,7 +39,7 @@ fn main() {
     let mut kona = KonaRuntime::new(ClusterConfig::small().timing_only()).expect("config");
     table.row(vec![
         "Kona".into(),
-        format!("{}", cold_access_latency(&mut kona)),
+        format!("{}", cold_access_latency(&mut kona, &tel)),
         "~3 us (no page fault)".into(),
     ]);
 
@@ -45,7 +52,7 @@ fn main() {
             VmRuntime::new(ClusterConfig::small().timing_only(), profile).expect("config");
         table.row(vec![
             profile.name().into(),
-            format!("{}", cold_access_latency(&mut rt)),
+            format!("{}", cold_access_latency(&mut rt, &tel)),
             paper.into(),
         ]);
     }
@@ -57,8 +64,8 @@ fn main() {
         .expect("config");
     let mut inf = VmRuntime::new(ClusterConfig::small().timing_only(), VmProfile::infiniswap())
         .expect("config");
-    let t_kv = cold_access_latency(&mut kv);
-    let t_inf = cold_access_latency(&mut inf);
+    let t_kv = cold_access_latency(&mut kv, &tel);
+    let t_inf = cold_access_latency(&mut inf, &tel);
     println!(
         "\nKona-VM vs Infiniswap: {:.0}% faster (paper: similar or faster by up to 60%)",
         (1.0 - t_kv.as_ns() as f64 / t_inf.as_ns() as f64) * 100.0
@@ -68,4 +75,9 @@ fn main() {
          write takes 3 us) — the gap is the virtual-memory software stack\n\
          this project eliminates."
     );
+
+    if let Some(path) = opts.value_of("metrics-out") {
+        std::fs::write(path, tel.metrics_json()).expect("write metrics");
+        println!("\nmetrics snapshot written to {path}");
+    }
 }

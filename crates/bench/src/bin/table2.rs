@@ -6,6 +6,7 @@
 //! excluded, as in the paper).
 
 use kona_bench::{banner, f2, ExpOptions, TextTable};
+use kona_telemetry::Telemetry;
 use kona_trace::amplification::{averaged, per_window_series};
 use kona_trace::Windows;
 use kona_types::Nanos;
@@ -48,6 +49,9 @@ fn main() {
         "(paper)",
     ]);
 
+    // Per-workload amplification gauges for `--metrics-out`.
+    let tel = Telemetry::disabled();
+
     for (i, wl) in table2_workloads().into_iter().enumerate() {
         let wl = if opts.quick {
             // Regenerate with the quick profile.
@@ -62,6 +66,10 @@ fn main() {
             series.pop();
         }
         let (a4, a2, al) = averaged(&series);
+        let slug = wl.name().to_lowercase().replace([' ', '-'], "_");
+        tel.gauge(&format!("table2.{slug}.amp_4k")).set(a4);
+        tel.gauge(&format!("table2.{slug}.amp_2m")).set(a2);
+        tel.gauge(&format!("table2.{slug}.amp_64b")).set(al);
         let paper = PAPER[i];
         table.row(vec![
             wl.name().to_string(),
@@ -80,6 +88,11 @@ fn main() {
          paper's applications; compare shapes (ordering, >2x page amplification,\n\
          near-1 cache-line amplification), not absolute values."
     );
+
+    if let Some(path) = opts.value_of("metrics-out") {
+        std::fs::write(path, tel.metrics_json()).expect("write metrics");
+        println!("\nmetrics snapshot written to {path}");
+    }
 }
 
 fn rebuild_with_profile(

@@ -10,13 +10,20 @@
 //!
 //! # Re-run the Table-2-style analyses over a recorded trace.
 //! trace_tool analyze /tmp/redis.ktrc
+//!
+//! # Replay a workload through the Kona runtime with tracing on and emit
+//! # a Chrome trace-event / Perfetto timeline (open in ui.perfetto.dev).
+//! trace_tool telemetry redis-rand /tmp/redis-trace.json
 //! ```
 
+use kona::{ClusterConfig, KonaRuntime, RemoteMemoryRuntime};
 use kona_bench::{f2, TextTable};
+use kona_telemetry::Telemetry;
 use kona_trace::amplification::AmplificationAnalysis;
 use kona_trace::contiguity::ContiguityAnalysis;
 use kona_trace::io::{read_trace, write_trace};
 use kona_trace::spatial::SpatialAnalysis;
+use kona_types::{align_up, ByteSize, PAGE_SIZE_4K};
 use kona_workloads::{
     GraphAlgorithm, GraphWorkload, HistogramWorkload, LinearRegressionWorkload, RedisWorkload,
     VoltDbWorkload, Workload, WorkloadProfile,
@@ -24,6 +31,9 @@ use kona_workloads::{
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+
+/// Span events kept in the ring buffer during a telemetry replay.
+const TRACE_RING_CAPACITY: usize = 1 << 18;
 
 fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
     let profile = WorkloadProfile::default().with_windows(3);
@@ -52,11 +62,57 @@ fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  trace_tool record <workload> <file.ktrc> [seed]\n  trace_tool analyze <file.ktrc>\n\n\
+        "usage:\n  trace_tool record <workload> <file.ktrc> [seed]\n  trace_tool analyze <file.ktrc>\n  \
+         trace_tool telemetry <workload> <trace.json> [seed]\n\n\
          workloads: redis-rand redis-seq linreg histogram pagerank coloring\n\
          concomp labelprop voltdb"
     );
     ExitCode::FAILURE
+}
+
+/// Replays `workload` through a Kona runtime with span tracing enabled and
+/// writes the Chrome trace-event JSON to `out`.
+fn run_telemetry(workload: &str, out: &str, seed: u64) -> ExitCode {
+    let Some(wl) = workload_by_name(workload) else {
+        eprintln!("unknown workload {workload}");
+        return usage();
+    };
+    let trace = wl.generate(seed);
+    let span = align_up(trace.address_span() + PAGE_SIZE_4K, PAGE_SIZE_4K);
+    let pages = span / PAGE_SIZE_4K;
+
+    // Size the cluster to the workload: cache half the footprint so the
+    // eviction thread has real work to do during the replay.
+    let mut cfg = ClusterConfig::small().timing_only();
+    cfg.node_capacity = ByteSize((span * 2).max(1 << 22));
+    // FMem is 4-way set-associative: the page count must divide into sets.
+    let cache_pages = ((pages / 2).max(4)) as usize;
+    cfg.local_cache_pages = cache_pages - cache_pages % 4;
+
+    let tel = Telemetry::with_tracing(TRACE_RING_CAPACITY);
+    let mut rt = KonaRuntime::with_telemetry(cfg, tel.clone()).expect("config valid");
+    rt.allocate(span).expect("allocation fits");
+    rt.run_trace(trace.as_slice()).expect("trace runs");
+    rt.sync().expect("sync");
+
+    if let Err(e) = std::fs::write(out, tel.chrome_trace()) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let events = tel.events().len();
+    let dropped = tel.dropped_events();
+    println!(
+        "{}: replayed {} accesses, {} span events to {out}\n",
+        wl.name(),
+        trace.len(),
+        events
+    );
+    if dropped > 0 {
+        println!("(ring full: {dropped} oldest events dropped)\n");
+    }
+    println!("{}", rt.stats());
+    println!("\nopen the timeline at https://ui.perfetto.dev or chrome://tracing");
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -137,6 +193,10 @@ fn main() -> ExitCode {
             ]);
             table.print();
             ExitCode::SUCCESS
+        }
+        Some("telemetry") if args.len() >= 3 => {
+            let seed = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(42);
+            run_telemetry(&args[1], &args[2], seed)
         }
         _ => usage(),
     }

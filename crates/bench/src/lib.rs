@@ -11,6 +11,9 @@
 use kona_types::Nanos;
 use kona_workloads::WorkloadProfile;
 
+pub mod micro;
+pub use micro::BenchGroup;
+
 /// Command-line options shared by every experiment binary.
 #[derive(Debug, Clone)]
 pub struct ExpOptions {

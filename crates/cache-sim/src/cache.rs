@@ -168,7 +168,7 @@ impl SetAssocCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use kona_types::rng::{Rng, StdRng};
 
     fn small_cache(ways: usize, sets: usize) -> SetAssocCache {
         let cap = (ways * sets) as u64 * 64;
@@ -246,11 +246,15 @@ mod tests {
         assert!(!c.access(VirtAddr::new(4096)).is_hit());
     }
 
-    proptest! {
-        /// Residency never exceeds capacity, and probe agrees with a naive
-        /// fully-LRU model of each set.
-        #[test]
-        fn prop_matches_reference_model(addrs in proptest::collection::vec(0u64..(1 << 14), 1..500)) {
+    /// Residency never exceeds capacity, and probe agrees with a naive
+    /// fully-LRU model of each set.
+    #[test]
+    fn prop_matches_reference_model() {
+        let mut rng = StdRng::seed_from_u64(0xCAC4E);
+        for _ in 0..32 {
+            let addrs: Vec<u64> = (0..rng.gen_range(1usize..500))
+                .map(|_| rng.gen_range(0u64..(1 << 14)))
+                .collect();
             let ways = 2;
             let sets = 4;
             let mut c = small_cache(ways, sets);
@@ -262,15 +266,18 @@ mod tests {
                 let set = (block % sets as u64) as usize;
                 let outcome = c.access(addr);
                 let hit = model[set].contains(&block);
-                prop_assert_eq!(outcome.is_hit(), hit);
+                assert_eq!(outcome.is_hit(), hit);
                 model[set].retain(|&b| b != block);
                 model[set].insert(0, block);
                 model[set].truncate(ways);
-                prop_assert!(c.resident_blocks() <= ways * sets);
+                assert!(c.resident_blocks() <= ways * sets);
             }
             for (s, blocks) in model.iter().enumerate() {
                 for &b in blocks {
-                    prop_assert!(c.probe(VirtAddr::new(b << 6)), "block {} missing from set {}", b, s);
+                    assert!(
+                        c.probe(VirtAddr::new(b << 6)),
+                        "block {b} missing from set {s}"
+                    );
                 }
             }
         }

@@ -320,7 +320,7 @@ impl CoherenceSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use kona_types::rng::{Rng, StdRng};
 
     #[test]
     fn read_miss_installs_exclusive() {
@@ -452,37 +452,53 @@ mod tests {
         true
     }
 
-    proptest! {
-        /// Single-writer/multiple-reader holds under arbitrary interleaved
-        /// reads, writes, recalls and invalidations.
-        #[test]
-        fn prop_swmr_invariant(
-            ops in proptest::collection::vec((0u32..3, 0u64..16, 0u8..4), 1..400)
-        ) {
+    /// Single-writer/multiple-reader holds under arbitrary interleaved
+    /// reads, writes, recalls and invalidations.
+    #[test]
+    fn prop_swmr_invariant() {
+        let mut rng = StdRng::seed_from_u64(0x5317);
+        for _ in 0..32 {
             let mut sys = CoherenceSystem::new(3, 4);
             let lines: Vec<u64> = (0..16).collect();
-            for (agent, line, op) in ops {
+            for _ in 0..rng.gen_range(1usize..400) {
+                let agent = rng.gen_range(0u32..3);
+                let line = rng.gen_range(0u64..16);
+                let op = rng.gen_range(0u8..4);
                 let a = AgentId(agent);
                 let l = LineIndex(line);
                 match op {
-                    0 => { sys.read(a, l); }
-                    1 => { sys.write(a, l); }
-                    2 => { sys.recall(l); }
-                    _ => { sys.invalidate_all(l); }
+                    0 => {
+                        sys.read(a, l);
+                    }
+                    1 => {
+                        sys.write(a, l);
+                    }
+                    2 => {
+                        sys.recall(l);
+                    }
+                    _ => {
+                        sys.invalidate_all(l);
+                    }
                 }
-                prop_assert!(swmr_holds(&sys, &lines), "SWMR violated after op {:?} on line {}", op, line);
+                assert!(
+                    swmr_holds(&sys, &lines),
+                    "SWMR violated after op {op:?} on line {line}"
+                );
             }
         }
+    }
 
-        /// Directory ownership agrees with agent states: if the directory
-        /// says Owned(a), no *other* agent holds the line.
-        #[test]
-        fn prop_directory_agrees(
-            ops in proptest::collection::vec((0u32..2, 0u64..8, any::<bool>()), 1..300)
-        ) {
+    /// Directory ownership agrees with agent states: if the directory
+    /// says Owned(a), no *other* agent holds the line.
+    #[test]
+    fn prop_directory_agrees() {
+        let mut rng = StdRng::seed_from_u64(0xD14);
+        for _ in 0..32 {
             let mut sys = CoherenceSystem::new(2, 4);
-            for (agent, line, is_write) in ops {
-                if is_write {
+            for _ in 0..rng.gen_range(1usize..300) {
+                let agent = rng.gen_range(0u32..2);
+                let line = rng.gen_range(0u64..8);
+                if rng.gen() {
                     sys.write(AgentId(agent), LineIndex(line));
                 } else {
                     sys.read(AgentId(agent), LineIndex(line));
@@ -491,7 +507,7 @@ mod tests {
                     if let DirEntry::Owned(o) = sys.directory_entry(LineIndex(l)) {
                         for a in 0..2u32 {
                             if a != o {
-                                prop_assert_eq!(sys.agent_state(AgentId(a), LineIndex(l)), None);
+                                assert_eq!(sys.agent_state(AgentId(a), LineIndex(l)), None);
                             }
                         }
                     }

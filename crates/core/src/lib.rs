@@ -57,6 +57,7 @@ mod controller;
 mod eviction;
 mod failure;
 mod log;
+pub mod metrics;
 mod poller;
 mod runtime;
 mod stats;

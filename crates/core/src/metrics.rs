@@ -1,0 +1,160 @@
+//! Metric names and pre-resolved counter handles for the runtimes.
+//!
+//! Both runtimes keep their statistics *in* the telemetry registry: the
+//! `kona.*` counters below are the single source of truth, and
+//! [`RuntimeStats`](crate::RuntimeStats) is derived from them on demand.
+//! Holding pre-resolved [`Counter`] handles keeps the hot paths free of
+//! string lookups.
+
+use crate::stats::RuntimeStats;
+use kona_telemetry::{Counter, Telemetry};
+use kona_types::Nanos;
+
+/// Registry names of the runtime counters (one per
+/// [`RuntimeStats`](crate::RuntimeStats) field). Exposed so tools and
+/// tests can look metrics up in a [`kona_telemetry::MetricsSnapshot`].
+pub mod names {
+    /// Simulated application-critical-path time, in nanoseconds.
+    pub const APP_TIME_NS: &str = "kona.app_time_ns";
+    /// Simulated background (eviction/prefetch) time, in nanoseconds.
+    pub const BACKGROUND_TIME_NS: &str = "kona.background_time_ns";
+    /// Accesses served locally (CPU caches, FMem or CMem).
+    pub const LOCAL_HITS: &str = "kona.local_hits";
+    /// Fetches from remote memory.
+    pub const REMOTE_FETCHES: &str = "kona.remote_fetches";
+    /// Major page faults (VM runtimes only).
+    pub const MAJOR_FAULTS: &str = "kona.major_faults";
+    /// Write-protect faults (VM runtimes only).
+    pub const MINOR_FAULTS: &str = "kona.minor_faults";
+    /// TLB invalidations and shootdowns (VM runtimes only).
+    pub const TLB_INVALIDATIONS: &str = "kona.tlb_invalidations";
+    /// Pages evicted from the local cache.
+    pub const PAGES_EVICTED: &str = "kona.pages_evicted";
+    /// Dirty payload bytes written back to remote memory.
+    pub const WRITEBACK_BYTES: &str = "kona.writeback_bytes";
+    /// Bytes the application actually dirtied.
+    pub const APP_DIRTY_BYTES: &str = "kona.app_dirty_bytes";
+    /// Pages prefetched (Kona only).
+    pub const PREFETCHES: &str = "kona.prefetches";
+    /// Machine-check events on network failures (Kona only).
+    pub const MCE_EVENTS: &str = "kona.mce_events";
+    /// Remote-fetch latency histogram, in nanoseconds.
+    pub const FETCH_NS: &str = "kona.fetch_ns";
+    /// Per-page eviction latency histogram, in nanoseconds.
+    pub const EVICT_NS: &str = "kona.evict_ns";
+}
+
+/// One pre-resolved [`Counter`] per [`RuntimeStats`] field.
+///
+/// The registry is the store; this struct only caches the handles and
+/// converts back and forth. Counters resolved from the same
+/// [`Telemetry`] elsewhere (e.g. the eviction handler's
+/// [`names::PAGES_EVICTED`]) share the same underlying cells, so every
+/// component bumps the one authoritative value.
+#[derive(Debug, Clone)]
+pub(crate) struct RuntimeCounters {
+    pub app_time_ns: Counter,
+    pub background_time_ns: Counter,
+    pub local_hits: Counter,
+    pub remote_fetches: Counter,
+    pub major_faults: Counter,
+    pub minor_faults: Counter,
+    pub tlb_invalidations: Counter,
+    pub pages_evicted: Counter,
+    pub writeback_bytes: Counter,
+    pub app_dirty_bytes: Counter,
+    pub prefetches: Counter,
+    pub mce_events: Counter,
+}
+
+impl RuntimeCounters {
+    pub fn new(telemetry: &Telemetry) -> Self {
+        RuntimeCounters {
+            app_time_ns: telemetry.counter(names::APP_TIME_NS),
+            background_time_ns: telemetry.counter(names::BACKGROUND_TIME_NS),
+            local_hits: telemetry.counter(names::LOCAL_HITS),
+            remote_fetches: telemetry.counter(names::REMOTE_FETCHES),
+            major_faults: telemetry.counter(names::MAJOR_FAULTS),
+            minor_faults: telemetry.counter(names::MINOR_FAULTS),
+            tlb_invalidations: telemetry.counter(names::TLB_INVALIDATIONS),
+            pages_evicted: telemetry.counter(names::PAGES_EVICTED),
+            writeback_bytes: telemetry.counter(names::WRITEBACK_BYTES),
+            app_dirty_bytes: telemetry.counter(names::APP_DIRTY_BYTES),
+            prefetches: telemetry.counter(names::PREFETCHES),
+            mce_events: telemetry.counter(names::MCE_EVENTS),
+        }
+    }
+
+    /// The application clock (components that need "now" on the app
+    /// thread read it here).
+    pub fn app_time(&self) -> Nanos {
+        Nanos::from_ns(self.app_time_ns.get())
+    }
+
+    /// The background (eviction/prefetch) clock.
+    pub fn background_time(&self) -> Nanos {
+        Nanos::from_ns(self.background_time_ns.get())
+    }
+
+    /// Charges `t` to the application clock.
+    pub fn charge_app(&self, t: Nanos) {
+        self.app_time_ns.add(t.as_ns());
+    }
+
+    /// Charges `t` to the background clock.
+    pub fn charge_background(&self, t: Nanos) {
+        self.background_time_ns.add(t.as_ns());
+    }
+
+    /// Materializes a [`RuntimeStats`] from the registry values.
+    pub fn to_stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            app_time: self.app_time(),
+            background_time: self.background_time(),
+            local_hits: self.local_hits.get(),
+            remote_fetches: self.remote_fetches.get(),
+            major_faults: self.major_faults.get(),
+            minor_faults: self.minor_faults.get(),
+            tlb_invalidations: self.tlb_invalidations.get(),
+            pages_evicted: self.pages_evicted.get(),
+            writeback_bytes: self.writeback_bytes.get(),
+            app_dirty_bytes: self.app_dirty_bytes.get(),
+            prefetches: self.prefetches.get(),
+            mce_events: self.mce_events.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roundtrip_to_stats() {
+        let tel = Telemetry::disabled();
+        let c = RuntimeCounters::new(&tel);
+        c.charge_app(Nanos::micros(2));
+        c.charge_background(Nanos::from_ns(7));
+        c.local_hits.add(3);
+        c.pages_evicted.inc();
+        let s = c.to_stats();
+        assert_eq!(s.app_time, Nanos::micros(2));
+        assert_eq!(s.background_time, Nanos::from_ns(7));
+        assert_eq!(s.local_hits, 3);
+        assert_eq!(s.pages_evicted, 1);
+        // The registry holds the same values under the public names.
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter(names::APP_TIME_NS), Some(2_000));
+        assert_eq!(snap.counter(names::PAGES_EVICTED), Some(1));
+    }
+
+    #[test]
+    fn handles_share_cells_by_name() {
+        let tel = Telemetry::disabled();
+        let a = RuntimeCounters::new(&tel);
+        let b = RuntimeCounters::new(&tel);
+        a.pages_evicted.inc();
+        b.pages_evicted.inc();
+        assert_eq!(a.to_stats().pages_evicted, 2);
+    }
+}

@@ -5,11 +5,13 @@ use crate::config::{ClusterConfig, DataMode};
 use crate::controller::Controller;
 use crate::eviction::EvictionHandler;
 use crate::failure::{FailurePolicy, FailureState, McEvent};
+use crate::metrics::{names, RuntimeCounters};
 use crate::poller::Poller;
 use crate::stats::RuntimeStats;
 use kona_coherence::AgentId;
 use kona_fpga::{CpuAccessOutcome, FpgaConfig, KonaFpga, VictimPage};
 use kona_net::{Fabric, NetworkModel, WorkRequest};
+use kona_telemetry::{EventKind, Histogram, SpanEvent, Telemetry, Track};
 use kona_trace::TraceEvent;
 use kona_types::{
     AccessKind, KonaError, MemAccess, Nanos, PageNumber, RemoteAddr, Result, VfMemAddr, VirtAddr,
@@ -108,7 +110,9 @@ pub struct KonaRuntime {
     eviction: EvictionHandler,
     poller: Poller,
     failure: FailureState,
-    stats: RuntimeStats,
+    telemetry: Telemetry,
+    counters: RuntimeCounters,
+    fetch_ns: Histogram,
     vfmem_cursor: u64,
     slabs: BTreeMap<u64, SlabInfo>,
     /// Page data for FMem-resident pages (Tracked mode only).
@@ -124,6 +128,19 @@ impl KonaRuntime {
     /// Returns [`KonaError::InvalidConfig`] if the configuration is
     /// inconsistent.
     pub fn new(config: ClusterConfig) -> Result<Self> {
+        Self::with_telemetry(config, Telemetry::disabled())
+    }
+
+    /// Builds a runtime whose components all report into `telemetry` —
+    /// metrics land in its registry, and span events go to its recorder
+    /// (pass [`Telemetry::with_tracing`] for a Perfetto-exportable
+    /// timeline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::InvalidConfig`] if the configuration is
+    /// inconsistent.
+    pub fn with_telemetry(config: ClusterConfig, telemetry: Telemetry) -> Result<Self> {
         config.validate()?;
         let mut fabric = Fabric::new(NetworkModel::connectx5());
         let mut controller = Controller::new(config.slab_size.bytes());
@@ -135,28 +152,40 @@ impl KonaRuntime {
             fabric.register(id, data_capacity, log_capacity)?;
             controller.register_node(id, data_capacity);
         }
-        let fpga = KonaFpga::new(FpgaConfig {
+        fabric.set_telemetry(&telemetry);
+        let mut fpga = KonaFpga::new(FpgaConfig {
             cpu_agents: config.cpu_agents.max(1),
             cpu_cache_lines: config.cpu_cache_lines,
             fmem_pages: config.local_cache_pages,
             fmem_ways: config.fmem_ways,
             prefetcher: config.prefetcher.clone(),
         });
+        fpga.set_telemetry(&telemetry);
+        let mut eviction = EvictionHandler::new(data_capacity, log_capacity as usize);
+        eviction.set_telemetry(&telemetry);
         Ok(KonaRuntime {
-            eviction: EvictionHandler::new(data_capacity, log_capacity as usize),
+            eviction,
             fpga,
             fabric,
             controller,
             allocator: SlabAllocator::new(),
             poller: Poller::new(),
             failure: FailureState::new(FailurePolicy::default()),
-            stats: RuntimeStats::default(),
+            counters: RuntimeCounters::new(&telemetry),
+            fetch_ns: telemetry.histogram(names::FETCH_NS),
+            telemetry,
             vfmem_cursor: 0,
             slabs: BTreeMap::new(),
             local_pages: HashMap::new(),
             config,
             next_wr_id: 0,
         })
+    }
+
+    /// The telemetry handle the runtime reports into (clone it to export
+    /// metrics or the span timeline).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The fabric, for failure injection in tests and examples.
@@ -216,9 +245,9 @@ impl KonaRuntime {
             }
         }
         if access.kind.is_write() {
-            self.stats.app_dirty_bytes += u64::from(access.len);
+            self.counters.app_dirty_bytes.add(u64::from(access.len));
         }
-        self.stats.app_time += elapsed;
+        self.counters.charge_app(elapsed);
         Ok(elapsed)
     }
 
@@ -300,7 +329,7 @@ impl KonaRuntime {
                 Ok((time, completions)) => {
                     if i > 0 {
                         // Failover fetch: note it in the stats.
-                        self.stats.mce_events += 1;
+                        self.counters.mce_events.inc();
                     }
                     if self.config.data_mode == DataMode::Tracked {
                         let data = completions
@@ -309,7 +338,8 @@ impl KonaRuntime {
                             .unwrap_or_else(|| vec![0; PAGE_SIZE_4K as usize]);
                         self.local_pages.insert(page.raw(), data);
                     }
-                    self.stats.remote_fetches += 1;
+                    self.counters.remote_fetches.inc();
+                    self.fetch_ns.record(time.as_ns());
                     return Ok(elapsed + time);
                 }
                 Err(e) => last_err = Some(e),
@@ -321,8 +351,8 @@ impl KonaRuntime {
         let addr = page.base_vfmem();
         match self.failure.policy() {
             FailurePolicy::HandleMce => {
-                self.failure.record(addr, self.stats.app_time);
-                self.stats.mce_events += 1;
+                self.failure.record(addr, self.counters.app_time());
+                self.counters.mce_events.inc();
                 Err(KonaError::CoherenceTimeout {
                     addr,
                     deadline_ns: self.fabric.model().verb_time(PAGE_SIZE_4K).as_ns() * 10,
@@ -331,7 +361,7 @@ impl KonaRuntime {
             FailurePolicy::PageFaultFallback => {
                 // The page is marked not-present; the software handler will
                 // retry after the outage. Charge a fault's worth of time.
-                self.stats.app_time += Nanos::micros(3);
+                self.counters.charge_app(Nanos::micros(3));
                 Err(err)
             }
         }
@@ -357,7 +387,7 @@ impl KonaRuntime {
             &mut self.poller,
         )?;
         // Eviction runs on its own thread, concurrent with the app.
-        self.stats.background_time += time;
+        self.counters.charge_background(time);
         self.local_pages.remove(&victim.page.raw());
         Ok(())
     }
@@ -374,11 +404,11 @@ impl KonaRuntime {
     ) -> Result<Nanos> {
         match self.fpga.cpu_access_from(agent, addr, kind) {
             CpuAccessOutcome::CpuCacheHit => {
-                self.stats.local_hits += 1;
+                self.counters.local_hits.inc();
                 Ok(self.config.latency.cpu_cache_hit)
             }
             CpuAccessOutcome::FMemHit => {
-                self.stats.local_hits += 1;
+                self.counters.local_hits.inc();
                 Ok(self.config.latency.fmem_fill)
             }
             CpuAccessOutcome::RemoteFetch {
@@ -389,12 +419,30 @@ impl KonaRuntime {
                 for victim in &victims {
                     self.handle_victim(victim)?;
                 }
+                let app_start = self.counters.app_time();
                 let fetch = self.fetch_page(page)?;
+                if self.telemetry.tracing_enabled() {
+                    self.telemetry.record(SpanEvent::new(
+                        Track::App,
+                        app_start,
+                        fetch,
+                        EventKind::RemoteFetch,
+                    ));
+                }
                 for p in prefetch {
                     // Prefetches run off the critical path.
+                    let bg_start = self.counters.background_time();
                     let t = self.fetch_page(p)?;
-                    self.stats.background_time += t;
-                    self.stats.prefetches += 1;
+                    self.counters.charge_background(t);
+                    self.counters.prefetches.inc();
+                    if self.telemetry.tracing_enabled() {
+                        self.telemetry.record(SpanEvent::new(
+                            Track::Background,
+                            bg_start,
+                            t,
+                            EventKind::Prefetch,
+                        ));
+                    }
                 }
                 Ok(fetch + self.config.latency.fmem_fill)
             }
@@ -470,9 +518,9 @@ impl RemoteMemoryRuntime for KonaRuntime {
             }
         }
         if access.kind.is_write() {
-            self.stats.app_dirty_bytes += u64::from(access.len);
+            self.counters.app_dirty_bytes.add(u64::from(access.len));
         }
-        self.stats.app_time += elapsed;
+        self.counters.charge_app(elapsed);
         Ok(elapsed)
     }
 
@@ -502,8 +550,8 @@ impl RemoteMemoryRuntime for KonaRuntime {
             }
             off += chunk;
         }
-        self.stats.app_dirty_bytes += data.len() as u64;
-        self.stats.app_time += elapsed;
+        self.counters.app_dirty_bytes.add(data.len() as u64);
+        self.counters.charge_app(elapsed);
         Ok(elapsed)
     }
 
@@ -533,11 +581,12 @@ impl RemoteMemoryRuntime for KonaRuntime {
             }
             off += chunk;
         }
-        self.stats.app_time += elapsed;
+        self.counters.charge_app(elapsed);
         Ok(elapsed)
     }
 
     fn sync(&mut self) -> Result<Nanos> {
+        let sync_start = self.counters.app_time();
         let mut elapsed = Nanos::ZERO;
         // Write back dirty lines of pages still resident in FMem.
         let resident: Vec<PageNumber> = self.fpga.resident_pages_list();
@@ -565,16 +614,22 @@ impl RemoteMemoryRuntime for KonaRuntime {
         elapsed += self
             .eviction
             .flush_all(&mut self.fabric, &mut self.poller)?;
-        self.stats.app_time += elapsed;
+        self.counters.charge_app(elapsed);
+        if self.telemetry.tracing_enabled() {
+            self.telemetry.record(SpanEvent::new(
+                Track::App,
+                sync_start,
+                elapsed,
+                EventKind::Sync,
+            ));
+        }
         Ok(elapsed)
     }
 
     fn stats(&self) -> RuntimeStats {
-        let mut s = self.stats;
-        let ev = self.eviction.stats();
-        s.pages_evicted = ev.pages_evicted;
-        s.writeback_bytes = ev.dirty_bytes_written;
-        s
+        // Derived entirely from the registry: the eviction handler bumps
+        // the shared pages-evicted / writeback-bytes counters itself.
+        self.counters.to_stats()
     }
 }
 

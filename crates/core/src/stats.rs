@@ -1,6 +1,7 @@
 //! Aggregate runtime statistics.
 
 use kona_types::Nanos;
+use std::fmt;
 
 /// Statistics common to both runtimes; fields not applicable to a runtime
 /// stay zero (e.g. Kona never takes page faults).
@@ -48,6 +49,68 @@ impl RuntimeStats {
         }
         self.writeback_bytes as f64 / self.app_dirty_bytes as f64
     }
+
+    /// Fraction of accesses served locally: `local_hits / (local_hits +
+    /// remote_fetches)` (0 when nothing was accessed).
+    pub fn local_hit_ratio(&self) -> f64 {
+        let total = self.local_hits + self.remote_fetches;
+        if total == 0 {
+            return 0.0;
+        }
+        self.local_hits as f64 / total as f64
+    }
+
+    /// Accumulates `other` into `self`, field by field (times add: merged
+    /// stats describe sequential phases of one run, or shards of work).
+    pub fn merge(&mut self, other: &RuntimeStats) {
+        self.app_time += other.app_time;
+        self.background_time += other.background_time;
+        self.local_hits += other.local_hits;
+        self.remote_fetches += other.remote_fetches;
+        self.major_faults += other.major_faults;
+        self.minor_faults += other.minor_faults;
+        self.tlb_invalidations += other.tlb_invalidations;
+        self.pages_evicted += other.pages_evicted;
+        self.writeback_bytes += other.writeback_bytes;
+        self.app_dirty_bytes += other.app_dirty_bytes;
+        self.prefetches += other.prefetches;
+        self.mce_events += other.mce_events;
+    }
+}
+
+impl fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "app {}  background {}  wall {}",
+            self.app_time,
+            self.background_time,
+            self.wall_time()
+        )?;
+        writeln!(
+            f,
+            "local hits {}  remote fetches {}  hit ratio {:.1}%",
+            self.local_hits,
+            self.remote_fetches,
+            self.local_hit_ratio() * 100.0
+        )?;
+        writeln!(
+            f,
+            "faults major/minor {}/{}  tlb invalidations {}",
+            self.major_faults, self.minor_faults, self.tlb_invalidations
+        )?;
+        write!(
+            f,
+            "evicted {} pages  writeback {} B / dirtied {} B (amp {:.2}x)  \
+             prefetches {}  mce {}",
+            self.pages_evicted,
+            self.writeback_bytes,
+            self.app_dirty_bytes,
+            self.write_amplification(),
+            self.prefetches,
+            self.mce_events
+        )
+    }
 }
 
 #[cfg(test)]
@@ -73,5 +136,53 @@ mod tests {
         };
         assert_eq!(s.write_amplification(), 64.0);
         assert_eq!(RuntimeStats::default().write_amplification(), 0.0);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let s = RuntimeStats {
+            local_hits: 3,
+            remote_fetches: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.local_hit_ratio(), 0.75);
+        assert_eq!(RuntimeStats::default().local_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = RuntimeStats {
+            app_time: Nanos::micros(1),
+            local_hits: 2,
+            writeback_bytes: 64,
+            ..Default::default()
+        };
+        let b = RuntimeStats {
+            app_time: Nanos::micros(2),
+            background_time: Nanos::micros(4),
+            local_hits: 3,
+            mce_events: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.app_time, Nanos::micros(3));
+        assert_eq!(a.background_time, Nanos::micros(4));
+        assert_eq!(a.local_hits, 5);
+        assert_eq!(a.writeback_bytes, 64);
+        assert_eq!(a.mce_events, 1);
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let s = RuntimeStats {
+            local_hits: 10,
+            remote_fetches: 2,
+            pages_evicted: 4,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("remote fetches 2"));
+        assert!(text.contains("evicted 4 pages"));
+        assert!(text.contains("hit ratio 83.3%"));
     }
 }

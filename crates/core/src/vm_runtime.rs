@@ -16,11 +16,13 @@
 use crate::alloc::SlabAllocator;
 use crate::config::{ClusterConfig, DataMode};
 use crate::controller::Controller;
+use crate::metrics::RuntimeCounters;
 use crate::runtime::RemoteMemoryRuntime;
 use crate::stats::RuntimeStats;
 use kona_cache_sim::{CacheConfig, SetAssocCache};
 use kona_fpga::RemoteTranslation;
 use kona_net::{CopyModel, Fabric, NetworkModel, WorkRequest};
+use kona_telemetry::{EventKind, SpanEvent, Telemetry, Track, VerbOpcode};
 use kona_types::{
     AccessKind, MemAccess, Nanos, PageNumber, RemoteAddr, Result, VfMemAddr, VirtAddr,
     CACHE_LINE_SIZE, PAGE_SIZE_4K,
@@ -124,7 +126,8 @@ pub struct VmRuntime {
     resident: HashMap<u64, Vec<u8>>,
     /// Dirty pages staged for a batched RDMA eviction write.
     evict_batch: Vec<(RemoteAddr, Vec<u8>)>,
-    stats: RuntimeStats,
+    telemetry: Telemetry,
+    counters: RuntimeCounters,
     next_wr_id: u64,
     vfmem_cursor: u64,
 }
@@ -137,6 +140,21 @@ impl VmRuntime {
     /// Returns [`kona_types::KonaError::InvalidConfig`] on an inconsistent
     /// configuration.
     pub fn new(config: ClusterConfig, profile: VmProfile) -> Result<Self> {
+        Self::with_telemetry(config, profile, Telemetry::disabled())
+    }
+
+    /// Builds the baseline with an explicit telemetry handle; metrics and
+    /// (when tracing is enabled) span events are published through it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`kona_types::KonaError::InvalidConfig`] on an inconsistent
+    /// configuration.
+    pub fn with_telemetry(
+        config: ClusterConfig,
+        profile: VmProfile,
+        telemetry: Telemetry,
+    ) -> Result<Self> {
         config.validate()?;
         let mut fabric = Fabric::new(NetworkModel::connectx5());
         let mut controller = Controller::new(config.slab_size.bytes());
@@ -145,15 +163,19 @@ impl VmRuntime {
             fabric.register(id, 0, config.node_capacity.bytes())?;
             controller.register_node(id, config.node_capacity.bytes());
         }
+        fabric.set_telemetry(&telemetry);
+        let mut mmu = Mmu::new(VmCosts::default());
+        mmu.set_telemetry(&telemetry);
         let cpu_cache = SetAssocCache::new(CacheConfig::new(
             "cpu",
             config.cpu_cache_lines as u64 * CACHE_LINE_SIZE,
             8,
             CACHE_LINE_SIZE,
         )?);
+        let counters = RuntimeCounters::new(&telemetry);
         Ok(VmRuntime {
             profile,
-            mmu: Mmu::new(VmCosts::default()),
+            mmu,
             lru: LruPageList::new(),
             cpu_cache,
             fabric,
@@ -163,7 +185,8 @@ impl VmRuntime {
             copy: CopyModel::skylake(),
             resident: HashMap::new(),
             evict_batch: Vec::new(),
-            stats: RuntimeStats::default(),
+            telemetry,
+            counters,
             config,
             next_wr_id: 0,
             vfmem_cursor: 0,
@@ -173,6 +196,11 @@ impl VmRuntime {
     /// The configured profile.
     pub fn profile(&self) -> VmProfile {
         self.profile
+    }
+
+    /// The telemetry handle metrics and traces are published through.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The fabric, for failure injection.
@@ -192,6 +220,7 @@ impl VmRuntime {
     /// Fetches a page: the single constant the paper measures, covering
     /// fault entry, software stack and the RDMA transfer.
     fn fetch_page(&mut self, page: PageNumber) -> Result<Nanos> {
+        let fault_start = self.counters.app_time();
         let remote = self.remote_of(page)?;
         // Read-your-writes: if this page's writeback is still staged in the
         // eviction batch, push the batch out before fetching.
@@ -217,8 +246,16 @@ impl VmRuntime {
         // Map present; write-protected when dirty tracking is on.
         self.mmu.map(page, !self.profile.write_protect);
         self.lru.touch(page);
-        self.stats.remote_fetches += 1;
-        self.stats.major_faults += 1;
+        self.counters.remote_fetches.inc();
+        self.counters.major_faults.inc();
+        if self.telemetry.tracing_enabled() {
+            self.telemetry.record(SpanEvent::new(
+                Track::App,
+                fault_start,
+                self.profile.remote_fetch,
+                EventKind::PageFault,
+            ));
+        }
 
         let mut elapsed = self.profile.remote_fetch;
         // Make room if over capacity.
@@ -237,29 +274,37 @@ impl VmRuntime {
         };
         let pte = self.mmu.unmap(victim);
         self.cpu_cache_invalidate_page(victim);
-        self.stats.tlb_invalidations += 1;
-        self.stats.pages_evicted += 1;
+        self.counters.tlb_invalidations.inc();
+        self.counters.pages_evicted.inc();
         // Unmapping requires a local invalidation plus a shootdown IPI
         // round: the eviction thread always runs beside the app thread, so
         // other cores may cache the translation (§2.1: "evicting pages ...
         // incurs additional TLB invalidations").
         let mut app_cost = self.mmu.costs().tlb_invalidate + self.mmu.costs().tlb_shootdown;
+        if self.telemetry.tracing_enabled() {
+            self.telemetry.record(SpanEvent::new(
+                Track::App,
+                self.counters.app_time(),
+                app_cost,
+                EventKind::TlbShootdown,
+            ));
+        }
 
         let dirty = pte.is_some_and(|p| p.dirty);
         let data = self.resident.remove(&victim.raw());
         if dirty && self.profile.write_protect {
             let bytes = data.unwrap_or_else(|| vec![0; PAGE_SIZE_4K as usize]);
             // Local copy into the RDMA-registered buffer.
-            self.stats.background_time += self.copy.avx_copy(PAGE_SIZE_4K);
+            self.counters.charge_background(self.copy.avx_copy(PAGE_SIZE_4K));
             let remote = self.remote_of(victim)?;
             self.evict_batch.push((remote, bytes));
-            self.stats.writeback_bytes += PAGE_SIZE_4K;
+            self.counters.writeback_bytes.add(PAGE_SIZE_4K);
             if self.evict_batch.len() >= EVICT_BATCH_PAGES {
                 self.flush_evict_batch()?;
             }
         }
         // NoWP cannot know what is dirty; it evicts silently (incomplete).
-        self.stats.app_time += app_cost;
+        self.counters.charge_app(app_cost);
         app_cost += Nanos::ZERO;
         Ok(app_cost)
     }
@@ -280,9 +325,26 @@ impl VmRuntime {
         if let Some(last) = chain.last_mut() {
             *last = last.clone().signaled();
         }
+        let flush_start = self.counters.background_time();
         let (time, _) = self.fabric.post(chain)?;
-        let _ = n;
-        self.stats.background_time += time;
+        self.counters.charge_background(time);
+        if self.telemetry.tracing_enabled() {
+            self.telemetry.record(SpanEvent::new(
+                Track::Background,
+                flush_start,
+                time,
+                EventKind::Verb {
+                    opcode: VerbOpcode::Write,
+                    bytes: n as u64 * PAGE_SIZE_4K,
+                },
+            ));
+            self.telemetry.record(SpanEvent::new(
+                Track::Background,
+                flush_start,
+                time,
+                EventKind::Writeback,
+            ));
+        }
         Ok(())
     }
 
@@ -314,7 +376,7 @@ impl VmRuntime {
                     self.lru.touch(tr.page);
                     // CPU cache hit vs DRAM (CMem) access.
                     elapsed += if self.cpu_cache.access(addr).is_hit() {
-                        self.stats.local_hits += 1;
+                        self.counters.local_hits.inc();
                         self.config.latency.cpu_cache_hit
                     } else {
                         self.config.latency.cmem
@@ -328,7 +390,7 @@ impl VmRuntime {
                     }
                     PageFaultKind::WriteProtect => {
                         elapsed += fault.raise_cost;
-                        self.stats.minor_faults += 1;
+                        self.counters.minor_faults.inc();
                         self.mmu.make_writable(fault.page);
                     }
                 },
@@ -380,9 +442,9 @@ impl RemoteMemoryRuntime for VmRuntime {
             }
         }
         if access.kind.is_write() {
-            self.stats.app_dirty_bytes += u64::from(access.len);
+            self.counters.app_dirty_bytes.add(u64::from(access.len));
         }
-        self.stats.app_time += elapsed;
+        self.counters.charge_app(elapsed);
         Ok(elapsed)
     }
 
@@ -434,6 +496,7 @@ impl RemoteMemoryRuntime for VmRuntime {
     }
 
     fn sync(&mut self) -> Result<Nanos> {
+        let sync_start = self.counters.app_time();
         let mut elapsed = Nanos::ZERO;
         // Write back all dirty resident pages (full pages) and re-protect.
         let dirty_pages = self.mmu.dirty_pages();
@@ -445,11 +508,11 @@ impl RemoteMemoryRuntime for VmRuntime {
             elapsed += self.copy.avx_copy(PAGE_SIZE_4K);
             let remote = self.remote_of(page)?;
             self.evict_batch.push((remote, data));
-            self.stats.writeback_bytes += PAGE_SIZE_4K;
+            self.counters.writeback_bytes.add(PAGE_SIZE_4K);
             // Re-protect to resume dirty tracking: TLB invalidation.
             if self.profile.write_protect {
                 self.mmu.protect(page, false);
-                self.stats.tlb_invalidations += 1;
+                self.counters.tlb_invalidations.inc();
                 elapsed += self.mmu.costs().tlb_invalidate;
             }
             if self.evict_batch.len() >= EVICT_BATCH_PAGES {
@@ -457,12 +520,16 @@ impl RemoteMemoryRuntime for VmRuntime {
             }
         }
         self.flush_evict_batch_foreground(&mut elapsed)?;
-        self.stats.app_time += elapsed;
+        self.counters.charge_app(elapsed);
+        if self.telemetry.tracing_enabled() {
+            self.telemetry
+                .record(SpanEvent::new(Track::App, sync_start, elapsed, EventKind::Sync));
+        }
         Ok(elapsed)
     }
 
     fn stats(&self) -> RuntimeStats {
-        let mut s = self.stats;
+        let mut s = self.counters.to_stats();
         s.tlb_invalidations = s
             .tlb_invalidations
             .max(self.mmu.tlb_stats().invalidations);

@@ -5,10 +5,12 @@ use crate::fmem::FMemCache;
 use crate::prefetch::NextPagePrefetcher;
 use crate::translation::RemoteTranslation;
 use kona_coherence::{AgentId, CoherenceSystem};
+use kona_telemetry::{Counter, Gauge, Telemetry};
 use kona_types::{
     AccessKind, LineBitmap, LineIndex, PageNumber, RemoteAddr, Result, VfMemAddr,
     LINES_PER_PAGE_4K, PAGE_SIZE_4K,
 };
+use std::collections::HashSet;
 
 /// FPGA configuration.
 #[derive(Debug, Clone)]
@@ -121,6 +123,36 @@ pub struct KonaFpga {
     translation: RemoteTranslation,
     prefetcher: NextPagePrefetcher,
     stats: FpgaStats,
+    metrics: FpgaCounters,
+    /// Prefetched pages not yet touched by a demand access (for the
+    /// issued-vs-useful ratio).
+    prefetched_pending: HashSet<u64>,
+    /// Dirty lines across expelled/snooped pages (compaction numerator).
+    compaction_dirty_lines: u64,
+    /// Pages expelled/snooped (compaction denominator, × lines/page).
+    compaction_pages: u64,
+}
+
+/// Pre-resolved telemetry handles for the FPGA's hot paths.
+#[derive(Debug, Clone)]
+struct FpgaCounters {
+    fmem_hits: Counter,
+    fmem_misses: Counter,
+    prefetch_issued: Counter,
+    prefetch_useful: Counter,
+    dirty_compaction: Gauge,
+}
+
+impl FpgaCounters {
+    fn new(telemetry: &Telemetry) -> Self {
+        FpgaCounters {
+            fmem_hits: telemetry.counter("fmem.hits"),
+            fmem_misses: telemetry.counter("fmem.misses"),
+            prefetch_issued: telemetry.counter("fmem.prefetch_issued"),
+            prefetch_useful: telemetry.counter("fmem.prefetch_useful"),
+            dirty_compaction: telemetry.gauge("fmem.dirty_compaction"),
+        }
+    }
 }
 
 impl KonaFpga {
@@ -133,12 +165,33 @@ impl KonaFpga {
             translation: RemoteTranslation::new(),
             prefetcher: config.prefetcher,
             stats: FpgaStats::default(),
+            metrics: FpgaCounters::new(&Telemetry::disabled()),
+            prefetched_pending: HashSet::new(),
+            compaction_dirty_lines: 0,
+            compaction_pages: 0,
         }
+    }
+
+    /// Routes the FPGA's metrics (FMem hit/miss, prefetch issued vs
+    /// useful, dirty-bitmap compaction ratio) into `telemetry`'s registry.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = FpgaCounters::new(telemetry);
     }
 
     /// Counters.
     pub fn stats(&self) -> FpgaStats {
         self.stats
+    }
+
+    /// Fraction of cache lines dirty among pages expelled or snooped so
+    /// far (what the cache-line log compacts a 4 KiB writeback down to);
+    /// 0 before any page left FMem.
+    pub fn dirty_compaction_ratio(&self) -> f64 {
+        if self.compaction_pages == 0 {
+            return 0.0;
+        }
+        self.compaction_dirty_lines as f64
+            / (self.compaction_pages * LINES_PER_PAGE_4K as u64) as f64
     }
 
     /// The remote-translation map (the Resource Manager registers slabs
@@ -220,11 +273,16 @@ impl KonaFpga {
         let page = addr.page_number();
         if self.fmem.touch(page) {
             self.stats.fmem_hits += 1;
+            self.metrics.fmem_hits.inc();
+            if self.prefetched_pending.remove(&page.raw()) {
+                self.metrics.prefetch_useful.inc();
+            }
             return CpuAccessOutcome::FMemHit;
         }
 
         // Remote fetch: install the page in FMem, evicting as needed.
         self.stats.remote_fetches += 1;
+        self.metrics.fmem_misses.inc();
         let mut victims = Vec::new();
         if let Some(victim) = self.fmem.insert(page) {
             victims.push(self.expel_page(victim));
@@ -236,6 +294,8 @@ impl KonaFpga {
                     victims.push(self.expel_page(victim));
                 }
                 self.stats.prefetched_pages += 1;
+                self.metrics.prefetch_issued.inc();
+                self.prefetched_pending.insert(pf_page.raw());
                 prefetch.push(pf_page);
             }
         }
@@ -258,9 +318,12 @@ impl KonaFpga {
             self.coherence.recall(LineIndex(first_line + i));
         }
         self.absorb_writebacks();
-        self.dirty
+        let bitmap = self
+            .dirty
             .take_page(page)
-            .unwrap_or_else(|| LineBitmap::new(LINES_PER_PAGE_4K))
+            .unwrap_or_else(|| LineBitmap::new(LINES_PER_PAGE_4K));
+        self.note_compaction(&bitmap);
+        bitmap
     }
 
     /// Drops `page` from FMem (eviction-handler initiated), invalidating
@@ -283,7 +346,19 @@ impl KonaFpga {
             .dirty
             .take_page(page)
             .unwrap_or_else(|| LineBitmap::new(LINES_PER_PAGE_4K));
+        self.note_compaction(&dirty_lines);
+        self.prefetched_pending.remove(&page.raw());
         VictimPage { page, dirty_lines }
+    }
+
+    /// Folds one expelled/snooped page's dirty bitmap into the compaction
+    /// ratio and publishes the updated gauge.
+    fn note_compaction(&mut self, dirty_lines: &LineBitmap) {
+        self.compaction_dirty_lines += dirty_lines.count_set() as u64;
+        self.compaction_pages += 1;
+        self.metrics
+            .dirty_compaction
+            .set(self.dirty_compaction_ratio());
     }
 
     fn absorb_writebacks(&mut self) {
@@ -417,6 +492,35 @@ mod tests {
             CpuAccessOutcome::FMemHit
         );
         assert_eq!(f.stats().prefetched_pages, 1);
+    }
+
+    #[test]
+    fn telemetry_tracks_hits_prefetch_and_compaction() {
+        let mut cfg = FpgaConfig::small();
+        cfg.prefetcher = NextPagePrefetcher::new(2, 1);
+        let mut f = KonaFpga::new(cfg);
+        f.translation_mut()
+            .register(VfMemAddr::new(0), 1 << 20, RemoteAddr::new(0, 0))
+            .unwrap();
+        let tel = Telemetry::disabled();
+        f.set_telemetry(&tel);
+
+        f.cpu_access(VfMemAddr::new(0), AccessKind::Read);
+        f.cpu_access(VfMemAddr::new(4096), AccessKind::Read); // prefetches page 2
+        f.cpu_access(VfMemAddr::new(2 * 4096), AccessKind::Write); // uses prefetch
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("fmem.misses"), Some(2));
+        assert_eq!(snap.counter("fmem.prefetch_issued"), Some(1));
+        assert_eq!(snap.counter("fmem.prefetch_useful"), Some(1));
+        assert_eq!(snap.counter("fmem.hits"), Some(1));
+
+        // One of 64 lines dirty on the snooped page → ratio 1/64.
+        f.snoop_page_dirty(PageNumber(2));
+        assert!((f.dirty_compaction_ratio() - 1.0 / 64.0).abs() < 1e-9);
+        assert_eq!(
+            tel.snapshot().gauge("fmem.dirty_compaction"),
+            Some(f.dirty_compaction_ratio())
+        );
     }
 
     #[test]

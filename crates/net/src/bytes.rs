@@ -1,0 +1,107 @@
+//! A cheap-to-clone immutable byte buffer.
+//!
+//! The workspace builds with no external dependencies; this is the small
+//! slice of the `bytes` crate's API the simulator needs — an `Arc<[u8]>`
+//! behind the same `Bytes` name, so payloads can be shared between work
+//! requests, completions and node memory without copying.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_net::Bytes;
+/// let b = Bytes::from(vec![1u8, 2, 3]);
+/// let c = b.clone(); // shares the allocation
+/// assert_eq!(&c[..], &[1, 2, 3]);
+/// assert_eq!(b.to_vec(), vec![1, 2, 3]);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v.into())
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes(s.into())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(a: [u8; N]) -> Self {
+        Bytes(a.as_slice().into())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_sharing() {
+        let b = Bytes::from(vec![7u8; 32]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(c.len(), 32);
+        assert!(!c.is_empty());
+        assert_eq!(&c[..4], &[7, 7, 7, 7]);
+        assert_eq!(Bytes::new().len(), 0);
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn from_slice_and_array() {
+        let s: &[u8] = &[1, 2, 3];
+        assert_eq!(Bytes::from(s).to_vec(), vec![1, 2, 3]);
+        assert_eq!(Bytes::from([4u8, 5]).to_vec(), vec![4, 5]);
+    }
+}

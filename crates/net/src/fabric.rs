@@ -3,7 +3,8 @@
 use crate::latency::NetworkModel;
 use crate::node::NodeMemory;
 use crate::verbs::{Completion, Opcode, WorkRequest};
-use bytes::Bytes;
+use crate::bytes::Bytes;
+use kona_telemetry::{Counter, Histogram, Telemetry};
 use kona_types::{KonaError, Nanos, Result};
 use std::collections::HashMap;
 
@@ -18,6 +19,41 @@ pub struct NetStats {
     pub wire_bytes: u64,
     /// Completions generated.
     pub completions: u64,
+}
+
+/// Pre-resolved telemetry handles for the fabric's hot path (no string
+/// lookups per verb).
+#[derive(Debug, Clone)]
+struct NetCounters {
+    verbs_read: Counter,
+    verbs_write: Counter,
+    verbs_send: Counter,
+    wire_bytes: Counter,
+    posts: Counter,
+    completions: Counter,
+    signaled_chain_ns: Histogram,
+}
+
+impl NetCounters {
+    fn new(telemetry: &Telemetry) -> Self {
+        NetCounters {
+            verbs_read: telemetry.counter("net.verbs.read"),
+            verbs_write: telemetry.counter("net.verbs.write"),
+            verbs_send: telemetry.counter("net.verbs.send"),
+            wire_bytes: telemetry.counter("net.wire_bytes"),
+            posts: telemetry.counter("net.posts"),
+            completions: telemetry.counter("net.completions"),
+            signaled_chain_ns: telemetry.histogram("net.signaled_chain_ns"),
+        }
+    }
+
+    fn for_opcode(&self, opcode: Opcode) -> &Counter {
+        match opcode {
+            Opcode::Read => &self.verbs_read,
+            Opcode::Write => &self.verbs_write,
+            Opcode::Send => &self.verbs_send,
+        }
+    }
 }
 
 /// The RDMA fabric connecting the compute node to the memory nodes.
@@ -35,6 +71,7 @@ pub struct Fabric {
     failed_nodes: Vec<u32>,
     /// Added to every chain's latency (slow-network injection, §4.5).
     injected_delay: Nanos,
+    net: NetCounters,
 }
 
 impl Fabric {
@@ -46,7 +83,14 @@ impl Fabric {
             stats: NetStats::default(),
             failed_nodes: Vec::new(),
             injected_delay: Nanos::ZERO,
+            net: NetCounters::new(&Telemetry::disabled()),
         }
+    }
+
+    /// Routes the fabric's metrics (per-verb counters, wire bytes,
+    /// signaled-chain latencies) into `telemetry`'s registry.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.net = NetCounters::new(telemetry);
     }
 
     /// The latency model.
@@ -167,6 +211,8 @@ impl Fabric {
             };
             self.stats.requests += 1;
             self.stats.wire_bytes += wr.wire_bytes();
+            self.net.for_opcode(wr.opcode).inc();
+            self.net.wire_bytes.add(wr.wire_bytes());
             if wr.is_signaled {
                 completions.push(Completion {
                     wr_id: wr.wr_id,
@@ -176,7 +222,12 @@ impl Fabric {
         }
         self.stats.posts += 1;
         self.stats.completions += completions.len() as u64;
+        self.net.posts.inc();
+        self.net.completions.add(completions.len() as u64);
         let time = self.model.chain_time(&sizes, signaled) + self.injected_delay;
+        if signaled > 0 {
+            self.net.signaled_chain_ns.record(time.as_ns());
+        }
         Ok((time, completions))
     }
 }
@@ -190,8 +241,8 @@ impl Default for Fabric {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kona_types::rng::{Rng, StdRng};
     use kona_types::RemoteAddr;
-    use proptest::prelude::*;
 
     fn fabric() -> Fabric {
         let mut f = Fabric::new(NetworkModel::connectx5());
@@ -210,6 +261,27 @@ mod tests {
             .unwrap();
         assert_eq!(comps.len(), 1);
         assert_eq!(&comps[0].data[..], &[7u8; 64][..]);
+    }
+
+    #[test]
+    fn telemetry_mirrors_net_stats() {
+        let mut f = fabric();
+        let tel = Telemetry::disabled();
+        f.set_telemetry(&tel);
+        f.post(vec![
+            WorkRequest::write(1, RemoteAddr::new(0, 0), vec![7; 64]),
+            WorkRequest::read(2, RemoteAddr::new(0, 0), 64).signaled(),
+        ])
+        .unwrap();
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("net.verbs.write"), Some(1));
+        assert_eq!(snap.counter("net.verbs.read"), Some(1));
+        assert_eq!(snap.counter("net.posts"), Some(1));
+        assert_eq!(snap.counter("net.completions"), Some(1));
+        assert_eq!(snap.counter("net.wire_bytes"), Some(f.stats().wire_bytes));
+        let h = snap.histogram("net.signaled_chain_ns").unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.max > 0);
     }
 
     #[test]
@@ -300,16 +372,22 @@ mod tests {
         f.add_node(0, 64);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        /// The fabric behaves like plain remote memory: any sequence of
-        /// writes followed by reads returns exactly what a byte-array
-        /// mirror holds, and total time is positive and additive.
-        #[test]
-        fn prop_fabric_is_remote_memory(
-            ops in proptest::collection::vec((0u64..1024, 1usize..128, any::<u8>()), 1..50)
-        ) {
+    /// The fabric behaves like plain remote memory: any sequence of
+    /// writes followed by reads returns exactly what a byte-array
+    /// mirror holds, and total time is positive and additive.
+    #[test]
+    fn prop_fabric_is_remote_memory() {
+        let mut rng = StdRng::seed_from_u64(0xFAB);
+        for _ in 0..32 {
+            let ops: Vec<(u64, usize, u8)> = (0..rng.gen_range(1usize..50))
+                .map(|_| {
+                    (
+                        rng.gen_range(0u64..1024),
+                        rng.gen_range(1usize..128),
+                        rng.gen(),
+                    )
+                })
+                .collect();
             let mut f = fabric();
             let mut mirror = vec![0u8; 1 << 16];
             let mut total = Nanos::ZERO;
@@ -325,13 +403,14 @@ mod tests {
             for &(off, len, _) in &ops {
                 let off = off * 64;
                 let (t, comps) = f
-                    .post(vec![WorkRequest::read(1, RemoteAddr::new(0, off), len as u64)
-                        .signaled()])
+                    .post(vec![
+                        WorkRequest::read(1, RemoteAddr::new(0, off), len as u64).signaled()
+                    ])
                     .unwrap();
                 total += t;
-                prop_assert_eq!(&comps[0].data[..], &mirror[off as usize..off as usize + len]);
+                assert_eq!(&comps[0].data[..], &mirror[off as usize..off as usize + len]);
             }
-            prop_assert!(total >= f.model().base_latency * (ops.len() as u64 * 2));
+            assert!(total >= f.model().base_latency * (ops.len() as u64 * 2));
         }
     }
 }

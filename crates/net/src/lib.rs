@@ -34,11 +34,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bytes;
 mod fabric;
 mod latency;
 mod node;
 mod verbs;
 
+pub use bytes::Bytes;
 pub use fabric::{Fabric, NetStats};
 pub use latency::{CopyModel, NetworkModel};
 pub use node::NodeMemory;

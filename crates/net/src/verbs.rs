@@ -1,6 +1,6 @@
 //! RDMA work requests, completions and queue pairs.
 
-use bytes::Bytes;
+use crate::bytes::Bytes;
 use kona_types::RemoteAddr;
 use std::collections::VecDeque;
 

@@ -1,0 +1,155 @@
+//! Typed span events on the simulated timeline.
+//!
+//! A [`SpanEvent`] is one interval of simulated time attributed to a
+//! [`Track`]. The two tracks mirror the paper's concurrency model: the
+//! application thread accrues `app_time` while the eviction handler and
+//! completion poller accrue `background_time`, and wall time is the
+//! maximum of the two.
+
+use kona_types::Nanos;
+
+/// The simulated thread a span belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// The application thread (allocations, loads, stores, faults).
+    App,
+    /// The background machinery: eviction handler, poller, prefetcher.
+    Background,
+}
+
+impl Track {
+    /// A stable display name (also the Chrome-trace thread name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Track::App => "application",
+            Track::Background => "eviction/poller",
+        }
+    }
+}
+
+/// RDMA verb opcodes, mirrored here so telemetry does not depend on the
+/// network crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerbOpcode {
+    /// One-sided read.
+    Read,
+    /// One-sided write.
+    Write,
+    /// Two-sided send.
+    Send,
+}
+
+impl VerbOpcode {
+    /// Lower-case stable name used in metric keys and trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerbOpcode::Read => "read",
+            VerbOpcode::Write => "write",
+            VerbOpcode::Send => "send",
+        }
+    }
+}
+
+/// What happened during a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A page was fetched from a memory node into the local cache.
+    RemoteFetch,
+    /// A victim page left the local cache through the eviction handler.
+    Evict,
+    /// Dirty data was shipped to its remote home (cache-line log flush).
+    Writeback,
+    /// A major or minor page fault in a VM-based baseline.
+    PageFault,
+    /// A TLB shootdown (remote core invalidation) in a VM baseline.
+    TlbShootdown,
+    /// The FPGA prefetcher pulled a page ahead of the access stream.
+    Prefetch,
+    /// An explicit runtime sync/flush requested by the application.
+    Sync,
+    /// A posted RDMA verb chain.
+    Verb {
+        /// Leading opcode of the chain.
+        opcode: VerbOpcode,
+        /// Bytes moved on the wire.
+        bytes: u64,
+    },
+}
+
+impl EventKind {
+    /// A stable snake_case name (the Chrome-trace event name).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::RemoteFetch => "remote_fetch",
+            EventKind::Evict => "evict",
+            EventKind::Writeback => "writeback",
+            EventKind::PageFault => "page_fault",
+            EventKind::TlbShootdown => "tlb_shootdown",
+            EventKind::Prefetch => "prefetch",
+            EventKind::Sync => "sync",
+            EventKind::Verb { .. } => "verb",
+        }
+    }
+}
+
+/// One interval of simulated time on a track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Which simulated thread the span belongs to.
+    pub track: Track,
+    /// Start of the span on that thread's simulated clock.
+    pub start: Nanos,
+    /// Duration of the span.
+    pub duration: Nanos,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl SpanEvent {
+    /// Builds a span.
+    pub fn new(track: Track, start: Nanos, duration: Nanos, kind: EventKind) -> Self {
+        SpanEvent {
+            track,
+            start,
+            duration,
+            kind,
+        }
+    }
+
+    /// End of the span (`start + duration`).
+    pub fn end(&self) -> Nanos {
+        self.start + self.duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Track::App.name(), "application");
+        assert_eq!(Track::Background.name(), "eviction/poller");
+        assert_eq!(EventKind::RemoteFetch.name(), "remote_fetch");
+        assert_eq!(
+            EventKind::Verb {
+                opcode: VerbOpcode::Write,
+                bytes: 64
+            }
+            .name(),
+            "verb"
+        );
+        assert_eq!(VerbOpcode::Send.name(), "send");
+    }
+
+    #[test]
+    fn span_end() {
+        let s = SpanEvent::new(
+            Track::App,
+            Nanos::from_ns(10),
+            Nanos::from_ns(5),
+            EventKind::Sync,
+        );
+        assert_eq!(s.end(), Nanos::from_ns(15));
+    }
+}

@@ -1,0 +1,155 @@
+//! Span recorders: where [`SpanEvent`]s go.
+//!
+//! The default [`NoopRecorder`] discards everything, so instrumented code
+//! pays one virtual call and nothing else. The [`TraceRecorder`] keeps
+//! the most recent events in a fixed-capacity ring buffer for export to
+//! the Chrome trace-event format (see [`crate::export`]).
+
+use crate::event::SpanEvent;
+use std::collections::VecDeque;
+
+/// A sink for span events.
+pub trait Recorder {
+    /// Accepts one span.
+    fn record(&mut self, event: SpanEvent);
+
+    /// Whether spans are actually kept. Callers may skip building
+    /// expensive events when this is `false`.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// The retained events in chronological (insertion) order. Recorders
+    /// that discard events return an empty vec.
+    fn events(&self) -> Vec<SpanEvent> {
+        Vec::new()
+    }
+
+    /// Events dropped due to capacity limits.
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// Discards every span (the near-zero-overhead default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record(&mut self, _event: SpanEvent) {}
+
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Keeps the most recent spans in a ring buffer.
+///
+/// When full, the oldest span is dropped and counted, so a long run still
+/// exports a valid (suffix) timeline.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    ring: VecDeque<SpanEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRecorder {
+    /// Default ring capacity (spans).
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// A recorder holding up to `capacity` spans (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRecorder {
+            ring: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no spans are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn record(&mut self, event: SpanEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+    }
+
+    fn events(&self) -> Vec<SpanEvent> {
+        self.ring.iter().copied().collect()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Track};
+    use kona_types::Nanos;
+
+    fn span(i: u64) -> SpanEvent {
+        SpanEvent::new(
+            Track::App,
+            Nanos::from_ns(i),
+            Nanos::from_ns(1),
+            EventKind::Sync,
+        )
+    }
+
+    #[test]
+    fn noop_discards() {
+        let mut r = NoopRecorder;
+        r.record(span(1));
+        assert!(!r.is_enabled());
+        assert!(r.events().is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut r = TraceRecorder::new(3);
+        for i in 0..5 {
+            r.record(span(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let starts: Vec<u64> = r.events().iter().map(|e| e.start.as_ns()).collect();
+        assert_eq!(starts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_clamped() {
+        let mut r = TraceRecorder::new(0);
+        r.record(span(9));
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+}

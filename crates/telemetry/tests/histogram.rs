@@ -1,0 +1,160 @@
+//! Histogram unit tests: bucket boundaries, quantile correctness on
+//! known distributions, and merge associativity across registries.
+
+use kona_telemetry::{HistogramData, Registry};
+
+#[test]
+fn boundary_values_zero_one_max() {
+    let mut h = HistogramData::new();
+    h.record(0);
+    h.record(1);
+    h.record(u64::MAX);
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), u64::MAX);
+    // Values below the sub-bucket resolution are exact.
+    assert_eq!(h.quantile(0.0), Some(0));
+    assert_eq!(h.quantile(0.5), Some(1));
+    // The max is reported exactly, not as its bucket's lower bound.
+    assert_eq!(h.quantile(1.0), Some(u64::MAX));
+}
+
+#[test]
+fn empty_histogram() {
+    let h = HistogramData::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.mean(), 0.0);
+    assert_eq!(h.quantile(0.5), None);
+    assert_eq!(h.p50(), 0);
+    assert_eq!(h.p95(), 0);
+    assert_eq!(h.p99(), 0);
+}
+
+#[test]
+fn small_values_are_exact() {
+    // One observation of each value 0..16: every value sits in its own
+    // unit-width bucket, so quantiles are exact.
+    let mut h = HistogramData::new();
+    for v in 0..16u64 {
+        h.record(v);
+    }
+    assert_eq!(h.quantile(0.5), Some(7));
+    assert_eq!(h.quantile(1.0), Some(15));
+    assert_eq!(h.mean(), 7.5);
+}
+
+#[test]
+fn quantiles_on_uniform_distribution() {
+    // 1..=10_000 once each: p50 ≈ 5_000, p95 ≈ 9_500, p99 ≈ 9_900,
+    // within the 1/16 (6.25%) relative error of the log-linear buckets.
+    let mut h = HistogramData::new();
+    for v in 1..=10_000u64 {
+        h.record(v);
+    }
+    let within = |got: u64, want: u64| {
+        let err = (got as f64 - want as f64).abs() / want as f64;
+        assert!(err <= 1.0 / 16.0, "got {got}, want {want} (err {err:.3})");
+    };
+    within(h.p50(), 5_000);
+    within(h.p95(), 9_500);
+    within(h.p99(), 9_900);
+    assert_eq!(h.max(), 10_000);
+    assert_eq!(h.min(), 1);
+    assert_eq!(h.sum(), 10_000 * 10_001 / 2);
+}
+
+#[test]
+fn quantiles_on_bimodal_distribution() {
+    // 90 fast ops at ~3 µs and 10 slow ops at ~1 ms (a typical
+    // fetch-latency shape): p50 lands on the fast mode, p95/p99 on the
+    // slow one.
+    let mut h = HistogramData::new();
+    for _ in 0..90 {
+        h.record(3_000);
+    }
+    for _ in 0..10 {
+        h.record(1_000_000);
+    }
+    let p50 = h.p50();
+    assert!((2_800..=3_000).contains(&p50), "p50 = {p50}");
+    let p95 = h.p95();
+    assert!(p95 >= 900_000, "p95 = {p95}");
+    assert_eq!(h.quantile(1.0), Some(1_000_000));
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    let mk = |values: &[u64]| {
+        let mut h = HistogramData::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    };
+    let a = mk(&[0, 1, 17, 300]);
+    let b = mk(&[5, 5, 1 << 40]);
+    let c = mk(&[u64::MAX, 2]);
+
+    // (a ∪ b) ∪ c
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ab_c = ab.clone();
+    ab_c.merge(&c);
+
+    // a ∪ (b ∪ c)
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut a_bc = a.clone();
+    a_bc.merge(&bc);
+
+    // b ∪ a ∪ c (commuted)
+    let mut ba = b.clone();
+    ba.merge(&a);
+    let mut ba_c = ba.clone();
+    ba_c.merge(&c);
+
+    for (x, y) in [(&ab_c, &a_bc), (&ab_c, &ba_c)] {
+        assert_eq!(x.count(), y.count());
+        assert_eq!(x.sum(), y.sum());
+        assert_eq!(x.min(), y.min());
+        assert_eq!(x.max(), y.max());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            assert_eq!(x.quantile(q), y.quantile(q), "quantile {q} diverged");
+        }
+    }
+    assert_eq!(ab_c.count(), 9);
+}
+
+#[test]
+fn merge_across_registries() {
+    // Two independent registries (e.g. two simulated nodes) merge into
+    // an aggregate whose histogram equals recording everything in one.
+    let mut node_a = Registry::new();
+    let mut node_b = Registry::new();
+    for v in [10u64, 20, 30] {
+        node_a.histogram("lat").record(v);
+    }
+    for v in [40u64, 50] {
+        node_b.histogram("lat").record(v);
+    }
+    node_a.counter("ops").add(3);
+    node_b.counter("ops").add(2);
+
+    let mut combined = Registry::new();
+    combined.merge(&node_a);
+    combined.merge(&node_b);
+
+    let mut direct = HistogramData::new();
+    for v in [10u64, 20, 30, 40, 50] {
+        direct.record(v);
+    }
+    let merged = combined.histogram("lat").data();
+    assert_eq!(merged.count(), direct.count());
+    assert_eq!(merged.sum(), direct.sum());
+    for q in [0.0, 0.5, 1.0] {
+        assert_eq!(merged.quantile(q), direct.quantile(q));
+    }
+    assert_eq!(combined.counter_value("ops"), 5);
+}

@@ -226,7 +226,7 @@ mod tests {
     use crate::trace::Trace;
     use crate::window::Windows;
     use kona_types::{Nanos, VirtAddr};
-    use proptest::prelude::*;
+    use kona_types::rng::{Rng, StdRng};
 
     #[test]
     fn single_full_line_write() {
@@ -333,40 +333,48 @@ mod tests {
         assert_eq!(averaged(&[]), (0.0, 0.0, 0.0));
     }
 
-    proptest! {
-        /// Amplification is never below 1 for any granularity (you cannot
-        /// track fewer bytes than were dirtied), and coarser granularities
-        /// never amplify less than finer ones.
-        #[test]
-        fn prop_granularity_ordering(
-            writes in proptest::collection::vec((0u64..1u64 << 24, 1u32..256), 1..100)
-        ) {
+    /// Amplification is never below 1 for any granularity (you cannot
+    /// track fewer bytes than were dirtied), and coarser granularities
+    /// never amplify less than finer ones.
+    #[test]
+    fn prop_granularity_ordering() {
+        let mut rng = StdRng::seed_from_u64(0xA32);
+        for case in 0..64 {
             let mut amp = AmplificationAnalysis::new();
-            for (addr, len) in writes {
+            for _ in 0..rng.gen_range(1usize..100) {
+                let addr = rng.gen_range(0u64..1u64 << 24);
+                let len = rng.gen_range(1u32..256);
                 amp.record(MemAccess::write(VirtAddr::new(addr), len));
             }
             let line = amp.amplification_line();
             let p4 = amp.amplification_4k();
             let p2 = amp.amplification_2m();
-            prop_assert!(line >= 1.0 - 1e-12);
-            prop_assert!(p4 >= line - 1e-9);
-            prop_assert!(p2 >= p4 - 1e-9);
+            assert!(line >= 1.0 - 1e-12, "case {case}");
+            assert!(p4 >= line - 1e-9, "case {case}");
+            assert!(p2 >= p4 - 1e-9, "case {case}");
         }
+    }
 
-        /// Dirty bytes equal the size of the union of written intervals.
-        #[test]
-        fn prop_dirty_bytes_match_interval_union(
-            writes in proptest::collection::vec((0u64..4096, 1u32..64), 1..50)
-        ) {
+    /// Dirty bytes equal the size of the union of written intervals.
+    #[test]
+    fn prop_dirty_bytes_match_interval_union() {
+        let mut rng = StdRng::seed_from_u64(0xD127);
+        for case in 0..64 {
             let mut amp = AmplificationAnalysis::new();
             let mut model = vec![false; 8192];
-            for (addr, len) in writes {
+            for _ in 0..rng.gen_range(1usize..50) {
+                let addr = rng.gen_range(0u64..4096);
+                let len = rng.gen_range(1u32..64);
                 amp.record(MemAccess::write(VirtAddr::new(addr), len));
                 for b in addr..addr + u64::from(len) {
                     model[b as usize] = true;
                 }
             }
-            prop_assert_eq!(amp.dirty_bytes(), model.iter().filter(|&&b| b).count() as u64);
+            assert_eq!(
+                amp.dirty_bytes(),
+                model.iter().filter(|&&b| b).count() as u64,
+                "case {case}"
+            );
         }
     }
 }

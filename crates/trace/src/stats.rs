@@ -132,7 +132,7 @@ impl FromIterator<u64> for Cdf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use kona_types::rng::{Rng, StdRng};
 
     #[test]
     fn fractions() {
@@ -173,27 +173,38 @@ mod tests {
         assert!(cdf.to_string().contains("3 observations"));
     }
 
-    proptest! {
-        /// The CDF is monotone and reaches 1.0 at the maximum value.
-        #[test]
-        fn prop_monotone(values in proptest::collection::vec(0u64..1000, 1..100)) {
+    /// The CDF is monotone and reaches 1.0 at the maximum value.
+    #[test]
+    fn prop_monotone() {
+        let mut rng = StdRng::seed_from_u64(0x0CDF);
+        for _ in 0..64 {
+            let values: Vec<u64> = (0..rng.gen_range(1usize..100))
+                .map(|_| rng.gen_range(0u64..1000))
+                .collect();
             let cdf: Cdf = values.iter().copied().collect();
             let max = *values.iter().max().unwrap();
             let mut prev = 0.0;
             for x in 0..=max {
                 let f = cdf.fraction_le(x);
-                prop_assert!(f >= prev);
+                assert!(f >= prev);
                 prev = f;
             }
-            prop_assert!((cdf.fraction_le(max) - 1.0).abs() < 1e-12);
+            assert!((cdf.fraction_le(max) - 1.0).abs() < 1e-12);
         }
+    }
 
-        /// quantile() inverts fraction_le.
-        #[test]
-        fn prop_quantile_consistent(values in proptest::collection::vec(0u64..100, 1..50), q in 0.0f64..1.0) {
+    /// quantile() inverts fraction_le.
+    #[test]
+    fn prop_quantile_consistent() {
+        let mut rng = StdRng::seed_from_u64(0x0CD0);
+        for _ in 0..256 {
+            let values: Vec<u64> = (0..rng.gen_range(1usize..50))
+                .map(|_| rng.gen_range(0u64..100))
+                .collect();
+            let q = rng.gen_range(0.0..1.0);
             let cdf: Cdf = values.iter().copied().collect();
             let v = cdf.quantile(q).unwrap();
-            prop_assert!(cdf.fraction_le(v) >= q - 1e-12);
+            assert!(cdf.fraction_le(v) >= q - 1e-12);
         }
     }
 }

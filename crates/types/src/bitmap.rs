@@ -179,7 +179,7 @@ impl Iterator for Segments<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::{Rng, StdRng};
 
     #[test]
     fn set_get_clear() {
@@ -249,43 +249,62 @@ mod tests {
         assert_eq!(bm.iter_set().collect::<Vec<_>>(), vec![5, 69]);
     }
 
-    proptest! {
-        /// Segments partition exactly the set bits: total segment length
-        /// equals the popcount, and every segment is a maximal run.
-        #[test]
-        fn prop_segments_cover_set_bits(bits in proptest::collection::vec(any::<bool>(), 1..300)) {
-            let mut bm = LineBitmap::new(bits.len());
-            for (i, &b) in bits.iter().enumerate() {
-                if b { bm.set(i); }
+    /// Segments partition exactly the set bits: total segment length
+    /// equals the popcount, and every segment is a maximal run.
+    #[test]
+    fn prop_segments_cover_set_bits() {
+        let mut rng = StdRng::seed_from_u64(0xB17A);
+        for case in 0..64 {
+            let len = rng.gen_range(1usize..300);
+            let density = rng.gen_range(0.0..1.0);
+            let mut bm = LineBitmap::new(len);
+            for i in 0..len {
+                if rng.gen_bool(density) {
+                    bm.set(i);
+                }
             }
             let segs: Vec<_> = bm.segments().collect();
             let total: usize = segs.iter().map(|&(_, l)| l).sum();
-            prop_assert_eq!(total, bm.count_set());
+            assert_eq!(total, bm.count_set(), "case {case}");
             for &(start, len) in &segs {
                 for i in start..start + len {
-                    prop_assert!(bm.get(i));
+                    assert!(bm.get(i));
                 }
                 if start > 0 {
-                    prop_assert!(!bm.get(start - 1));
+                    assert!(!bm.get(start - 1));
                 }
                 if start + len < bm.len() {
-                    prop_assert!(!bm.get(start + len));
+                    assert!(!bm.get(start + len));
                 }
             }
         }
+    }
 
-        /// set/clear round-trips and count_set matches a naive model.
-        #[test]
-        fn prop_count_matches_model(ops in proptest::collection::vec((0usize..128, any::<bool>()), 0..200)) {
+    /// set/clear round-trips and count_set matches a naive model.
+    #[test]
+    fn prop_count_matches_model() {
+        let mut rng = StdRng::seed_from_u64(0xC0DE);
+        for case in 0..64 {
             let mut bm = LineBitmap::new(128);
             let mut model = [false; 128];
-            for (idx, set) in ops {
-                if set { bm.set(idx); model[idx] = true; }
-                else { bm.clear(idx); model[idx] = false; }
+            for _ in 0..rng.gen_range(0usize..200) {
+                let idx = rng.gen_range(0usize..128);
+                let set: bool = rng.gen();
+                if set {
+                    bm.set(idx);
+                    model[idx] = true;
+                } else {
+                    bm.clear(idx);
+                    model[idx] = false;
+                }
             }
-            prop_assert_eq!(bm.count_set(), model.iter().filter(|&&b| b).count());
+            assert_eq!(
+                bm.count_set(),
+                model.iter().filter(|&&b| b).count(),
+                "case {case}"
+            );
             for (i, &expected) in model.iter().enumerate() {
-                prop_assert_eq!(bm.get(i), expected);
+                assert_eq!(bm.get(i), expected);
             }
         }
     }

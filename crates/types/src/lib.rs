@@ -26,6 +26,7 @@ mod access;
 mod addr;
 mod bitmap;
 mod error;
+pub mod rng;
 mod size;
 mod time;
 

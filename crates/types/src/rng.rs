@@ -1,0 +1,256 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The workspace builds with no external dependencies, so instead of the
+//! `rand` crate the workload generators and randomized tests use this
+//! in-repo xoshiro256++ generator (Blackman & Vigna), seeded through
+//! SplitMix64 exactly as `rand`'s `StdRng::seed_from_u64` recommends.
+//! The API mirrors the subset of `rand` the workspace uses: [`Rng::gen`],
+//! [`Rng::gen_range`] and [`StdRng::seed_from_u64`].
+//!
+//! # Examples
+//!
+//! ```
+//! use kona_types::rng::{Rng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let x: f64 = rng.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! let k = rng.gen_range(10u64..20);
+//! assert!((10..20).contains(&k));
+//! ```
+
+/// The subset of `rand::Rng` used across the workspace.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of `T` (see [`Sample`] for the mapping).
+    fn gen<T: Sample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniformly random value from a `a..b` or `a..=b` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+/// Types drawable uniformly from an [`Rng`].
+pub trait Sample {
+    /// Draws one value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for u8 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits, the standard mapping.
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_one<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Element types with a uniform sampler over a half-open span.
+pub trait SampleUniform: Sized + Copy {
+    /// Draws uniformly from `[start, end)`, or `[start, end]` when
+    /// `inclusive`.
+    fn sample_span<R: Rng>(rng: &mut R, start: Self, end: Self, inclusive: bool) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_one<R: Rng>(self, rng: &mut R) -> T {
+        T::sample_span(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_one<R: Rng>(self, rng: &mut R) -> T {
+        T::sample_span(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// Draws a `u64` in `[0, n)` without modulo bias (rejection sampling over
+/// the smallest covering power of two).
+fn uniform_below<R: Rng>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "empty range");
+    if n.is_power_of_two() {
+        return rng.next_u64() & (n - 1);
+    }
+    let mask = n.next_power_of_two().wrapping_sub(1);
+    loop {
+        let v = rng.next_u64() & mask;
+        if v < n {
+            return v;
+        }
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_span<R: Rng>(rng: &mut R, start: Self, end: Self, inclusive: bool) -> Self {
+                let span = (end as u64)
+                    .wrapping_sub(start as u64)
+                    .wrapping_add(u64::from(inclusive));
+                assert!(span > 0, "empty range");
+                start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u64, u32, u16, u8, usize, i64, i32);
+
+impl SampleUniform for f64 {
+    fn sample_span<R: Rng>(rng: &mut R, start: Self, end: Self, _inclusive: bool) -> Self {
+        assert!(start < end, "empty range");
+        start + f64::sample(rng) * (end - start)
+    }
+}
+
+/// A seedable xoshiro256++ generator (the workspace's `StdRng`).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Seeds the full 256-bit state from `seed` via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(5u64..12);
+            assert!((5..12).contains(&v));
+            seen_low |= v == 5;
+            seen_high |= v == 11;
+        }
+        assert!(seen_low && seen_high, "both endpoints should occur");
+        let f = rng.gen_range(1.0..2.0);
+        assert!((1.0..2.0).contains(&f));
+    }
+
+    #[test]
+    fn power_of_two_and_odd_spans() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[rng.gen_range(0usize..3)] += 1;
+        }
+        // Roughly uniform: each bin within 3 sigma of 10_000.
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "biased bin: {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        rng.gen_range(5u32..5);
+    }
+}

@@ -3,6 +3,7 @@
 use crate::costs::VmCosts;
 use crate::page_table::{PageTable, Pte};
 use crate::tlb::{Tlb, TlbConfig, TlbStats};
+use kona_telemetry::{Counter, Telemetry};
 use kona_types::{AccessKind, Nanos, PageNumber, VirtAddr};
 
 /// Why a translation faulted.
@@ -72,6 +73,27 @@ pub struct Mmu {
     tlb: Tlb,
     costs: VmCosts,
     stats: MmuStats,
+    metrics: MmuCounters,
+}
+
+/// Pre-resolved telemetry handles for the MMU's fault paths.
+#[derive(Debug, Clone)]
+struct MmuCounters {
+    major_faults: Counter,
+    minor_faults: Counter,
+    tlb_invalidations: Counter,
+    tlb_shootdowns: Counter,
+}
+
+impl MmuCounters {
+    fn new(telemetry: &Telemetry) -> Self {
+        MmuCounters {
+            major_faults: telemetry.counter("vm.mmu.major_faults"),
+            minor_faults: telemetry.counter("vm.mmu.minor_faults"),
+            tlb_invalidations: telemetry.counter("vm.mmu.tlb_invalidations"),
+            tlb_shootdowns: telemetry.counter("vm.mmu.tlb_shootdowns"),
+        }
+    }
 }
 
 impl Mmu {
@@ -87,7 +109,14 @@ impl Mmu {
             tlb: Tlb::new(tlb),
             costs,
             stats: MmuStats::default(),
+            metrics: MmuCounters::new(&Telemetry::disabled()),
         }
+    }
+
+    /// Routes the MMU's fault/shootdown counters into `telemetry`'s
+    /// registry.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = MmuCounters::new(telemetry);
     }
 
     /// The page table (for inspection).
@@ -129,6 +158,7 @@ impl Mmu {
         let old = self.page_table.remove(page);
         if old.is_some() {
             self.tlb.invalidate(page);
+            self.metrics.tlb_invalidations.inc();
             self.charge(self.costs.tlb_invalidate);
         }
         old
@@ -143,8 +173,10 @@ impl Mmu {
             pte.writable = false;
             pte.dirty = false;
             self.tlb.invalidate(page);
+            self.metrics.tlb_invalidations.inc();
             self.charge(self.costs.tlb_invalidate);
             if shootdown {
+                self.metrics.tlb_shootdowns.inc();
                 self.charge(self.costs.tlb_shootdown);
             }
         }
@@ -181,6 +213,7 @@ impl Mmu {
 
         let Some(pte) = pte else {
             self.stats.major_faults += 1;
+            self.metrics.major_faults.inc();
             let raise_cost = walk_cost + self.costs.major_fault_entry;
             self.charge(raise_cost);
             return Err(PageFault {
@@ -192,6 +225,7 @@ impl Mmu {
 
         if !pte.present {
             self.stats.major_faults += 1;
+            self.metrics.major_faults.inc();
             let raise_cost = walk_cost + self.costs.major_fault_entry;
             self.charge(raise_cost);
             return Err(PageFault {
@@ -203,6 +237,7 @@ impl Mmu {
 
         if kind.is_write() && !pte.writable {
             self.stats.minor_faults += 1;
+            self.metrics.minor_faults.inc();
             // A write-protect fault invalidates the (stale, read-only) TLB
             // entry as part of handling.
             self.tlb.invalidate(page);

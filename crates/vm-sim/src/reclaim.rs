@@ -117,7 +117,7 @@ impl LruPageList {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use kona_types::rng::{Rng, StdRng};
 
     #[test]
     fn lru_order_basic() {
@@ -177,14 +177,16 @@ mod tests {
         assert_eq!(lru.pop_lru_batch(10).len(), 2);
     }
 
-    proptest! {
-        /// The list behaves identically to a naive Vec-based LRU model.
-        #[test]
-        fn prop_matches_vec_model(ops in proptest::collection::vec((0u64..20, 0u8..3), 1..300)) {
+    /// The list behaves identically to a naive Vec-based LRU model.
+    #[test]
+    fn prop_matches_vec_model() {
+        let mut rng = StdRng::seed_from_u64(0x12C);
+        for _ in 0..64 {
             let mut lru = LruPageList::new();
             let mut model: Vec<u64> = Vec::new(); // front = MRU
-            for (page, op) in ops {
-                match op {
+            for _ in 0..rng.gen_range(1usize..300) {
+                let page = rng.gen_range(0u64..20);
+                match rng.gen_range(0u8..3) {
                     0 => {
                         lru.touch(PageNumber(page));
                         model.retain(|&p| p != page);
@@ -193,17 +195,17 @@ mod tests {
                     1 => {
                         let got = lru.pop_lru().map(|p| p.raw());
                         let want = model.pop();
-                        prop_assert_eq!(got, want);
+                        assert_eq!(got, want);
                     }
                     _ => {
                         let got = lru.remove(PageNumber(page));
                         let want = model.contains(&page);
                         model.retain(|&p| p != page);
-                        prop_assert_eq!(got, want);
+                        assert_eq!(got, want);
                     }
                 }
-                prop_assert_eq!(lru.len(), model.len());
-                prop_assert_eq!(lru.peek_lru().map(|p| p.raw()), model.last().copied());
+                assert_eq!(lru.len(), model.len());
+                assert_eq!(lru.peek_lru().map(|p| p.raw()), model.last().copied());
             }
         }
     }

@@ -19,8 +19,7 @@ use crate::config::WorkloadProfile;
 use crate::Workload;
 use kona_trace::{Trace, TraceEvent};
 use kona_types::{ByteSize, MemAccess, Nanos, VirtAddr};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kona_types::rng::{Rng, StdRng};
 
 /// Which GraphLab algorithm to model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

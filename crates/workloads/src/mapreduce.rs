@@ -9,8 +9,7 @@ use crate::config::WorkloadProfile;
 use crate::Workload;
 use kona_trace::{Trace, TraceEvent};
 use kona_types::{ByteSize, MemAccess, VirtAddr};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kona_types::rng::{Rng, StdRng};
 
 const PAPER_INPUT_BYTES: u64 = 40u64 << 30;
 

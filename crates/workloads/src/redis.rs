@@ -20,8 +20,7 @@ use crate::zipf::Zipf;
 use crate::Workload;
 use kona_trace::{Trace, TraceEvent};
 use kona_types::{ByteSize, MemAccess, VirtAddr};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kona_types::rng::{Rng, StdRng};
 
 /// Key ordering mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

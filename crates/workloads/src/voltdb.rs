@@ -13,8 +13,7 @@ use crate::zipf::Zipf;
 use crate::Workload;
 use kona_trace::{Trace, TraceEvent};
 use kona_types::{ByteSize, MemAccess, VirtAddr};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kona_types::rng::{Rng, StdRng};
 
 const PAPER_BYTES: u64 = 12_348_030_976; // 11.5 GiB
 const ROW_SLOT: u64 = 256;

@@ -6,7 +6,7 @@
 //! standard rejection-inversion method (Hörmann & Derflinger 1996), the
 //! same algorithm `rand_distr::Zipf` uses.
 
-use rand::Rng;
+use kona_types::rng::Rng;
 
 /// Zipf distribution over `1..=n` with exponent `s > 0`.
 ///
@@ -14,7 +14,7 @@ use rand::Rng;
 ///
 /// ```
 /// use kona_workloads::Zipf;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use kona_types::rng::StdRng;
 ///
 /// let zipf = Zipf::new(1000, 0.99);
 /// let mut rng = StdRng::seed_from_u64(1);
@@ -58,7 +58,7 @@ impl Zipf {
     }
 
     /// Draws one rank in `1..=n`; rank 1 is the most popular.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
         let one_minus_s = 1.0 - self.s;
         let h_inv = |x: f64| (one_minus_s * x).powf(self.one_minus_s_inv);
         loop {
@@ -77,8 +77,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use kona_types::rng::StdRng;
 
     #[test]
     fn samples_in_range() {

@@ -1,14 +1,17 @@
-//! Property-based tests over the full runtime stack.
+//! Randomized tests over the full runtime stack.
 //!
 //! The central property: under *any* interleaving of allocations, writes,
 //! reads and syncs, both runtimes behave like plain local memory — reads
 //! observe the latest write, and synced data survives arbitrary cache
 //! pressure. A second property checks the paper's invariant that Kona's
 //! wire writeback never exceeds a page-granularity evictor's.
+//!
+//! Each test draws many op sequences from the deterministic in-repo
+//! generator ([`kona_types::rng`]), so runs are reproducible.
 
 use kona::{ClusterConfig, KonaRuntime, RemoteMemoryRuntime, VmProfile, VmRuntime};
+use kona_types::rng::{Rng, StdRng};
 use kona_types::ByteSize;
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -17,16 +20,22 @@ enum Op {
     Sync,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (0u64..512, 1usize..200, 1u8..255).prop_map(|(slot, len, byte)| Op::Write {
-            slot,
-            len,
-            byte
-        }),
-        2 => (0u64..512,).prop_map(|(slot,)| Op::Read { slot }),
-        1 => Just(Op::Sync),
-    ]
+fn random_ops(rng: &mut StdRng, max_len: usize) -> Vec<Op> {
+    let n = rng.gen_range(1..=max_len);
+    (0..n)
+        .map(|_| match rng.gen_range(0u32..6) {
+            // Weights mirror the original strategy: 3 writes : 2 reads : 1 sync.
+            0..=2 => Op::Write {
+                slot: rng.gen_range(0u64..512),
+                len: rng.gen_range(1usize..200),
+                byte: rng.gen_range(1u8..255),
+            },
+            3..=4 => Op::Read {
+                slot: rng.gen_range(0u64..512),
+            },
+            _ => Op::Sync,
+        })
+        .collect()
 }
 
 fn pressured() -> ClusterConfig {
@@ -66,51 +75,67 @@ fn check_memory_semantics(rt: &mut dyn RemoteMemoryRuntime, ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn prop_kona_is_memory(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn prop_kona_is_memory() {
+    let mut rng = StdRng::seed_from_u64(0x404A);
+    for _ in 0..24 {
+        let ops = random_ops(&mut rng, 120);
         let mut rt = KonaRuntime::new(pressured()).unwrap();
         check_memory_semantics(&mut rt, &ops);
     }
+}
 
-    #[test]
-    fn prop_kona_vm_is_memory(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn prop_kona_vm_is_memory() {
+    let mut rng = StdRng::seed_from_u64(0x404B);
+    for _ in 0..24 {
+        let ops = random_ops(&mut rng, 120);
         let mut rt = VmRuntime::new(pressured(), VmProfile::kona_vm()).unwrap();
         check_memory_semantics(&mut rt, &ops);
     }
+}
 
-    #[test]
-    fn prop_kona_replicated_is_memory(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+#[test]
+fn prop_kona_replicated_is_memory() {
+    let mut rng = StdRng::seed_from_u64(0x404C);
+    for _ in 0..24 {
+        let ops = random_ops(&mut rng, 80);
         let mut rt = KonaRuntime::new(pressured().with_replicas(2)).unwrap();
         check_memory_semantics(&mut rt, &ops);
     }
+}
 
-    /// Kona never takes a fault and never ships more writeback bytes than
-    /// the page-granularity equivalent would.
-    #[test]
-    fn prop_kona_granularity_advantage(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+/// Kona never takes a fault and never ships more writeback bytes than
+/// the page-granularity equivalent would.
+#[test]
+fn prop_kona_granularity_advantage() {
+    let mut rng = StdRng::seed_from_u64(0x404D);
+    for _ in 0..24 {
+        let ops = random_ops(&mut rng, 100);
         let mut rt = KonaRuntime::new(pressured()).unwrap();
         check_memory_semantics(&mut rt, &ops);
         let s = rt.stats();
-        prop_assert_eq!(s.major_faults + s.minor_faults, 0);
-        prop_assert_eq!(s.tlb_invalidations, 0);
+        assert_eq!(s.major_faults + s.minor_faults, 0);
+        assert_eq!(s.tlb_invalidations, 0);
         // Page-granularity equivalent: every dirty page eviction ships 4 KiB.
         if s.pages_evicted > 0 {
-            prop_assert!(s.writeback_bytes <= s.pages_evicted * 4096);
+            assert!(s.writeback_bytes <= s.pages_evicted * 4096);
         }
     }
+}
 
-    /// Timing determinism: the same op sequence always costs the same
-    /// simulated time.
-    #[test]
-    fn prop_timing_deterministic(ops in proptest::collection::vec(op_strategy(), 1..60)) {
-        let run = || {
+/// Timing determinism: the same op sequence always costs the same
+/// simulated time.
+#[test]
+fn prop_timing_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0x404E);
+    for _ in 0..12 {
+        let ops = random_ops(&mut rng, 60);
+        let run = |ops: &[Op]| {
             let mut rt = KonaRuntime::new(pressured()).unwrap();
-            check_memory_semantics(&mut rt, &ops);
+            check_memory_semantics(&mut rt, ops);
             rt.stats().app_time
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(&ops), run(&ops));
     }
 }

@@ -1,0 +1,152 @@
+//! End-to-end telemetry checks: the metrics registry is the single source
+//! of truth for [`kona::RuntimeStats`], and a traced run exports a valid
+//! Chrome trace-event timeline with both simulated threads on it.
+
+use kona::metrics::names;
+use kona::{ClusterConfig, KonaRuntime, RemoteMemoryRuntime, VmProfile, VmRuntime};
+use kona_telemetry::Telemetry;
+use kona_types::MemAccess;
+
+/// A cluster small enough that the access pattern below forces evictions.
+fn tight_cluster() -> ClusterConfig {
+    let mut cfg = ClusterConfig::small().with_local_cache_pages(8);
+    cfg.cpu_cache_lines = 64;
+    cfg
+}
+
+/// Touches enough pages to exercise fetch, hit, eviction and writeback.
+fn drive(rt: &mut dyn RemoteMemoryRuntime) {
+    let base = rt.allocate(64 * 4096).expect("allocate");
+    for p in 0..48u64 {
+        rt.write_bytes(base + p * 4096, &[p as u8; 128]).expect("write");
+    }
+    for p in 0..48u64 {
+        let mut buf = [0u8; 64];
+        rt.read_bytes(base + p * 4096, &mut buf).expect("read");
+    }
+    rt.sync().expect("sync");
+}
+
+#[test]
+fn snapshot_counters_match_runtime_stats_exactly() {
+    let tel = Telemetry::disabled();
+    let mut rt = KonaRuntime::with_telemetry(tight_cluster(), tel.clone()).expect("config");
+    drive(&mut rt);
+
+    let stats = rt.stats();
+    assert!(stats.remote_fetches > 0, "workload must fetch remotely");
+    assert!(stats.pages_evicted > 0, "workload must evict");
+    assert!(stats.writeback_bytes > 0, "workload must write back");
+
+    let snap = tel.snapshot();
+    assert_eq!(snap.counter(names::REMOTE_FETCHES), Some(stats.remote_fetches));
+    assert_eq!(snap.counter(names::PAGES_EVICTED), Some(stats.pages_evicted));
+    assert_eq!(snap.counter(names::WRITEBACK_BYTES), Some(stats.writeback_bytes));
+    assert_eq!(snap.counter(names::LOCAL_HITS), Some(stats.local_hits));
+    assert_eq!(snap.counter(names::APP_DIRTY_BYTES), Some(stats.app_dirty_bytes));
+    assert_eq!(snap.counter(names::APP_TIME_NS), Some(stats.app_time.as_ns()));
+    assert_eq!(
+        snap.counter(names::BACKGROUND_TIME_NS),
+        Some(stats.background_time.as_ns())
+    );
+}
+
+#[test]
+fn snapshot_mirrors_fabric_net_stats() {
+    let tel = Telemetry::disabled();
+    let mut rt = KonaRuntime::with_telemetry(tight_cluster(), tel.clone()).expect("config");
+    drive(&mut rt);
+
+    let net = rt.fabric_mut().stats();
+    let snap = tel.snapshot();
+    let verbs = snap.counter("net.verbs.read").unwrap_or(0)
+        + snap.counter("net.verbs.write").unwrap_or(0)
+        + snap.counter("net.verbs.send").unwrap_or(0);
+    assert_eq!(verbs, net.requests);
+    assert_eq!(snap.counter("net.posts"), Some(net.posts));
+    assert_eq!(snap.counter("net.wire_bytes"), Some(net.wire_bytes));
+    assert_eq!(snap.counter("net.completions"), Some(net.completions));
+}
+
+#[test]
+fn vm_runtime_stats_are_registry_backed_too() {
+    let tel = Telemetry::disabled();
+    let mut rt = VmRuntime::with_telemetry(tight_cluster(), VmProfile::kona_vm(), tel.clone())
+        .expect("config");
+    drive(&mut rt);
+
+    let stats = rt.stats();
+    assert!(stats.major_faults > 0);
+    assert!(stats.minor_faults > 0);
+    let snap = tel.snapshot();
+    assert_eq!(snap.counter(names::MAJOR_FAULTS), Some(stats.major_faults));
+    assert_eq!(snap.counter(names::MINOR_FAULTS), Some(stats.minor_faults));
+    assert_eq!(snap.counter(names::PAGES_EVICTED), Some(stats.pages_evicted));
+    assert_eq!(snap.counter(names::WRITEBACK_BYTES), Some(stats.writeback_bytes));
+    // The MMU's own vm.mmu.* counters land in the same registry.
+    assert!(snap.counter("vm.mmu.major_faults").unwrap_or(0) > 0);
+}
+
+#[test]
+fn chrome_trace_has_both_threads_and_is_balanced() {
+    let tel = Telemetry::with_tracing(1 << 16);
+    let mut rt = KonaRuntime::with_telemetry(tight_cluster(), tel.clone()).expect("config");
+    drive(&mut rt);
+
+    let json = tel.chrome_trace();
+    // Both simulated threads are named on the timeline.
+    assert!(json.contains("\"application\""), "app thread missing");
+    assert!(json.contains("\"eviction/poller\""), "background thread missing");
+    // Foreground and background span kinds both appear.
+    assert!(json.contains("\"remote_fetch\""), "no remote_fetch spans");
+    assert!(json.contains("\"evict\""), "no evict spans");
+    assert!(json.contains("\"writeback\""), "no writeback spans");
+    // Structurally valid: balanced braces and brackets, no trailing comma.
+    let opens = json.matches('{').count();
+    let closes = json.matches('}').count();
+    assert_eq!(opens, closes, "unbalanced braces");
+    let obrackets = json.matches('[').count();
+    let cbrackets = json.matches(']').count();
+    assert_eq!(obrackets, cbrackets, "unbalanced brackets");
+    assert!(!json.contains(",]") && !json.contains(",}"), "trailing comma");
+}
+
+#[test]
+fn vm_trace_contains_fault_and_shootdown_spans() {
+    let tel = Telemetry::with_tracing(1 << 16);
+    let mut rt = VmRuntime::with_telemetry(tight_cluster(), VmProfile::kona_vm(), tel.clone())
+        .expect("config");
+    drive(&mut rt);
+
+    let json = tel.chrome_trace();
+    assert!(json.contains("\"page_fault\""), "no page_fault spans");
+    assert!(json.contains("\"tlb_shootdown\""), "no tlb_shootdown spans");
+}
+
+#[test]
+fn disabled_telemetry_runs_record_no_events() {
+    let mut rt = KonaRuntime::new(tight_cluster()).expect("config");
+    drive(&mut rt);
+    assert!(rt.telemetry().events().is_empty());
+    assert!(rt.stats().remote_fetches > 0);
+}
+
+#[test]
+fn metrics_exports_are_parseable() {
+    let tel = Telemetry::disabled();
+    let mut rt = KonaRuntime::with_telemetry(tight_cluster(), tel.clone()).expect("config");
+    drive(&mut rt);
+    // Sanity access pattern variation so histograms are populated.
+    let base = rt.allocate(4096).expect("allocate");
+    rt.access(MemAccess::read(base, 8)).expect("access");
+
+    let json = tel.metrics_json();
+    assert!(json.contains(names::REMOTE_FETCHES));
+    assert!(json.contains(names::FETCH_NS));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+    let csv = tel.metrics_csv();
+    let mut lines = csv.lines();
+    assert!(lines.next().is_some_and(|h| h.contains("name")));
+    assert!(csv.lines().count() > 5);
+}
