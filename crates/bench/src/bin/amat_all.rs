@@ -5,13 +5,51 @@
 //! tradeoffs." Fig 8 plots three; this companion experiment prints the
 //! 25% and 50% cache points for every Table 2 workload under all four
 //! system models — the cross-workload view of the same tradeoff.
+//!
+//! The workloads are independent, so they fan out over `--jobs` worker
+//! threads (each worker constructs its own workload by index and replays
+//! its own trace). Rows are collected in workload order, so the printed
+//! tables are identical for every job count.
 
 use kona_bench::{banner, f1, ExpOptions, TextTable};
 use kona_kcachesim::{sweep_cache_size, SystemModel};
+use kona_types::par_map;
 use kona_workloads::{
     GraphAlgorithm, GraphWorkload, HistogramWorkload, LinearRegressionWorkload, RedisWorkload,
     VoltDbWorkload, Workload, WorkloadProfile,
 };
+
+/// Number of Table 2 workloads covered below.
+const WORKLOADS: usize = 9;
+
+/// Builds workload `i` (trait objects are not `Send`, so each parallel
+/// worker constructs its own from the index).
+fn make_workload(i: usize, profile: WorkloadProfile) -> Box<dyn Workload> {
+    match i {
+        0 => Box::new(RedisWorkload::rand().with_profile(profile)),
+        1 => Box::new(RedisWorkload::seq().with_profile(profile)),
+        2 => Box::new(LinearRegressionWorkload::with_profile(profile)),
+        3 => Box::new(HistogramWorkload::with_profile(profile)),
+        4 => Box::new(GraphWorkload::with_profile(GraphAlgorithm::PageRank, profile)),
+        5 => Box::new(GraphWorkload::with_profile(GraphAlgorithm::GraphColoring, profile)),
+        6 => Box::new(GraphWorkload::with_profile(
+            GraphAlgorithm::ConnectedComponents,
+            profile,
+        )),
+        7 => Box::new(GraphWorkload::with_profile(
+            GraphAlgorithm::LabelPropagation,
+            profile,
+        )),
+        _ => Box::new(VoltDbWorkload::with_profile(profile)),
+    }
+}
+
+/// One workload's name plus its `[kona, kona_main, legoos, infiniswap]`
+/// AMAT at each requested cache percentage.
+struct WorkloadAmat {
+    name: String,
+    per_pct: Vec<[f64; 4]>,
+}
 
 fn main() {
     let opts = ExpOptions::from_env();
@@ -28,25 +66,31 @@ fn main() {
             .with_scale_divisor(512)
     };
 
-    let workloads: Vec<Box<dyn Workload>> = vec![
-        Box::new(RedisWorkload::rand().with_profile(profile)),
-        Box::new(RedisWorkload::seq().with_profile(profile)),
-        Box::new(LinearRegressionWorkload::with_profile(profile)),
-        Box::new(HistogramWorkload::with_profile(profile)),
-        Box::new(GraphWorkload::with_profile(GraphAlgorithm::PageRank, profile)),
-        Box::new(GraphWorkload::with_profile(GraphAlgorithm::GraphColoring, profile)),
-        Box::new(GraphWorkload::with_profile(
-            GraphAlgorithm::ConnectedComponents,
-            profile,
-        )),
-        Box::new(GraphWorkload::with_profile(
-            GraphAlgorithm::LabelPropagation,
-            profile,
-        )),
-        Box::new(VoltDbWorkload::with_profile(profile)),
-    ];
+    let percents = [25u32, 50];
+    let results: Vec<WorkloadAmat> = par_map(opts.jobs, (0..WORKLOADS).collect(), |_, i| {
+        let wl = make_workload(i, profile);
+        let trace = wl.generate(42);
+        let per_pct = percents
+            .iter()
+            .map(|&pct| {
+                let amat = |sys: &SystemModel| {
+                    sweep_cache_size(&trace, sys, &[pct], 4096, 4)[0].result.amat_ns
+                };
+                [
+                    amat(&SystemModel::kona()),
+                    amat(&SystemModel::kona_main()),
+                    amat(&SystemModel::legoos()),
+                    amat(&SystemModel::infiniswap()),
+                ]
+            })
+            .collect();
+        WorkloadAmat {
+            name: wl.name().to_string(),
+            per_pct,
+        }
+    });
 
-    for pct in [25u32, 50] {
+    for (pi, pct) in percents.iter().enumerate() {
         println!("\n--- AMAT (ns) at {pct}% local cache ---");
         let mut table = TextTable::new(&[
             "Workload",
@@ -56,19 +100,14 @@ fn main() {
             "Infiniswap",
             "LegoOS/Kona",
         ]);
-        for wl in &workloads {
-            let trace = wl.generate(42);
-            let amat = |sys: &SystemModel| {
-                sweep_cache_size(&trace, sys, &[pct], 4096, 4)[0].result.amat_ns
-            };
-            let kona = amat(&SystemModel::kona());
-            let lego = amat(&SystemModel::legoos());
+        for r in &results {
+            let [kona, kona_main, lego, infiniswap] = r.per_pct[pi];
             table.row(vec![
-                wl.name().to_string(),
+                r.name.clone(),
                 f1(kona),
-                f1(amat(&SystemModel::kona_main())),
+                f1(kona_main),
                 f1(lego),
-                f1(amat(&SystemModel::infiniswap())),
+                f1(infiniswap),
                 format!("{:.2}x", lego / kona),
             ]);
         }

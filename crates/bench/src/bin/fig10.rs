@@ -4,10 +4,13 @@
 //! overhead on the app) and once in write-protect mode (a minor fault per
 //! first write to each page per window plus re-protection work); the
 //! speedup is the relative reduction in total time.
+//!
+//! Workloads fan out over `--jobs` worker threads; rows come back in
+//! workload order, so output is identical for every job count.
 
 use kona_bench::{banner, f1, ExpOptions, TextTable};
 use kona_ktracker::{speedup_percent, KTracker, TrackingMode};
-use kona_types::Nanos;
+use kona_types::{par_map, Nanos};
 use kona_workloads::{
     GraphAlgorithm, GraphWorkload, HistogramWorkload, LinearRegressionWorkload, RedisWorkload,
     Workload, WorkloadProfile,
@@ -31,78 +34,85 @@ fn main() {
         .with_ops_per_window(ops)
         .with_scale_divisor(scale);
 
-    let workloads: Vec<(&str, Box<dyn Workload>, f64)> = vec![
+    // (name, constructor, paper speedup %). Constructors, not trait
+    // objects: each parallel worker builds its own workload.
+    type Make = fn(WorkloadProfile) -> Box<dyn Workload>;
+    let workloads: Vec<(&str, Make, f64)> = vec![
         (
             "Redis-Rand",
-            Box::new(RedisWorkload::rand().with_profile(profile)),
+            (|p| Box::new(RedisWorkload::rand().with_profile(p))) as Make,
             35.0,
         ),
         (
             "Redis-Seq",
-            Box::new(RedisWorkload::seq().with_profile(profile)),
+            |p| Box::new(RedisWorkload::seq().with_profile(p)),
             1.0,
         ),
         (
             "Histogram",
-            Box::new(HistogramWorkload::with_profile(profile)),
+            |p| Box::new(HistogramWorkload::with_profile(p)),
             1.0,
         ),
         (
             "Lin-regr",
-            Box::new(LinearRegressionWorkload::with_profile(profile)),
+            |p| Box::new(LinearRegressionWorkload::with_profile(p)),
             8.0,
         ),
         (
             "Concomp",
-            Box::new(GraphWorkload::with_profile(
-                GraphAlgorithm::ConnectedComponents,
-                profile,
-            )),
+            |p| {
+                Box::new(GraphWorkload::with_profile(
+                    GraphAlgorithm::ConnectedComponents,
+                    p,
+                ))
+            },
             13.0,
         ),
         (
             "Graphcol",
-            Box::new(GraphWorkload::with_profile(
-                GraphAlgorithm::GraphColoring,
-                profile,
-            )),
+            |p| Box::new(GraphWorkload::with_profile(GraphAlgorithm::GraphColoring, p)),
             12.0,
         ),
         (
             "Labelprop",
-            Box::new(GraphWorkload::with_profile(
-                GraphAlgorithm::LabelPropagation,
-                profile,
-            )),
+            |p| {
+                Box::new(GraphWorkload::with_profile(
+                    GraphAlgorithm::LabelPropagation,
+                    p,
+                ))
+            },
             15.0,
         ),
         (
             "Pagerank",
-            Box::new(GraphWorkload::with_profile(GraphAlgorithm::PageRank, profile)),
+            |p| Box::new(GraphWorkload::with_profile(GraphAlgorithm::PageRank, p)),
             10.0,
         ),
     ];
 
-    let tracker = KTracker::new(Nanos::secs(1));
+    let rows = par_map(opts.jobs, workloads, |_, (name, make, paper)| {
+        let tracker = KTracker::new(Nanos::secs(1));
+        let trace = make(profile).generate(42);
+        let coh = tracker.run(&trace, TrackingMode::Coherence);
+        let wp = tracker.run(&trace, TrackingMode::WriteProtect);
+        // Extension: Intel PML (related work §8) removes the write faults
+        // but keeps page granularity; coherence tracking still wins.
+        let pml = tracker.run(&trace, TrackingMode::Pml);
+        vec![
+            name.to_string(),
+            f1(speedup_percent(&coh, &wp)),
+            f1(paper),
+            f1(speedup_percent(&coh, &pml)),
+        ]
+    });
     let mut table = TextTable::new(&[
         "Workload",
         "Speedup %",
         "Paper % (approx)",
         "vs PML %",
     ]);
-    for (name, wl, paper) in workloads {
-        let trace = wl.generate(42);
-        let coh = tracker.run(&trace, TrackingMode::Coherence);
-        let wp = tracker.run(&trace, TrackingMode::WriteProtect);
-        // Extension: Intel PML (related work §8) removes the write faults
-        // but keeps page granularity; coherence tracking still wins.
-        let pml = tracker.run(&trace, TrackingMode::Pml);
-        table.row(vec![
-            name.to_string(),
-            f1(speedup_percent(&coh, &wp)),
-            f1(paper),
-            f1(speedup_percent(&coh, &pml)),
-        ]);
+    for row in rows {
+        table.row(row);
     }
     table.print();
     println!(

@@ -5,13 +5,21 @@
 //! cache-line log is compared against Kona-VM's full-page RDMA writes and
 //! two idealized no-copy baselines (§6.4). Panel (c) breaks Kona's time
 //! into Bitmap / Copy / RDMA write / Ack wait.
+//!
+//! The per-N eviction runs fan out over `--jobs` worker threads. Telemetry
+//! handles are thread-local, so each worker runs with a private registry
+//! and returns a [`MetricsDump`]; the coordinator absorbs the dumps in
+//! input order, making the merged registry (and the printed tables)
+//! identical for every job count.
 
 use kona::{EvictionHandler, Poller};
 use kona_bench::{banner, f2, ExpOptions, TextTable};
 use kona_fpga::VictimPage;
 use kona_net::{CopyModel, Fabric, NetworkModel};
-use kona_telemetry::Telemetry;
-use kona_types::{LineBitmap, Nanos, PageNumber, RemoteAddr, LINES_PER_PAGE_4K, PAGE_SIZE_4K};
+use kona_telemetry::{MetricsDump, Telemetry};
+use kona_types::{
+    par_map, Jobs, LineBitmap, Nanos, PageNumber, RemoteAddr, LINES_PER_PAGE_4K, PAGE_SIZE_4K,
+};
 
 /// Pages batched per RDMA chain for the page-granularity baselines.
 const BATCH: u64 = 16;
@@ -101,7 +109,7 @@ fn goodput_gbps(dirty_bytes: u64, time: Nanos) -> f64 {
     dirty_bytes as f64 / time.as_ns() as f64 // bytes per ns == GB/s
 }
 
-fn panel_goodput(pages: u64, placement: Placement, ns_list: &[usize], tel: &Telemetry) {
+fn panel_goodput(pages: u64, placement: Placement, ns_list: &[usize], jobs: Jobs, tel: &Telemetry) {
     let title = match placement {
         Placement::Contiguous => "contiguous",
         Placement::Alternate => "alternate",
@@ -115,20 +123,29 @@ fn panel_goodput(pages: u64, placement: Placement, ns_list: &[usize], tel: &Tele
         "KonaVM GB/s",
         "Kona GB/s",
     ]);
-    for &n in ns_list {
-        let dirty = pages * n as u64 * 64;
-        let vm = goodput_gbps(dirty, kona_vm(pages));
-        let kona = goodput_gbps(dirty, kona_cl_log(pages, n, placement, tel));
-        let pnc = goodput_gbps(dirty, page_writes_no_copy(pages));
-        let clnc = goodput_gbps(dirty, cl_writes_no_copy(pages, n, placement));
-        table.row(vec![
-            n.to_string(),
-            f2(kona / vm),
-            f2(pnc / vm),
-            f2(clnc / vm),
-            f2(vm),
-            f2(kona),
-        ]);
+    // Each worker evicts with a private registry; dumps merge in input
+    // order below, so the shared registry matches a sequential run.
+    let rows: Vec<(Vec<String>, MetricsDump)> =
+        par_map(jobs, ns_list.to_vec(), |_, n| {
+            let local = Telemetry::disabled();
+            let dirty = pages * n as u64 * 64;
+            let vm = goodput_gbps(dirty, kona_vm(pages));
+            let kona = goodput_gbps(dirty, kona_cl_log(pages, n, placement, &local));
+            let pnc = goodput_gbps(dirty, page_writes_no_copy(pages));
+            let clnc = goodput_gbps(dirty, cl_writes_no_copy(pages, n, placement));
+            let row = vec![
+                n.to_string(),
+                f2(kona / vm),
+                f2(pnc / vm),
+                f2(clnc / vm),
+                f2(vm),
+                f2(kona),
+            ];
+            (row, local.dump())
+        });
+    for (row, dump) in rows {
+        tel.absorb(&dump);
+        table.row(row);
     }
     table.print();
 }
@@ -146,14 +163,14 @@ fn main() {
     let tel = Telemetry::disabled();
 
     if panels.contains('a') {
-        panel_goodput(pages, Placement::Contiguous, &[1, 2, 4, 6, 8, 12, 16, 32, 64], &tel);
+        panel_goodput(pages, Placement::Contiguous, &[1, 2, 4, 6, 8, 12, 16, 32, 64], opts.jobs, &tel);
         println!(
             "Expected: Kona 4-5X for 1-4 contiguous lines; parity when the\n\
              whole page is dirty; 4KB no-copy ~1.5X over Kona-VM."
         );
     }
     if panels.contains('b') {
-        panel_goodput(pages, Placement::Alternate, &[1, 2, 4, 8, 12, 16, 32], &tel);
+        panel_goodput(pages, Placement::Alternate, &[1, 2, 4, 8, 12, 16, 32], opts.jobs, &tel);
         println!(
             "Expected: Kona 2-3X for 2-4 alternate lines; CL no-copy collapses\n\
              (one verb per line); Kona falls below Kona-VM only past ~16\n\
@@ -170,39 +187,46 @@ fn main() {
             "Ack wait %",
             "Total (ms)",
         ]);
-        for n in [1usize, 8] {
-            let mut fabric = Fabric::new(NetworkModel::connectx5());
-            let data = pages * PAGE_SIZE_4K;
-            fabric.add_node(0, data + 65536);
-            fabric.register(0, 0, data).expect("register");
-            fabric.register(0, data, 65536).expect("register log");
-            fabric.set_telemetry(&tel);
-            let mut handler = EvictionHandler::new(data, 65536);
-            handler.set_telemetry(&tel);
-            let mut poller = Poller::new();
-            for p in 0..pages {
-                handler
-                    .evict_page(
-                        &victim(p, n, Placement::Contiguous),
-                        None,
-                        RemoteAddr::new(0, p * PAGE_SIZE_4K),
-                        &[],
-                        &mut fabric,
-                        &mut poller,
-                    )
-                    .expect("evict");
-            }
-            handler.flush_all(&mut fabric, &mut poller).expect("flush");
-            let b = handler.breakdown();
-            let s = b.shares();
-            table.row(vec![
-                n.to_string(),
-                f2(s[0]),
-                f2(s[1]),
-                f2(s[2]),
-                f2(s[3]),
-                f2(b.total().as_millis_f64()),
-            ]);
+        let rows: Vec<(Vec<String>, MetricsDump)> =
+            par_map(opts.jobs, vec![1usize, 8], |_, n| {
+                let local = Telemetry::disabled();
+                let mut fabric = Fabric::new(NetworkModel::connectx5());
+                let data = pages * PAGE_SIZE_4K;
+                fabric.add_node(0, data + 65536);
+                fabric.register(0, 0, data).expect("register");
+                fabric.register(0, data, 65536).expect("register log");
+                fabric.set_telemetry(&local);
+                let mut handler = EvictionHandler::new(data, 65536);
+                handler.set_telemetry(&local);
+                let mut poller = Poller::new();
+                for p in 0..pages {
+                    handler
+                        .evict_page(
+                            &victim(p, n, Placement::Contiguous),
+                            None,
+                            RemoteAddr::new(0, p * PAGE_SIZE_4K),
+                            &[],
+                            &mut fabric,
+                            &mut poller,
+                        )
+                        .expect("evict");
+                }
+                handler.flush_all(&mut fabric, &mut poller).expect("flush");
+                let b = handler.breakdown();
+                let s = b.shares();
+                let row = vec![
+                    n.to_string(),
+                    f2(s[0]),
+                    f2(s[1]),
+                    f2(s[2]),
+                    f2(s[3]),
+                    f2(b.total().as_millis_f64()),
+                ];
+                (row, local.dump())
+            });
+        for (row, dump) in rows {
+            tel.absorb(&dump);
+            table.row(row);
         }
         table.print();
         println!(

@@ -11,27 +11,12 @@
 //! the incomplete Kona-VM-NoWP stays 1.2-2.9X slower than Kona-NoEvict.
 
 use kona::{ClusterConfig, KonaRuntime, RemoteMemoryRuntime, VmProfile, VmRuntime};
-use kona_bench::{banner, f2, ExpOptions, TextTable};
+use kona_bench::{banner, f2, ContentionModel, ExpOptions, TextTable};
 use kona_types::{ByteSize, Nanos};
 use kona_workloads::{LinePattern, PerPageWriter, Workload};
 
 struct RunResult {
     wall: Nanos,
-}
-
-/// Multi-thread serialization factors. Threads share hardware: Kona's
-/// VFMem fills serialize in the FPGA's (soft-logic) directory — the §4.3
-/// overhead the paper expects to shrink once "this logic can be hardened" —
-/// while the VM baseline's fault handlers serialize on kernel locks but
-/// overlap their long network round-trips. The factors reproduce the
-/// paper's trend of Kona's advantage easing from 6.6X at one thread to
-/// 4-5X at four.
-const KONA_SERIAL_FRAC: f64 = 0.35;
-const VM_SERIAL_FRAC: f64 = 0.20;
-
-fn contended(wall: Nanos, threads: u64, serial_frac: f64) -> Nanos {
-    let factor = 1.0 + serial_frac * (threads as f64 - 1.0);
-    Nanos::from_ns_f64(wall.as_ns() as f64 * factor)
 }
 
 fn cluster(pages_per_thread: u64, cache_fraction_percent: u64) -> ClusterConfig {
@@ -45,7 +30,7 @@ fn cluster(pages_per_thread: u64, cache_fraction_percent: u64) -> ClusterConfig 
     cfg
 }
 
-fn run_threads<F>(threads: u64, pages: u64, serial_frac: f64, mut make_runtime: F) -> RunResult
+fn run_threads<F>(threads: u64, pages: u64, model: ContentionModel, mut make_runtime: F) -> RunResult
 where
     F: FnMut() -> Box<dyn RemoteMemoryRuntime>,
 {
@@ -66,7 +51,7 @@ where
         background_total += rt.stats().background_time;
     }
     RunResult {
-        wall: contended(app_max, threads, serial_frac).max(background_total),
+        wall: model.contended(app_max, threads).max(background_total),
     }
 }
 
@@ -91,19 +76,19 @@ fn main() {
     ]);
 
     for threads in [1u64, 2, 4] {
-        let kona = run_threads(threads, pages, KONA_SERIAL_FRAC, || {
+        let kona = run_threads(threads, pages, ContentionModel::KONA, || {
             Box::new(KonaRuntime::new(cluster(pages, 50)).expect("config valid"))
         });
-        let kona_vm = run_threads(threads, pages, VM_SERIAL_FRAC, || {
+        let kona_vm = run_threads(threads, pages, ContentionModel::VM, || {
             Box::new(VmRuntime::new(cluster(pages, 50), VmProfile::kona_vm()).expect("config"))
         });
-        let kona_noev = run_threads(threads, pages, KONA_SERIAL_FRAC, || {
+        let kona_noev = run_threads(threads, pages, ContentionModel::KONA, || {
             Box::new(KonaRuntime::new(cluster(pages, 110)).expect("config valid"))
         });
-        let vm_noev = run_threads(threads, pages, VM_SERIAL_FRAC, || {
+        let vm_noev = run_threads(threads, pages, ContentionModel::VM, || {
             Box::new(VmRuntime::new(cluster(pages, 110), VmProfile::kona_vm()).expect("config"))
         });
-        let vm_nowp = run_threads(threads, pages, VM_SERIAL_FRAC, || {
+        let vm_nowp = run_threads(threads, pages, ContentionModel::VM, || {
             Box::new(
                 VmRuntime::new(cluster(pages, 110), VmProfile::kona_vm_nowp()).expect("config"),
             )

@@ -8,7 +8,7 @@
 //! Panel d: AMAT vs FMem block size for Redis-Rand at 0/27/54/100% cache.
 
 use kona_bench::{banner, f1, ExpOptions, TextTable};
-use kona_kcachesim::{sweep_block_size, sweep_cache_size, SystemModel};
+use kona_kcachesim::{sweep_block_size_jobs, sweep_cache_size_jobs, SystemModel};
 use kona_trace::{Trace, TraceEvent};
 use kona_types::{align_up, MemAccess, VirtAddr, PAGE_SIZE_4K};
 use kona_workloads::{
@@ -100,12 +100,13 @@ fn main() {
             ]);
             let mut per_frac = Vec::new();
             for frac in [0.0, 0.27, 0.54, 1.0] {
-                per_frac.push(sweep_block_size(
+                per_frac.push(sweep_block_size_jobs(
                     &trace,
                     &SystemModel::kona(),
                     blocks,
                     frac,
                     4,
+                    opts.jobs,
                 ));
             }
             for (i, &bs) in blocks.iter().enumerate() {
@@ -135,7 +136,7 @@ fn main() {
         ];
         let mut sweeps = Vec::new();
         for sys in &systems {
-            sweeps.push(sweep_cache_size(&trace, sys, percents, 4096, 4));
+            sweeps.push(sweep_cache_size_jobs(&trace, sys, percents, 4096, 4, opts.jobs));
         }
         let mut table = TextTable::new(&[
             "Cache %",

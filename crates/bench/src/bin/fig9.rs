@@ -3,10 +3,14 @@
 //! KTracker runs Redis-Rand and Redis-Seq in 1-second windows and reports
 //! the per-window ratio of page-tracked to line-tracked bytes. The last
 //! (tear-down) window is excluded, as in the paper.
+//!
+//! The two Redis variants are independent and fan out over `--jobs`
+//! worker threads; results are collected in input order, so the table is
+//! identical for every job count.
 
 use kona_bench::{banner, f2, ExpOptions, TextTable};
 use kona_ktracker::{KTracker, TrackingMode};
-use kona_types::Nanos;
+use kona_types::{par_map, Nanos};
 use kona_workloads::{RedisWorkload, Workload, WorkloadProfile};
 
 fn main() {
@@ -21,15 +25,19 @@ fn main() {
         .with_windows(windows)
         .with_window_width(Nanos::secs(1));
 
-    let tracker = KTracker::new(Nanos::secs(1));
-    let rand = tracker.run(
-        &RedisWorkload::rand().with_profile(profile).generate(42),
-        TrackingMode::Coherence,
-    );
-    let seq = tracker.run(
-        &RedisWorkload::seq().with_profile(profile).generate(42),
-        TrackingMode::Coherence,
-    );
+    // Trait objects are not `Send`; each worker builds its variant from
+    // the index and runs its own tracker.
+    let mut results = par_map(opts.jobs, vec![0usize, 1], |_, which| {
+        let wl = if which == 0 {
+            RedisWorkload::rand()
+        } else {
+            RedisWorkload::seq()
+        };
+        let tracker = KTracker::new(Nanos::secs(1));
+        tracker.run(&wl.with_profile(profile).generate(42), TrackingMode::Coherence)
+    });
+    let seq = results.pop().expect("seq result");
+    let rand = results.pop().expect("rand result");
 
     let mut table = TextTable::new(&["Window", "Redis-Rand", "Redis-Seq"]);
     let n = rand.windows.len().max(seq.windows.len()).saturating_sub(1);

@@ -4,12 +4,18 @@
 //! bytes to dirty bytes under 4 KiB-page, 2 MiB-page and 64 B cache-line
 //! tracking, averaged over 10-second windows (idle and tear-down windows
 //! excluded, as in the paper).
+//!
+//! Workloads are independent, so they fan out over `--jobs` worker
+//! threads; each worker rebuilds its workload by index, measures with a
+//! private telemetry registry, and the coordinator absorbs the metric
+//! dumps and prints the rows in workload order — output is identical for
+//! every job count.
 
 use kona_bench::{banner, f2, ExpOptions, TextTable};
-use kona_telemetry::Telemetry;
+use kona_telemetry::{MetricsDump, Telemetry};
 use kona_trace::amplification::{averaged, per_window_series};
 use kona_trace::Windows;
-use kona_types::Nanos;
+use kona_types::{par_map, Nanos};
 use kona_workloads::table2_workloads;
 
 /// The paper's published Table 2 rows for side-by-side comparison:
@@ -52,35 +58,45 @@ fn main() {
     // Per-workload amplification gauges for `--metrics-out`.
     let tel = Telemetry::disabled();
 
-    for (i, wl) in table2_workloads().into_iter().enumerate() {
-        let wl = if opts.quick {
-            // Regenerate with the quick profile.
-            rebuild_with_profile(i, profile)
-        } else {
-            wl
-        };
-        let trace = wl.generate(42);
-        let mut series = per_window_series(Windows::new(&trace, Nanos::secs(10)).iter());
-        // The paper drops the final (tear-down) window.
-        if series.len() > 1 {
-            series.pop();
-        }
-        let (a4, a2, al) = averaged(&series);
-        let slug = wl.name().to_lowercase().replace([' ', '-'], "_");
-        tel.gauge(&format!("table2.{slug}.amp_4k")).set(a4);
-        tel.gauge(&format!("table2.{slug}.amp_2m")).set(a2);
-        tel.gauge(&format!("table2.{slug}.amp_64b")).set(al);
-        let paper = PAPER[i];
-        table.row(vec![
-            wl.name().to_string(),
-            format!("{:.2}", paper.1),
-            f2(a4),
-            f2(paper.2),
-            f2(a2),
-            f2(paper.3),
-            f2(al),
-            f2(paper.4),
-        ]);
+    // Trait objects are not `Send`, so workers rebuild their workload from
+    // the index and report gauges through a private registry.
+    let quick = opts.quick;
+    let rows: Vec<(Vec<String>, MetricsDump)> =
+        par_map(opts.jobs, (0..PAPER.len()).collect(), |_, i| {
+            let wl = if quick {
+                // Regenerate with the quick profile.
+                rebuild_with_profile(i, profile)
+            } else {
+                table2_workloads().swap_remove(i)
+            };
+            let local = Telemetry::disabled();
+            let trace = wl.generate(42);
+            let mut series = per_window_series(Windows::new(&trace, Nanos::secs(10)).iter());
+            // The paper drops the final (tear-down) window.
+            if series.len() > 1 {
+                series.pop();
+            }
+            let (a4, a2, al) = averaged(&series);
+            let slug = wl.name().to_lowercase().replace([' ', '-'], "_");
+            local.gauge(&format!("table2.{slug}.amp_4k")).set(a4);
+            local.gauge(&format!("table2.{slug}.amp_2m")).set(a2);
+            local.gauge(&format!("table2.{slug}.amp_64b")).set(al);
+            let paper = PAPER[i];
+            let row = vec![
+                wl.name().to_string(),
+                format!("{:.2}", paper.1),
+                f2(a4),
+                f2(paper.2),
+                f2(a2),
+                f2(paper.3),
+                f2(al),
+                f2(paper.4),
+            ];
+            (row, local.dump())
+        });
+    for (row, dump) in rows {
+        tel.absorb(&dump);
+        table.row(row);
     }
     table.print();
     println!(

@@ -8,17 +8,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use kona_types::Nanos;
+use kona_types::{Jobs, Nanos};
 use kona_workloads::WorkloadProfile;
 
 pub mod micro;
-pub use micro::BenchGroup;
+pub use micro::{BenchGroup, ContentionModel};
 
 /// Command-line options shared by every experiment binary.
 #[derive(Debug, Clone)]
 pub struct ExpOptions {
     /// Reduce problem sizes for a fast smoke run.
     pub quick: bool,
+    /// Worker threads for parallel experiment points (`--jobs N`; defaults
+    /// to the machine's available parallelism). Results are merged in
+    /// input order, so every job count prints identical output.
+    pub jobs: Jobs,
     /// Extra free-form arguments (e.g. `--panel a`).
     pub args: Vec<String>,
 }
@@ -29,6 +33,7 @@ impl ExpOptions {
         let args: Vec<String> = std::env::args().skip(1).collect();
         ExpOptions {
             quick: args.iter().any(|a| a == "--quick"),
+            jobs: Jobs::from_args(&args),
             args,
         }
     }
@@ -55,6 +60,7 @@ impl Default for ExpOptions {
     fn default() -> Self {
         ExpOptions {
             quick: true,
+            jobs: Jobs::serial(),
             args: Vec::new(),
         }
     }
@@ -166,11 +172,13 @@ mod tests {
     fn options_parsing() {
         let opts = ExpOptions {
             quick: false,
-            args: vec!["--panel".into(), "a".into()],
+            jobs: Jobs::from_args(&["--panel".into(), "a".into(), "--jobs".into(), "3".into()]),
+            args: vec!["--panel".into(), "a".into(), "--jobs".into(), "3".into()],
         };
         assert_eq!(opts.value_of("panel"), Some("a"));
         assert_eq!(opts.value_of("missing"), None);
         assert_eq!(opts.table_profile().windows, 10);
+        assert_eq!(opts.jobs.get(), 3);
     }
 
     #[test]

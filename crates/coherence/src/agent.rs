@@ -1,8 +1,7 @@
 //! A per-CPU cache agent holding MESI line states.
 
 use crate::lru::LruList;
-use kona_types::LineIndex;
-use std::collections::HashMap;
+use kona_types::{FxHashMap, LineIndex};
 
 /// MESI stable states for a line in a cache agent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -59,7 +58,9 @@ pub struct AgentStats {
 #[derive(Debug, Clone)]
 pub struct CacheAgent {
     capacity: usize,
-    lines: HashMap<u64, LineState>,
+    /// Fx-hashed: line numbers are simulator-generated, not adversarial,
+    /// and this map is probed on every access.
+    lines: FxHashMap<u64, LineState>,
     lru: LruList,
     stats: AgentStats,
 }
@@ -74,8 +75,8 @@ impl CacheAgent {
         assert!(capacity > 0, "agent capacity must be positive");
         CacheAgent {
             capacity,
-            lines: HashMap::new(),
-            lru: LruList::new(),
+            lines: FxHashMap::default(),
+            lru: LruList::with_capacity(capacity),
             stats: AgentStats::default(),
         }
     }

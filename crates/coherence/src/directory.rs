@@ -1,7 +1,6 @@
 //! The coherence directory (home agent).
 
-use kona_types::LineIndex;
-use std::collections::HashMap;
+use kona_types::{FxHashMap, LineIndex};
 
 /// Directory-side state for one line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,7 +30,8 @@ pub enum DirEntry {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    entries: HashMap<u64, DirEntry>,
+    /// Fx-hashed: probed on every directory transaction.
+    entries: FxHashMap<u64, DirEntry>,
 }
 
 impl Directory {

@@ -1,74 +1,19 @@
-//! A small O(1) LRU order list over `u64` keys (crate-internal).
+//! The agents' LRU order list (crate-internal).
+//!
+//! Previously a `HashMap<u64, (Option<u64>, Option<u64>)>` of linked
+//! neighbour keys — several SipHash probes and a map re-insert per touch.
+//! Now the shared slab-backed intrusive list from `kona-types`
+//! ([`SlabLru`]): one Fx-hash probe plus constant slab pointer updates per
+//! touch, no allocation. The VM reclaim list uses the same structure, so
+//! both runtimes' eviction order logic lives in one place.
 
-use std::collections::HashMap;
-
-/// Intrusive doubly-linked LRU list keyed by `u64`.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct LruList {
-    links: HashMap<u64, (Option<u64>, Option<u64>)>,
-    head: Option<u64>,
-    tail: Option<u64>,
-}
-
-impl LruList {
-    pub(crate) fn new() -> Self {
-        LruList::default()
-    }
-
-    #[cfg(test)]
-    pub(crate) fn len(&self) -> usize {
-        self.links.len()
-    }
-
-    pub(crate) fn touch(&mut self, key: u64) {
-        if self.links.contains_key(&key) {
-            self.unlink(key);
-        }
-        let old_head = self.head;
-        self.links.insert(key, (None, old_head));
-        if let Some(h) = old_head {
-            self.links.get_mut(&h).expect("head linked").0 = Some(key);
-        }
-        self.head = Some(key);
-        if self.tail.is_none() {
-            self.tail = Some(key);
-        }
-    }
-
-    pub(crate) fn pop_lru(&mut self) -> Option<u64> {
-        let t = self.tail?;
-        self.unlink(t);
-        self.links.remove(&t);
-        Some(t)
-    }
-
-    pub(crate) fn remove(&mut self, key: u64) -> bool {
-        if self.links.contains_key(&key) {
-            self.unlink(key);
-            self.links.remove(&key);
-            true
-        } else {
-            false
-        }
-    }
-
-    fn unlink(&mut self, key: u64) {
-        let (prev, next) = *self.links.get(&key).expect("unlink of untracked key");
-        match prev {
-            Some(q) => self.links.get_mut(&q).expect("prev linked").1 = next,
-            None => self.head = next,
-        }
-        match next {
-            Some(q) => self.links.get_mut(&q).expect("next linked").0 = prev,
-            None => self.tail = prev,
-        }
-    }
-}
+pub(crate) use kona_types::SlabLru as LruList;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The replacement preserves the exact semantics the agents rely on.
     #[test]
     fn order_and_ops() {
         let mut l = LruList::new();

@@ -12,8 +12,7 @@
 //! controller-granted slabs: a bump allocator with per-size-class free
 //! lists for `free`/reuse.
 
-use kona_types::{align_up, KonaError, Result, VfMemAddr, CACHE_LINE_SIZE};
-use std::collections::HashMap;
+use kona_types::{align_up, FxHashMap, KonaError, Result, VfMemAddr, CACHE_LINE_SIZE};
 
 /// Size classes are powers of two from 64 B up.
 fn size_class(bytes: u64) -> u64 {
@@ -43,7 +42,7 @@ pub struct SlabAllocator {
     /// Slabs still holding unallocated space: (cursor, end).
     slabs: Vec<(u64, u64)>,
     /// Per size-class free lists of object addresses.
-    free_lists: HashMap<u64, Vec<u64>>,
+    free_lists: FxHashMap<u64, Vec<u64>>,
     /// Total bytes handed out minus freed (size-class granularity).
     live_bytes: u64,
     /// Total capacity added.

@@ -17,8 +17,7 @@ use crate::poller::Poller;
 use kona_fpga::VictimPage;
 use kona_net::{CopyModel, Fabric, WorkRequest};
 use kona_telemetry::{Counter, EventKind, Histogram, SpanEvent, Telemetry, Track, VerbOpcode};
-use kona_types::{Nanos, RemoteAddr, Result, CACHE_LINE_SIZE, PAGE_SIZE_4K};
-use std::collections::{HashMap, HashSet};
+use kona_types::{FxHashMap, FxHashSet, Nanos, RemoteAddr, Result, CACHE_LINE_SIZE, PAGE_SIZE_4K};
 
 /// Cost of scanning one page's 64-bit dirty bitmap.
 const BITMAP_SCAN: Nanos = Nanos::from_ns(50);
@@ -114,8 +113,8 @@ pub struct EvictionStats {
 /// page, or it would read stale remote data.
 #[derive(Debug, Clone)]
 pub struct EvictionHandler {
-    logs: HashMap<u32, CacheLineLog>,
-    receivers: HashMap<u32, LogReceiver>,
+    logs: FxHashMap<u32, CacheLineLog>,
+    receivers: FxHashMap<u32, LogReceiver>,
     /// Offset of each node's log landing region.
     log_region_offset: u64,
     log_capacity: usize,
@@ -124,7 +123,7 @@ pub struct EvictionHandler {
     breakdown: EvictionBreakdown,
     stats: EvictionStats,
     /// VFMem pages with unflushed log entries.
-    pending_pages: HashSet<u64>,
+    pending_pages: FxHashSet<u64>,
     telemetry: Telemetry,
     /// Shares cells with the runtime's counters (same registry names).
     pages_evicted: Counter,
@@ -138,15 +137,15 @@ impl EvictionHandler {
     pub fn new(log_region_offset: u64, log_capacity: usize) -> Self {
         let telemetry = Telemetry::disabled();
         EvictionHandler {
-            logs: HashMap::new(),
-            receivers: HashMap::new(),
+            logs: FxHashMap::default(),
+            receivers: FxHashMap::default(),
             log_region_offset,
             log_capacity,
             copy: CopyModel::skylake(),
             engine: CopyEngine::default(),
             breakdown: EvictionBreakdown::default(),
             stats: EvictionStats::default(),
-            pending_pages: HashSet::new(),
+            pending_pages: FxHashSet::default(),
             pages_evicted: telemetry.counter(names::PAGES_EVICTED),
             writeback_bytes: telemetry.counter(names::WRITEBACK_BYTES),
             evict_ns: telemetry.histogram(names::EVICT_NS),

@@ -14,10 +14,10 @@ use kona_net::{Fabric, NetworkModel, WorkRequest};
 use kona_telemetry::{EventKind, Histogram, SpanEvent, Telemetry, Track};
 use kona_trace::TraceEvent;
 use kona_types::{
-    AccessKind, KonaError, MemAccess, Nanos, PageNumber, RemoteAddr, Result, VfMemAddr, VirtAddr,
-    CACHE_LINE_SIZE, PAGE_SIZE_4K,
+    AccessKind, FxHashMap, KonaError, MemAccess, Nanos, PageNumber, RemoteAddr, Result, VfMemAddr,
+    VirtAddr, CACHE_LINE_SIZE, PAGE_SIZE_4K,
 };
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// The common interface of Kona and the VM baselines.
 ///
@@ -116,7 +116,7 @@ pub struct KonaRuntime {
     vfmem_cursor: u64,
     slabs: BTreeMap<u64, SlabInfo>,
     /// Page data for FMem-resident pages (Tracked mode only).
-    local_pages: HashMap<u64, Vec<u8>>,
+    local_pages: FxHashMap<u64, Vec<u8>>,
     next_wr_id: u64,
 }
 
@@ -176,7 +176,7 @@ impl KonaRuntime {
             telemetry,
             vfmem_cursor: 0,
             slabs: BTreeMap::new(),
-            local_pages: HashMap::new(),
+            local_pages: FxHashMap::default(),
             config,
             next_wr_id: 0,
         })

@@ -24,11 +24,10 @@ use kona_fpga::RemoteTranslation;
 use kona_net::{CopyModel, Fabric, NetworkModel, WorkRequest};
 use kona_telemetry::{EventKind, SpanEvent, Telemetry, Track, VerbOpcode};
 use kona_types::{
-    AccessKind, MemAccess, Nanos, PageNumber, RemoteAddr, Result, VfMemAddr, VirtAddr,
+    AccessKind, FxHashMap, MemAccess, Nanos, PageNumber, RemoteAddr, Result, VfMemAddr, VirtAddr,
     CACHE_LINE_SIZE, PAGE_SIZE_4K,
 };
 use kona_vm_sim::{LruPageList, Mmu, PageFaultKind, VmCosts};
-use std::collections::HashMap;
 
 /// Pages batched into one RDMA eviction chain.
 const EVICT_BATCH_PAGES: usize = 16;
@@ -123,7 +122,7 @@ pub struct VmRuntime {
     translation: RemoteTranslation,
     copy: CopyModel,
     /// Resident page data (virtual page number → bytes).
-    resident: HashMap<u64, Vec<u8>>,
+    resident: FxHashMap<u64, Vec<u8>>,
     /// Dirty pages staged for a batched RDMA eviction write.
     evict_batch: Vec<(RemoteAddr, Vec<u8>)>,
     telemetry: Telemetry,
@@ -183,7 +182,7 @@ impl VmRuntime {
             allocator: SlabAllocator::new(),
             translation: RemoteTranslation::new(),
             copy: CopyModel::skylake(),
-            resident: HashMap::new(),
+            resident: FxHashMap::default(),
             evict_batch: Vec::new(),
             telemetry,
             counters,

@@ -7,10 +7,9 @@ use crate::translation::RemoteTranslation;
 use kona_coherence::{AgentId, CoherenceSystem};
 use kona_telemetry::{Counter, Gauge, Telemetry};
 use kona_types::{
-    AccessKind, LineBitmap, LineIndex, PageNumber, RemoteAddr, Result, VfMemAddr,
+    AccessKind, FxHashSet, LineBitmap, LineIndex, PageNumber, RemoteAddr, Result, VfMemAddr,
     LINES_PER_PAGE_4K, PAGE_SIZE_4K,
 };
-use std::collections::HashSet;
 
 /// FPGA configuration.
 #[derive(Debug, Clone)]
@@ -126,7 +125,7 @@ pub struct KonaFpga {
     metrics: FpgaCounters,
     /// Prefetched pages not yet touched by a demand access (for the
     /// issued-vs-useful ratio).
-    prefetched_pending: HashSet<u64>,
+    prefetched_pending: FxHashSet<u64>,
     /// Dirty lines across expelled/snooped pages (compaction numerator).
     compaction_dirty_lines: u64,
     /// Pages expelled/snooped (compaction denominator, × lines/page).
@@ -166,7 +165,7 @@ impl KonaFpga {
             prefetcher: config.prefetcher,
             stats: FpgaStats::default(),
             metrics: FpgaCounters::new(&Telemetry::disabled()),
-            prefetched_pending: HashSet::new(),
+            prefetched_pending: FxHashSet::default(),
             compaction_dirty_lines: 0,
             compaction_pages: 0,
         }

@@ -5,8 +5,17 @@
 //! eviction handler later consumes a page's bitmap to write only the dirty
 //! lines to remote memory.
 
-use kona_types::{LineBitmap, LineIndex, PageNumber, LINES_PER_PAGE_4K};
-use std::collections::HashMap;
+use kona_types::{FxHashMap, LineBitmap, LineIndex, PageNumber, LINES_PER_PAGE_4K};
+
+/// A page's dirty bitmap plus its cached population count.
+///
+/// `mark` keeps `count` in sync via [`LineBitmap::insert`]'s newly-set
+/// return, so queries never rescan the bitmap words.
+#[derive(Debug, Clone)]
+struct PageDirty {
+    bitmap: LineBitmap,
+    count: usize,
+}
 
 /// Tracks dirty cache lines per 4 KiB page.
 ///
@@ -24,8 +33,11 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct DirtyTracker {
-    pages: HashMap<u64, LineBitmap>,
+    pages: FxHashMap<u64, PageDirty>,
     total_marks: u64,
+    /// Dirty lines across all pages, maintained incrementally so the
+    /// poller can read it every wakeup without a full-map scan.
+    total_dirty: usize,
 }
 
 impl DirtyTracker {
@@ -37,28 +49,35 @@ impl DirtyTracker {
     /// Marks `line` dirty (observed writeback).
     pub fn mark(&mut self, line: LineIndex) {
         self.total_marks += 1;
-        self.pages
+        let entry = self
+            .pages
             .entry(line.page_number().raw())
-            .or_insert_with(|| LineBitmap::new(LINES_PER_PAGE_4K))
-            .set(line.index_in_page());
+            .or_insert_with(|| PageDirty {
+                bitmap: LineBitmap::new(LINES_PER_PAGE_4K),
+                count: 0,
+            });
+        if entry.bitmap.insert(line.index_in_page()) {
+            entry.count += 1;
+            self.total_dirty += 1;
+        }
     }
 
     /// Number of dirty lines recorded for `page`.
     pub fn dirty_line_count(&self, page: PageNumber) -> usize {
-        self.pages
-            .get(&page.raw())
-            .map_or(0, LineBitmap::count_set)
+        self.pages.get(&page.raw()).map_or(0, |p| p.count)
     }
 
     /// Borrow the dirty bitmap of `page`, if any lines are dirty.
     pub fn peek_page(&self, page: PageNumber) -> Option<&LineBitmap> {
-        self.pages.get(&page.raw())
+        self.pages.get(&page.raw()).map(|p| &p.bitmap)
     }
 
     /// Removes and returns the dirty bitmap of `page` (the eviction handler
     /// consuming the page's dirty state).
     pub fn take_page(&mut self, page: PageNumber) -> Option<LineBitmap> {
-        self.pages.remove(&page.raw())
+        let taken = self.pages.remove(&page.raw())?;
+        self.total_dirty -= taken.count;
+        Some(taken.bitmap)
     }
 
     /// Pages with at least one dirty line, sorted.
@@ -70,7 +89,7 @@ impl DirtyTracker {
 
     /// Total dirty lines across all pages.
     pub fn total_dirty_lines(&self) -> usize {
-        self.pages.values().map(LineBitmap::count_set).sum()
+        self.total_dirty
     }
 
     /// Lifetime count of mark operations (including re-marks).
@@ -122,5 +141,23 @@ mod tests {
         dt.mark(LineIndex(70));
         assert!(dt.peek_page(PageNumber(1)).unwrap().get(6));
         assert_eq!(dt.dirty_line_count(PageNumber(1)), 1);
+    }
+
+    /// Cached counts stay in sync with the bitmaps under re-marks and takes.
+    #[test]
+    fn cached_counts_match_bitmaps() {
+        let mut dt = DirtyTracker::new();
+        for i in 0..200u64 {
+            dt.mark(LineIndex(i % 130)); // re-marks plus three pages
+        }
+        let expected: usize = dt
+            .dirty_pages()
+            .iter()
+            .map(|&p| dt.peek_page(p).unwrap().count_set())
+            .sum();
+        assert_eq!(dt.total_dirty_lines(), expected);
+        assert_eq!(dt.dirty_line_count(PageNumber(0)), 64);
+        dt.take_page(PageNumber(0));
+        assert_eq!(dt.total_dirty_lines(), expected - 64);
     }
 }

@@ -6,6 +6,7 @@
 //! from a remote host or when it writes dirty data back" (§4.4).
 
 use kona_types::{KonaError, RemoteAddr, Result, VfMemAddr};
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 /// Maps contiguous VFMem ranges (slabs) to remote memory.
@@ -24,6 +25,11 @@ use std::collections::BTreeMap;
 pub struct RemoteTranslation {
     /// slab start → (len, remote base), ordered for range lookup.
     slabs: BTreeMap<u64, (u64, RemoteAddr)>,
+    /// Most-recently-translated slab `(start, len, remote)`. Fetches and
+    /// writebacks stream through one slab at a time, so this turns the
+    /// common `translate` into two compares instead of a tree walk. A
+    /// `Cell` keeps `translate(&self)` immutable; mutation invalidates it.
+    mru: Cell<Option<(u64, u64, RemoteAddr)>>,
 }
 
 impl RemoteTranslation {
@@ -57,12 +63,14 @@ impl RemoteTranslation {
             }
         }
         self.slabs.insert(start, (len, remote));
+        self.mru.set(None);
         Ok(())
     }
 
     /// Removes the slab starting exactly at `base`; returns its remote
     /// base if it existed.
     pub fn unregister(&mut self, base: VfMemAddr) -> Option<RemoteAddr> {
+        self.mru.set(None);
         self.slabs.remove(&base.raw()).map(|(_, r)| r)
     }
 
@@ -74,8 +82,14 @@ impl RemoteTranslation {
     /// address.
     pub fn translate(&self, addr: VfMemAddr) -> Result<RemoteAddr> {
         let a = addr.raw();
+        if let Some((start, len, remote)) = self.mru.get() {
+            if a >= start && a < start + len {
+                return Ok(remote.add(a - start));
+            }
+        }
         if let Some((&start, &(len, remote))) = self.slabs.range(..=a).next_back() {
             if a < start + len {
+                self.mru.set(Some((start, len, remote)));
                 return Ok(remote.add(a - start));
             }
         }
@@ -148,6 +162,31 @@ mod tests {
             .unwrap();
         assert_eq!(rt.slab_count(), 2);
         assert_eq!(rt.covered_bytes(), 8192);
+    }
+
+    /// The MRU slab cache never serves stale data across mutations.
+    #[test]
+    fn mru_invalidated_by_mutation() {
+        let mut rt = RemoteTranslation::new();
+        rt.register(VfMemAddr::new(0), 4096, RemoteAddr::new(0, 0))
+            .unwrap();
+        // Prime the MRU, then replace the slab under it.
+        assert_eq!(rt.translate(VfMemAddr::new(16)).unwrap(), RemoteAddr::new(0, 16));
+        rt.unregister(VfMemAddr::new(0));
+        assert!(rt.translate(VfMemAddr::new(16)).is_err());
+        rt.register(VfMemAddr::new(0), 4096, RemoteAddr::new(5, 1024))
+            .unwrap();
+        assert_eq!(
+            rt.translate(VfMemAddr::new(16)).unwrap(),
+            RemoteAddr::new(5, 1024 + 16)
+        );
+        // Repeated hits stay on the cached slab.
+        for i in 0..64u64 {
+            assert_eq!(
+                rt.translate(VfMemAddr::new(i * 64)).unwrap(),
+                RemoteAddr::new(5, 1024 + i * 64)
+            );
+        }
     }
 
     /// For any registered slab, translation is a linear offset map.

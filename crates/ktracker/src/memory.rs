@@ -1,7 +1,6 @@
 //! A byte-accurate sparse application memory.
 
-use kona_types::{MemAccess, PAGE_SIZE_4K};
-use std::collections::HashMap;
+use kona_types::{FxHashMap, MemAccess, PAGE_SIZE_4K};
 
 /// Sparse page-granularity memory that materializes pages on first touch.
 ///
@@ -23,7 +22,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct AppMemory {
-    pages: HashMap<u64, Vec<u8>>,
+    pages: FxHashMap<u64, Vec<u8>>,
     stamp: u8,
 }
 

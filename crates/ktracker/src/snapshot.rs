@@ -1,8 +1,7 @@
 //! Page snapshots and cache-line diffing.
 
 use crate::memory::AppMemory;
-use kona_types::{LineBitmap, CACHE_LINE_SIZE, LINES_PER_PAGE_4K, PAGE_SIZE_4K};
-use std::collections::HashMap;
+use kona_types::{FxHashMap, LineBitmap, CACHE_LINE_SIZE, LINES_PER_PAGE_4K, PAGE_SIZE_4K};
 
 /// Snapshots of application pages, diffed at cache-line granularity.
 ///
@@ -24,7 +23,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SnapshotStore {
-    pages: HashMap<u64, Vec<u8>>,
+    pages: FxHashMap<u64, Vec<u8>>,
     /// Bytes copied over the store's lifetime (emulation overhead input).
     bytes_copied: u64,
     /// Bytes compared over the store's lifetime.
@@ -50,9 +49,9 @@ impl SnapshotStore {
     /// cache lines whose bytes changed. Pages without changes are omitted;
     /// pages never snapshotted count as fully relevant only where nonzero
     /// (fresh pages diff against zeros).
-    pub fn diff(&mut self, memory: &AppMemory) -> HashMap<u64, LineBitmap> {
+    pub fn diff(&mut self, memory: &AppMemory) -> FxHashMap<u64, LineBitmap> {
         let zero = vec![0u8; PAGE_SIZE_4K as usize];
-        let mut dirty = HashMap::new();
+        let mut dirty = FxHashMap::default();
         for (page, data) in memory.iter() {
             let base = self.pages.get(&page).unwrap_or(&zero);
             self.bytes_compared += PAGE_SIZE_4K;

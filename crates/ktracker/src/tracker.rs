@@ -5,7 +5,6 @@ use crate::snapshot::SnapshotStore;
 use kona_trace::{Trace, TraceEvent, Windows};
 use kona_types::{Nanos, PageNumber, CACHE_LINE_SIZE, PAGE_SIZE_4K};
 use kona_vm_sim::PmlLog;
-use std::collections::HashSet;
 
 /// Cost of one write-protection (minor) page fault.
 const WP_FAULT: Nanos = Nanos::micros(3);
@@ -155,7 +154,7 @@ impl KTracker {
         memory: &mut AppMemory,
         snapshots: &mut SnapshotStore,
     ) -> Option<WindowReport> {
-        let mut wp_faulted_pages: HashSet<u64> = HashSet::new();
+        let mut wp_faulted_pages: kona_types::FxHashSet<u64> = kona_types::FxHashSet::default();
         for e in events {
             if e.access.kind.is_write() {
                 let mut page = e.access.addr.raw() / PAGE_SIZE_4K;

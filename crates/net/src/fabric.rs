@@ -5,8 +5,7 @@ use crate::node::NodeMemory;
 use crate::verbs::{Completion, Opcode, WorkRequest};
 use crate::bytes::Bytes;
 use kona_telemetry::{Counter, Histogram, Telemetry};
-use kona_types::{KonaError, Nanos, Result};
-use std::collections::HashMap;
+use kona_types::{FxHashMap, KonaError, Nanos, Result};
 
 /// Fabric-wide counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -65,7 +64,7 @@ impl NetCounters {
 #[derive(Debug, Clone)]
 pub struct Fabric {
     model: NetworkModel,
-    nodes: HashMap<u32, NodeMemory>,
+    nodes: FxHashMap<u32, NodeMemory>,
     stats: NetStats,
     /// When set, all verbs to this node fail (failure injection, §4.5).
     failed_nodes: Vec<u32>,
@@ -79,7 +78,7 @@ impl Fabric {
     pub fn new(model: NetworkModel) -> Self {
         Fabric {
             model,
-            nodes: HashMap::new(),
+            nodes: FxHashMap::default(),
             stats: NetStats::default(),
             failed_nodes: Vec::new(),
             injected_delay: Nanos::ZERO,

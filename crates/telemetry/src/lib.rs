@@ -47,7 +47,8 @@ mod recorder;
 pub use event::{EventKind, SpanEvent, Track, VerbOpcode};
 pub use export::{snapshot_to_csv, snapshot_to_json, spans_to_chrome_trace};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramData, HistogramSummary, MetricsSnapshot, Registry,
+    Counter, Gauge, Histogram, HistogramData, HistogramSummary, MetricsDump, MetricsSnapshot,
+    Registry,
 };
 pub use recorder::{NoopRecorder, Recorder, TraceRecorder};
 
@@ -116,6 +117,24 @@ impl Telemetry {
     /// A point-in-time copy of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.0.borrow().registry.snapshot()
+    }
+
+    /// A deep, `Send`-able copy of the registry (full histogram buckets).
+    ///
+    /// `Telemetry` handles are `Rc`-based and cannot leave their thread;
+    /// parallel experiment workers each run with a private `Telemetry` and
+    /// return `self.dump()`, which the coordinator [`absorb`]s in input
+    /// order so merged metrics match a sequential run exactly.
+    ///
+    /// [`absorb`]: Telemetry::absorb
+    pub fn dump(&self) -> MetricsDump {
+        self.0.borrow().registry.dump()
+    }
+
+    /// Merges a worker registry dump into this registry (counters add,
+    /// gauges take the dump's value, histograms merge bucket-wise).
+    pub fn absorb(&self, dump: &MetricsDump) {
+        self.0.borrow_mut().registry.absorb(dump);
     }
 
     /// The retained spans in insertion order.

@@ -272,6 +272,37 @@ impl Registry {
         }
     }
 
+    /// A deep, `Send`-able copy of every metric, for shipping a worker
+    /// thread's registry back to the coordinating thread. Unlike
+    /// [`Registry::snapshot`], histograms keep their full bucket data, so
+    /// [`Registry::absorb`] merges are exact.
+    pub fn dump(&self) -> MetricsDump {
+        MetricsDump {
+            counters: self.counters.iter().map(|(n, c)| (n.clone(), c.get())).collect(),
+            gauges: self.gauges.iter().map(|(n, g)| (n.clone(), g.get())).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.data()))
+                .collect(),
+        }
+    }
+
+    /// Merges a worker's [`MetricsDump`] into this registry: counters add,
+    /// gauges take the dump's value, histograms merge bucket-wise (exact).
+    pub fn absorb(&mut self, dump: &MetricsDump) {
+        for (name, v) in &dump.counters {
+            self.counter(name).add(*v);
+        }
+        for (name, v) in &dump.gauges {
+            self.gauge(name).set(*v);
+        }
+        for (name, data) in &dump.histograms {
+            let mine = self.histogram(name);
+            mine.0.borrow_mut().merge(data);
+        }
+    }
+
     /// A point-in-time copy of every metric, ready for export.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -292,6 +323,24 @@ impl Registry {
                 .collect(),
         }
     }
+}
+
+/// A deep copy of a [`Registry`]'s metrics that is `Send`, produced by
+/// [`Registry::dump`] and consumed by [`Registry::absorb`].
+///
+/// [`Telemetry`](crate::Telemetry) handles are `Rc`-based and cannot cross
+/// threads; the parallel experiment engine gives each worker its own
+/// registry and ships one of these back per task, merged on the
+/// coordinating thread in input order so aggregate metrics are identical
+/// to a sequential run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsDump {
+    /// `(name, value)` for every counter.
+    pub counters: BTreeMap<String, u64>,
+    /// `(name, value)` for every gauge.
+    pub gauges: BTreeMap<String, f64>,
+    /// `(name, bucket data)` for every histogram.
+    pub histograms: BTreeMap<String, HistogramData>,
 }
 
 /// Exported summary of one histogram.
@@ -414,6 +463,31 @@ mod tests {
         assert_eq!(snap.gauge("g"), Some(1.25));
         assert_eq!(snap.histogram("h").unwrap().count, 1);
         assert_eq!(snap.counter("nope"), None);
+    }
+
+    #[test]
+    fn dump_is_send_and_absorb_is_exact() {
+        fn assert_send<T: Send>(_: &T) {}
+        let mut worker = Registry::new();
+        worker.counter("c").add(2);
+        worker.gauge("g").set(3.5);
+        worker.histogram("h").record(100);
+        worker.histogram("h").record(200);
+        let dump = worker.dump();
+        assert_send(&dump);
+
+        let mut main = Registry::new();
+        main.counter("c").add(1);
+        main.histogram("h").record(50);
+        main.absorb(&dump);
+        assert_eq!(main.counter_value("c"), 3);
+        assert_eq!(main.gauge("g").get(), 3.5);
+        main.histogram("h").with(|d| {
+            assert_eq!(d.count(), 3);
+            assert_eq!(d.sum(), 350);
+            assert_eq!(d.min(), 50);
+            assert_eq!(d.max(), 200);
+        });
     }
 
     #[test]

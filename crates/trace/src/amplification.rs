@@ -11,8 +11,7 @@
 //! cache-line, 4 KiB page and 2 MiB page granularity.
 
 use crate::trace::TraceEvent;
-use kona_types::{MemAccess, CACHE_LINE_SIZE, PAGE_SIZE_2M, PAGE_SIZE_4K};
-use std::collections::HashMap;
+use kona_types::{FxHashMap, MemAccess, CACHE_LINE_SIZE, PAGE_SIZE_2M, PAGE_SIZE_4K};
 
 /// Dirty-byte and tracking-unit counts for one batch of write events.
 ///
@@ -33,7 +32,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct AmplificationAnalysis {
     /// Per dirty cache line, the mask of bytes actually written.
-    line_masks: HashMap<u64, u64>,
+    line_masks: FxHashMap<u64, u64>,
     /// Total bytes written including re-writes (for reference).
     bytes_written_total: u64,
 }

@@ -8,8 +8,7 @@
 
 use crate::stats::Cdf;
 use crate::trace::TraceEvent;
-use kona_types::{AccessKind, LineBitmap, MemAccess, PageGeometry};
-use std::collections::HashMap;
+use kona_types::{AccessKind, FxHashMap, LineBitmap, MemAccess, PageGeometry};
 
 /// Accumulates per-page accessed-line bitmaps and reports segment-length
 /// distributions.
@@ -31,8 +30,8 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct ContiguityAnalysis {
     geometry: PageGeometry,
-    read_pages: HashMap<u64, LineBitmap>,
-    write_pages: HashMap<u64, LineBitmap>,
+    read_pages: FxHashMap<u64, LineBitmap>,
+    write_pages: FxHashMap<u64, LineBitmap>,
 }
 
 impl ContiguityAnalysis {
@@ -40,8 +39,8 @@ impl ContiguityAnalysis {
     pub fn new() -> Self {
         ContiguityAnalysis {
             geometry: PageGeometry::base(),
-            read_pages: HashMap::new(),
-            write_pages: HashMap::new(),
+            read_pages: FxHashMap::default(),
+            write_pages: FxHashMap::default(),
         }
     }
 
@@ -95,7 +94,7 @@ impl ContiguityAnalysis {
         1.0 - cdf.fraction_le(full - 1)
     }
 
-    fn segment_cdf(pages: &HashMap<u64, LineBitmap>) -> Cdf {
+    fn segment_cdf(pages: &FxHashMap<u64, LineBitmap>) -> Cdf {
         let mut cdf = Cdf::new();
         for bm in pages.values() {
             for (_, len) in bm.segments() {

@@ -7,8 +7,7 @@
 
 use crate::stats::Cdf;
 use crate::trace::TraceEvent;
-use kona_types::{AccessKind, LineBitmap, MemAccess, PageGeometry};
-use std::collections::HashMap;
+use kona_types::{AccessKind, FxHashMap, LineBitmap, MemAccess, PageGeometry};
 
 /// Accumulates per-page accessed-line bitmaps split by access kind.
 ///
@@ -28,8 +27,8 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct SpatialAnalysis {
     geometry: PageGeometry,
-    read_pages: HashMap<u64, LineBitmap>,
-    write_pages: HashMap<u64, LineBitmap>,
+    read_pages: FxHashMap<u64, LineBitmap>,
+    write_pages: FxHashMap<u64, LineBitmap>,
 }
 
 impl SpatialAnalysis {
@@ -42,8 +41,8 @@ impl SpatialAnalysis {
     pub fn with_geometry(geometry: PageGeometry) -> Self {
         SpatialAnalysis {
             geometry,
-            read_pages: HashMap::new(),
-            write_pages: HashMap::new(),
+            read_pages: FxHashMap::default(),
+            write_pages: FxHashMap::default(),
         }
     }
 
@@ -106,7 +105,7 @@ impl SpatialAnalysis {
         full as f64 / self.write_pages.len() as f64
     }
 
-    fn cdf_of(pages: &HashMap<u64, LineBitmap>) -> Cdf {
+    fn cdf_of(pages: &FxHashMap<u64, LineBitmap>) -> Cdf {
         pages
             .values()
             .map(|bm| bm.count_set() as u64)

@@ -54,8 +54,23 @@ impl LineBitmap {
     ///
     /// Panics if `idx >= len`.
     pub fn set(&mut self, idx: usize) {
+        self.insert(idx);
+    }
+
+    /// Sets the bit for line `idx`, returning `true` if it was previously
+    /// clear. Lets callers maintain incremental set-bit counts without a
+    /// separate `get` probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len`.
+    pub fn insert(&mut self, idx: usize) -> bool {
         assert!(idx < self.len, "line index {idx} out of range {}", self.len);
-        self.words[idx / 64] |= 1 << (idx % 64);
+        let mask = 1u64 << (idx % 64);
+        let word = &mut self.words[idx / 64];
+        let newly_set = *word & mask == 0;
+        *word |= mask;
+        newly_set
     }
 
     /// Clears the bit for line `idx`.
@@ -107,8 +122,57 @@ impl LineBitmap {
     }
 
     /// Iterates over the indices of set bits in ascending order.
+    ///
+    /// Scans word-at-a-time with `trailing_zeros`, so sparse bitmaps cost
+    /// one probe per 64 lines instead of one per line.
     pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len).filter(move |&i| self.get(i))
+        let mut cursor = 0usize;
+        std::iter::from_fn(move || {
+            let idx = self.next_set_bit(cursor)?;
+            cursor = idx + 1;
+            Some(idx)
+        })
+    }
+
+    /// Index of the first set bit at or after `from`, scanning whole words.
+    fn next_set_bit(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut w = from / 64;
+        // Bits beyond `len` in the last word are always clear (`insert`
+        // bounds-checks and `set_all` masks the tail), so a raw word scan
+        // never reports a phantom index.
+        let mut word = self.words[w] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            word = self.words[w];
+        }
+    }
+
+    /// Index of the first clear bit at or after `from`, clamped to `len`.
+    fn next_clear_bit(&self, from: usize) -> usize {
+        if from >= self.len {
+            return self.len;
+        }
+        let mut w = from / 64;
+        let mut word = !self.words[w] & (!0u64 << (from % 64));
+        loop {
+            if word != 0 {
+                return (w * 64 + word.trailing_zeros() as usize).min(self.len);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return self.len;
+            }
+            word = !self.words[w];
+        }
     }
 
     /// Iterates over maximal runs of set bits as `(start, run_length)` pairs.
@@ -161,18 +225,12 @@ impl Iterator for Segments<'_> {
     type Item = (usize, usize);
 
     fn next(&mut self) -> Option<Self::Item> {
-        // Skip clear bits.
-        while self.cursor < self.bitmap.len && !self.bitmap.get(self.cursor) {
-            self.cursor += 1;
-        }
-        if self.cursor >= self.bitmap.len {
-            return None;
-        }
-        let start = self.cursor;
-        while self.cursor < self.bitmap.len && self.bitmap.get(self.cursor) {
-            self.cursor += 1;
-        }
-        Some((start, self.cursor - start))
+        // Word-at-a-time: jump to the next set bit, then to the clear bit
+        // ending its run, instead of probing line by line.
+        let start = self.bitmap.next_set_bit(self.cursor)?;
+        let end = self.bitmap.next_clear_bit(start);
+        self.cursor = end;
+        Some((start, end - start))
     }
 }
 
@@ -211,6 +269,35 @@ mod tests {
     #[should_panic]
     fn out_of_range_panics() {
         LineBitmap::new(64).get(64);
+    }
+
+    #[test]
+    fn insert_reports_newly_set() {
+        let mut bm = LineBitmap::new(64);
+        assert!(bm.insert(7));
+        assert!(!bm.insert(7));
+        bm.clear(7);
+        assert!(bm.insert(7));
+    }
+
+    #[test]
+    fn word_scan_handles_boundaries() {
+        // Runs spanning word boundaries and a tail word shorter than 64.
+        let mut bm = LineBitmap::new(130);
+        for i in 60..70 {
+            bm.set(i);
+        }
+        bm.set(127);
+        bm.set(128);
+        bm.set(129);
+        assert_eq!(
+            bm.segments().collect::<Vec<_>>(),
+            vec![(60, 10), (127, 3)]
+        );
+        assert_eq!(
+            bm.iter_set().collect::<Vec<_>>(),
+            (60..70).chain(127..130).collect::<Vec<_>>()
+        );
     }
 
     #[test]

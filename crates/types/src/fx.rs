@@ -1,0 +1,158 @@
+//! A fast, non-cryptographic hasher for the simulator's hot-path maps.
+//!
+//! The default `SipHash` behind [`std::collections::HashMap`] is keyed and
+//! DoS-resistant, which the simulator's internal maps (coherence directory
+//! and agent line maps, dirty-bitmap page maps, eviction logs) do not need:
+//! their keys are line/page numbers derived from the workload, not
+//! attacker-controlled input. This module provides an `FxHasher`-style
+//! multiply-rotate hasher (the scheme used by the Rust compiler's internal
+//! tables) and map/set aliases built on it. On `u64` keys a hash costs one
+//! multiply and one rotate instead of SipHash's full permutation rounds.
+//!
+//! # Examples
+//!
+//! ```
+//! use kona_types::{FxHashMap, FxHashSet};
+//!
+//! let mut lines: FxHashMap<u64, u32> = FxHashMap::default();
+//! lines.insert(42, 7);
+//! assert_eq!(lines[&42], 7);
+//! let mut set: FxHashSet<u64> = FxHashSet::default();
+//! assert!(set.insert(42));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier: a 64-bit constant with good bit-diffusion properties
+/// (derived from the golden ratio, as in FxHash / FNV-style mixers).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A fast multiply-rotate hasher for simulator-internal keys.
+///
+/// Not cryptographically secure and not DoS-resistant — use only for maps
+/// whose keys the simulator itself generates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" and "ab\0" hash differently.
+            self.add_to_hash(u64::from_le_bytes(buf) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, deterministic).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`] — for hot-path simulator maps keyed by
+/// line/page numbers.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_u64(v: u64) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(v);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_u64(0xDEAD_BEEF), hash_u64(0xDEAD_BEEF));
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one(42u64), b.hash_one(42u64));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        // Not a collision-resistance proof, just a sanity sweep over the
+        // small sequential keys the simulator actually uses.
+        let mut seen = std::collections::HashSet::new();
+        for k in 0u64..10_000 {
+            assert!(seen.insert(hash_u64(k)), "collision at {k}");
+        }
+    }
+
+    #[test]
+    fn bytes_and_length_sensitive() {
+        let h = |bytes: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        };
+        assert_ne!(h(b"ab"), h(b"ab\0"));
+        assert_ne!(h(b"abcdefgh"), h(b"abcdefgi"));
+        assert_eq!(h(b"abcdefghij"), h(b"abcdefghij"));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+    }
+}

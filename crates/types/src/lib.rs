@@ -26,14 +26,20 @@ mod access;
 mod addr;
 mod bitmap;
 mod error;
+mod fx;
+pub mod par;
 pub mod rng;
 mod size;
+mod slab_lru;
 mod time;
 
 pub use access::{AccessKind, MemAccess};
 pub use addr::{LineIndex, PageNumber, RemoteAddr, VfMemAddr, VirtAddr};
 pub use bitmap::LineBitmap;
 pub use error::{KonaError, Result};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use par::{par_map, Jobs};
+pub use slab_lru::SlabLru;
 pub use size::{
     align_down, align_up, is_aligned, ByteSize, Page, PageGeometry, CACHE_LINE_SIZE,
     LINES_PER_PAGE_4K, PAGE_SIZE_2M, PAGE_SIZE_4K,

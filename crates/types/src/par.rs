@@ -1,0 +1,210 @@
+//! A zero-dependency parallel execution layer for experiment fan-out.
+//!
+//! Every figure of the paper is reproduced by driving the same
+//! deterministic simulator over many independent parameter points. This
+//! module provides [`par_map`]: a scoped-thread ordered fan-out that runs
+//! each point on a worker thread and returns results **in input order**, so
+//! a parallel sweep's output is byte-identical to the sequential run. The
+//! worker count comes from a [`Jobs`] knob (`--jobs N` on the experiment
+//! binaries, defaulting to [`std::thread::available_parallelism`]).
+//!
+//! Workers pull tasks from a shared queue, so uneven point costs balance
+//! automatically. Panics in workers propagate to the caller when the scope
+//! joins, exactly like a sequential panic would.
+//!
+//! # Examples
+//!
+//! ```
+//! use kona_types::par::{par_map, Jobs};
+//!
+//! let squares = par_map(Jobs::new(4), vec![1u64, 2, 3, 4], |_, x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! assert_eq!(
+//!     par_map(Jobs::serial(), vec![1u64, 2, 3, 4], |_, x| x * x),
+//!     squares,
+//! );
+//! ```
+
+use std::sync::Mutex;
+
+/// The worker-count knob for [`par_map`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Jobs(usize);
+
+impl Jobs {
+    /// Exactly `n` workers (0 is clamped to 1).
+    pub fn new(n: usize) -> Self {
+        Jobs(n.max(1))
+    }
+
+    /// One worker: run inline on the calling thread.
+    pub fn serial() -> Self {
+        Jobs(1)
+    }
+
+    /// One worker per available hardware thread.
+    pub fn available() -> Self {
+        Jobs::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// Parses a `--jobs N` flag from pre-split argument strings; absent or
+    /// malformed flags fall back to [`Jobs::available`]. `--jobs 1` forces
+    /// the sequential path.
+    pub fn from_args(args: &[String]) -> Self {
+        args.iter()
+            .position(|a| a == "--jobs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+            .map_or_else(Jobs::available, Jobs::new)
+    }
+
+    /// The worker count.
+    pub fn get(self) -> usize {
+        self.0
+    }
+
+    /// Whether this runs on the calling thread only.
+    pub fn is_serial(self) -> bool {
+        self.0 == 1
+    }
+}
+
+impl Default for Jobs {
+    fn default() -> Self {
+        Jobs::available()
+    }
+}
+
+impl std::fmt::Display for Jobs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped worker threads, returning
+/// results in input order.
+///
+/// `f` receives `(index, item)` so workers can label or seed work by
+/// position. With `jobs == 1` (or a single item) the closure runs inline on
+/// the calling thread — no threads are spawned and no locking happens, so
+/// the sequential path has zero overhead and identical observable behavior.
+///
+/// Determinism contract: for a pure `f`, the result vector is identical for
+/// every worker count. The scheduling order across workers is not
+/// deterministic; only the output order is.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f`.
+pub fn par_map<T, R, F>(jobs: Jobs, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.get().min(n.max(1));
+    if workers <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // Reversed so `pop()` hands out items in input order (first-come
+    // scheduling; output order is restored by the index sort below).
+    let queue: Mutex<Vec<(usize, T)>> =
+        Mutex::new(items.into_iter().enumerate().rev().collect());
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let next = queue.lock().expect("queue poisoned").pop();
+                    let Some((i, item)) = next else { break };
+                    let r = f(i, item);
+                    results.lock().expect("results poisoned").push((i, r));
+                })
+            })
+            .collect();
+        // Join explicitly so a worker's panic payload reaches the caller
+        // intact (the scope's implicit join would replace it with a
+        // generic "a scoped thread panicked").
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    let mut out = results.into_inner().expect("results poisoned");
+    out.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(out.len(), n);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let got = par_map(Jobs::new(jobs), items.clone(), |_, x| x * 3 + 1);
+            assert_eq!(got, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn index_matches_position() {
+        let got = par_map(Jobs::new(4), vec!["a", "b", "c"], |i, s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u64> = vec![];
+        assert!(par_map(Jobs::new(8), empty, |_, x: u64| x).is_empty());
+        assert_eq!(par_map(Jobs::new(8), vec![7u64], |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Items with wildly different costs still come back in order.
+        let got = par_map(Jobs::new(4), vec![30_000u64, 1, 20_000, 2], |_, n| {
+            (0..n).fold(0u64, |a, b| a.wrapping_add(b * b))
+        });
+        let want: Vec<u64> = vec![30_000u64, 1, 20_000, 2]
+            .into_iter()
+            .map(|n| (0..n).fold(0u64, |a, b| a.wrapping_add(b * b)))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker exploded")]
+    fn worker_panic_propagates() {
+        par_map(Jobs::new(2), vec![0u32, 1], |_, x| {
+            if x == 1 {
+                panic!("worker exploded");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn jobs_parsing() {
+        let args = |s: &[&str]| s.iter().map(ToString::to_string).collect::<Vec<_>>();
+        assert_eq!(Jobs::from_args(&args(&["--jobs", "3"])).get(), 3);
+        assert_eq!(Jobs::from_args(&args(&["--jobs", "0"])).get(), 1);
+        assert!(Jobs::from_args(&args(&["--quick"])).get() >= 1);
+        assert!(Jobs::from_args(&args(&["--jobs", "x"])).get() >= 1);
+        assert!(Jobs::serial().is_serial());
+        assert_eq!(Jobs::new(0).get(), 1);
+        assert_eq!(format!("{}", Jobs::new(5)), "5");
+    }
+}

@@ -1,7 +1,6 @@
 //! Page tables and page-table entries.
 
-use kona_types::PageNumber;
-use std::collections::HashMap;
+use kona_types::{FxHashMap, PageNumber};
 
 /// A page-table entry.
 ///
@@ -58,7 +57,8 @@ impl Pte {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    entries: HashMap<u64, Pte>,
+    /// Fx-hashed: walked on every simulated access.
+    entries: FxHashMap<u64, Pte>,
 }
 
 impl PageTable {

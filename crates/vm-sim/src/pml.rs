@@ -14,8 +14,7 @@
 //! amplification is unchanged. Kona's coherence tracking beats both on
 //! granularity.
 
-use kona_types::{Nanos, PageNumber};
-use std::collections::HashSet;
+use kona_types::{FxHashSet, Nanos, PageNumber};
 
 /// Capacity of the hardware PML buffer (architected at 512 entries).
 pub const PML_BUFFER_ENTRIES: usize = 512;
@@ -46,11 +45,11 @@ pub const PML_APPEND_COST: Nanos = Nanos::from_ns(10);
 pub struct PmlLog {
     /// Pages already logged since the last software reset (the EPT D-bit:
     /// a page is logged only on its first write).
-    logged: HashSet<u64>,
+    logged: FxHashSet<u64>,
     /// Entries in the hardware buffer since the last exit.
     buffered: usize,
     /// Dirty pages delivered to software (drained batches + residue).
-    dirty: HashSet<u64>,
+    dirty: FxHashSet<u64>,
     exits: u64,
     time_charged: Nanos,
 }

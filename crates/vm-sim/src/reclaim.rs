@@ -5,12 +5,17 @@
 //! and Kona-VM ("both use the same algorithm and make the same decisions
 //! about which pages to evict", §6.1), so this single LRU implementation is
 //! shared by both runtimes.
+//!
+//! The order list itself is [`kona_types::SlabLru`] — the same slab-backed
+//! intrusive list the coherence agents use — wrapped with a
+//! [`PageNumber`]-typed surface. A touch costs one Fx-hash probe and a few
+//! slab pointer writes, versus the previous hash-map-of-links layout that
+//! re-inserted map entries (and re-hashed neighbours) on every access.
 
-use kona_types::PageNumber;
-use std::collections::HashMap;
+use kona_types::{PageNumber, SlabLru};
 
-/// An LRU list over pages with O(1) touch via an intrusive doubly-linked
-/// list stored in a hash map.
+/// An LRU list over pages with O(1) touch via a slab-backed intrusive
+/// doubly-linked list.
 ///
 /// # Examples
 ///
@@ -25,10 +30,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct LruPageList {
-    /// page -> (prev, next); None = list end.
-    links: HashMap<u64, (Option<u64>, Option<u64>)>,
-    head: Option<u64>, // most recent
-    tail: Option<u64>, // least recent
+    list: SlabLru,
 }
 
 impl LruPageList {
@@ -39,78 +41,42 @@ impl LruPageList {
 
     /// Number of tracked pages.
     pub fn len(&self) -> usize {
-        self.links.len()
+        self.list.len()
     }
 
     /// Returns `true` if no pages are tracked.
     pub fn is_empty(&self) -> bool {
-        self.links.is_empty()
+        self.list.is_empty()
     }
 
     /// Returns `true` if `page` is tracked.
     pub fn contains(&self, page: PageNumber) -> bool {
-        self.links.contains_key(&page.raw())
+        self.list.contains(page.raw())
     }
 
     /// Marks `page` most-recently-used, inserting it if new.
     pub fn touch(&mut self, page: PageNumber) {
-        let p = page.raw();
-        if self.links.contains_key(&p) {
-            self.unlink(p);
-        }
-        // Push at head.
-        let old_head = self.head;
-        self.links.insert(p, (None, old_head));
-        if let Some(h) = old_head {
-            self.links.get_mut(&h).expect("head must be linked").0 = Some(p);
-        }
-        self.head = Some(p);
-        if self.tail.is_none() {
-            self.tail = Some(p);
-        }
+        self.list.touch(page.raw());
     }
 
     /// Removes and returns the least-recently-used page.
     pub fn pop_lru(&mut self) -> Option<PageNumber> {
-        let t = self.tail?;
-        self.unlink(t);
-        self.links.remove(&t);
-        Some(PageNumber(t))
+        self.list.pop_lru().map(PageNumber)
     }
 
     /// Peeks at the least-recently-used page without removing it.
     pub fn peek_lru(&self) -> Option<PageNumber> {
-        self.tail.map(PageNumber)
+        self.list.peek_lru().map(PageNumber)
     }
 
     /// Removes `page` from the list; returns whether it was tracked.
     pub fn remove(&mut self, page: PageNumber) -> bool {
-        let p = page.raw();
-        if self.links.contains_key(&p) {
-            self.unlink(p);
-            self.links.remove(&p);
-            true
-        } else {
-            false
-        }
+        self.list.remove(page.raw())
     }
 
     /// Removes and returns up to `n` least-recently-used pages.
     pub fn pop_lru_batch(&mut self, n: usize) -> Vec<PageNumber> {
         (0..n).map_while(|_| self.pop_lru()).collect()
-    }
-
-    fn unlink(&mut self, p: u64) {
-        let (prev, next) = *self.links.get(&p).expect("unlink of untracked page");
-        match prev {
-            Some(q) => self.links.get_mut(&q).expect("prev must be linked").1 = next,
-            None => self.head = next,
-        }
-        match next {
-            Some(q) => self.links.get_mut(&q).expect("next must be linked").0 = prev,
-            None => self.tail = prev,
-        }
-        // Leave self.links[p] present but stale; callers re-link or remove.
     }
 }
 
@@ -210,3 +176,4 @@ mod tests {
         }
     }
 }
+
