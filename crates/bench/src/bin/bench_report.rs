@@ -15,12 +15,12 @@
 //! than 2x — the CI `bench-smoke` gate. Wall-clock sweep numbers are
 //! recorded but never gated: they depend on the runner's core count.
 
-use kona::{EvictionHandler, Poller};
+use kona::{EvictionHandler, Poller, RetryPolicy};
 use kona_bench::ExpOptions;
 use kona_coherence::{AgentId, CoherenceSystem};
 use kona_fpga::{DirtyTracker, RemoteTranslation, VictimPage};
 use kona_kcachesim::{sweep_cache_size_jobs, SystemModel};
-use kona_net::{Fabric, NetworkModel};
+use kona_net::{Fabric, FaultInjector, FaultPlan, NetworkModel, Opcode};
 use kona_types::rng::{Rng, StdRng};
 use kona_types::{
     Jobs, LineBitmap, LineIndex, PageNumber, RemoteAddr, SlabLru, VfMemAddr, LINES_PER_PAGE_4K,
@@ -257,6 +257,46 @@ fn bitmap_scan_probe(quick: bool) -> f64 {
     })
 }
 
+/// Per-verb fault decisions on a lossy plan — the tax every posted work
+/// request pays once a fault plan is installed on the fabric.
+fn fault_decide(quick: bool) -> f64 {
+    let ops = 32_000;
+    time_ns_per_op(quick, ops, || {
+        let plan = FaultPlan::calm(21)
+            .with_drop_prob(0.01)
+            .with_corrupt_prob(0.005)
+            .with_timeout_prob(0.01);
+        let mut inj = FaultInjector::new(plan);
+        let mut faults = 0u64;
+        for i in 0..ops {
+            let op = match i % 3 {
+                0 => Opcode::Read,
+                1 => Opcode::Write,
+                _ => Opcode::Send,
+            };
+            if inj.decide(op).is_some() {
+                faults += 1;
+            }
+        }
+        faults
+    })
+}
+
+/// Jittered exponential backoff computation — runs once per retry on the
+/// fetch and flush recovery paths.
+fn retry_backoff(quick: bool) -> f64 {
+    let ops = 32_000;
+    let policy = RetryPolicy::default();
+    let mut rng = StdRng::seed_from_u64(16);
+    time_ns_per_op(quick, ops, || {
+        let mut acc = 0u64;
+        for i in 0..ops {
+            acc = acc.wrapping_add(policy.backoff_for((i % 4) as u32, &mut rng).as_ns());
+        }
+        acc
+    })
+}
+
 /// Wall-clock of one cache-size sweep at the given job count, in ms.
 fn sweep_wall_ms(quick: bool, jobs: Jobs) -> f64 {
     let profile = if quick {
@@ -335,6 +375,11 @@ fn main() {
         Micro { name: "eviction_pack", ns_per_op: eviction_pack(quick) },
         Micro { name: "bitmap_scan", ns_per_op: bitmap_scan(quick) },
         Micro { name: "lru_touch", ns_per_op: lru_touch(quick) },
+        // Failure-path micros (PR 3): absent from older baselines, which
+        // the gate tolerates ("no baseline entry"); once a snapshot with
+        // them is committed they regress-gate like every other hot path.
+        Micro { name: "fault_decide", ns_per_op: fault_decide(quick) },
+        Micro { name: "retry_backoff", ns_per_op: retry_backoff(quick) },
     ];
     for m in &micros {
         println!("  {:<18} {:>10.1} ns/op", m.name, m.ns_per_op);

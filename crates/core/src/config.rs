@@ -1,6 +1,8 @@
 //! Cluster and latency configuration.
 
 use kona_fpga::NextPagePrefetcher;
+use kona_net::FaultPlan;
+use kona_types::rng::{Rng, StdRng};
 use kona_types::{ByteSize, KonaError, Nanos, Result, PAGE_SIZE_4K};
 
 /// Whether the runtime moves real bytes or only simulates timing.
@@ -37,6 +39,154 @@ impl Default for LatencyProfile {
             cpu_cache_hit: Nanos::from_ns(2),
             cmem: Nanos::from_ns(85),
             fmem_fill: Nanos::from_ns(250),
+        }
+    }
+}
+
+/// Retry policy for transient remote failures (§4.5 recovery).
+///
+/// Transient errors (injected verb faults, flapping nodes) are retried
+/// with exponential backoff plus seeded jitter; permanent errors
+/// (unregistered memory, unknown nodes) are never retried. The jitter
+/// PRNG is seeded, so retry timing is deterministic for a given seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts per target before giving up (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each subsequent retry.
+    pub base_backoff: Nanos,
+    /// Cap on any single backoff.
+    pub max_backoff: Nanos,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by a random
+    /// factor in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Seed for the jitter PRNG.
+    pub seed: u64,
+    /// Per-verb deadline reported in machine-check events
+    /// ([`kona_types::KonaError::CoherenceTimeout`]).
+    pub verb_deadline: Nanos,
+}
+
+impl RetryPolicy {
+    /// No retries at all: one attempt per target.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff to sleep after attempt number `attempt` (0-based):
+    /// exponential from [`RetryPolicy::base_backoff`], capped at
+    /// [`RetryPolicy::max_backoff`], with multiplicative jitter drawn
+    /// from `rng`.
+    pub fn backoff_for(&self, attempt: u32, rng: &mut StdRng) -> Nanos {
+        let exp = self
+            .base_backoff
+            .as_ns()
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.max_backoff.as_ns());
+        if self.jitter <= 0.0 {
+            return Nanos::from_ns(exp);
+        }
+        let factor = 1.0 - self.jitter + 2.0 * self.jitter * rng.gen::<f64>();
+        Nanos::from_ns((exp as f64 * factor) as u64)
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::InvalidConfig`] on zero attempts or a jitter
+    /// fraction outside `[0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_attempts == 0 {
+            return Err(KonaError::InvalidConfig(
+                "retry max_attempts must be at least 1".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.jitter) {
+            return Err(KonaError::InvalidConfig(format!(
+                "retry jitter {} outside [0, 1]",
+                self.jitter
+            )));
+        }
+        if self.base_backoff > self.max_backoff {
+            return Err(KonaError::InvalidConfig(format!(
+                "retry base backoff {} exceeds max backoff {}",
+                self.base_backoff, self.max_backoff
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Nanos::micros(10),
+            max_backoff: Nanos::micros(200),
+            jitter: 0.25,
+            seed: 0x5EED_CAFE,
+            verb_deadline: Nanos::micros(30),
+        }
+    }
+}
+
+/// Degraded-mode configuration: when a node flaps, the runtime sheds
+/// prefetching (don't waste fetches that may fail) and widens eviction
+/// batching (combine every node's log flush into one chained post) until
+/// the fabric has been quiet for a cooloff period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Transient failures within [`DegradedConfig::window`] that trigger
+    /// degraded mode.
+    pub failure_threshold: u32,
+    /// Sliding window over which failures are counted (simulated time).
+    pub window: Nanos,
+    /// How long after the last failure the runtime stays degraded.
+    pub cooloff: Nanos,
+}
+
+impl DegradedConfig {
+    /// Degraded mode disabled entirely.
+    pub fn disabled() -> Self {
+        DegradedConfig {
+            enabled: false,
+            ..DegradedConfig::default()
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::InvalidConfig`] on a zero threshold or window.
+    pub fn validate(&self) -> Result<()> {
+        if self.failure_threshold == 0 {
+            return Err(KonaError::InvalidConfig(
+                "degraded failure_threshold must be at least 1".into(),
+            ));
+        }
+        if self.window == Nanos::ZERO {
+            return Err(KonaError::InvalidConfig(
+                "degraded window must be non-zero".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DegradedConfig {
+    fn default() -> Self {
+        DegradedConfig {
+            enabled: true,
+            failure_threshold: 3,
+            window: Nanos::millis(1),
+            cooloff: Nanos::millis(2),
         }
     }
 }
@@ -78,6 +228,13 @@ pub struct ClusterConfig {
     pub data_mode: DataMode,
     /// Ring-buffer capacity of each node's cache-line log, in bytes.
     pub log_capacity: ByteSize,
+    /// Retry/backoff policy on the remote fetch and eviction paths.
+    pub retry: RetryPolicy,
+    /// Degraded-mode triggers (§4.5 recovery under flapping nodes).
+    pub degraded: DegradedConfig,
+    /// Optional fault plan installed into the fabric at construction
+    /// (chaos testing; `None` = healthy network).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -97,6 +254,9 @@ impl ClusterConfig {
             latency: LatencyProfile::default(),
             data_mode: DataMode::Tracked,
             log_capacity: ByteSize::kib(64),
+            retry: RetryPolicy::default(),
+            degraded: DegradedConfig::default(),
+            fault_plan: None,
         }
     }
 
@@ -132,6 +292,28 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_cpu_agents(mut self, cores: usize) -> Self {
         self.cpu_agents = cores;
+        self
+    }
+
+    /// Returns the configuration with the given retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Returns the configuration with the given degraded-mode triggers.
+    #[must_use]
+    pub fn with_degraded(mut self, degraded: DegradedConfig) -> Self {
+        self.degraded = degraded;
+        self
+    }
+
+    /// Returns the configuration with `plan` installed into the fabric at
+    /// construction (deterministic chaos testing).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -179,6 +361,11 @@ impl ClusterConfig {
         }
         if self.log_capacity.bytes() < 1024 {
             return fail("cache-line log must be at least 1 KiB".into());
+        }
+        self.retry.validate()?;
+        self.degraded.validate()?;
+        if let Some(plan) = &self.fault_plan {
+            plan.validate()?;
         }
         Ok(())
     }
@@ -232,6 +419,77 @@ mod tests {
         assert_eq!(c.replicas, 2);
         assert_eq!(c.data_mode, DataMode::Timing);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn retry_policy_validation_and_backoff() {
+        let p = RetryPolicy::default();
+        assert!(p.validate().is_ok());
+        assert!(RetryPolicy {
+            max_attempts: 0,
+            ..p.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            jitter: 1.5,
+            ..p.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            base_backoff: Nanos::millis(1),
+            max_backoff: Nanos::micros(1),
+            ..p.clone()
+        }
+        .validate()
+        .is_err());
+        // Backoff grows exponentially, stays within jitter bounds, and is
+        // capped.
+        let mut rng = StdRng::seed_from_u64(1);
+        let b0 = p.backoff_for(0, &mut rng).as_ns() as f64;
+        let base = p.base_backoff.as_ns() as f64;
+        assert!(b0 >= base * (1.0 - p.jitter) - 1.0 && b0 <= base * (1.0 + p.jitter) + 1.0);
+        let b_large = p.backoff_for(30, &mut rng);
+        assert!(b_large <= Nanos::from_ns((p.max_backoff.as_ns() as f64 * 1.26) as u64));
+        // Deterministic for a fixed rng stream.
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        assert_eq!(p.backoff_for(2, &mut r1), p.backoff_for(2, &mut r2));
+        // No-jitter policies are exact.
+        let exact = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(exact.backoff_for(1, &mut rng), Nanos::micros(20));
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn degraded_config_validation() {
+        assert!(DegradedConfig::default().validate().is_ok());
+        assert!(!DegradedConfig::disabled().enabled);
+        let mut d = DegradedConfig::default();
+        d.failure_threshold = 0;
+        assert!(d.validate().is_err());
+        let mut d = DegradedConfig::default();
+        d.window = Nanos::ZERO;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plan_validated_through_cluster_config() {
+        use kona_net::FaultPlan;
+        let good = ClusterConfig::small().with_fault_plan(FaultPlan::calm(1));
+        assert!(good.validate().is_ok());
+        let bad =
+            ClusterConfig::small().with_fault_plan(FaultPlan::calm(1).with_drop_prob(2.0));
+        assert!(bad.validate().is_err());
+        let bad_retry = ClusterConfig::small().with_retry(RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        });
+        assert!(bad_retry.validate().is_err());
     }
 
     #[test]

@@ -11,12 +11,14 @@
 //! breakdown: **Bitmap** scan, **Copy** into the RDMA buffer, **RDMA
 //! write**, and **Ack wait**.
 
+use crate::config::RetryPolicy;
 use crate::log::{CacheLineLog, LogEntry, LogReceiver};
 use crate::metrics::names;
 use crate::poller::Poller;
 use kona_fpga::VictimPage;
 use kona_net::{CopyModel, Fabric, WorkRequest};
 use kona_telemetry::{Counter, EventKind, Histogram, SpanEvent, Telemetry, Track, VerbOpcode};
+use kona_types::rng::StdRng;
 use kona_types::{FxHashMap, FxHashSet, Nanos, RemoteAddr, Result, CACHE_LINE_SIZE, PAGE_SIZE_4K};
 
 /// Cost of scanning one page's 64-bit dirty bitmap.
@@ -103,6 +105,15 @@ pub struct EvictionStats {
     pub dirty_bytes_written: u64,
     /// Log flushes performed.
     pub flushes: u64,
+    /// Flush posts retried after a transient fabric fault.
+    pub flush_retries: u64,
+    /// Node logs abandoned after retries exhausted (replicas hold the
+    /// data; the node is marked lost and never read again).
+    pub abandoned_flushes: u64,
+    /// Writeback targets skipped because their node is marked lost.
+    pub skipped_targets: u64,
+    /// Degraded-mode flushes that combined all node logs into one chain.
+    pub batched_flushes: u64,
 }
 
 /// The eviction handler.
@@ -124,6 +135,20 @@ pub struct EvictionHandler {
     stats: EvictionStats,
     /// VFMem pages with unflushed log entries.
     pending_pages: FxHashSet<u64>,
+    /// Retry policy for flush posts that hit transient fabric faults.
+    retry: RetryPolicy,
+    /// Jitter PRNG for flush-retry backoff (seeded; deterministic runs).
+    rng: StdRng,
+    /// How many nodes may be abandoned before flush errors become fatal.
+    /// The runtime sets this to `replicas` (losing more would leave a
+    /// page with no up-to-date copy).
+    max_node_losses: usize,
+    /// Nodes whose log was abandoned mid-run: their remote copy is stale,
+    /// so they take no further writebacks and must not serve reads.
+    lost_nodes: FxHashSet<u32>,
+    /// Degraded mode: widen batching by combining every node's log into
+    /// one chained post per flush cycle.
+    degraded: bool,
     telemetry: Telemetry,
     /// Shares cells with the runtime's counters (same registry names).
     pages_evicted: Counter,
@@ -146,6 +171,11 @@ impl EvictionHandler {
             breakdown: EvictionBreakdown::default(),
             stats: EvictionStats::default(),
             pending_pages: FxHashSet::default(),
+            retry: RetryPolicy::default(),
+            rng: StdRng::seed_from_u64(RetryPolicy::default().seed ^ 0xE71C),
+            max_node_losses: 0,
+            lost_nodes: FxHashSet::default(),
+            degraded: false,
             pages_evicted: telemetry.counter(names::PAGES_EVICTED),
             writeback_bytes: telemetry.counter(names::WRITEBACK_BYTES),
             evict_ns: telemetry.histogram(names::EVICT_NS),
@@ -172,6 +202,36 @@ impl EvictionHandler {
     /// The active copy engine.
     pub fn copy_engine(&self) -> CopyEngine {
         self.engine
+    }
+
+    /// Sets the retry policy for flush posts (re-seeds the backoff PRNG
+    /// from the policy's seed so identical configs replay identically).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.rng = StdRng::seed_from_u64(retry.seed ^ 0xE71C);
+        self.retry = retry;
+    }
+
+    /// Sets how many nodes may be abandoned (log dropped, node marked
+    /// lost) before a failed flush becomes a hard error.
+    pub fn set_max_node_losses(&mut self, max: usize) {
+        self.max_node_losses = max;
+    }
+
+    /// Enables or disables degraded-mode flushing (all node logs combined
+    /// into one chained post per flush cycle).
+    pub fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
+
+    /// Whether degraded-mode flushing is active.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Nodes abandoned after exhausting flush retries. Their remote copy
+    /// is stale: the runtime must not fetch from them.
+    pub fn lost_nodes(&self) -> &FxHashSet<u32> {
+        &self.lost_nodes
     }
 
     /// Accumulated phase breakdown.
@@ -229,7 +289,15 @@ impl EvictionHandler {
                 None => vec![0u8; byte_len as usize],
             };
             // Gather + copy into the log buffer (charged once per target).
-            for (t, target) in std::iter::once(&primary).chain(replicas).enumerate() {
+            // Lost nodes take no writebacks; goodput is counted on the
+            // first surviving target (normally the primary).
+            let mut counted = false;
+            for target in std::iter::once(&primary).chain(replicas) {
+                let node = target.node();
+                if self.lost_nodes.contains(&node) {
+                    self.stats.skipped_targets += 1;
+                    continue;
+                }
                 let copy_time = self.engine.segment_copy_time(&self.copy, byte_len);
                 self.breakdown.copy += copy_time;
                 elapsed += copy_time;
@@ -237,7 +305,6 @@ impl EvictionHandler {
                     remote: target.add(byte_off),
                     data: data.clone(),
                 };
-                let node = entry.remote.node();
                 let log = self
                     .logs
                     .entry(node)
@@ -251,7 +318,8 @@ impl EvictionHandler {
                     .expect("log just ensured")
                     .append(entry);
                 assert!(appended, "entry must fit after flush");
-                if t == 0 {
+                if !counted {
+                    counted = true;
                     self.stats.lines_written += len as u64;
                     self.stats.dirty_bytes_written += byte_len;
                     self.writeback_bytes.add(byte_len);
@@ -276,9 +344,18 @@ impl EvictionHandler {
     /// Flushes one node's log: RDMA-writes the encoded buffer to the log
     /// region, lets the receiver unpack it, and waits for the ack.
     ///
+    /// Transient fabric faults (dropped/corrupted/timed-out verbs, a node
+    /// mid-flap) are retried under the handler's [`RetryPolicy`]; the log
+    /// write is idempotent, so re-posting after a mid-chain fault is safe.
+    /// When retries exhaust and the node-loss budget allows, the node is
+    /// *abandoned*: its log is dropped (replicas hold the data) and it is
+    /// recorded in [`EvictionHandler::lost_nodes`] so it never serves a
+    /// stale read.
+    ///
     /// # Errors
     ///
-    /// Propagates fabric errors (failed node, unregistered log region).
+    /// Propagates non-transient fabric errors (unregistered log region,
+    /// manually failed node) and transient ones past the loss budget.
     pub fn flush_node(
         &mut self,
         node: u32,
@@ -291,6 +368,15 @@ impl EvictionHandler {
         if log.used_bytes() == 0 {
             return Ok(Nanos::ZERO);
         }
+        if self.lost_nodes.contains(&node) {
+            // Entries queued before the node was abandoned: drop them,
+            // the replicas carry the data.
+            log.drain_encoded();
+            if self.logs.values().all(|l| l.used_bytes() == 0) {
+                self.pending_pages.clear();
+            }
+            return Ok(Nanos::ZERO);
+        }
         let encoded = log.drain_encoded();
         self.stats.flushes += 1;
 
@@ -298,13 +384,39 @@ impl EvictionHandler {
         // to the NIC for the whole log", §6.4).
         let flush_start = self.breakdown.total();
         let log_bytes = encoded.len() as u64;
-        let wr = WorkRequest::write(
-            u64::from(node),
-            RemoteAddr::new(node, self.log_region_offset),
-            encoded.clone(),
-        )
-        .signaled();
-        let (rdma_time, _) = poller.post_and_poll(fabric, vec![wr])?;
+        let mut backoff_total = Nanos::ZERO;
+        let mut attempt = 0u32;
+        let rdma_time = loop {
+            let wr = WorkRequest::write(
+                u64::from(node),
+                RemoteAddr::new(node, self.log_region_offset),
+                encoded.clone(),
+            )
+            .signaled();
+            match poller.post_and_poll(fabric, vec![wr]) {
+                Ok((t, _)) => break t,
+                Err(e) if e.is_transient() && attempt + 1 < self.retry.max_attempts => {
+                    self.stats.flush_retries += 1;
+                    let backoff = self.retry.backoff_for(attempt, &mut self.rng);
+                    attempt += 1;
+                    // Back off on the eviction thread; simulated time
+                    // advances so scheduled flaps can clear meanwhile.
+                    fabric.advance_time(backoff);
+                    backoff_total += backoff;
+                }
+                Err(e) => {
+                    if e.is_transient() && self.lost_nodes.len() < self.max_node_losses {
+                        self.lost_nodes.insert(node);
+                        self.stats.abandoned_flushes += 1;
+                        if self.logs.values().all(|l| l.used_bytes() == 0) {
+                            self.pending_pages.clear();
+                        }
+                        return Ok(backoff_total);
+                    }
+                    return Err(e);
+                }
+            }
+        };
         self.breakdown.rdma_write += rdma_time;
         if self.telemetry.tracing_enabled() {
             self.telemetry.record(SpanEvent::new(
@@ -344,22 +456,140 @@ impl EvictionHandler {
         if self.logs.values().all(|l| l.used_bytes() == 0) {
             self.pending_pages.clear();
         }
-        Ok(rdma_time + ack_time)
+        Ok(backoff_total + rdma_time + ack_time)
     }
 
-    /// Flushes every node's log.
+    /// Flushes every node's log. In degraded mode the per-node logs are
+    /// combined into one work-request chain (one doorbell for the whole
+    /// cycle) instead of one post per node — wider batching trades ack
+    /// latency for fewer exposures to a flaky fabric.
     ///
     /// # Errors
     ///
     /// Propagates fabric errors.
     pub fn flush_all(&mut self, fabric: &mut Fabric, poller: &mut Poller) -> Result<Nanos> {
-        let nodes: Vec<u32> = self.logs.keys().copied().collect();
-        let mut total = Nanos::ZERO;
-        for node in nodes {
-            total += self.flush_node(node, fabric, poller)?;
-        }
+        let total = if self.degraded {
+            self.flush_all_batched(fabric, poller)?
+        } else {
+            let mut nodes: Vec<u32> = self.logs.keys().copied().collect();
+            nodes.sort_unstable();
+            let mut total = Nanos::ZERO;
+            for node in nodes {
+                total += self.flush_node(node, fabric, poller)?;
+            }
+            total
+        };
         self.pending_pages.clear();
         Ok(total)
+    }
+
+    /// Degraded-mode flush: every node's log in one chained post, retried
+    /// as a whole (idempotent, so a mid-chain fault re-posts safely).
+    /// Nodes that keep failing are dropped from the batch within the
+    /// loss budget, exactly as in [`EvictionHandler::flush_node`].
+    fn flush_all_batched(&mut self, fabric: &mut Fabric, poller: &mut Poller) -> Result<Nanos> {
+        let mut nodes: Vec<u32> = self
+            .logs
+            .iter()
+            .filter(|(_, log)| log.used_bytes() > 0)
+            .map(|(&node, _)| node)
+            .collect();
+        nodes.sort_unstable();
+        let mut batch: Vec<(u32, Vec<u8>)> = Vec::new();
+        for node in nodes {
+            let log = self.logs.get_mut(&node).expect("node key from logs");
+            if self.lost_nodes.contains(&node) {
+                log.drain_encoded();
+                continue;
+            }
+            batch.push((node, log.drain_encoded()));
+        }
+        if batch.is_empty() {
+            return Ok(Nanos::ZERO);
+        }
+        self.stats.batched_flushes += 1;
+        self.stats.flushes += batch.len() as u64;
+        let flush_start = self.breakdown.total();
+        let mut backoff_total = Nanos::ZERO;
+        let mut attempt = 0u32;
+        let rdma_time = loop {
+            let last = batch.len() - 1;
+            let chain: Vec<WorkRequest> = batch
+                .iter()
+                .enumerate()
+                .map(|(i, (node, encoded))| {
+                    let wr = WorkRequest::write(
+                        u64::from(*node),
+                        RemoteAddr::new(*node, self.log_region_offset),
+                        encoded.clone(),
+                    );
+                    if i == last {
+                        wr.signaled()
+                    } else {
+                        wr
+                    }
+                })
+                .collect();
+            match poller.post_and_poll(fabric, chain) {
+                Ok((t, _)) => break t,
+                Err(e) if e.is_transient() && attempt + 1 < self.retry.max_attempts => {
+                    self.stats.flush_retries += 1;
+                    let backoff = self.retry.backoff_for(attempt, &mut self.rng);
+                    attempt += 1;
+                    fabric.advance_time(backoff);
+                    backoff_total += backoff;
+                }
+                Err(e) => {
+                    let lose = e.failed_node().filter(|_| {
+                        e.is_transient() && self.lost_nodes.len() < self.max_node_losses
+                    });
+                    let Some(node) = lose else { return Err(e) };
+                    self.lost_nodes.insert(node);
+                    self.stats.abandoned_flushes += 1;
+                    batch.retain(|(n, _)| *n != node);
+                    if batch.is_empty() {
+                        return Ok(backoff_total);
+                    }
+                    attempt = 0;
+                }
+            }
+        };
+        self.breakdown.rdma_write += rdma_time;
+        let batch_bytes: u64 = batch.iter().map(|(_, e)| e.len() as u64).sum();
+        if self.telemetry.tracing_enabled() {
+            self.telemetry.record(SpanEvent::new(
+                Track::Background,
+                flush_start,
+                rdma_time,
+                EventKind::Verb {
+                    opcode: VerbOpcode::Write,
+                    bytes: batch_bytes,
+                },
+            ));
+        }
+
+        // Each receiver unpacks its own log; acks ride back together, so
+        // only one verb round trip is charged for the whole batch.
+        let mut unpack_total = Nanos::ZERO;
+        for (node, encoded) in &batch {
+            let receiver = self.receivers.entry(*node).or_default();
+            let node_mem = fabric
+                .node_mut(*node)
+                .expect("post succeeded, node must exist");
+            let report = receiver.apply(node_mem, encoded);
+            unpack_total += report.unpack_time;
+        }
+        let ack_time = (unpack_total + fabric.model().verb_time(0)) / 4;
+        self.breakdown.ack_wait += ack_time;
+        if self.telemetry.tracing_enabled() {
+            self.telemetry.record(SpanEvent::new(
+                Track::Background,
+                flush_start,
+                rdma_time + ack_time,
+                EventKind::Writeback,
+            ));
+        }
+        Ok(backoff_total + rdma_time + ack_time)
     }
 
     /// The dirty-data amplification achieved by this handler so far:
@@ -601,6 +831,127 @@ mod tests {
             let expected: u64 = dirty.iter().filter(|&&d| d).count() as u64 * 64;
             assert_eq!(h.stats().dirty_bytes_written, expected);
         }
+    }
+
+    #[test]
+    fn flush_retry_rides_out_a_flap() {
+        use kona_net::{FaultInjector, FaultPlan};
+        let mut h = EvictionHandler::new(1 << 20, 65536);
+        h.set_retry_policy(RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Nanos::micros(40),
+            max_backoff: Nanos::micros(200),
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        });
+        let mut f = fabric_with_nodes(1);
+        f.set_fault_injector(FaultInjector::new(
+            FaultPlan::calm(7).with_flap(0, Nanos::ZERO, Nanos::micros(30)),
+        ));
+        let mut p = Poller::new();
+        let mut page = vec![0u8; 4096];
+        page[..64].fill(0x5A);
+        h.evict_page(&victim(0, &[0]), Some(&page), RemoteAddr::new(0, 0), &[], &mut f, &mut p)
+            .unwrap();
+        h.flush_all(&mut f, &mut p).unwrap();
+        // First post hits the down node; the 40 µs backoff outlasts the
+        // 30 µs flap and the retry lands the data.
+        assert_eq!(h.stats().flush_retries, 1);
+        assert!(h.lost_nodes().is_empty());
+        assert_eq!(f.node(0).unwrap().read_bytes(0, 64), &[0x5A; 64][..]);
+    }
+
+    #[test]
+    fn exhausted_retries_abandon_node_within_budget() {
+        use kona_net::{FaultInjector, FaultPlan};
+        let mut h = EvictionHandler::new(1 << 20, 65536);
+        h.set_retry_policy(RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        });
+        h.set_max_node_losses(1);
+        let mut f = fabric_with_nodes(2);
+        f.set_fault_injector(FaultInjector::new(
+            FaultPlan::calm(7).with_crash(0, Nanos::ZERO),
+        ));
+        let mut p = Poller::new();
+        let mut page = vec![0u8; 4096];
+        page[..64].fill(0x33);
+        h.evict_page(
+            &victim(0, &[0]),
+            Some(&page),
+            RemoteAddr::new(0, 0),
+            &[RemoteAddr::new(1, 0)],
+            &mut f,
+            &mut p,
+        )
+        .unwrap();
+        h.flush_all(&mut f, &mut p).unwrap();
+        // The crashed primary is abandoned; the replica holds the data.
+        assert!(h.lost_nodes().contains(&0));
+        assert_eq!(h.stats().abandoned_flushes, 1);
+        assert_eq!(f.node(1).unwrap().read_bytes(0, 64), &[0x33; 64][..]);
+        // Later evictions skip the lost node but still count goodput.
+        let before = h.stats().dirty_bytes_written;
+        h.evict_page(
+            &victim(1, &[0]),
+            Some(&page),
+            RemoteAddr::new(0, 4096),
+            &[RemoteAddr::new(1, 4096)],
+            &mut f,
+            &mut p,
+        )
+        .unwrap();
+        assert_eq!(h.stats().skipped_targets, 1);
+        assert_eq!(h.stats().dirty_bytes_written, before + 64);
+        h.flush_all(&mut f, &mut p).unwrap();
+        assert_eq!(f.node(1).unwrap().read_bytes(4096, 64), &[0x33; 64][..]);
+    }
+
+    #[test]
+    fn exhausted_retries_without_budget_error_out() {
+        use kona_net::{FaultInjector, FaultPlan};
+        let mut h = EvictionHandler::new(1 << 20, 65536);
+        h.set_retry_policy(RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        });
+        let mut f = fabric_with_nodes(1);
+        f.set_fault_injector(FaultInjector::new(
+            FaultPlan::calm(7).with_crash(0, Nanos::ZERO),
+        ));
+        let mut p = Poller::new();
+        h.evict_page(&victim(0, &[0]), None, RemoteAddr::new(0, 0), &[], &mut f, &mut p)
+            .unwrap();
+        assert!(h.flush_all(&mut f, &mut p).is_err());
+    }
+
+    #[test]
+    fn degraded_mode_batches_all_logs_into_one_post() {
+        let mut h = EvictionHandler::new(1 << 20, 65536);
+        h.set_degraded(true);
+        assert!(h.is_degraded());
+        let mut f = fabric_with_nodes(2);
+        let mut p = Poller::new();
+        let mut page = vec![0u8; 4096];
+        page[..64].fill(0x42);
+        h.evict_page(
+            &victim(0, &[0]),
+            Some(&page),
+            RemoteAddr::new(0, 0),
+            &[RemoteAddr::new(1, 0)],
+            &mut f,
+            &mut p,
+        )
+        .unwrap();
+        h.flush_all(&mut f, &mut p).unwrap();
+        assert_eq!(h.stats().batched_flushes, 1);
+        assert_eq!(h.stats().flushes, 2, "both node logs in the batch");
+        assert_eq!(f.node(0).unwrap().read_bytes(0, 64), &[0x42; 64][..]);
+        assert_eq!(f.node(1).unwrap().read_bytes(0, 64), &[0x42; 64][..]);
+        // The whole cycle was one doorbell.
+        assert_eq!(f.stats().posts, 1);
+        assert!(!h.is_pending(0));
     }
 
     #[test]

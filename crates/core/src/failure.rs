@@ -14,8 +14,20 @@
 //! Memory-node *data* loss is mitigated by replication during eviction
 //! (see [`crate::EvictionHandler`] and [`crate::KonaRuntime`]'s replica
 //! failover).
+//!
+//! [`FailureState`] is the runtime's failure bookkeeping: a bounded ring
+//! of machine-check events (long chaos runs must not grow memory without
+//! bound), per-policy event counters, per-node transient-failure health
+//! windows, and the degraded-mode clock (enter when a node flaps past the
+//! threshold, exit after a cooloff with no failures).
 
-use kona_types::{Nanos, VfMemAddr};
+use crate::config::DegradedConfig;
+use kona_types::rng::StdRng;
+use kona_types::{FxHashMap, Nanos, VfMemAddr};
+use std::collections::VecDeque;
+
+/// Default capacity of the machine-check event ring.
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
 
 /// How the runtime reacts when a remote fetch fails.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -26,7 +38,8 @@ pub enum FailurePolicy {
     HandleMce,
     /// Mark the page not-present and retry through the page-fault path
     /// after the outage clears; the access is charged the fault cost plus
-    /// one retry round-trip.
+    /// one retry round-trip. When the fabric knows the outage's end (a
+    /// scheduled flap), the runtime waits it out and retries itself.
     PageFaultFallback,
 }
 
@@ -39,20 +52,74 @@ pub struct McEvent {
     pub at: Nanos,
 }
 
+/// How many terminal failures each policy has absorbed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyCounts {
+    /// Failures surfaced as machine-check events.
+    pub mce: u64,
+    /// Failures routed through the page-fault fallback.
+    pub fallback: u64,
+}
+
 /// Failure bookkeeping shared by the runtime.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FailureState {
     policy: FailurePolicy,
-    events: Vec<McEvent>,
+    /// Bounded ring of recent events; oldest dropped first.
+    events: VecDeque<McEvent>,
+    capacity: usize,
+    /// Events recorded over the whole run (including dropped ones).
+    recorded_total: u64,
+    counts: PolicyCounts,
+    degraded_cfg: DegradedConfig,
+    /// Per-node times of recent transient failures (pruned to the window).
+    health: FxHashMap<u32, VecDeque<Nanos>>,
+    /// When degraded mode ends; `None` = healthy.
+    degraded_until: Option<Nanos>,
+    /// Jitter PRNG for retry backoff (seeded; deterministic runs).
+    rng: StdRng,
+}
+
+impl Default for FailureState {
+    fn default() -> Self {
+        FailureState::new(FailurePolicy::default())
+    }
 }
 
 impl FailureState {
-    /// Creates state with the given policy.
+    /// Creates state with the given policy, default degraded triggers and
+    /// the default event capacity.
     pub fn new(policy: FailurePolicy) -> Self {
+        FailureState::with_config(policy, DegradedConfig::default(), 0x5EED_CAFE)
+    }
+
+    /// Creates state with explicit degraded-mode triggers and backoff
+    /// jitter seed.
+    pub fn with_config(policy: FailurePolicy, degraded: DegradedConfig, seed: u64) -> Self {
         FailureState {
             policy,
-            events: Vec::new(),
+            events: VecDeque::new(),
+            capacity: DEFAULT_EVENT_CAPACITY,
+            recorded_total: 0,
+            counts: PolicyCounts::default(),
+            degraded_cfg: degraded,
+            health: FxHashMap::default(),
+            degraded_until: None,
+            rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Changes the event-ring capacity (existing overflow is trimmed).
+    pub fn set_event_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.events.len() > self.capacity {
+            self.events.pop_front();
+        }
+    }
+
+    /// The event-ring capacity.
+    pub fn event_capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The active policy.
@@ -65,14 +132,91 @@ impl FailureState {
         self.policy = policy;
     }
 
-    /// Records an event.
-    pub fn record(&mut self, addr: VfMemAddr, at: Nanos) {
-        self.events.push(McEvent { addr, at });
+    /// The backoff jitter PRNG (the runtime draws retry jitter here so
+    /// the whole run shares one deterministic stream).
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
     }
 
-    /// All recorded events.
-    pub fn events(&self) -> &[McEvent] {
-        &self.events
+    /// Records a terminal failure event under the active policy.
+    pub fn record(&mut self, addr: VfMemAddr, at: Nanos) {
+        self.recorded_total += 1;
+        match self.policy {
+            FailurePolicy::HandleMce => self.counts.mce += 1,
+            FailurePolicy::PageFaultFallback => self.counts.fallback += 1,
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(McEvent { addr, at });
+    }
+
+    /// The retained events, oldest first (at most
+    /// [`FailureState::event_capacity`] of them).
+    pub fn events(&self) -> impl Iterator<Item = &McEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Events recorded over the whole run, including ones the ring has
+    /// since dropped.
+    pub fn recorded_total(&self) -> u64 {
+        self.recorded_total
+    }
+
+    /// Per-policy terminal-failure counters.
+    pub fn policy_counts(&self) -> PolicyCounts {
+        self.counts
+    }
+
+    /// Counts a failure routed through the page-fault fallback. Unlike
+    /// [`FailureState::record`], no machine-check event is retained —
+    /// the whole point of the fallback is that no MCE is raised.
+    pub fn note_fallback(&mut self) {
+        self.counts.fallback += 1;
+    }
+
+    /// Drops all retained events (counters are preserved).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Notes a *transient* failure on `node` at simulated time `now` and
+    /// returns `true` if this pushed the runtime into (or extended)
+    /// degraded mode.
+    pub fn note_transient(&mut self, node: u32, now: Nanos) -> bool {
+        if !self.degraded_cfg.enabled {
+            return false;
+        }
+        let window = self.degraded_cfg.window;
+        let recent = self.health.entry(node).or_default();
+        recent.push_back(now);
+        while let Some(&front) = recent.front() {
+            if front + window < now {
+                recent.pop_front();
+            } else {
+                break;
+            }
+        }
+        if recent.len() as u32 >= self.degraded_cfg.failure_threshold {
+            self.degraded_until = Some(now + self.degraded_cfg.cooloff);
+            return true;
+        }
+        false
+    }
+
+    /// Whether the runtime is degraded at simulated time `now`.
+    pub fn is_degraded(&self, now: Nanos) -> bool {
+        self.degraded_until.is_some_and(|until| now < until)
+    }
+
+    /// Recent transient-failure count for `node` (un-pruned; diagnostic).
+    pub fn node_failure_count(&self, node: u32) -> usize {
+        self.health.get(&node).map_or(0, VecDeque::len)
     }
 }
 
@@ -85,8 +229,8 @@ mod tests {
         let mut st = FailureState::new(FailurePolicy::PageFaultFallback);
         assert_eq!(st.policy(), FailurePolicy::PageFaultFallback);
         st.record(VfMemAddr::new(0x1000), Nanos::micros(5));
-        assert_eq!(st.events().len(), 1);
-        assert_eq!(st.events()[0].addr, VfMemAddr::new(0x1000));
+        assert_eq!(st.event_count(), 1);
+        assert_eq!(st.events().next().unwrap().addr, VfMemAddr::new(0x1000));
         st.set_policy(FailurePolicy::HandleMce);
         assert_eq!(st.policy(), FailurePolicy::HandleMce);
     }
@@ -94,5 +238,106 @@ mod tests {
     #[test]
     fn default_policy_is_mce() {
         assert_eq!(FailurePolicy::default(), FailurePolicy::HandleMce);
+    }
+
+    #[test]
+    fn event_ring_is_bounded() {
+        let mut st = FailureState::new(FailurePolicy::HandleMce);
+        st.set_event_capacity(8);
+        for i in 0..100u64 {
+            st.record(VfMemAddr::new(i * 0x1000), Nanos::from_ns(i));
+        }
+        assert_eq!(st.event_count(), 8);
+        assert_eq!(st.recorded_total(), 100);
+        // Oldest dropped: the ring holds the last 8.
+        let first = st.events().next().unwrap();
+        assert_eq!(first.addr, VfMemAddr::new(92 * 0x1000));
+        // Shrinking trims from the front.
+        st.set_event_capacity(2);
+        assert_eq!(st.event_count(), 2);
+        assert_eq!(st.events().next().unwrap().addr, VfMemAddr::new(98 * 0x1000));
+        st.clear();
+        assert_eq!(st.event_count(), 0);
+        assert_eq!(st.recorded_total(), 100, "counters survive clear");
+    }
+
+    #[test]
+    fn per_policy_counters() {
+        let mut st = FailureState::new(FailurePolicy::HandleMce);
+        st.record(VfMemAddr::new(0), Nanos::ZERO);
+        st.record(VfMemAddr::new(64), Nanos::ZERO);
+        st.set_policy(FailurePolicy::PageFaultFallback);
+        st.record(VfMemAddr::new(128), Nanos::ZERO);
+        let counts = st.policy_counts();
+        assert_eq!(counts.mce, 2);
+        assert_eq!(counts.fallback, 1);
+    }
+
+    #[test]
+    fn degraded_mode_enters_and_cools_off() {
+        let cfg = DegradedConfig {
+            enabled: true,
+            failure_threshold: 3,
+            window: Nanos::micros(100),
+            cooloff: Nanos::micros(50),
+        };
+        let mut st = FailureState::with_config(FailurePolicy::HandleMce, cfg, 1);
+        assert!(!st.note_transient(0, Nanos::micros(1)));
+        assert!(!st.note_transient(0, Nanos::micros(2)));
+        assert!(!st.is_degraded(Nanos::micros(2)));
+        // Third failure within the window trips the threshold.
+        assert!(st.note_transient(0, Nanos::micros(3)));
+        assert!(st.is_degraded(Nanos::micros(3)));
+        assert!(st.is_degraded(Nanos::micros(52)));
+        // Past the cooloff with no further failures: healthy again.
+        assert!(!st.is_degraded(Nanos::micros(54)));
+    }
+
+    #[test]
+    fn window_prunes_old_failures() {
+        let cfg = DegradedConfig {
+            enabled: true,
+            failure_threshold: 3,
+            window: Nanos::micros(10),
+            cooloff: Nanos::micros(50),
+        };
+        let mut st = FailureState::with_config(FailurePolicy::HandleMce, cfg, 1);
+        // Three failures, but spread wider than the window each time.
+        assert!(!st.note_transient(1, Nanos::micros(0)));
+        assert!(!st.note_transient(1, Nanos::micros(20)));
+        assert!(!st.note_transient(1, Nanos::micros(40)));
+        assert!(!st.is_degraded(Nanos::micros(40)));
+        assert_eq!(st.node_failure_count(1), 1, "window pruned to latest");
+    }
+
+    #[test]
+    fn disabled_degraded_never_triggers() {
+        let mut st = FailureState::with_config(
+            FailurePolicy::HandleMce,
+            DegradedConfig::disabled(),
+            1,
+        );
+        for _ in 0..10 {
+            assert!(!st.note_transient(0, Nanos::micros(1)));
+        }
+        assert!(!st.is_degraded(Nanos::micros(1)));
+    }
+
+    #[test]
+    fn failures_are_tracked_per_node() {
+        let cfg = DegradedConfig {
+            enabled: true,
+            failure_threshold: 2,
+            window: Nanos::micros(100),
+            cooloff: Nanos::micros(50),
+        };
+        let mut st = FailureState::with_config(FailurePolicy::HandleMce, cfg, 1);
+        // One failure each on two nodes: neither node crosses its own
+        // threshold.
+        assert!(!st.note_transient(0, Nanos::micros(1)));
+        assert!(!st.note_transient(1, Nanos::micros(2)));
+        assert!(!st.is_degraded(Nanos::micros(2)));
+        // Second failure on node 0 trips it.
+        assert!(st.note_transient(0, Nanos::micros(3)));
     }
 }

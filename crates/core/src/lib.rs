@@ -64,10 +64,10 @@ mod stats;
 mod vm_runtime;
 
 pub use alloc::SlabAllocator;
-pub use config::{ClusterConfig, DataMode, LatencyProfile};
+pub use config::{ClusterConfig, DataMode, DegradedConfig, LatencyProfile, RetryPolicy};
 pub use controller::{Controller, SlabGrant};
-pub use eviction::{CopyEngine, EvictionBreakdown, EvictionHandler};
-pub use failure::{FailurePolicy, McEvent};
+pub use eviction::{CopyEngine, EvictionBreakdown, EvictionHandler, EvictionStats};
+pub use failure::{FailurePolicy, FailureState, McEvent, PolicyCounts};
 pub use log::{CacheLineLog, LogEntry, LogReceiver, ReceiverReport};
 pub use poller::Poller;
 pub use runtime::{KonaRuntime, RemoteMemoryRuntime};

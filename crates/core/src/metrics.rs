@@ -38,6 +38,16 @@ pub mod names {
     pub const PREFETCHES: &str = "kona.prefetches";
     /// Machine-check events on network failures (Kona only).
     pub const MCE_EVENTS: &str = "kona.mce_events";
+    /// Verb retries after transient failures (Kona only).
+    pub const RETRIES: &str = "kona.retries";
+    /// Simulated time spent backing off between retries, in nanoseconds.
+    pub const BACKOFF_NS: &str = "kona.backoff_ns";
+    /// Reads served by a replica after the primary failed (Kona only).
+    pub const FAILOVERS: &str = "kona.failovers";
+    /// Times the runtime entered degraded mode (Kona only).
+    pub const DEGRADED_ENTRIES: &str = "kona.degraded_entries";
+    /// Page-fault-fallback waits that rode out a scheduled outage.
+    pub const FALLBACK_WAITS: &str = "kona.fallback_waits";
     /// Remote-fetch latency histogram, in nanoseconds.
     pub const FETCH_NS: &str = "kona.fetch_ns";
     /// Per-page eviction latency histogram, in nanoseconds.
@@ -65,6 +75,11 @@ pub(crate) struct RuntimeCounters {
     pub app_dirty_bytes: Counter,
     pub prefetches: Counter,
     pub mce_events: Counter,
+    pub retries: Counter,
+    pub backoff_ns: Counter,
+    pub failovers: Counter,
+    pub degraded_entries: Counter,
+    pub fallback_waits: Counter,
 }
 
 impl RuntimeCounters {
@@ -82,6 +97,11 @@ impl RuntimeCounters {
             app_dirty_bytes: telemetry.counter(names::APP_DIRTY_BYTES),
             prefetches: telemetry.counter(names::PREFETCHES),
             mce_events: telemetry.counter(names::MCE_EVENTS),
+            retries: telemetry.counter(names::RETRIES),
+            backoff_ns: telemetry.counter(names::BACKOFF_NS),
+            failovers: telemetry.counter(names::FAILOVERS),
+            degraded_entries: telemetry.counter(names::DEGRADED_ENTRIES),
+            fallback_waits: telemetry.counter(names::FALLBACK_WAITS),
         }
     }
 
@@ -121,6 +141,11 @@ impl RuntimeCounters {
             app_dirty_bytes: self.app_dirty_bytes.get(),
             prefetches: self.prefetches.get(),
             mce_events: self.mce_events.get(),
+            retries: self.retries.get(),
+            backoff_time: Nanos::from_ns(self.backoff_ns.get()),
+            failovers: self.failovers.get(),
+            degraded_entries: self.degraded_entries.get(),
+            fallback_waits: self.fallback_waits.get(),
         }
     }
 }

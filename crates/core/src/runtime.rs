@@ -10,7 +10,7 @@ use crate::poller::Poller;
 use crate::stats::RuntimeStats;
 use kona_coherence::AgentId;
 use kona_fpga::{CpuAccessOutcome, FpgaConfig, KonaFpga, VictimPage};
-use kona_net::{Fabric, NetworkModel, WorkRequest};
+use kona_net::{Fabric, FaultInjector, NetworkModel, WorkRequest};
 use kona_telemetry::{EventKind, Histogram, SpanEvent, Telemetry, Track};
 use kona_trace::TraceEvent;
 use kona_types::{
@@ -118,6 +118,9 @@ pub struct KonaRuntime {
     /// Page data for FMem-resident pages (Tracked mode only).
     local_pages: FxHashMap<u64, Vec<u8>>,
     next_wr_id: u64,
+    /// Whether degraded mode is currently applied to the components
+    /// (prefetch shedding, widened eviction batching).
+    degraded_active: bool,
 }
 
 impl KonaRuntime {
@@ -153,6 +156,9 @@ impl KonaRuntime {
             controller.register_node(id, data_capacity);
         }
         fabric.set_telemetry(&telemetry);
+        if let Some(plan) = &config.fault_plan {
+            fabric.set_fault_injector(FaultInjector::new(plan.clone()));
+        }
         let mut fpga = KonaFpga::new(FpgaConfig {
             cpu_agents: config.cpu_agents.max(1),
             cpu_cache_lines: config.cpu_cache_lines,
@@ -163,6 +169,15 @@ impl KonaRuntime {
         fpga.set_telemetry(&telemetry);
         let mut eviction = EvictionHandler::new(data_capacity, log_capacity as usize);
         eviction.set_telemetry(&telemetry);
+        eviction.set_retry_policy(config.retry.clone());
+        // Losing more than `replicas - 1` nodes would leave some page with
+        // no up-to-date copy, so that is the abandonment budget.
+        eviction.set_max_node_losses(config.replicas.saturating_sub(1));
+        let failure = FailureState::with_config(
+            FailurePolicy::default(),
+            config.degraded,
+            config.retry.seed,
+        );
         Ok(KonaRuntime {
             eviction,
             fpga,
@@ -170,7 +185,7 @@ impl KonaRuntime {
             controller,
             allocator: SlabAllocator::new(),
             poller: Poller::new(),
-            failure: FailureState::new(FailurePolicy::default()),
+            failure,
             counters: RuntimeCounters::new(&telemetry),
             fetch_ns: telemetry.histogram(names::FETCH_NS),
             telemetry,
@@ -179,6 +194,7 @@ impl KonaRuntime {
             local_pages: FxHashMap::default(),
             config,
             next_wr_id: 0,
+            degraded_active: false,
         })
     }
 
@@ -214,9 +230,40 @@ impl KonaRuntime {
         self.eviction.set_copy_engine(engine);
     }
 
-    /// Machine-check events recorded so far.
-    pub fn mce_events(&self) -> &[McEvent] {
-        self.failure.events()
+    /// Machine-check events retained so far (bounded ring; see
+    /// [`FailureState::event_capacity`]).
+    pub fn mce_events(&self) -> Vec<McEvent> {
+        self.failure.events().copied().collect()
+    }
+
+    /// The failure bookkeeping (policy counts, degraded windows).
+    pub fn failure_state(&self) -> &FailureState {
+        &self.failure
+    }
+
+    /// Whether degraded mode is currently active (prefetch shedding plus
+    /// widened eviction batching).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_active
+    }
+
+    /// Eviction counters (flush retries, abandoned nodes, batching).
+    pub fn eviction_stats(&self) -> crate::eviction::EvictionStats {
+        self.eviction.stats()
+    }
+
+    /// Re-applies degraded mode to the components when the state machine
+    /// has flipped since the last check.
+    fn update_degraded(&mut self) {
+        let degraded = self.failure.is_degraded(self.fabric.now());
+        if degraded != self.degraded_active {
+            self.degraded_active = degraded;
+            if degraded {
+                self.counters.degraded_entries.inc();
+            }
+            self.fpga.set_prefetch_shedding(degraded);
+            self.eviction.set_degraded(degraded);
+        }
     }
 
     /// Performs an access issued by a specific CPU core (cache agent).
@@ -305,9 +352,26 @@ impl KonaRuntime {
         Ok((base, primary.len))
     }
 
-    /// Fetches `page` from remote memory (primary, then replicas on
-    /// failure), returning the time and storing the data locally.
+    /// Fetches `page` from remote memory with the full §4.5 recovery
+    /// pipeline: per-target retries with exponential backoff and jitter,
+    /// failover from the primary to replicas, then the configured failure
+    /// policy if every copy stays unreachable.
     fn fetch_page(&mut self, page: PageNumber) -> Result<Nanos> {
+        self.update_degraded();
+        match self.fetch_page_attempt(page) {
+            Ok(t) => Ok(t),
+            // The policy governs *network* failures; structural errors
+            // (no translation, unregistered memory) propagate untouched.
+            Err(err) if err.is_transient() => self.fetch_page_failed(page, err),
+            Err(err) => Err(err),
+        }
+    }
+
+    /// One pass over all targets (primary first, replicas on failover),
+    /// each retried under the cluster's [`RetryPolicy`]. Returns the last
+    /// error when every copy is unreachable; policy handling is the
+    /// caller's job.
+    fn fetch_page_attempt(&mut self, page: PageNumber) -> Result<Nanos> {
         // Read-your-writes: if the page has unflushed log entries, flush
         // them so the fetched copy is current.
         let mut elapsed = Nanos::ZERO;
@@ -315,53 +379,117 @@ impl KonaRuntime {
             elapsed += self
                 .eviction
                 .flush_all(&mut self.fabric, &mut self.poller)?;
+            self.update_degraded();
         }
 
         let primary = self.fpga.translate_page(page)?;
         let mut targets = vec![primary];
         targets.extend(self.replicas_for(page));
-
-        let mut last_err = None;
-        for (i, target) in targets.iter().enumerate() {
-            let wr_id = self.wr_id();
-            let wr = WorkRequest::read(wr_id, *target, PAGE_SIZE_4K).signaled();
-            match self.poller.post_and_poll(&mut self.fabric, vec![wr]) {
-                Ok((time, completions)) => {
-                    if i > 0 {
-                        // Failover fetch: note it in the stats.
-                        self.counters.mce_events.inc();
-                    }
-                    if self.config.data_mode == DataMode::Tracked {
-                        let data = completions
-                            .first()
-                            .map(|c| c.data.to_vec())
-                            .unwrap_or_else(|| vec![0; PAGE_SIZE_4K as usize]);
-                        self.local_pages.insert(page.raw(), data);
-                    }
-                    self.counters.remote_fetches.inc();
-                    self.fetch_ns.record(time.as_ns());
-                    return Ok(elapsed + time);
-                }
-                Err(e) => last_err = Some(e),
-            }
+        // Never read from a node whose writeback was abandoned — its copy
+        // is stale. The stable sort keeps primary-first among the healthy.
+        if !self.eviction.lost_nodes().is_empty() {
+            let lost = self.eviction.lost_nodes().clone();
+            targets.sort_by_key(|t| lost.contains(&t.node()));
         }
 
-        // All targets failed: apply the failure policy.
-        let err = last_err.expect("at least one target attempted");
+        let retry = self.config.retry.clone();
+        let mut last_err = None;
+        'targets: for (i, target) in targets.iter().enumerate() {
+            let mut attempt = 0u32;
+            // Per-verb deadline: stop burning backoff on one target once
+            // its accumulated delay exceeds the budget; fail over instead.
+            let mut target_delay = Nanos::ZERO;
+            loop {
+                let wr_id = self.wr_id();
+                let wr = WorkRequest::read(wr_id, *target, PAGE_SIZE_4K).signaled();
+                match self.poller.post_and_poll(&mut self.fabric, vec![wr]) {
+                    Ok((time, completions)) => {
+                        if i > 0 {
+                            self.counters.failovers.inc();
+                            // Failovers stay visible under the legacy MCE
+                            // counter too (pre-failover dashboards).
+                            self.counters.mce_events.inc();
+                        }
+                        if self.config.data_mode == DataMode::Tracked {
+                            let data = completions
+                                .first()
+                                .map(|c| c.data.to_vec())
+                                .unwrap_or_else(|| vec![0; PAGE_SIZE_4K as usize]);
+                            self.local_pages.insert(page.raw(), data);
+                        }
+                        self.counters.remote_fetches.inc();
+                        self.fetch_ns.record(time.as_ns());
+                        return Ok(elapsed + time);
+                    }
+                    Err(e)
+                        if e.is_transient()
+                            && attempt + 1 < retry.max_attempts
+                            && target_delay < retry.verb_deadline =>
+                    {
+                        if let Some(node) = e.failed_node() {
+                            self.failure.note_transient(node, self.fabric.now());
+                        }
+                        self.counters.retries.inc();
+                        let backoff = retry.backoff_for(attempt, self.failure.rng_mut());
+                        attempt += 1;
+                        self.counters.backoff_ns.add(backoff.as_ns());
+                        // Backing off advances simulated time, so a
+                        // scheduled flap can clear while we wait.
+                        self.fabric.advance_time(backoff);
+                        elapsed += backoff;
+                        target_delay += backoff;
+                        self.update_degraded();
+                    }
+                    Err(e) => {
+                        if e.is_transient() {
+                            if let Some(node) = e.failed_node() {
+                                self.failure.note_transient(node, self.fabric.now());
+                                self.update_degraded();
+                            }
+                        }
+                        last_err = Some(e);
+                        continue 'targets;
+                    }
+                }
+            }
+        }
+        Err(last_err.expect("at least one target attempted"))
+    }
+
+    /// Applies the configured [`FailurePolicy`] after every copy of
+    /// `page` proved unreachable.
+    fn fetch_page_failed(&mut self, page: PageNumber, err: KonaError) -> Result<Nanos> {
         let addr = page.base_vfmem();
         match self.failure.policy() {
             FailurePolicy::HandleMce => {
+                // §4.5: the coherence timeout surfaces as a machine-check
+                // exception; record it and report to the operator.
                 self.failure.record(addr, self.counters.app_time());
                 self.counters.mce_events.inc();
                 Err(KonaError::CoherenceTimeout {
                     addr,
-                    deadline_ns: self.fabric.model().verb_time(PAGE_SIZE_4K).as_ns() * 10,
+                    deadline_ns: self.config.retry.verb_deadline.as_ns(),
                 })
             }
             FailurePolicy::PageFaultFallback => {
-                // The page is marked not-present; the software handler will
-                // retry after the outage. Charge a fault's worth of time.
+                // §4.5: the page is marked not-present so software regains
+                // control. Charge a fault's worth of time; when the fabric
+                // knows the outage's end (a scheduled flap), wait it out
+                // and retry the fetch ourselves.
                 self.counters.charge_app(Nanos::micros(3));
+                self.failure.note_fallback();
+                if let Some(node) = err.failed_node() {
+                    if let Some(back_at) = self.fabric.node_back_at(node) {
+                        let now = self.fabric.now();
+                        let wait = back_at.saturating_sub(now);
+                        self.fabric.advance_time(wait);
+                        self.counters.fallback_waits.inc();
+                        self.update_degraded();
+                        return self
+                            .fetch_page_attempt(page)
+                            .map(|t| t + wait);
+                    }
+                }
                 Err(err)
             }
         }
@@ -586,6 +714,7 @@ impl RemoteMemoryRuntime for KonaRuntime {
     }
 
     fn sync(&mut self) -> Result<Nanos> {
+        self.update_degraded();
         let sync_start = self.counters.app_time();
         let mut elapsed = Nanos::ZERO;
         // Write back dirty lines of pages still resident in FMem.
@@ -739,11 +868,15 @@ mod tests {
         for p in 1..32u64 {
             rt.access(MemAccess::read(addr + p * 4096, 8)).unwrap();
         }
-        rt.fabric_mut().fail_node(node);
+        rt.fabric_mut().fail_node(node).unwrap();
         // The first page was evicted; re-fetching it must hit the failure.
         let err = rt.access(MemAccess::read(addr, 8)).unwrap_err();
         assert!(matches!(err, KonaError::CoherenceTimeout { .. }));
         assert_eq!(rt.mce_events().len(), 1);
+        assert_eq!(rt.failure_state().policy_counts().mce, 1);
+        // The fetch was retried before surfacing the MCE.
+        assert!(rt.stats().retries > 0);
+        assert!(rt.stats().backoff_time > Nanos::ZERO);
     }
 
     #[test]
@@ -757,9 +890,10 @@ mod tests {
         for p in 1..32u64 {
             rt.access(MemAccess::read(addr + p * 4096, 8)).unwrap();
         }
-        rt.fabric_mut().fail_node(node);
+        rt.fabric_mut().fail_node(node).unwrap();
         assert!(rt.access(MemAccess::read(addr, 8)).is_err());
         assert!(rt.mce_events().is_empty(), "fallback must not raise MCE");
+        assert_eq!(rt.failure_state().policy_counts().fallback, 1);
         // Outage resolves; the retried access succeeds.
         rt.fabric_mut().recover_node(node);
         assert!(rt.access(MemAccess::read(addr, 8)).is_ok());
@@ -782,10 +916,11 @@ mod tests {
         rt.sync().unwrap();
         // Fail the primary; the read must come from the replica.
         let primary_node = rt.fpga.translate_page(addr.page_number()).unwrap().node();
-        rt.fabric_mut().fail_node(primary_node);
+        rt.fabric_mut().fail_node(primary_node).unwrap();
         let mut buf = [0u8; 64];
         rt.read_bytes(addr, &mut buf).unwrap();
         assert_eq!(buf, [0x11; 64]);
+        assert!(rt.stats().failovers > 0);
     }
 
     #[test]
@@ -848,6 +983,108 @@ mod tests {
         let sw = mk(crate::eviction::CopyEngine::SoftwareAvx);
         let hw = mk(crate::eviction::CopyEngine::HardwareDma);
         assert!(hw < sw, "dma {hw} should beat software {sw}");
+    }
+
+    /// Evicts the first page of `addr` out of the local cache and returns
+    /// the node backing it.
+    fn evict_first_page(rt: &mut KonaRuntime, addr: VirtAddr) -> u32 {
+        let node = rt.fpga.translate_page(addr.page_number()).unwrap().node();
+        for p in 1..32u64 {
+            rt.access(MemAccess::read(addr + p * 4096, 8)).unwrap();
+        }
+        node
+    }
+
+    #[test]
+    fn retries_ride_out_a_scheduled_flap() {
+        use kona_net::{FaultInjector, FaultPlan};
+        let mut cfg = ClusterConfig::small().with_local_cache_pages(4);
+        cfg.cpu_cache_lines = 64;
+        cfg.retry.base_backoff = Nanos::micros(40);
+        cfg.retry.max_backoff = Nanos::micros(200);
+        cfg.retry.jitter = 0.0;
+        cfg.retry.verb_deadline = Nanos::micros(500);
+        let mut rt = KonaRuntime::new(cfg).unwrap();
+        let addr = rt.allocate(64 * 4096).unwrap();
+        let node = evict_first_page(&mut rt, addr);
+        let now = rt.fabric_mut().now();
+        rt.fabric_mut().set_fault_injector(FaultInjector::new(
+            FaultPlan::calm(11).with_flap(node, now, Nanos::micros(30)),
+        ));
+        // The first post hits the downed node; the 40 µs backoff outlasts
+        // the 30 µs flap and the retry succeeds.
+        rt.access(MemAccess::read(addr, 8)).unwrap();
+        let s = rt.stats();
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.backoff_time, Nanos::micros(40));
+        assert_eq!(s.failovers, 0, "same node, not a failover");
+    }
+
+    #[test]
+    fn fallback_waits_out_a_long_flap() {
+        use kona_net::{FaultInjector, FaultPlan};
+        let mut cfg = ClusterConfig::small().with_local_cache_pages(4);
+        cfg.cpu_cache_lines = 64;
+        cfg.retry.jitter = 0.0;
+        let mut rt = KonaRuntime::new(cfg).unwrap();
+        rt.set_failure_policy(FailurePolicy::PageFaultFallback);
+        let addr = rt.allocate(64 * 4096).unwrap();
+        let pattern = [0x7E; 64];
+        rt.write_bytes(addr, &pattern).unwrap();
+        rt.sync().unwrap();
+        let node = evict_first_page(&mut rt, addr);
+        let now = rt.fabric_mut().now();
+        rt.fabric_mut().set_fault_injector(FaultInjector::new(
+            FaultPlan::calm(11).with_flap(node, now, Nanos::millis(2)),
+        ));
+        // Retries exhaust while the node is down, but the fabric knows
+        // when the flap ends: the fallback waits it out and re-fetches.
+        let mut buf = [0u8; 64];
+        rt.read_bytes(addr, &mut buf).unwrap();
+        assert_eq!(buf, pattern);
+        let s = rt.stats();
+        assert_eq!(s.fallback_waits, 1);
+        assert!(s.retries > 0);
+        assert!(rt.mce_events().is_empty(), "no MCE on the fallback path");
+    }
+
+    #[test]
+    fn repeated_failures_enter_and_exit_degraded_mode() {
+        let mut cfg = ClusterConfig::small().with_local_cache_pages(4);
+        cfg.cpu_cache_lines = 64;
+        cfg.degraded.failure_threshold = 2;
+        let mut rt = KonaRuntime::new(cfg).unwrap();
+        let addr = rt.allocate(64 * 4096).unwrap();
+        let node = evict_first_page(&mut rt, addr);
+        rt.fabric_mut().fail_node(node).unwrap();
+        assert!(rt.access(MemAccess::read(addr, 8)).is_err());
+        // The transient failures during the retry loop crossed the
+        // threshold: prefetches shed, eviction batching widened.
+        assert!(rt.is_degraded());
+        assert!(rt.fpga().prefetch_shedding());
+        assert_eq!(rt.stats().degraded_entries, 1);
+        // Outage clears and the cooloff passes: healthy again. The fresh
+        // page forces a remote fetch, which re-evaluates degraded mode.
+        rt.fabric_mut().recover_node(node);
+        rt.fabric_mut().advance_time(Nanos::millis(5));
+        rt.access(MemAccess::read(addr + 40 * 4096, 8)).unwrap();
+        assert!(!rt.is_degraded());
+        assert!(!rt.fpga().prefetch_shedding());
+        assert_eq!(rt.stats().degraded_entries, 1, "one entry, not re-counted");
+    }
+
+    #[test]
+    fn fault_plan_in_config_installs_injector() {
+        use kona_net::FaultPlan;
+        let mut cfg = ClusterConfig::small();
+        cfg.fault_plan = Some(FaultPlan::calm(42));
+        let mut rt = KonaRuntime::new(cfg).unwrap();
+        assert!(rt.fabric_mut().fault_injector().is_some());
+        let addr = rt.allocate(4096).unwrap();
+        rt.write_bytes(addr, &[9u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        rt.read_bytes(addr, &mut buf).unwrap();
+        assert_eq!(buf, [9u8; 64]);
     }
 
     #[test]

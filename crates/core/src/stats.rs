@@ -32,6 +32,16 @@ pub struct RuntimeStats {
     pub prefetches: u64,
     /// Machine-check events observed on network failures (Kona only).
     pub mce_events: u64,
+    /// Verb retries after transient failures (Kona only).
+    pub retries: u64,
+    /// Simulated time spent backing off between retries.
+    pub backoff_time: Nanos,
+    /// Reads served by a replica after the primary failed (Kona only).
+    pub failovers: u64,
+    /// Times the runtime entered degraded mode (Kona only).
+    pub degraded_entries: u64,
+    /// Page-fault-fallback waits that rode out a scheduled outage.
+    pub fallback_waits: u64,
 }
 
 impl RuntimeStats {
@@ -75,6 +85,11 @@ impl RuntimeStats {
         self.app_dirty_bytes += other.app_dirty_bytes;
         self.prefetches += other.prefetches;
         self.mce_events += other.mce_events;
+        self.retries += other.retries;
+        self.backoff_time += other.backoff_time;
+        self.failovers += other.failovers;
+        self.degraded_entries += other.degraded_entries;
+        self.fallback_waits += other.fallback_waits;
     }
 }
 
@@ -99,7 +114,7 @@ impl fmt::Display for RuntimeStats {
             "faults major/minor {}/{}  tlb invalidations {}",
             self.major_faults, self.minor_faults, self.tlb_invalidations
         )?;
-        write!(
+        writeln!(
             f,
             "evicted {} pages  writeback {} B / dirtied {} B (amp {:.2}x)  \
              prefetches {}  mce {}",
@@ -109,6 +124,16 @@ impl fmt::Display for RuntimeStats {
             self.write_amplification(),
             self.prefetches,
             self.mce_events
+        )?;
+        write!(
+            f,
+            "retries {} (backoff {})  failovers {}  degraded entries {}  \
+             fallback waits {}",
+            self.retries,
+            self.backoff_time,
+            self.failovers,
+            self.degraded_entries,
+            self.fallback_waits
         )
     }
 }
@@ -170,6 +195,32 @@ mod tests {
         assert_eq!(a.local_hits, 5);
         assert_eq!(a.writeback_bytes, 64);
         assert_eq!(a.mce_events, 1);
+    }
+
+    #[test]
+    fn merge_adds_failure_fields() {
+        let mut a = RuntimeStats {
+            retries: 2,
+            backoff_time: Nanos::micros(10),
+            failovers: 1,
+            ..Default::default()
+        };
+        let b = RuntimeStats {
+            retries: 3,
+            backoff_time: Nanos::micros(5),
+            degraded_entries: 1,
+            fallback_waits: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.retries, 5);
+        assert_eq!(a.backoff_time, Nanos::micros(15));
+        assert_eq!(a.failovers, 1);
+        assert_eq!(a.degraded_entries, 1);
+        assert_eq!(a.fallback_waits, 2);
+        let text = a.to_string();
+        assert!(text.contains("retries 5"));
+        assert!(text.contains("failovers 1"));
     }
 
     #[test]

@@ -104,6 +104,8 @@ pub struct FpgaStats {
     pub remote_fetches: u64,
     /// Pages prefetched.
     pub prefetched_pages: u64,
+    /// Prefetches suppressed while shedding was on (degraded mode).
+    pub prefetches_shed: u64,
     /// Writebacks observed (dirty lines reaching the FPGA).
     pub writebacks_observed: u64,
     /// Snoop rounds issued (page-granularity).
@@ -121,6 +123,9 @@ pub struct KonaFpga {
     dirty: DirtyTracker,
     translation: RemoteTranslation,
     prefetcher: NextPagePrefetcher,
+    /// When set, prefetch suggestions are suppressed (degraded mode sheds
+    /// speculative traffic while the fabric is unhealthy, §4.5).
+    shed_prefetches: bool,
     stats: FpgaStats,
     metrics: FpgaCounters,
     /// Prefetched pages not yet touched by a demand access (for the
@@ -139,6 +144,7 @@ struct FpgaCounters {
     fmem_misses: Counter,
     prefetch_issued: Counter,
     prefetch_useful: Counter,
+    prefetch_shed: Counter,
     dirty_compaction: Gauge,
 }
 
@@ -149,6 +155,7 @@ impl FpgaCounters {
             fmem_misses: telemetry.counter("fmem.misses"),
             prefetch_issued: telemetry.counter("fmem.prefetch_issued"),
             prefetch_useful: telemetry.counter("fmem.prefetch_useful"),
+            prefetch_shed: telemetry.counter("fmem.prefetch_shed"),
             dirty_compaction: telemetry.gauge("fmem.dirty_compaction"),
         }
     }
@@ -163,6 +170,7 @@ impl KonaFpga {
             dirty: DirtyTracker::new(),
             translation: RemoteTranslation::new(),
             prefetcher: config.prefetcher,
+            shed_prefetches: false,
             stats: FpgaStats::default(),
             metrics: FpgaCounters::new(&Telemetry::disabled()),
             prefetched_pending: FxHashSet::default(),
@@ -180,6 +188,19 @@ impl KonaFpga {
     /// Counters.
     pub fn stats(&self) -> FpgaStats {
         self.stats
+    }
+
+    /// Turns prefetch shedding on or off. While on, the prefetcher still
+    /// observes the fetch stream (so its stride state stays warm) but its
+    /// suggestions are dropped instead of fetched — degraded mode uses
+    /// this to stop speculative traffic while the fabric is unhealthy.
+    pub fn set_prefetch_shedding(&mut self, shed: bool) {
+        self.shed_prefetches = shed;
+    }
+
+    /// Whether prefetch shedding is currently on.
+    pub fn prefetch_shedding(&self) -> bool {
+        self.shed_prefetches
     }
 
     /// Fraction of cache lines dirty among pages expelled or snooped so
@@ -288,6 +309,11 @@ impl KonaFpga {
         }
         let mut prefetch = Vec::new();
         for pf_page in self.prefetcher.observe_fetch(page) {
+            if self.shed_prefetches {
+                self.stats.prefetches_shed += 1;
+                self.metrics.prefetch_shed.inc();
+                continue;
+            }
             if !self.fmem.contains(pf_page) && self.translate_page(pf_page).is_ok() {
                 if let Some(victim) = self.fmem.insert(pf_page) {
                     victims.push(self.expel_page(victim));
@@ -491,6 +517,38 @@ mod tests {
             CpuAccessOutcome::FMemHit
         );
         assert_eq!(f.stats().prefetched_pages, 1);
+    }
+
+    #[test]
+    fn shedding_suppresses_prefetches_and_counts_them() {
+        let mut cfg = FpgaConfig::small();
+        cfg.prefetcher = NextPagePrefetcher::new(2, 1);
+        let mut f = KonaFpga::new(cfg);
+        f.translation_mut()
+            .register(VfMemAddr::new(0), 1 << 20, RemoteAddr::new(0, 0))
+            .unwrap();
+        let tel = Telemetry::disabled();
+        f.set_telemetry(&tel);
+        f.set_prefetch_shedding(true);
+        assert!(f.prefetch_shedding());
+        f.cpu_access(VfMemAddr::new(0), AccessKind::Read);
+        match f.cpu_access(VfMemAddr::new(4096), AccessKind::Read) {
+            CpuAccessOutcome::RemoteFetch { prefetch, .. } => {
+                assert!(prefetch.is_empty(), "shed mode must not prefetch");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(f.stats().prefetched_pages, 0);
+        assert_eq!(f.stats().prefetches_shed, 1);
+        assert_eq!(tel.snapshot().counter("fmem.prefetch_shed"), Some(1));
+        // Shedding off: the stream detector is still warm and fires.
+        f.set_prefetch_shedding(false);
+        match f.cpu_access(VfMemAddr::new(2 * 4096), AccessKind::Read) {
+            CpuAccessOutcome::RemoteFetch { prefetch, .. } => {
+                assert_eq!(prefetch, vec![PageNumber(3)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The fabric: nodes + verbs + timing, with failure injection.
 
+use crate::fault::{FaultInjector, FaultStats};
 use crate::latency::NetworkModel;
 use crate::node::NodeMemory;
 use crate::verbs::{Completion, Opcode, WorkRequest};
@@ -18,6 +19,8 @@ pub struct NetStats {
     pub wire_bytes: u64,
     /// Completions generated.
     pub completions: u64,
+    /// Posted chains interrupted by an injected fault.
+    pub faulted_posts: u64,
 }
 
 /// Pre-resolved telemetry handles for the fabric's hot path (no string
@@ -31,6 +34,10 @@ struct NetCounters {
     posts: Counter,
     completions: Counter,
     signaled_chain_ns: Histogram,
+    faults_dropped: Counter,
+    faults_corrupted: Counter,
+    faults_timed_out: Counter,
+    faults_node_down: Counter,
 }
 
 impl NetCounters {
@@ -43,6 +50,10 @@ impl NetCounters {
             posts: telemetry.counter("net.posts"),
             completions: telemetry.counter("net.completions"),
             signaled_chain_ns: telemetry.histogram("net.signaled_chain_ns"),
+            faults_dropped: telemetry.counter("net.faults.dropped"),
+            faults_corrupted: telemetry.counter("net.faults.corrupted"),
+            faults_timed_out: telemetry.counter("net.faults.timed_out"),
+            faults_node_down: telemetry.counter("net.faults.node_down"),
         }
     }
 
@@ -53,6 +64,14 @@ impl NetCounters {
             Opcode::Send => &self.verbs_send,
         }
     }
+
+    fn for_fault(&self, kind: kona_types::VerbFaultKind) -> &Counter {
+        match kind {
+            kona_types::VerbFaultKind::Dropped => &self.faults_dropped,
+            kona_types::VerbFaultKind::Corrupted => &self.faults_corrupted,
+            kona_types::VerbFaultKind::TimedOut => &self.faults_timed_out,
+        }
+    }
 }
 
 /// The RDMA fabric connecting the compute node to the memory nodes.
@@ -61,15 +80,24 @@ impl NetCounters {
 /// node pools and returns the chain's simulated duration plus the
 /// completions of its signaled requests. See the
 /// [crate documentation](crate) for an example.
+///
+/// The fabric keeps a simulated clock ([`Fabric::now`]) that advances with
+/// every posted chain; an optional [`FaultInjector`] fires its scheduled
+/// node flaps/crashes and draws per-verb fault decisions against that
+/// clock, making whole chaos runs deterministic for a given seed.
 #[derive(Debug, Clone)]
 pub struct Fabric {
     model: NetworkModel,
     nodes: FxHashMap<u32, NodeMemory>,
     stats: NetStats,
-    /// When set, all verbs to this node fail (failure injection, §4.5).
+    /// When set, all verbs to this node fail (manual failure injection,
+    /// §4.5). Distinct from the nodes the fault injector takes down.
     failed_nodes: Vec<u32>,
     /// Added to every chain's latency (slow-network injection, §4.5).
     injected_delay: Nanos,
+    /// Simulated time, advanced by chain durations and `advance_time`.
+    clock: Nanos,
+    injector: Option<FaultInjector>,
     net: NetCounters,
 }
 
@@ -82,12 +110,15 @@ impl Fabric {
             stats: NetStats::default(),
             failed_nodes: Vec::new(),
             injected_delay: Nanos::ZERO,
+            clock: Nanos::ZERO,
+            injector: None,
             net: NetCounters::new(&Telemetry::disabled()),
         }
     }
 
     /// Routes the fabric's metrics (per-verb counters, wire bytes,
-    /// signaled-chain latencies) into `telemetry`'s registry.
+    /// signaled-chain latencies, injected-fault counters) into
+    /// `telemetry`'s registry.
     pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
         self.net = NetCounters::new(telemetry);
     }
@@ -100,6 +131,59 @@ impl Fabric {
     /// Counters.
     pub fn stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// Current simulated time. Starts at zero and advances by each posted
+    /// chain's duration plus any explicit [`Fabric::advance_time`].
+    pub fn now(&self) -> Nanos {
+        self.clock
+    }
+
+    /// Advances the simulated clock by `delta` (e.g. the runtime sleeping
+    /// through a retry backoff) and fires any fault-plan events whose
+    /// scheduled time has passed — a flapping node can recover while the
+    /// initiator backs off.
+    pub fn advance_time(&mut self, delta: Nanos) {
+        self.clock += delta;
+        if let Some(inj) = &mut self.injector {
+            inj.advance_to(self.clock);
+        }
+    }
+
+    /// Installs a fault injector; it is consulted on every subsequent
+    /// post. Replaces any previous injector.
+    pub fn set_fault_injector(&mut self, mut injector: FaultInjector) {
+        injector.advance_to(self.clock);
+        self.injector = Some(injector);
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Counters of faults the injector has fired (all zero when no
+    /// injector is installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector.as_ref().map(FaultInjector::stats).unwrap_or_default()
+    }
+
+    /// When `node` — currently down per the fault plan — is scheduled to
+    /// recover. `None` for a healthy, manually-failed or
+    /// permanently-crashed node; the recovery engine uses this to decide
+    /// whether an outage is worth waiting out (`PageFaultFallback`).
+    pub fn node_back_at(&self, node: u32) -> Option<Nanos> {
+        self.injector.as_ref().and_then(|inj| inj.node_back_at(node))
+    }
+
+    /// Whether `node` is unreachable right now, by manual `fail_node` or
+    /// by the fault plan.
+    pub fn node_down(&self, node: u32) -> bool {
+        self.failed_nodes.contains(&node)
+            || self
+                .injector
+                .as_ref()
+                .is_some_and(|inj| inj.node_down_at(node, self.clock))
     }
 
     /// Adds a memory node with `capacity` bytes.
@@ -136,22 +220,43 @@ impl Fabric {
         self.nodes.get_mut(&id)
     }
 
-    /// Marks a node failed; subsequent verbs to it error.
-    pub fn fail_node(&mut self, id: u32) {
+    /// Marks a node failed; subsequent verbs to it error with
+    /// [`KonaError::MemoryNodeFailed`] until [`Fabric::recover_node`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::UnknownMemoryNode`] if no node with this id
+    /// exists — failing a node that was never added is a harness bug, not
+    /// a scenario.
+    pub fn fail_node(&mut self, id: u32) -> Result<()> {
+        if !self.nodes.contains_key(&id) {
+            return Err(KonaError::UnknownMemoryNode(id));
+        }
         if !self.failed_nodes.contains(&id) {
             self.failed_nodes.push(id);
         }
+        Ok(())
     }
 
-    /// Restores a failed node.
+    /// Restores a manually-failed node (no-op if it was not failed).
     pub fn recover_node(&mut self, id: u32) {
         self.failed_nodes.retain(|&n| n != id);
     }
 
-    /// Injects `delay` into every subsequent chain (simulates congestion;
-    /// set back to zero to clear).
+    /// Injects `delay` into every subsequent chain.
+    ///
+    /// The delay is **persistent**, not one-shot: each chain posted after
+    /// this call is charged `delay` on top of its modeled time, until
+    /// [`Fabric::clear_injected_delay`] (or `inject_delay(Nanos::ZERO)`)
+    /// resets it. For a *bounded* congestion window tied to simulated
+    /// time, use a [`crate::LatencySpike`] in a fault plan instead.
     pub fn inject_delay(&mut self, delay: Nanos) {
         self.injected_delay = delay;
+    }
+
+    /// Clears any delay set by [`Fabric::inject_delay`].
+    pub fn clear_injected_delay(&mut self) {
+        self.injected_delay = Nanos::ZERO;
     }
 
     /// Executes a linked chain of work requests.
@@ -159,20 +264,41 @@ impl Fabric {
     /// All requests execute (writes land, reads return data) and the chain
     /// is charged as one doorbell: base latency once, per-link overhead for
     /// the rest, serialization for all bytes, plus one completion cost per
-    /// signaled request.
+    /// signaled request. The simulated clock advances by the chain's
+    /// duration.
     ///
     /// # Errors
     ///
-    /// Fails atomically-before-side-effects on: unknown node
-    /// ([`KonaError::UnknownMemoryNode`]), failed node
+    /// *Static* errors fail atomically-before-side-effects: unknown node
+    /// ([`KonaError::UnknownMemoryNode`]), failed/down node
     /// ([`KonaError::MemoryNodeFailed`]) or unregistered memory
     /// ([`KonaError::UnregisteredMemory`]).
+    ///
+    /// *Injected* faults (drop/corrupt/timeout, or a node lost mid-chain)
+    /// fire **during** execution: requests before the faulting one have
+    /// landed, the rest have not, and the error is
+    /// [`KonaError::VerbFault`] carrying the executed-prefix length.
+    /// Verbs are idempotent, so re-posting the whole chain is safe.
     pub fn post(&mut self, chain: Vec<WorkRequest>) -> Result<(Nanos, Vec<Completion>)> {
-        // Validate everything first so errors have no side effects.
+        // Fire scheduled fault-plan events up to the current instant.
+        if let Some(inj) = &mut self.injector {
+            inj.advance_to(self.clock);
+        }
+
+        // Validate everything first so *static* errors have no side effects.
         for wr in &chain {
             let node_id = wr.remote.node();
             if self.failed_nodes.contains(&node_id) {
                 return Err(KonaError::MemoryNodeFailed(node_id));
+            }
+            if let Some(inj) = &mut self.injector {
+                if inj.node_down_at(node_id, self.clock) {
+                    inj.note_down_rejection();
+                    self.net.faults_node_down.inc();
+                    // A down node still costs a detection round trip.
+                    self.clock += self.model.rtt();
+                    return Err(KonaError::MemoryNodeFailed(node_id));
+                }
             }
             let node = self
                 .nodes
@@ -191,10 +317,43 @@ impl Fabric {
         let signaled = chain.iter().filter(|w| w.is_signaled).count();
         let mut completions = Vec::with_capacity(signaled);
 
-        for wr in chain {
+        for (idx, wr) in chain.into_iter().enumerate() {
+            let node_id = wr.remote.node();
+            // Injected faults fire mid-execution: the prefix has landed,
+            // this request and everything after it have not.
+            if let Some(inj) = &mut self.injector {
+                // Time at which this request hits the wire.
+                let wire_at = self.clock + self.model.chain_time(&sizes[..=idx], 0);
+                let fault = if inj.node_down_at(node_id, wire_at) {
+                    // The node vanished under the chain: the verb hangs
+                    // until its transport deadline.
+                    Some(kona_types::VerbFaultKind::TimedOut)
+                } else {
+                    inj.decide(wr.opcode)
+                };
+                if let Some(kind) = fault {
+                    let penalty = match kind {
+                        kona_types::VerbFaultKind::TimedOut => inj.timeout_penalty(),
+                        // Drops and CRC rejections are detected by the
+                        // ack timeout / NAK round trip.
+                        _ => self.model.rtt(),
+                    };
+                    self.net.for_fault(kind).inc();
+                    self.stats.faulted_posts += 1;
+                    self.stats.posts += 1;
+                    self.net.posts.inc();
+                    self.clock += self.model.chain_time(&sizes[..=idx], 0) + penalty;
+                    inj.advance_to(self.clock);
+                    return Err(KonaError::VerbFault {
+                        node: node_id,
+                        kind,
+                        executed: idx as u32,
+                    });
+                }
+            }
             let node = self
                 .nodes
-                .get_mut(&wr.remote.node())
+                .get_mut(&node_id)
                 .expect("validated above");
             let data = match wr.opcode {
                 Opcode::Write => {
@@ -223,7 +382,12 @@ impl Fabric {
         self.stats.completions += completions.len() as u64;
         self.net.posts.inc();
         self.net.completions.add(completions.len() as u64);
-        let time = self.model.chain_time(&sizes, signaled) + self.injected_delay;
+        let spike = match &mut self.injector {
+            Some(inj) => inj.extra_latency(self.clock),
+            None => Nanos::ZERO,
+        };
+        let time = self.model.chain_time(&sizes, signaled) + self.injected_delay + spike;
+        self.clock += time;
         if signaled > 0 {
             self.net.signaled_chain_ns.record(time.as_ns());
         }
@@ -240,8 +404,9 @@ impl Default for Fabric {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use kona_types::rng::{Rng, StdRng};
-    use kona_types::RemoteAddr;
+    use kona_types::{RemoteAddr, VerbFaultKind};
 
     fn fabric() -> Fabric {
         let mut f = Fabric::new(NetworkModel::connectx5());
@@ -295,12 +460,22 @@ mod tests {
     #[test]
     fn failed_node_rejected_and_recovers() {
         let mut f = fabric();
-        f.fail_node(0);
+        f.fail_node(0).unwrap();
         let err = f
             .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0])])
             .unwrap_err();
         assert_eq!(err, KonaError::MemoryNodeFailed(0));
         f.recover_node(0);
+        assert!(f
+            .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0])])
+            .is_ok());
+    }
+
+    #[test]
+    fn fail_node_on_unknown_id_errors() {
+        let mut f = fabric();
+        assert_eq!(f.fail_node(42), Err(KonaError::UnknownMemoryNode(42)));
+        // The known node is unaffected.
         assert!(f
             .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0])])
             .is_ok());
@@ -337,16 +512,24 @@ mod tests {
     }
 
     #[test]
-    fn injected_delay_applies() {
+    fn injected_delay_is_persistent_until_cleared() {
         let mut f = fabric();
         let (base, _) = f
             .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0; 64])])
             .unwrap();
         f.inject_delay(Nanos::millis(1));
-        let (slow, _) = f
+        // Persistent: EVERY subsequent chain pays the delay, not just one.
+        for _ in 0..3 {
+            let (slow, _) = f
+                .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0; 64])])
+                .unwrap();
+            assert_eq!(slow - base, Nanos::millis(1));
+        }
+        f.clear_injected_delay();
+        let (after, _) = f
             .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0; 64])])
             .unwrap();
-        assert_eq!(slow - base, Nanos::millis(1));
+        assert_eq!(after, base);
     }
 
     #[test]
@@ -362,6 +545,177 @@ mod tests {
         assert_eq!(s.posts, 1);
         assert_eq!(s.wire_bytes, 128);
         assert_eq!(s.completions, 1);
+        assert_eq!(s.faulted_posts, 0);
+    }
+
+    #[test]
+    fn clock_advances_with_posts_and_advance_time() {
+        let mut f = fabric();
+        assert_eq!(f.now(), Nanos::ZERO);
+        let (t, _) = f
+            .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0; 64])])
+            .unwrap();
+        assert_eq!(f.now(), t);
+        f.advance_time(Nanos::micros(5));
+        assert_eq!(f.now(), t + Nanos::micros(5));
+    }
+
+    #[test]
+    fn injector_drop_faults_whole_first_verb() {
+        let mut f = fabric();
+        f.set_fault_injector(FaultInjector::new(
+            FaultPlan::calm(1).with_drop_prob(1.0),
+        ));
+        let err = f
+            .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![9; 8])])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            KonaError::VerbFault {
+                node: 0,
+                kind: VerbFaultKind::Dropped,
+                executed: 0,
+            }
+        );
+        // Nothing landed, but simulated time passed and the post counted.
+        assert_eq!(f.node(0).unwrap().read_bytes(0, 8), &[0u8; 8]);
+        assert!(f.now() > Nanos::ZERO);
+        assert_eq!(f.stats().faulted_posts, 1);
+        assert_eq!(f.fault_stats().dropped, 1);
+    }
+
+    #[test]
+    fn mid_chain_fault_reports_partial_execution() {
+        // Only SENDs fault: the two writes land, the trailing send faults,
+        // and the error reports exactly how much of the chain executed.
+        let mut plan = FaultPlan::calm(3);
+        plan.send.drop = 1.0;
+        let mut f = fabric();
+        f.set_fault_injector(FaultInjector::new(plan));
+        let err = f
+            .post(vec![
+                WorkRequest::write(1, RemoteAddr::new(0, 0), vec![5; 8]),
+                WorkRequest::write(2, RemoteAddr::new(0, 64), vec![6; 8]),
+                WorkRequest::send(3, RemoteAddr::new(0, 0), vec![1]),
+            ])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            KonaError::VerbFault {
+                node: 0,
+                kind: VerbFaultKind::Dropped,
+                executed: 2,
+            }
+        );
+        // The executed prefix landed...
+        assert_eq!(f.node(0).unwrap().read_bytes(0, 8), &[5u8; 8]);
+        assert_eq!(f.node(0).unwrap().read_bytes(64, 8), &[6u8; 8]);
+        // ...and re-posting the whole chain is safe (idempotent verbs).
+        let mut retry_plan = FaultPlan::calm(3);
+        retry_plan.send.drop = 0.0;
+        f.set_fault_injector(FaultInjector::new(retry_plan));
+        assert!(f
+            .post(vec![
+                WorkRequest::write(1, RemoteAddr::new(0, 0), vec![5; 8]),
+                WorkRequest::write(2, RemoteAddr::new(0, 64), vec![6; 8]),
+                WorkRequest::send(3, RemoteAddr::new(0, 0), vec![1]),
+            ])
+            .is_ok());
+    }
+
+    #[test]
+    fn node_lost_mid_chain_times_out_with_prefix_landed() {
+        // Node 0 flaps just after the first link of the chain hits the
+        // wire: the first write lands, the second times out.
+        let mut f = fabric();
+        let first_link = f.model().chain_time(&[8], 0);
+        let plan = FaultPlan::calm(1).with_flap(
+            0,
+            first_link + Nanos::from_ns(1),
+            Nanos::micros(50),
+        );
+        f.set_fault_injector(FaultInjector::new(plan));
+        let err = f
+            .post(vec![
+                WorkRequest::write(1, RemoteAddr::new(0, 0), vec![5; 8]),
+                WorkRequest::write(2, RemoteAddr::new(0, 64), vec![6; 8]),
+            ])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            KonaError::VerbFault {
+                node: 0,
+                kind: VerbFaultKind::TimedOut,
+                executed: 1,
+            }
+        );
+        assert_eq!(f.node(0).unwrap().read_bytes(0, 8), &[5u8; 8]);
+        assert_eq!(f.node(0).unwrap().read_bytes(64, 8), &[0u8; 8]);
+        // Whole-post validation now rejects the down node...
+        let err = f
+            .post(vec![WorkRequest::write(3, RemoteAddr::new(0, 0), vec![7; 8])])
+            .unwrap_err();
+        assert_eq!(err, KonaError::MemoryNodeFailed(0));
+        assert!(f.node_down(0));
+        assert!(f.node_back_at(0).is_some());
+        // ...until the flap window passes.
+        f.advance_time(Nanos::micros(60));
+        assert!(!f.node_down(0));
+        assert!(f
+            .post(vec![WorkRequest::write(3, RemoteAddr::new(0, 0), vec![7; 8])])
+            .is_ok());
+    }
+
+    #[test]
+    fn crashed_node_rejected_before_side_effects() {
+        let mut f = fabric();
+        f.set_fault_injector(FaultInjector::new(
+            FaultPlan::calm(1).with_crash(0, Nanos::ZERO),
+        ));
+        let err = f
+            .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![9; 8])])
+            .unwrap_err();
+        assert_eq!(err, KonaError::MemoryNodeFailed(0));
+        assert_eq!(f.node(0).unwrap().read_bytes(0, 8), &[0u8; 8]);
+        assert_eq!(f.fault_stats().node_down_rejections, 1);
+        assert_eq!(f.node_back_at(0), None);
+    }
+
+    #[test]
+    fn spike_latency_charged_inside_window() {
+        let mut f = fabric();
+        let (base, _) = f
+            .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0; 64])])
+            .unwrap();
+        // Window covers the next post's instant.
+        let plan = FaultPlan::calm(1).with_spike(Nanos::ZERO, Nanos::secs(1), Nanos::micros(7));
+        f.set_fault_injector(FaultInjector::new(plan));
+        let (spiked, _) = f
+            .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0; 64])])
+            .unwrap();
+        assert_eq!(spiked - base, Nanos::micros(7));
+    }
+
+    #[test]
+    fn fault_telemetry_counters_exported() {
+        let mut f = fabric();
+        let tel = Telemetry::disabled();
+        f.set_telemetry(&tel);
+        f.set_fault_injector(FaultInjector::new(
+            FaultPlan::calm(1).with_timeout_prob(1.0),
+        ));
+        let err = f
+            .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0; 8])])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            KonaError::VerbFault {
+                kind: VerbFaultKind::TimedOut,
+                ..
+            }
+        ));
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("net.faults.timed_out"), Some(1));
     }
 
     #[test]

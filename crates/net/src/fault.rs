@@ -1,0 +1,579 @@
+//! Deterministic fault injection for the fabric (§4.5).
+//!
+//! The paper warns that "the cache coherence protocol can result in a
+//! timeout due to slow or failed network operations" and prescribes MCE
+//! handling, page-fault fallback and replication during eviction. To
+//! exercise those recovery paths this module injects faults *into the
+//! simulated fabric itself*, driven entirely by a [`FaultPlan`] and a
+//! seeded in-repo PRNG, so every chaos run is reproducible bit for bit:
+//!
+//! * per-verb **drop / corrupt / timeout** probabilities (corrupt packets
+//!   are rejected by the transport's invariant CRC, as on RoCE — corrupt
+//!   data never lands, the verb just fails);
+//! * **latency spikes** — windows of simulated time during which every
+//!   chain is charged extra latency (congestion);
+//! * **node flaps** — a node goes down at a scheduled simulated-time
+//!   point and recovers later;
+//! * **permanent crashes** — a node goes down and never returns.
+//!
+//! Scheduled events fire against the fabric's simulated clock, which
+//! advances with every posted chain (and explicitly via
+//! [`Fabric::advance_time`](crate::Fabric::advance_time) when the runtime
+//! sleeps through a retry backoff), so two runs with the same plan and the
+//! same workload observe exactly the same faults.
+
+use crate::verbs::Opcode;
+use kona_types::rng::{Rng, StdRng};
+use kona_types::{FxHashMap, Nanos, VerbFaultKind};
+
+/// Per-verb fault probabilities, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VerbFaultProbs {
+    /// Probability the verb's packet is dropped on the wire.
+    pub drop: f64,
+    /// Probability the payload is corrupted in flight (rejected by the
+    /// remote NIC's invariant CRC — surfaces as a failed verb).
+    pub corrupt: f64,
+    /// Probability the verb hangs until its deadline expires.
+    pub timeout: f64,
+}
+
+impl VerbFaultProbs {
+    /// No injected faults.
+    pub const NONE: VerbFaultProbs = VerbFaultProbs {
+        drop: 0.0,
+        corrupt: 0.0,
+        timeout: 0.0,
+    };
+
+    /// Whether any probability is non-zero.
+    pub fn any(&self) -> bool {
+        self.drop > 0.0 || self.corrupt > 0.0 || self.timeout > 0.0
+    }
+
+    fn total(&self) -> f64 {
+        self.drop + self.corrupt + self.timeout
+    }
+}
+
+/// What happens to a node at a scheduled point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFaultKind {
+    /// The node goes down and recovers after `down_for`.
+    Flap {
+        /// How long the node stays unreachable.
+        down_for: Nanos,
+    },
+    /// The node goes down and never comes back.
+    Crash,
+}
+
+/// One scheduled node fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFault {
+    /// The target node.
+    pub node: u32,
+    /// Simulated time at which the node goes down.
+    pub at: Nanos,
+    /// Flap or permanent crash.
+    pub kind: NodeFaultKind,
+}
+
+/// A window of simulated time during which chains pay extra latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySpike {
+    /// Window start.
+    pub at: Nanos,
+    /// Window end (exclusive).
+    pub until: Nanos,
+    /// Extra latency charged to every chain posted inside the window.
+    pub extra: Nanos,
+}
+
+/// A complete, seed-deterministic description of the faults to inject.
+///
+/// Build one with the combinators below or pick a bundled scenario from
+/// [`FaultPlan::bundled`]. The same plan + seed + workload always yields
+/// the same faults.
+///
+/// # Examples
+///
+/// ```
+/// use kona_net::{FaultPlan, NodeFaultKind};
+/// use kona_types::Nanos;
+///
+/// let plan = FaultPlan::calm(42)
+///     .with_drop_prob(0.02)
+///     .with_flap(1, Nanos::micros(500), Nanos::micros(200));
+/// assert_eq!(plan.node_faults.len(), 1);
+/// assert!(matches!(plan.node_faults[0].kind, NodeFaultKind::Flap { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Scenario name (used in reports and metric dumps).
+    pub name: &'static str,
+    /// Seed for the injector's PRNG.
+    pub seed: u64,
+    /// Fault probabilities for one-sided reads.
+    pub read: VerbFaultProbs,
+    /// Fault probabilities for one-sided writes.
+    pub write: VerbFaultProbs,
+    /// Fault probabilities for two-sided sends.
+    pub send: VerbFaultProbs,
+    /// Simulated time a timed-out verb hangs before its deadline fires.
+    pub timeout_penalty: Nanos,
+    /// Congestion windows.
+    pub spikes: Vec<LatencySpike>,
+    /// Scheduled node flaps and crashes.
+    pub node_faults: Vec<NodeFault>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — the control scenario.
+    pub fn calm(seed: u64) -> Self {
+        FaultPlan {
+            name: "calm",
+            seed,
+            read: VerbFaultProbs::NONE,
+            write: VerbFaultProbs::NONE,
+            send: VerbFaultProbs::NONE,
+            timeout_penalty: Nanos::micros(30),
+            spikes: Vec::new(),
+            node_faults: Vec::new(),
+        }
+    }
+
+    /// Renames the plan.
+    #[must_use]
+    pub fn named(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+
+    /// Sets the drop probability on every verb.
+    #[must_use]
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        self.read.drop = p;
+        self.write.drop = p;
+        self.send.drop = p;
+        self
+    }
+
+    /// Sets the corruption probability on every verb.
+    #[must_use]
+    pub fn with_corrupt_prob(mut self, p: f64) -> Self {
+        self.read.corrupt = p;
+        self.write.corrupt = p;
+        self.send.corrupt = p;
+        self
+    }
+
+    /// Sets the timeout probability on every verb.
+    #[must_use]
+    pub fn with_timeout_prob(mut self, p: f64) -> Self {
+        self.read.timeout = p;
+        self.write.timeout = p;
+        self.send.timeout = p;
+        self
+    }
+
+    /// Adds a congestion window of `duration` starting at `at`.
+    #[must_use]
+    pub fn with_spike(mut self, at: Nanos, duration: Nanos, extra: Nanos) -> Self {
+        self.spikes.push(LatencySpike {
+            at,
+            until: at + duration,
+            extra,
+        });
+        self
+    }
+
+    /// Schedules `node` to go down at `at` and recover after `down_for`.
+    #[must_use]
+    pub fn with_flap(mut self, node: u32, at: Nanos, down_for: Nanos) -> Self {
+        self.node_faults.push(NodeFault {
+            node,
+            at,
+            kind: NodeFaultKind::Flap { down_for },
+        });
+        self
+    }
+
+    /// Schedules `node` to crash permanently at `at`.
+    #[must_use]
+    pub fn with_crash(mut self, node: u32, at: Nanos) -> Self {
+        self.node_faults.push(NodeFault {
+            node,
+            at,
+            kind: NodeFaultKind::Crash,
+        });
+        self
+    }
+
+    /// The bundled chaos scenarios the integration test and `fig_failure`
+    /// run, from benign to hostile. `victim` is the node targeted by flap
+    /// and crash scenarios (crash scenarios need a replicated runtime to
+    /// survive).
+    pub fn bundled(seed: u64, victim: u32) -> Vec<FaultPlan> {
+        vec![
+            FaultPlan::calm(seed),
+            FaultPlan::calm(seed)
+                .named("lossy")
+                .with_drop_prob(0.02)
+                .with_corrupt_prob(0.01),
+            FaultPlan::calm(seed)
+                .named("timeouts")
+                .with_timeout_prob(0.02),
+            FaultPlan::calm(seed)
+                .named("congested")
+                .with_spike(Nanos::micros(200), Nanos::millis(2), Nanos::micros(20))
+                .with_spike(Nanos::millis(6), Nanos::millis(1), Nanos::micros(50)),
+            FaultPlan::calm(seed)
+                .named("flappy")
+                .with_flap(victim, Nanos::micros(800), Nanos::micros(120))
+                .with_flap(victim, Nanos::millis(4), Nanos::micros(120)),
+            FaultPlan::calm(seed)
+                .named("crash")
+                .with_crash(victim, Nanos::millis(2)),
+            FaultPlan::calm(seed)
+                .named("chaos")
+                .with_drop_prob(0.015)
+                .with_corrupt_prob(0.005)
+                .with_timeout_prob(0.005)
+                .with_spike(Nanos::millis(1), Nanos::millis(2), Nanos::micros(15))
+                .with_flap(victim, Nanos::micros(700), Nanos::micros(120))
+                .with_crash(victim, Nanos::millis(8)),
+        ]
+    }
+
+    /// Checks probabilities are in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`kona_types::KonaError::InvalidConfig`] on a probability
+    /// outside `[0, 1]` or a per-verb total above 1.
+    pub fn validate(&self) -> kona_types::Result<()> {
+        for (verb, p) in [("read", self.read), ("write", self.write), ("send", self.send)] {
+            for (what, v) in [("drop", p.drop), ("corrupt", p.corrupt), ("timeout", p.timeout)] {
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(kona_types::KonaError::InvalidConfig(format!(
+                        "{verb} {what} probability {v} outside [0, 1]"
+                    )));
+                }
+            }
+            if p.total() > 1.0 {
+                return Err(kona_types::KonaError::InvalidConfig(format!(
+                    "{verb} fault probabilities sum to {} > 1",
+                    p.total()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn probs(&self, opcode: Opcode) -> VerbFaultProbs {
+        match opcode {
+            Opcode::Read => self.read,
+            Opcode::Write => self.write,
+            Opcode::Send => self.send,
+        }
+    }
+}
+
+/// Counters of the faults actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Verbs dropped on the wire.
+    pub dropped: u64,
+    /// Verbs rejected by the remote NIC's CRC.
+    pub corrupted: u64,
+    /// Verbs that hung past their deadline.
+    pub timed_out: u64,
+    /// Posts rejected because the target node was down.
+    pub node_down_rejections: u64,
+    /// Chains that paid spike latency.
+    pub spiked_chains: u64,
+}
+
+impl FaultStats {
+    /// Total verb-level faults injected.
+    pub fn total_verb_faults(&self) -> u64 {
+        self.dropped + self.corrupted + self.timed_out
+    }
+}
+
+/// The stateful injector the fabric consults on every post.
+///
+/// Owns the plan, the seeded PRNG and the current down-state of every
+/// scheduled node. Created from a [`FaultPlan`]; install it with
+/// [`Fabric::set_fault_injector`](crate::Fabric::set_fault_injector).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    /// Next unfired index into `plan.node_faults` (kept sorted by time).
+    next_event: usize,
+    /// Currently-down nodes → recovery time (`None` = crashed for good).
+    down: FxHashMap<u32, Option<Nanos>>,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Builds an injector; node faults are sorted by schedule time so
+    /// they fire in order regardless of how the plan listed them.
+    pub fn new(mut plan: FaultPlan) -> Self {
+        plan.node_faults.sort_by_key(|f| f.at);
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultInjector {
+            plan,
+            rng,
+            next_event: 0,
+            down: FxHashMap::default(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters of injected faults.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Fires every scheduled node fault with `at <= now` and clears flaps
+    /// whose recovery time has passed.
+    pub fn advance_to(&mut self, now: Nanos) {
+        while let Some(f) = self.plan.node_faults.get(self.next_event) {
+            if f.at > now {
+                break;
+            }
+            let until = match f.kind {
+                NodeFaultKind::Flap { down_for } => Some(f.at + down_for),
+                NodeFaultKind::Crash => None,
+            };
+            // A crash overrides a pending flap recovery, never vice versa.
+            match self.down.get(&f.node) {
+                Some(None) => {}
+                _ => {
+                    self.down.insert(f.node, until);
+                }
+            }
+            self.next_event += 1;
+        }
+        self.down
+            .retain(|_, until| until.is_none_or(|t| t > now));
+    }
+
+    /// Whether `node` is down at time `now` (current down-state plus any
+    /// scheduled fault that has started by `now`, whether or not
+    /// [`FaultInjector::advance_to`] has fired it yet).
+    pub fn node_down_at(&self, node: u32, now: Nanos) -> bool {
+        if let Some(until) = self.down.get(&node) {
+            if until.is_none_or(|t| t > now) {
+                return true;
+            }
+        }
+        self.plan.node_faults[self.next_event..]
+            .iter()
+            .take_while(|f| f.at <= now)
+            .any(|f| {
+                f.node == node
+                    && match f.kind {
+                        NodeFaultKind::Flap { down_for } => f.at + down_for > now,
+                        NodeFaultKind::Crash => true,
+                    }
+            })
+    }
+
+    /// When `node` will be reachable again: `Some(t)` for a flapping
+    /// node, `None` for a healthy or permanently-crashed one (check
+    /// [`FaultInjector::node_down_at`] to distinguish the two).
+    pub fn node_back_at(&self, node: u32) -> Option<Nanos> {
+        self.down.get(&node).copied().flatten()
+    }
+
+    /// Draws the fault decision for one verb. One PRNG draw per verb
+    /// keeps the random stream independent of which fault fires.
+    pub fn decide(&mut self, opcode: Opcode) -> Option<VerbFaultKind> {
+        let p = self.plan.probs(opcode);
+        if !p.any() {
+            return None;
+        }
+        let x: f64 = self.rng.gen();
+        if x < p.drop {
+            self.stats.dropped += 1;
+            Some(VerbFaultKind::Dropped)
+        } else if x < p.drop + p.corrupt {
+            self.stats.corrupted += 1;
+            Some(VerbFaultKind::Corrupted)
+        } else if x < p.total() {
+            self.stats.timed_out += 1;
+            Some(VerbFaultKind::TimedOut)
+        } else {
+            None
+        }
+    }
+
+    /// Simulated hang charged when a verb times out.
+    pub fn timeout_penalty(&self) -> Nanos {
+        self.plan.timeout_penalty
+    }
+
+    /// Extra latency from congestion windows active at `now`.
+    pub fn extra_latency(&mut self, now: Nanos) -> Nanos {
+        let extra = self
+            .plan
+            .spikes
+            .iter()
+            .filter(|s| s.at <= now && now < s.until)
+            .map(|s| s.extra)
+            .fold(Nanos::ZERO, |a, b| a + b);
+        if extra > Nanos::ZERO {
+            self.stats.spiked_chains += 1;
+        }
+        extra
+    }
+
+    /// Records a post rejected because its target node was down.
+    pub(crate) fn note_down_rejection(&mut self) {
+        self.stats.node_down_rejections += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calm_plan_injects_nothing() {
+        let mut inj = FaultInjector::new(FaultPlan::calm(1));
+        for _ in 0..1000 {
+            assert_eq!(inj.decide(Opcode::Read), None);
+        }
+        inj.advance_to(Nanos::secs(1));
+        assert!(!inj.node_down_at(0, Nanos::secs(1)));
+        assert_eq!(inj.extra_latency(Nanos::millis(1)), Nanos::ZERO);
+        assert_eq!(inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn decisions_are_seed_deterministic() {
+        let plan = FaultPlan::calm(7)
+            .with_drop_prob(0.1)
+            .with_corrupt_prob(0.05)
+            .with_timeout_prob(0.05);
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        let da: Vec<_> = (0..500).map(|_| a.decide(Opcode::Write)).collect();
+        let db: Vec<_> = (0..500).map(|_| b.decide(Opcode::Write)).collect();
+        assert_eq!(da, db);
+        assert!(da.iter().any(Option::is_some));
+        assert!(da.iter().any(Option::is_none));
+        assert_eq!(
+            a.stats().total_verb_faults(),
+            da.iter().filter(|d| d.is_some()).count() as u64
+        );
+    }
+
+    #[test]
+    fn probabilities_partition_correctly() {
+        // drop=1.0 → every verb dropped; corrupt=1.0 → every verb corrupted.
+        let mut all_drop = FaultInjector::new(FaultPlan::calm(1).with_drop_prob(1.0));
+        assert_eq!(all_drop.decide(Opcode::Read), Some(VerbFaultKind::Dropped));
+        let mut all_corrupt = FaultInjector::new(FaultPlan::calm(1).with_corrupt_prob(1.0));
+        assert_eq!(
+            all_corrupt.decide(Opcode::Send),
+            Some(VerbFaultKind::Corrupted)
+        );
+        let mut all_timeout = FaultInjector::new(FaultPlan::calm(1).with_timeout_prob(1.0));
+        assert_eq!(
+            all_timeout.decide(Opcode::Write),
+            Some(VerbFaultKind::TimedOut)
+        );
+    }
+
+    #[test]
+    fn flap_goes_down_and_recovers() {
+        let plan = FaultPlan::calm(1).with_flap(2, Nanos::micros(10), Nanos::micros(5));
+        let mut inj = FaultInjector::new(plan);
+        inj.advance_to(Nanos::micros(9));
+        assert!(!inj.node_down_at(2, Nanos::micros(9)));
+        inj.advance_to(Nanos::micros(10));
+        assert!(inj.node_down_at(2, Nanos::micros(10)));
+        assert_eq!(inj.node_back_at(2), Some(Nanos::micros(15)));
+        inj.advance_to(Nanos::micros(15));
+        assert!(!inj.node_down_at(2, Nanos::micros(15)));
+    }
+
+    #[test]
+    fn crash_is_permanent() {
+        let plan = FaultPlan::calm(1).with_crash(0, Nanos::micros(1));
+        let mut inj = FaultInjector::new(plan);
+        inj.advance_to(Nanos::secs(10));
+        assert!(inj.node_down_at(0, Nanos::secs(10)));
+        assert_eq!(inj.node_back_at(0), None);
+    }
+
+    #[test]
+    fn node_down_at_sees_unfired_schedule() {
+        // Query a future instant without advancing the injector.
+        let plan = FaultPlan::calm(1).with_flap(3, Nanos::micros(10), Nanos::micros(5));
+        let inj = FaultInjector::new(plan);
+        assert!(inj.node_down_at(3, Nanos::micros(12)));
+        assert!(!inj.node_down_at(3, Nanos::micros(16)));
+        assert!(!inj.node_down_at(3, Nanos::micros(9)));
+    }
+
+    #[test]
+    fn spikes_add_latency_inside_window_only() {
+        let plan = FaultPlan::calm(1).with_spike(
+            Nanos::micros(10),
+            Nanos::micros(10),
+            Nanos::micros(3),
+        );
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.extra_latency(Nanos::micros(5)), Nanos::ZERO);
+        assert_eq!(inj.extra_latency(Nanos::micros(12)), Nanos::micros(3));
+        assert_eq!(inj.extra_latency(Nanos::micros(20)), Nanos::ZERO);
+        assert_eq!(inj.stats().spiked_chains, 1);
+    }
+
+    #[test]
+    fn bundled_plans_validate() {
+        let plans = FaultPlan::bundled(42, 1);
+        assert!(plans.len() >= 6);
+        for p in &plans {
+            p.validate().expect("bundled plan must validate");
+        }
+        let names: Vec<_> = plans.iter().map(|p| p.name).collect();
+        assert!(names.contains(&"calm"));
+        assert!(names.contains(&"chaos"));
+    }
+
+    #[test]
+    fn invalid_probabilities_rejected() {
+        assert!(FaultPlan::calm(0).with_drop_prob(1.5).validate().is_err());
+        assert!(FaultPlan::calm(0)
+            .with_drop_prob(0.6)
+            .with_corrupt_prob(0.6)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::calm(0).with_drop_prob(-0.1).validate().is_err());
+    }
+
+    #[test]
+    fn crash_overrides_flap_recovery() {
+        let plan = FaultPlan::calm(1)
+            .with_flap(0, Nanos::micros(10), Nanos::micros(100))
+            .with_crash(0, Nanos::micros(20));
+        let mut inj = FaultInjector::new(plan);
+        inj.advance_to(Nanos::micros(50));
+        // Flap would have recovered at 110, but the crash at 20 is final.
+        assert_eq!(inj.node_back_at(0), None);
+        inj.advance_to(Nanos::millis(10));
+        assert!(inj.node_down_at(0, Nanos::millis(10)));
+    }
+}

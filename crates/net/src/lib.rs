@@ -14,6 +14,10 @@
 //! * [`NetworkModel`] — latency = base + bytes/bandwidth, calibrated to the
 //!   paper's 3 µs per 4 KiB verb; [`CopyModel`] charges the local copies
 //!   into RDMA-registered buffers (with the AVX speedup §5.1 describes).
+//! * [`FaultPlan`] / [`FaultInjector`] — seeded, deterministic fault
+//!   injection (per-verb drop/corrupt/timeout, latency spikes, node flaps
+//!   and crashes scheduled in simulated time) exercising the §4.5 failure
+//!   paths; see the [`fault`] module docs.
 //!
 //! # Examples
 //!
@@ -36,12 +40,16 @@
 
 mod bytes;
 mod fabric;
+pub mod fault;
 mod latency;
 mod node;
 mod verbs;
 
 pub use bytes::Bytes;
 pub use fabric::{Fabric, NetStats};
+pub use fault::{
+    FaultInjector, FaultPlan, FaultStats, LatencySpike, NodeFault, NodeFaultKind, VerbFaultProbs,
+};
 pub use latency::{CopyModel, NetworkModel};
 pub use node::NodeMemory;
 pub use verbs::{Completion, Opcode, QueuePair, WorkRequest};

@@ -7,6 +7,31 @@ use std::fmt;
 /// Convenience alias for `Result<T, KonaError>`.
 pub type Result<T> = std::result::Result<T, KonaError>;
 
+/// Why an injected fault interrupted a verb (see `kona-net`'s fault
+/// injector). Lives here so [`KonaError`] can carry it without a
+/// dependency cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerbFaultKind {
+    /// The packet was dropped on the wire; the NIC observed no
+    /// acknowledgment.
+    Dropped,
+    /// The payload failed the transport's invariant CRC at the remote NIC
+    /// and was rejected (RoCE ICRC); no corrupt data ever lands.
+    Corrupted,
+    /// The verb exceeded its deadline while the network was unresponsive.
+    TimedOut,
+}
+
+impl fmt::Display for VerbFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            VerbFaultKind::Dropped => "dropped",
+            VerbFaultKind::Corrupted => "corrupted",
+            VerbFaultKind::TimedOut => "timed out",
+        })
+    }
+}
+
 /// Errors produced by the Kona runtime and its simulators.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -44,6 +69,17 @@ pub enum KonaError {
     },
     /// A memory node failed while holding application data.
     MemoryNodeFailed(u32),
+    /// An injected network fault interrupted a posted chain. Work requests
+    /// before `executed` landed (verbs are idempotent, so re-posting the
+    /// whole chain is safe); requests from `executed` on did not run.
+    VerbFault {
+        /// The node the faulting request targeted.
+        node: u32,
+        /// What the fault was.
+        kind: VerbFaultKind,
+        /// Number of work requests that executed before the fault.
+        executed: u32,
+    },
     /// Not enough replicas acknowledged an eviction writeback.
     ReplicationQuorumFailed {
         /// Acks received.
@@ -55,6 +91,28 @@ pub enum KonaError {
     RuntimeShutDown,
     /// A configuration value was invalid (message explains which).
     InvalidConfig(String),
+}
+
+impl KonaError {
+    /// Whether the error may clear on its own and is worth retrying: an
+    /// injected wire fault (dropped/corrupted/timed-out verb) or a failed
+    /// node that might be flapping rather than dead. Address, registration
+    /// and configuration errors are permanent — retrying cannot fix them.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            KonaError::VerbFault { .. } | KonaError::MemoryNodeFailed(_)
+        )
+    }
+
+    /// The memory node implicated in a transient failure, if any (the
+    /// failure-recovery engine tracks per-node health with this).
+    pub fn failed_node(&self) -> Option<u32> {
+        match self {
+            KonaError::VerbFault { node, .. } | KonaError::MemoryNodeFailed(node) => Some(*node),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for KonaError {
@@ -87,6 +145,14 @@ impl fmt::Display for KonaError {
             KonaError::MemoryNodeFailed(node) => {
                 write!(f, "memory node {node} failed")
             }
+            KonaError::VerbFault {
+                node,
+                kind,
+                executed,
+            } => write!(
+                f,
+                "verb to node {node} {kind} after {executed} chained requests executed"
+            ),
             KonaError::ReplicationQuorumFailed { acked, required } => write!(
                 f,
                 "replication quorum failed: {acked} of {required} acks"
@@ -102,6 +168,23 @@ impl StdError for KonaError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn transience_classification() {
+        assert!(KonaError::MemoryNodeFailed(3).is_transient());
+        let fault = KonaError::VerbFault {
+            node: 1,
+            kind: VerbFaultKind::Dropped,
+            executed: 2,
+        };
+        assert!(fault.is_transient());
+        assert_eq!(fault.failed_node(), Some(1));
+        assert!(!KonaError::UnknownMemoryNode(9).is_transient());
+        assert!(!KonaError::InvalidConfig("x".into()).is_transient());
+        assert_eq!(KonaError::UnknownMemoryNode(9).failed_node(), None);
+        assert!(fault.to_string().contains("dropped"));
+        assert!(fault.to_string().contains("node 1"));
+    }
 
     #[test]
     fn display_messages() {

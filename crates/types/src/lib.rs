@@ -36,7 +36,7 @@ mod time;
 pub use access::{AccessKind, MemAccess};
 pub use addr::{LineIndex, PageNumber, RemoteAddr, VfMemAddr, VirtAddr};
 pub use bitmap::LineBitmap;
-pub use error::{KonaError, Result};
+pub use error::{KonaError, Result, VerbFaultKind};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use par::{par_map, Jobs};
 pub use slab_lru::SlabLru;

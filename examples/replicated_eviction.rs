@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rt = KonaRuntime::new(base_cfg.clone())?;
     let addr = rt.allocate(64 * 4096)?;
     let primary = write_and_displace(&mut rt, addr, 64)?;
-    rt.fabric_mut().fail_node(primary);
+    rt.fabric_mut().fail_node(primary)?;
     match rt.read_bytes(addr, &mut [0u8; 64]) {
         Err(KonaError::CoherenceTimeout { .. }) => {
             println!(
@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rt.set_failure_policy(FailurePolicy::PageFaultFallback);
     let addr = rt.allocate(64 * 4096)?;
     let primary = write_and_displace(&mut rt, addr, 64)?;
-    rt.fabric_mut().fail_node(primary);
+    rt.fabric_mut().fail_node(primary)?;
     assert!(rt.read_bytes(addr, &mut [0u8; 64]).is_err());
     println!("outage hit: access failed softly (no MCE: {})", rt.mce_events().is_empty());
     rt.fabric_mut().recover_node(primary);
@@ -80,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rt = KonaRuntime::new(base_cfg.with_replicas(2))?;
     let addr = rt.allocate(64 * 4096)?;
     let primary = write_and_displace(&mut rt, addr, 64)?;
-    rt.fabric_mut().fail_node(primary);
+    rt.fabric_mut().fail_node(primary)?;
     let mut buf = [0u8; 64];
     rt.read_bytes(addr, &mut buf)?;
     assert_eq!(buf, [0xC0; 64]);

@@ -27,7 +27,7 @@ fn mce_policy_surfaces_coherence_timeout() {
     let mut rt = KonaRuntime::new(cfg()).unwrap();
     let base = rt.allocate(64 * 4096).unwrap();
     let node = displace(&mut rt, base);
-    rt.fabric_mut().fail_node(node);
+    rt.fabric_mut().fail_node(node).unwrap();
     let err = rt.access(MemAccess::read(base, 8)).unwrap_err();
     assert!(matches!(err, KonaError::CoherenceTimeout { .. }));
     assert_eq!(rt.mce_events().len(), 1);
@@ -41,7 +41,7 @@ fn fallback_policy_charges_fault_and_recovers() {
     rt.set_failure_policy(FailurePolicy::PageFaultFallback);
     let base = rt.allocate(64 * 4096).unwrap();
     let node = displace(&mut rt, base);
-    rt.fabric_mut().fail_node(node);
+    rt.fabric_mut().fail_node(node).unwrap();
 
     let before = rt.stats().app_time;
     assert!(rt.access(MemAccess::read(base, 8)).is_err());
@@ -60,7 +60,7 @@ fn replica_failover_is_transparent_and_correct() {
     let mut rt = KonaRuntime::new(cfg().with_replicas(2)).unwrap();
     let base = rt.allocate(64 * 4096).unwrap();
     let node = displace(&mut rt, base);
-    rt.fabric_mut().fail_node(node);
+    rt.fabric_mut().fail_node(node).unwrap();
 
     // No error at all: the fetch silently fails over.
     let mut buf = [0u8; 64];
@@ -77,7 +77,7 @@ fn double_failure_with_two_replicas_is_fatal() {
     let node = displace(&mut rt, base);
     // Fail every node: nothing can serve the data.
     for n in 0..3 {
-        rt.fabric_mut().fail_node(n);
+        rt.fabric_mut().fail_node(n).unwrap();
     }
     let err = rt.access(MemAccess::read(base, 8)).unwrap_err();
     assert!(matches!(err, KonaError::CoherenceTimeout { .. }));
@@ -109,7 +109,7 @@ fn vm_runtime_surfaces_node_failure_too() {
     }
     // Fail all nodes; the next fetch of page 0 must error.
     for n in 0..3 {
-        rt.fabric_mut().fail_node(n);
+        rt.fabric_mut().fail_node(n).unwrap();
     }
     let err = rt.access(MemAccess::read(base, 8)).unwrap_err();
     assert!(matches!(err, KonaError::MemoryNodeFailed(_)));
