@@ -90,6 +90,7 @@ fn main() {
         }
     });
 
+    let tel = opts.telemetry();
     for (pi, pct) in percents.iter().enumerate() {
         println!("\n--- AMAT (ns) at {pct}% local cache ---");
         let mut table = TextTable::new(&[
@@ -102,6 +103,9 @@ fn main() {
         ]);
         for r in &results {
             let [kona, kona_main, lego, infiniswap] = r.per_pct[pi];
+            let slug = r.name.to_lowercase().replace([' ', '-'], "_");
+            tel.gauge(&format!("amat.{slug}.c{pct}.kona_ns")).set(kona);
+            tel.gauge(&format!("amat.{slug}.c{pct}.legoos_ns")).set(lego);
             table.row(vec![
                 r.name.clone(),
                 f1(kona),
@@ -117,4 +121,5 @@ fn main() {
         "\nNote: heap-only traces (no synthetic compute mix), so absolute AMAT\n\
          is higher than Fig 8's; the cross-system ratios are the point."
     );
+    opts.write_outputs(&tel);
 }

@@ -105,6 +105,7 @@ fn main() {
             f1(speedup_percent(&coh, &pml)),
         ]
     });
+    let tel = opts.telemetry();
     let mut table = TextTable::new(&[
         "Workload",
         "Speedup %",
@@ -112,6 +113,10 @@ fn main() {
         "vs PML %",
     ]);
     for row in rows {
+        let slug = row[0].to_lowercase().replace('-', "_");
+        if let Ok(pct) = row[1].parse::<f64>() {
+            tel.gauge(&format!("fig10.{slug}.speedup_pct")).set(pct);
+        }
         table.row(row);
     }
     table.print();
@@ -120,4 +125,5 @@ fn main() {
          Redis-Rand highest (paper: 35%), sequential/hot-bin workloads\n\
          lowest (paper: ~1%)."
     );
+    opts.write_outputs(&tel);
 }

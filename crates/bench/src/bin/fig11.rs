@@ -160,7 +160,7 @@ fn main() {
     let panels = opts.value_of("panel").unwrap_or("abc").to_string();
     // One registry for the whole invocation: every eviction run's fabric
     // and handler publish into it, so `--metrics-out` reflects all panels.
-    let tel = Telemetry::disabled();
+    let tel = opts.telemetry();
 
     if panels.contains('a') {
         panel_goodput(pages, Placement::Contiguous, &[1, 2, 4, 6, 8, 12, 16, 32, 64], opts.jobs, &tel);
@@ -235,8 +235,5 @@ fn main() {
         );
     }
 
-    if let Some(path) = opts.value_of("metrics-out") {
-        std::fs::write(path, tel.metrics_json()).expect("write metrics");
-        println!("\nmetrics snapshot written to {path}");
-    }
+    opts.write_outputs(&tel);
 }

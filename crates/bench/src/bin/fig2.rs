@@ -42,6 +42,7 @@ fn main() {
     table.print();
 
     println!();
+    let tel = opts.telemetry();
     for (name, cdf) in &series {
         println!(
             "{name}: pages={}, p50={} lines, mean={:.1} lines",
@@ -49,10 +50,15 @@ fn main() {
             cdf.quantile(0.5).unwrap_or(0),
             cdf.mean()
         );
+        let slug = name.to_lowercase().replace([' ', '(', ')'], "");
+        tel.gauge(&format!("fig2.{slug}.mean_lines")).set(cdf.mean());
+        tel.gauge(&format!("fig2.{slug}.pages"))
+            .set(cdf.total() as f64);
     }
     println!(
         "\nExpected shape: Rand skewed to 1-8 lines/page; Seq skewed to all 64\n\
          lines/page (paper §2.2: \"pages have either a small number of\n\
          cache-lines accessed (1-8), or all 64\")."
     );
+    opts.write_outputs(&tel);
 }

@@ -52,4 +52,11 @@ fn main() {
         "Seq: fraction of write segments that span a whole page: {:.2} (paper: large)",
         ca_seq.page_length_write_fraction()
     );
+
+    let tel = opts.telemetry();
+    tel.gauge("fig3.rand.write_seg_le4")
+        .set(ca_rand.write_segment_cdf().fraction_le(4));
+    tel.gauge("fig3.seq.full_page_write_fraction")
+        .set(ca_seq.page_length_write_fraction());
+    opts.write_outputs(&tel);
 }

@@ -65,6 +65,7 @@ fn main() {
         ByteSize(pages * 4096)
     );
 
+    let tel = opts.telemetry();
     let mut table = TextTable::new(&[
         "Threads",
         "Kona (ms)",
@@ -77,7 +78,10 @@ fn main() {
 
     for threads in [1u64, 2, 4] {
         let kona = run_threads(threads, pages, ContentionModel::KONA, || {
-            Box::new(KonaRuntime::new(cluster(pages, 50)).expect("config valid"))
+            Box::new(
+                KonaRuntime::with_telemetry(cluster(pages, 50), tel.clone())
+                    .expect("config valid"),
+            )
         });
         let kona_vm = run_threads(threads, pages, ContentionModel::VM, || {
             Box::new(VmRuntime::new(cluster(pages, 50), VmProfile::kona_vm()).expect("config"))
@@ -94,6 +98,10 @@ fn main() {
             )
         });
 
+        tel.gauge(&format!("fig7.t{threads}.kona_ms"))
+            .set(kona.wall.as_millis_f64());
+        tel.gauge(&format!("fig7.t{threads}.kona_vm_ms"))
+            .set(kona_vm.wall.as_millis_f64());
         table.row(vec![
             threads.to_string(),
             f2(kona.wall.as_millis_f64()),
@@ -111,4 +119,5 @@ fn main() {
          Kona-VM-NoEvict; Kona-VM-NoWP in between (paper: still 1.2-2.9X\n\
          slower than Kona-NoEvict)."
     );
+    opts.write_outputs(&tel);
 }

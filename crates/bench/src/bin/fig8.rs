@@ -85,6 +85,7 @@ fn main() {
         None => vec!['a', 'b', 'c', 'd'],
     };
 
+    let tel = opts.telemetry();
     for panel in panels {
         let (name, trace) = trace_for(panel, profile);
         let trace = augment_with_compute(trace);
@@ -149,6 +150,8 @@ fn main() {
         for (i, &pct) in percents.iter().enumerate() {
             let lego = sweeps[0][i].result.amat_ns;
             let kona = sweeps[1][i].result.amat_ns;
+            tel.gauge(&format!("fig8.{panel}.c{pct}.kona_amat_ns")).set(kona);
+            tel.gauge(&format!("fig8.{panel}.c{pct}.legoos_amat_ns")).set(lego);
             table.row(vec![
                 pct.to_string(),
                 f1(lego),
@@ -166,4 +169,5 @@ fn main() {
          than LegoOS and 5X lower than Infiniswap; Linear Regression stays\n\
          nearly flat (streaming, no reuse)."
     );
+    opts.write_outputs(&tel);
 }

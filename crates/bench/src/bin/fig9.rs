@@ -65,4 +65,11 @@ fn main() {
         "Expected shape: cache-line tracking reduces amplification 2-10X for\n\
          Redis-Rand and ~2X for Redis-Seq (paper §6.3)."
     );
+
+    let tel = opts.telemetry();
+    tel.gauge("fig9.rand.mean_amplification")
+        .set(rand.mean_amplification_ratio());
+    tel.gauge("fig9.seq.mean_amplification")
+        .set(seq.mean_amplification_ratio());
+    opts.write_outputs(&tel);
 }

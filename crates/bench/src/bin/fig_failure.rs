@@ -16,7 +16,6 @@
 use kona::{ClusterConfig, KonaRuntime, RemoteMemoryRuntime};
 use kona_bench::{banner, f2, ExpOptions, TextTable};
 use kona_net::FaultPlan;
-use kona_telemetry::Telemetry;
 use kona_types::rng::{Rng, StdRng};
 use kona_types::par_map;
 
@@ -119,7 +118,7 @@ fn main() {
     let plans = FaultPlan::bundled(seed, VICTIM);
     let results = par_map(opts.jobs, plans, |_, plan| run_plan(plan, seed, ops));
 
-    let tel = Telemetry::disabled();
+    let tel = opts.telemetry();
     let mut table = TextTable::new(&[
         "Plan",
         "Avail %",
@@ -164,8 +163,5 @@ fn main() {
          Data is verified byte-exact against a host-side model throughout."
     );
 
-    if let Some(path) = opts.value_of("metrics-out") {
-        std::fs::write(path, tel.metrics_json()).expect("write metrics");
-        println!("\nmetrics snapshot written to {path}");
-    }
+    opts.write_outputs(&tel);
 }

@@ -25,7 +25,7 @@ fn cold_access_latency(rt: &mut dyn RemoteMemoryRuntime, tel: &Telemetry) -> Nan
 fn main() {
     let opts = kona_bench::ExpOptions::from_env();
     banner("Remote access latency sanity checks", "§2.1 / §6.1 / §6.2");
-    let tel = Telemetry::disabled();
+    let tel = opts.telemetry();
 
     let net = NetworkModel::connectx5();
     println!(
@@ -76,8 +76,5 @@ fn main() {
          this project eliminates."
     );
 
-    if let Some(path) = opts.value_of("metrics-out") {
-        std::fs::write(path, tel.metrics_json()).expect("write metrics");
-        println!("\nmetrics snapshot written to {path}");
-    }
+    opts.write_outputs(&tel);
 }

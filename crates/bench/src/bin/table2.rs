@@ -56,7 +56,7 @@ fn main() {
     ]);
 
     // Per-workload amplification gauges for `--metrics-out`.
-    let tel = Telemetry::disabled();
+    let tel = opts.telemetry();
 
     // Trait objects are not `Send`, so workers rebuild their workload from
     // the index and report gauges through a private registry.
@@ -105,10 +105,7 @@ fn main() {
          near-1 cache-line amplification), not absolute values."
     );
 
-    if let Some(path) = opts.value_of("metrics-out") {
-        std::fs::write(path, tel.metrics_json()).expect("write metrics");
-        println!("\nmetrics snapshot written to {path}");
-    }
+    opts.write_outputs(&tel);
 }
 
 fn rebuild_with_profile(

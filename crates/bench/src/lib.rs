@@ -8,11 +8,57 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use kona_telemetry::Telemetry;
 use kona_types::{Jobs, Nanos};
-use kona_workloads::WorkloadProfile;
+use kona_workloads::{
+    GraphAlgorithm, GraphWorkload, HistogramWorkload, LinearRegressionWorkload, RedisWorkload,
+    VoltDbWorkload, Workload, WorkloadProfile,
+};
 
 pub mod micro;
 pub use micro::{BenchGroup, ContentionModel};
+
+/// Span events kept in the trace ring during instrumented runs.
+pub const TRACE_RING_CAPACITY: usize = 1 << 18;
+
+/// Names accepted by [`workload_by_name`], in canonical order.
+pub const WORKLOAD_NAMES: [&str; 9] = [
+    "redis-rand",
+    "redis-seq",
+    "linreg",
+    "histogram",
+    "pagerank",
+    "coloring",
+    "concomp",
+    "labelprop",
+    "voltdb",
+];
+
+/// Builds the named Table 2 workload with `profile`. Trait objects are
+/// not `Send`, so parallel workers construct their own by name.
+pub fn workload_by_name(name: &str, profile: WorkloadProfile) -> Option<Box<dyn Workload>> {
+    Some(match name {
+        "redis-rand" => Box::new(RedisWorkload::rand().with_profile(profile)),
+        "redis-seq" => Box::new(RedisWorkload::seq().with_profile(profile)),
+        "linreg" => Box::new(LinearRegressionWorkload::with_profile(profile)),
+        "histogram" => Box::new(HistogramWorkload::with_profile(profile)),
+        "pagerank" => Box::new(GraphWorkload::with_profile(GraphAlgorithm::PageRank, profile)),
+        "coloring" => Box::new(GraphWorkload::with_profile(
+            GraphAlgorithm::GraphColoring,
+            profile,
+        )),
+        "concomp" => Box::new(GraphWorkload::with_profile(
+            GraphAlgorithm::ConnectedComponents,
+            profile,
+        )),
+        "labelprop" => Box::new(GraphWorkload::with_profile(
+            GraphAlgorithm::LabelPropagation,
+            profile,
+        )),
+        "voltdb" => Box::new(VoltDbWorkload::with_profile(profile)),
+        _ => return None,
+    })
+}
 
 /// Command-line options shared by every experiment binary.
 #[derive(Debug, Clone)]
@@ -53,6 +99,47 @@ impl ExpOptions {
     pub fn table_profile(&self) -> WorkloadProfile {
         let windows = if self.quick { 3 } else { 10 };
         WorkloadProfile::default().with_windows(windows)
+    }
+
+    /// `--metrics-out <path>`: metrics snapshot JSON destination.
+    pub fn metrics_out(&self) -> Option<&str> {
+        self.value_of("metrics-out")
+    }
+
+    /// `--trace-out <path>`: Chrome trace-event JSON destination.
+    pub fn trace_out(&self) -> Option<&str> {
+        self.value_of("trace-out")
+    }
+
+    /// Telemetry for the run: span tracing is enabled only when
+    /// `--trace-out` asks for a timeline (the metrics registry records
+    /// either way).
+    pub fn telemetry(&self) -> Telemetry {
+        if self.trace_out().is_some() {
+            Telemetry::with_tracing(TRACE_RING_CAPACITY)
+        } else {
+            Telemetry::disabled()
+        }
+    }
+
+    /// Writes the `--metrics-out` / `--trace-out` artifacts, warning when
+    /// the trace ring wrapped (`tel.spans_dropped` in the snapshot).
+    pub fn write_outputs(&self, tel: &Telemetry) {
+        if let Some(path) = self.metrics_out() {
+            std::fs::write(path, tel.metrics_json()).expect("write metrics");
+            println!("\nmetrics snapshot written to {path}");
+        }
+        if let Some(path) = self.trace_out() {
+            std::fs::write(path, tel.chrome_trace()).expect("write trace");
+            println!("\nchrome trace written to {path}");
+            let dropped = tel.dropped_events();
+            if dropped > 0 {
+                println!(
+                    "warning: trace ring wrapped, {dropped} oldest spans dropped \
+                     (tel.spans_dropped)"
+                );
+            }
+        }
     }
 }
 
@@ -186,5 +273,32 @@ mod tests {
         assert_eq!(ns(Nanos::from_ns(1500)), "1500.0");
         assert_eq!(f2(1.234), "1.23");
         assert_eq!(f1(1.26), "1.3");
+    }
+
+    #[test]
+    fn every_workload_name_resolves() {
+        for name in WORKLOAD_NAMES {
+            let wl = workload_by_name(name, WorkloadProfile::default().with_windows(1));
+            assert!(wl.is_some(), "{name} must resolve");
+        }
+        assert!(workload_by_name("nope", WorkloadProfile::default()).is_none());
+    }
+
+    #[test]
+    fn output_flags_parse_and_pick_telemetry() {
+        let opts = ExpOptions {
+            quick: true,
+            jobs: Jobs::serial(),
+            args: vec![
+                "--metrics-out".into(),
+                "m.json".into(),
+                "--trace-out".into(),
+                "t.json".into(),
+            ],
+        };
+        assert_eq!(opts.metrics_out(), Some("m.json"));
+        assert_eq!(opts.trace_out(), Some("t.json"));
+        assert!(opts.telemetry().tracing_enabled());
+        assert!(!ExpOptions::default().telemetry().tracing_enabled());
     }
 }

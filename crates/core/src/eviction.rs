@@ -17,7 +17,7 @@ use crate::metrics::names;
 use crate::poller::Poller;
 use kona_fpga::VictimPage;
 use kona_net::{CopyModel, Fabric, WorkRequest};
-use kona_telemetry::{Counter, EventKind, Histogram, SpanEvent, Telemetry, Track, VerbOpcode};
+use kona_telemetry::{Counter, EventKind, Histogram, Telemetry, Track};
 use kona_types::rng::StdRng;
 use kona_types::{FxHashMap, FxHashSet, Nanos, RemoteAddr, Result, CACHE_LINE_SIZE, PAGE_SIZE_4K};
 
@@ -268,15 +268,32 @@ impl EvictionHandler {
         fabric: &mut Fabric,
         poller: &mut Poller,
     ) -> Result<Nanos> {
-        let evict_start = self.breakdown.total();
+        let span = self.telemetry.span_open(Track::Background, EventKind::Evict);
+        let res = self.evict_page_inner(victim, page_data, primary, replicas, fabric, poller);
+        self.telemetry
+            .span_close(span, *res.as_ref().unwrap_or(&Nanos::ZERO));
+        res
+    }
+
+    fn evict_page_inner(
+        &mut self,
+        victim: &VictimPage,
+        page_data: Option<&[u8]>,
+        primary: RemoteAddr,
+        replicas: &[RemoteAddr],
+        fabric: &mut Fabric,
+        poller: &mut Poller,
+    ) -> Result<Nanos> {
         let mut elapsed = BITMAP_SCAN;
         self.breakdown.bitmap += BITMAP_SCAN;
+        self.telemetry
+            .span_leaf(Track::Background, EventKind::BitmapScan, BITMAP_SCAN);
         self.stats.pages_evicted += 1;
         self.pages_evicted.inc();
 
         if !victim.is_dirty() {
             self.stats.silent_evictions += 1;
-            self.note_eviction(evict_start, elapsed);
+            self.note_eviction(elapsed);
             return Ok(elapsed);
         }
 
@@ -300,6 +317,8 @@ impl EvictionHandler {
                 }
                 let copy_time = self.engine.segment_copy_time(&self.copy, byte_len);
                 self.breakdown.copy += copy_time;
+                self.telemetry
+                    .span_leaf(Track::Background, EventKind::SegmentCopy, copy_time);
                 elapsed += copy_time;
                 let entry = LogEntry {
                     remote: target.add(byte_off),
@@ -327,18 +346,13 @@ impl EvictionHandler {
             }
         }
         self.pending_pages.insert(victim.page.raw());
-        self.note_eviction(evict_start, elapsed);
+        self.note_eviction(elapsed);
         Ok(elapsed)
     }
 
-    /// Records one page eviction in the latency histogram and (when
-    /// tracing) as a span on the eviction thread's track.
-    fn note_eviction(&mut self, start: Nanos, elapsed: Nanos) {
+    /// Records one page eviction in the latency histogram.
+    fn note_eviction(&mut self, elapsed: Nanos) {
         self.evict_ns.record(elapsed.as_ns());
-        if self.telemetry.tracing_enabled() {
-            self.telemetry
-                .record(SpanEvent::new(Track::Background, start, elapsed, EventKind::Evict));
-        }
     }
 
     /// Flushes one node's log: RDMA-writes the encoded buffer to the log
@@ -381,9 +395,12 @@ impl EvictionHandler {
         self.stats.flushes += 1;
 
         // One RDMA write for the whole log ("Kona submits a single request
-        // to the NIC for the whole log", §6.4).
-        let flush_start = self.breakdown.total();
-        let log_bytes = encoded.len() as u64;
+        // to the NIC for the whole log", §6.4). The fabric emits the verb
+        // leaf on the network track; this span owns backoffs and the ack
+        // wait (its uncovered residual attributes to the wire).
+        let wb_span = self
+            .telemetry
+            .span_open(Track::Background, EventKind::Writeback);
         let mut backoff_total = Nanos::ZERO;
         let mut attempt = 0u32;
         let rdma_time = loop {
@@ -402,6 +419,8 @@ impl EvictionHandler {
                     // Back off on the eviction thread; simulated time
                     // advances so scheduled flaps can clear meanwhile.
                     fabric.advance_time(backoff);
+                    self.telemetry
+                        .span_leaf(Track::Background, EventKind::Backoff, backoff);
                     backoff_total += backoff;
                 }
                 Err(e) => {
@@ -411,24 +430,15 @@ impl EvictionHandler {
                         if self.logs.values().all(|l| l.used_bytes() == 0) {
                             self.pending_pages.clear();
                         }
+                        self.telemetry.span_close(wb_span, backoff_total);
                         return Ok(backoff_total);
                     }
+                    self.telemetry.span_close(wb_span, backoff_total);
                     return Err(e);
                 }
             }
         };
         self.breakdown.rdma_write += rdma_time;
-        if self.telemetry.tracing_enabled() {
-            self.telemetry.record(SpanEvent::new(
-                Track::Background,
-                flush_start,
-                rdma_time,
-                EventKind::Verb {
-                    opcode: VerbOpcode::Write,
-                    bytes: log_bytes,
-                },
-            ));
-        }
 
         // Remote thread unpacks and acknowledges. "The process is
         // asynchronous: the acknowledgment latency can be hidden by
@@ -442,14 +452,8 @@ impl EvictionHandler {
         let report = receiver.apply(node_mem, &encoded);
         let ack_time = (report.unpack_time + fabric.model().verb_time(0)) / 4;
         self.breakdown.ack_wait += ack_time;
-        if self.telemetry.tracing_enabled() {
-            self.telemetry.record(SpanEvent::new(
-                Track::Background,
-                flush_start,
-                rdma_time + ack_time,
-                EventKind::Writeback,
-            ));
-        }
+        self.telemetry
+            .span_close(wb_span, backoff_total + rdma_time + ack_time);
 
         // The flush resolves every pending page (logs are per-node but
         // clearing conservatively is correct and simple).
@@ -468,6 +472,14 @@ impl EvictionHandler {
     ///
     /// Propagates fabric errors.
     pub fn flush_all(&mut self, fabric: &mut Fabric, poller: &mut Poller) -> Result<Nanos> {
+        let span = self.telemetry.span_open(Track::Background, EventKind::Flush);
+        let res = self.flush_all_inner(fabric, poller);
+        self.telemetry
+            .span_close(span, *res.as_ref().unwrap_or(&Nanos::ZERO));
+        res
+    }
+
+    fn flush_all_inner(&mut self, fabric: &mut Fabric, poller: &mut Poller) -> Result<Nanos> {
         let total = if self.degraded {
             self.flush_all_batched(fabric, poller)?
         } else {
@@ -509,7 +521,9 @@ impl EvictionHandler {
         }
         self.stats.batched_flushes += 1;
         self.stats.flushes += batch.len() as u64;
-        let flush_start = self.breakdown.total();
+        let wb_span = self
+            .telemetry
+            .span_open(Track::Background, EventKind::Writeback);
         let mut backoff_total = Nanos::ZERO;
         let mut attempt = 0u32;
         let rdma_time = loop {
@@ -537,17 +551,23 @@ impl EvictionHandler {
                     let backoff = self.retry.backoff_for(attempt, &mut self.rng);
                     attempt += 1;
                     fabric.advance_time(backoff);
+                    self.telemetry
+                        .span_leaf(Track::Background, EventKind::Backoff, backoff);
                     backoff_total += backoff;
                 }
                 Err(e) => {
                     let lose = e.failed_node().filter(|_| {
                         e.is_transient() && self.lost_nodes.len() < self.max_node_losses
                     });
-                    let Some(node) = lose else { return Err(e) };
+                    let Some(node) = lose else {
+                        self.telemetry.span_close(wb_span, backoff_total);
+                        return Err(e);
+                    };
                     self.lost_nodes.insert(node);
                     self.stats.abandoned_flushes += 1;
                     batch.retain(|(n, _)| *n != node);
                     if batch.is_empty() {
+                        self.telemetry.span_close(wb_span, backoff_total);
                         return Ok(backoff_total);
                     }
                     attempt = 0;
@@ -555,18 +575,6 @@ impl EvictionHandler {
             }
         };
         self.breakdown.rdma_write += rdma_time;
-        let batch_bytes: u64 = batch.iter().map(|(_, e)| e.len() as u64).sum();
-        if self.telemetry.tracing_enabled() {
-            self.telemetry.record(SpanEvent::new(
-                Track::Background,
-                flush_start,
-                rdma_time,
-                EventKind::Verb {
-                    opcode: VerbOpcode::Write,
-                    bytes: batch_bytes,
-                },
-            ));
-        }
 
         // Each receiver unpacks its own log; acks ride back together, so
         // only one verb round trip is charged for the whole batch.
@@ -581,14 +589,8 @@ impl EvictionHandler {
         }
         let ack_time = (unpack_total + fabric.model().verb_time(0)) / 4;
         self.breakdown.ack_wait += ack_time;
-        if self.telemetry.tracing_enabled() {
-            self.telemetry.record(SpanEvent::new(
-                Track::Background,
-                flush_start,
-                rdma_time + ack_time,
-                EventKind::Writeback,
-            ));
-        }
+        self.telemetry
+            .span_close(wb_span, backoff_total + rdma_time + ack_time);
         Ok(backoff_total + rdma_time + ack_time)
     }
 

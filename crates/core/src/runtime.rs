@@ -11,7 +11,7 @@ use crate::stats::RuntimeStats;
 use kona_coherence::AgentId;
 use kona_fpga::{CpuAccessOutcome, FpgaConfig, KonaFpga, VictimPage};
 use kona_net::{Fabric, FaultInjector, NetworkModel, WorkRequest};
-use kona_telemetry::{EventKind, Histogram, SpanEvent, Telemetry, Track};
+use kona_telemetry::{EventKind, Histogram, OpKind, Telemetry, Track};
 use kona_trace::TraceEvent;
 use kona_types::{
     AccessKind, FxHashMap, KonaError, MemAccess, Nanos, PageNumber, RemoteAddr, Result, VfMemAddr,
@@ -121,6 +121,11 @@ pub struct KonaRuntime {
     /// Whether degraded mode is currently applied to the components
     /// (prefetch shedding, widened eviction batching).
     degraded_active: bool,
+    /// Black-box dumps (flight traces + fault log) captured at recovery
+    /// milestones; bounded to the most recent few.
+    flight_dumps: Vec<String>,
+    /// Abandoned-flush count already reflected in `flight_dumps`.
+    seen_abandoned: u64,
 }
 
 impl KonaRuntime {
@@ -195,6 +200,8 @@ impl KonaRuntime {
             config,
             next_wr_id: 0,
             degraded_active: false,
+            flight_dumps: Vec::new(),
+            seen_abandoned: 0,
         })
     }
 
@@ -260,9 +267,64 @@ impl KonaRuntime {
             self.degraded_active = degraded;
             if degraded {
                 self.counters.degraded_entries.inc();
+                self.note_flight_dump("degraded_mode_entered");
             }
             self.fpga.set_prefetch_shedding(degraded);
             self.eviction.set_degraded(degraded);
+        }
+    }
+
+    /// Black-box dumps captured whenever recovery abandoned a node or
+    /// degraded mode tripped: the flight recorder's last completed traces
+    /// plus the fault log, as JSON. Oldest first, bounded to the last
+    /// [`KonaRuntime::FLIGHT_DUMPS_MAX`].
+    pub fn flight_dumps(&self) -> &[String] {
+        &self.flight_dumps
+    }
+
+    /// How many black-box dumps are retained.
+    pub const FLIGHT_DUMPS_MAX: usize = 4;
+
+    /// Captures a black-box dump if causal tracing is on.
+    fn note_flight_dump(&mut self, reason: &str) {
+        if !self.telemetry.causal_enabled() {
+            return;
+        }
+        let mut lost: Vec<u32> = self.eviction.lost_nodes().iter().copied().collect();
+        lost.sort_unstable();
+        let mces: Vec<String> = self
+            .failure
+            .events()
+            .map(|e| format!("{{\"addr\":{},\"at_ns\":{}}}", e.addr.raw(), e.at.as_ns()))
+            .collect();
+        let fs = self.fabric.fault_stats();
+        let dump = format!(
+            "{{\"reason\":\"{reason}\",\"sim_now_ns\":{},\"lost_nodes\":{lost:?},\
+             \"mce_events\":[{}],\"fault_log\":{{\"dropped\":{},\"corrupted\":{},\
+             \"timed_out\":{},\"node_down_rejections\":{},\"spiked_chains\":{}}},\
+             \"traces\":{}}}",
+            self.fabric.now().as_ns(),
+            mces.join(","),
+            fs.dropped,
+            fs.corrupted,
+            fs.timed_out,
+            fs.node_down_rejections,
+            fs.spiked_chains,
+            self.telemetry.flight_json(),
+        );
+        if self.flight_dumps.len() == Self::FLIGHT_DUMPS_MAX {
+            self.flight_dumps.remove(0);
+        }
+        self.flight_dumps.push(dump);
+    }
+
+    /// Captures a dump when the eviction handler abandoned another node
+    /// since the last check.
+    fn check_abandoned(&mut self) {
+        let abandoned = self.eviction.stats().abandoned_flushes;
+        if abandoned > self.seen_abandoned {
+            self.seen_abandoned = abandoned;
+            self.note_flight_dump("node_abandoned");
         }
     }
 
@@ -380,6 +442,7 @@ impl KonaRuntime {
                 .eviction
                 .flush_all(&mut self.fabric, &mut self.poller)?;
             self.update_degraded();
+            self.check_abandoned();
         }
 
         let primary = self.fpga.translate_page(page)?;
@@ -436,6 +499,7 @@ impl KonaRuntime {
                         // Backing off advances simulated time, so a
                         // scheduled flap can clear while we wait.
                         self.fabric.advance_time(backoff);
+                        self.telemetry.span_leaf_inherit(EventKind::Backoff, backoff);
                         elapsed += backoff;
                         target_delay += backoff;
                         self.update_degraded();
@@ -464,6 +528,8 @@ impl KonaRuntime {
             FailurePolicy::HandleMce => {
                 // §4.5: the coherence timeout surfaces as a machine-check
                 // exception; record it and report to the operator.
+                self.telemetry.retag_trace(OpKind::Recovery);
+                self.telemetry.instant(Track::App, EventKind::Mce);
                 self.failure.record(addr, self.counters.app_time());
                 self.counters.mce_events.inc();
                 Err(KonaError::CoherenceTimeout {
@@ -476,13 +542,18 @@ impl KonaRuntime {
                 // control. Charge a fault's worth of time; when the fabric
                 // knows the outage's end (a scheduled flap), wait it out
                 // and retry the fetch ourselves.
+                self.telemetry.retag_trace(OpKind::Recovery);
                 self.counters.charge_app(Nanos::micros(3));
+                self.telemetry
+                    .span_leaf(Track::App, EventKind::PageFault, Nanos::micros(3));
                 self.failure.note_fallback();
                 if let Some(node) = err.failed_node() {
                     if let Some(back_at) = self.fabric.node_back_at(node) {
                         let now = self.fabric.now();
                         let wait = back_at.saturating_sub(now);
                         self.fabric.advance_time(wait);
+                        self.telemetry
+                            .span_leaf(Track::App, EventKind::Backoff, wait);
                         self.counters.fallback_waits.inc();
                         self.update_degraded();
                         return self
@@ -517,6 +588,7 @@ impl KonaRuntime {
         // Eviction runs on its own thread, concurrent with the app.
         self.counters.charge_background(time);
         self.local_pages.remove(&victim.page.raw());
+        self.check_abandoned();
         Ok(())
     }
 
@@ -530,14 +602,34 @@ impl KonaRuntime {
         addr: VfMemAddr,
         kind: AccessKind,
     ) -> Result<Nanos> {
+        if !self.telemetry.causal_enabled() {
+            return self.access_line_inner(agent, addr, kind);
+        }
+        self.telemetry.trace_begin(OpKind::Access);
+        let res = self.access_line_inner(agent, addr, kind);
+        self.telemetry
+            .trace_end(*res.as_ref().unwrap_or(&Nanos::ZERO));
+        res
+    }
+
+    fn access_line_inner(
+        &mut self,
+        agent: AgentId,
+        addr: VfMemAddr,
+        kind: AccessKind,
+    ) -> Result<Nanos> {
         match self.fpga.cpu_access_from(agent, addr, kind) {
             CpuAccessOutcome::CpuCacheHit => {
                 self.counters.local_hits.inc();
-                Ok(self.config.latency.cpu_cache_hit)
+                let t = self.config.latency.cpu_cache_hit;
+                self.telemetry.span_leaf(Track::App, EventKind::LocalHit, t);
+                Ok(t)
             }
             CpuAccessOutcome::FMemHit => {
                 self.counters.local_hits.inc();
-                Ok(self.config.latency.fmem_fill)
+                let t = self.config.latency.fmem_fill;
+                self.telemetry.span_leaf(Track::App, EventKind::FmemFill, t);
+                Ok(t)
             }
             CpuAccessOutcome::RemoteFetch {
                 page,
@@ -547,32 +639,37 @@ impl KonaRuntime {
                 for victim in &victims {
                     self.handle_victim(victim)?;
                 }
-                let app_start = self.counters.app_time();
-                let fetch = self.fetch_page(page)?;
-                if self.telemetry.tracing_enabled() {
-                    self.telemetry.record(SpanEvent::new(
-                        Track::App,
-                        app_start,
-                        fetch,
-                        EventKind::RemoteFetch,
-                    ));
-                }
+                let fetch_span = self.telemetry.span_open(Track::App, EventKind::RemoteFetch);
+                let fetch = match self.fetch_page(page) {
+                    Ok(t) => {
+                        self.telemetry.span_close(fetch_span, t);
+                        t
+                    }
+                    Err(e) => {
+                        self.telemetry.span_close(fetch_span, Nanos::ZERO);
+                        return Err(e);
+                    }
+                };
                 for p in prefetch {
                     // Prefetches run off the critical path.
-                    let bg_start = self.counters.background_time();
-                    let t = self.fetch_page(p)?;
-                    self.counters.charge_background(t);
-                    self.counters.prefetches.inc();
-                    if self.telemetry.tracing_enabled() {
-                        self.telemetry.record(SpanEvent::new(
-                            Track::Background,
-                            bg_start,
-                            t,
-                            EventKind::Prefetch,
-                        ));
+                    let pf_span = self
+                        .telemetry
+                        .span_open(Track::Background, EventKind::Prefetch);
+                    match self.fetch_page(p) {
+                        Ok(t) => {
+                            self.telemetry.span_close(pf_span, t);
+                            self.counters.charge_background(t);
+                            self.counters.prefetches.inc();
+                        }
+                        Err(e) => {
+                            self.telemetry.span_close(pf_span, Nanos::ZERO);
+                            return Err(e);
+                        }
                     }
                 }
-                Ok(fetch + self.config.latency.fmem_fill)
+                let fill = self.config.latency.fmem_fill;
+                self.telemetry.span_leaf(Track::App, EventKind::FmemFill, fill);
+                Ok(fetch + fill)
             }
         }
     }
@@ -714,8 +811,26 @@ impl RemoteMemoryRuntime for KonaRuntime {
     }
 
     fn sync(&mut self) -> Result<Nanos> {
+        if !self.telemetry.causal_enabled() {
+            return self.sync_inner();
+        }
+        self.telemetry.trace_begin(OpKind::Sync);
+        let res = self.sync_inner();
+        self.telemetry
+            .trace_end(*res.as_ref().unwrap_or(&Nanos::ZERO));
+        res
+    }
+
+    fn stats(&self) -> RuntimeStats {
+        // Derived entirely from the registry: the eviction handler bumps
+        // the shared pages-evicted / writeback-bytes counters itself.
+        self.counters.to_stats()
+    }
+}
+
+impl KonaRuntime {
+    fn sync_inner(&mut self) -> Result<Nanos> {
         self.update_degraded();
-        let sync_start = self.counters.app_time();
         let mut elapsed = Nanos::ZERO;
         // Write back dirty lines of pages still resident in FMem.
         let resident: Vec<PageNumber> = self.fpga.resident_pages_list();
@@ -743,22 +858,9 @@ impl RemoteMemoryRuntime for KonaRuntime {
         elapsed += self
             .eviction
             .flush_all(&mut self.fabric, &mut self.poller)?;
+        self.check_abandoned();
         self.counters.charge_app(elapsed);
-        if self.telemetry.tracing_enabled() {
-            self.telemetry.record(SpanEvent::new(
-                Track::App,
-                sync_start,
-                elapsed,
-                EventKind::Sync,
-            ));
-        }
         Ok(elapsed)
-    }
-
-    fn stats(&self) -> RuntimeStats {
-        // Derived entirely from the registry: the eviction handler bumps
-        // the shared pages-evicted / writeback-bytes counters itself.
-        self.counters.to_stats()
     }
 }
 

@@ -135,6 +135,9 @@ pub struct KonaFpga {
     compaction_dirty_lines: u64,
     /// Pages expelled/snooped (compaction denominator, × lines/page).
     compaction_pages: u64,
+    /// Span sink: FMem lookups, translations and prefetch decisions
+    /// become instant markers inside whatever trace is open.
+    telemetry: Telemetry,
 }
 
 /// Pre-resolved telemetry handles for the FPGA's hot paths.
@@ -176,13 +179,16 @@ impl KonaFpga {
             prefetched_pending: FxHashSet::default(),
             compaction_dirty_lines: 0,
             compaction_pages: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 
     /// Routes the FPGA's metrics (FMem hit/miss, prefetch issued vs
-    /// useful, dirty-bitmap compaction ratio) into `telemetry`'s registry.
+    /// useful, dirty-bitmap compaction ratio) into `telemetry`'s registry
+    /// and its lookup/translate/prefetch instants into the causal tracer.
     pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
         self.metrics = FpgaCounters::new(telemetry);
+        self.telemetry = telemetry.clone();
     }
 
     /// Counters.
@@ -227,7 +233,10 @@ impl KonaFpga {
     /// Returns [`kona_types::KonaError::NoRemoteTranslation`] if no slab
     /// covers the page.
     pub fn translate_page(&self, page: PageNumber) -> Result<RemoteAddr> {
-        self.translation.translate(page.base_vfmem())
+        let addr = self.translation.translate(page.base_vfmem())?;
+        self.telemetry
+            .instant(kona_telemetry::Track::App, kona_telemetry::EventKind::Translate);
+        Ok(addr)
     }
 
     /// The dirty tracker (read access for inspection).
@@ -303,6 +312,8 @@ impl KonaFpga {
         // Remote fetch: install the page in FMem, evicting as needed.
         self.stats.remote_fetches += 1;
         self.metrics.fmem_misses.inc();
+        self.telemetry
+            .instant(kona_telemetry::Track::App, kona_telemetry::EventKind::FmemLookup);
         let mut victims = Vec::new();
         if let Some(victim) = self.fmem.insert(page) {
             victims.push(self.expel_page(victim));
@@ -323,6 +334,12 @@ impl KonaFpga {
                 self.prefetched_pending.insert(pf_page.raw());
                 prefetch.push(pf_page);
             }
+        }
+        if !prefetch.is_empty() {
+            self.telemetry.instant(
+                kona_telemetry::Track::App,
+                kona_telemetry::EventKind::PrefetchHint,
+            );
         }
         CpuAccessOutcome::RemoteFetch {
             page,

@@ -99,6 +99,9 @@ pub struct Fabric {
     clock: Nanos,
     injector: Option<FaultInjector>,
     net: NetCounters,
+    /// Span sink: posted chains become Net-track verb leaves and injected
+    /// faults become instant markers inside whatever trace is open.
+    telemetry: Telemetry,
 }
 
 impl Fabric {
@@ -113,14 +116,17 @@ impl Fabric {
             clock: Nanos::ZERO,
             injector: None,
             net: NetCounters::new(&Telemetry::disabled()),
+            telemetry: Telemetry::disabled(),
         }
     }
 
     /// Routes the fabric's metrics (per-verb counters, wire bytes,
     /// signaled-chain latencies, injected-fault counters) into
-    /// `telemetry`'s registry.
+    /// `telemetry`'s registry, and its verb/fault span events into
+    /// `telemetry`'s causal tracer.
     pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
         self.net = NetCounters::new(telemetry);
+        self.telemetry = telemetry.clone();
     }
 
     /// The latency model.
@@ -297,6 +303,10 @@ impl Fabric {
                     self.net.faults_node_down.inc();
                     // A down node still costs a detection round trip.
                     self.clock += self.model.rtt();
+                    self.telemetry.instant(
+                        kona_telemetry::Track::Net,
+                        kona_telemetry::EventKind::Fault(kona_telemetry::FaultKind::NodeDown),
+                    );
                     return Err(KonaError::MemoryNodeFailed(node_id));
                 }
             }
@@ -315,6 +325,7 @@ impl Fabric {
 
         let sizes: Vec<u64> = chain.iter().map(WorkRequest::wire_bytes).collect();
         let signaled = chain.iter().filter(|w| w.is_signaled).count();
+        let lead_opcode = chain.first().map(|w| w.opcode);
         let mut completions = Vec::with_capacity(signaled);
 
         for (idx, wr) in chain.into_iter().enumerate() {
@@ -344,6 +355,10 @@ impl Fabric {
                     self.net.posts.inc();
                     self.clock += self.model.chain_time(&sizes[..=idx], 0) + penalty;
                     inj.advance_to(self.clock);
+                    self.telemetry.instant(
+                        kona_telemetry::Track::Net,
+                        kona_telemetry::EventKind::Fault(fault_kind_event(kind)),
+                    );
                     return Err(KonaError::VerbFault {
                         node: node_id,
                         kind,
@@ -391,7 +406,37 @@ impl Fabric {
         if signaled > 0 {
             self.net.signaled_chain_ns.record(time.as_ns());
         }
+        if let Some(opcode) = lead_opcode {
+            // One Net-track leaf per chain, charged to whichever simulated
+            // thread posted it (the causal tracer inherits the charge).
+            self.telemetry.span_leaf(
+                kona_telemetry::Track::Net,
+                kona_telemetry::EventKind::Verb {
+                    opcode: verb_opcode_event(opcode),
+                    bytes: sizes.iter().sum(),
+                },
+                time,
+            );
+        }
         Ok((time, completions))
+    }
+}
+
+/// Maps a fabric opcode onto its telemetry mirror.
+fn verb_opcode_event(opcode: Opcode) -> kona_telemetry::VerbOpcode {
+    match opcode {
+        Opcode::Read => kona_telemetry::VerbOpcode::Read,
+        Opcode::Write => kona_telemetry::VerbOpcode::Write,
+        Opcode::Send => kona_telemetry::VerbOpcode::Send,
+    }
+}
+
+/// Maps an injected-fault kind onto its telemetry mirror.
+fn fault_kind_event(kind: kona_types::VerbFaultKind) -> kona_telemetry::FaultKind {
+    match kind {
+        kona_types::VerbFaultKind::Dropped => kona_telemetry::FaultKind::Dropped,
+        kona_types::VerbFaultKind::Corrupted => kona_telemetry::FaultKind::Corrupted,
+        kona_types::VerbFaultKind::TimedOut => kona_telemetry::FaultKind::TimedOut,
     }
 }
 
@@ -425,6 +470,69 @@ mod tests {
             .unwrap();
         assert_eq!(comps.len(), 1);
         assert_eq!(&comps[0].data[..], &[7u8; 64][..]);
+    }
+
+    #[test]
+    fn posts_become_net_track_verb_leaves() {
+        let mut f = fabric();
+        let tel = Telemetry::with_tracing(64);
+        f.set_telemetry(&tel);
+        let (time, _) = f
+            .post(vec![
+                WorkRequest::write(1, RemoteAddr::new(0, 0), vec![7; 64]),
+                WorkRequest::read(2, RemoteAddr::new(0, 0), 64).signaled(),
+            ])
+            .unwrap();
+        let events = tel.events();
+        assert_eq!(events.len(), 1, "one leaf per posted chain");
+        let ev = events[0];
+        assert_eq!(ev.track, kona_telemetry::Track::Net);
+        assert_eq!(ev.duration, time);
+        match ev.kind {
+            kona_telemetry::EventKind::Verb { opcode, bytes } => {
+                assert_eq!(opcode, kona_telemetry::VerbOpcode::Write, "leading opcode");
+                assert_eq!(bytes, f.stats().wire_bytes);
+            }
+            other => panic!("expected verb leaf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_faults_emit_net_track_instants() {
+        let mut f = fabric();
+        let tel = Telemetry::with_tracing(64);
+        f.set_telemetry(&tel);
+        f.set_fault_injector(FaultInjector::new(
+            FaultPlan::calm(1).with_timeout_prob(1.0),
+        ));
+        f.post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0; 8])])
+            .unwrap_err();
+        let events = tel.events();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].is_instant());
+        assert_eq!(
+            events[0].kind,
+            kona_telemetry::EventKind::Fault(kona_telemetry::FaultKind::TimedOut)
+        );
+        assert_eq!(events[0].track, kona_telemetry::Track::Net);
+
+        // A flap rejection marks node_down.
+        let mut f = fabric();
+        let tel = Telemetry::with_tracing(64);
+        f.set_telemetry(&tel);
+        f.set_fault_injector(FaultInjector::new(FaultPlan::calm(1).with_flap(
+            0,
+            Nanos::ZERO,
+            Nanos::secs(1),
+        )));
+        f.post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![0; 8])])
+            .unwrap_err();
+        let events = tel.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].kind,
+            kona_telemetry::EventKind::Fault(kona_telemetry::FaultKind::NodeDown)
+        );
     }
 
     #[test]

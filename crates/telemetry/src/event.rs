@@ -1,10 +1,15 @@
 //! Typed span events on the simulated timeline.
 //!
 //! A [`SpanEvent`] is one interval of simulated time attributed to a
-//! [`Track`]. The two tracks mirror the paper's concurrency model: the
+//! [`Track`]. The tracks mirror the paper's concurrency model: the
 //! application thread accrues `app_time` while the eviction handler and
 //! completion poller accrue `background_time`, and wall time is the
-//! maximum of the two.
+//! maximum of the two. The network track carries verb-level detail and
+//! fault markers; its spans are charged to whichever thread posted them.
+//!
+//! Since PR 4 every span also carries causal identity: the [`TraceId`] of
+//! the top-level operation it belongs to and a [`SpanId`]/parent link that
+//! turns a trace's spans into a tree (see `trace.rs`).
 
 use kona_types::Nanos;
 
@@ -15,6 +20,9 @@ pub enum Track {
     App,
     /// The background machinery: eviction handler, poller, prefetcher.
     Background,
+    /// The network fabric: posted verb chains and injected faults. Spans
+    /// here are *charged* to the thread that posted them (see `trace.rs`).
+    Net,
 }
 
 impl Track {
@@ -23,7 +31,40 @@ impl Track {
         match self {
             Track::App => "application",
             Track::Background => "eviction/poller",
+            Track::Net => "network",
         }
+    }
+}
+
+/// Identity of one top-level traced operation (app access, sync, eviction
+/// batch, prefetch, MCE recovery). `0` means "not part of a trace".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The "untraced" sentinel.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// Whether this is a real trace id (nonzero).
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// Identity of one span within a telemetry session. `0` means "no span"
+/// (used as the parent of root spans). Ids are allocated monotonically
+/// per [`Telemetry`](crate::Telemetry) instance, so replays and per-worker
+/// runs are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u32);
+
+impl SpanId {
+    /// The "no parent" sentinel.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this is a real span id (nonzero).
+    pub fn is_some(self) -> bool {
+        self.0 != 0
     }
 }
 
@@ -50,16 +91,57 @@ impl VerbOpcode {
     }
 }
 
+/// Injected-fault flavours, mirrored from `kona_net::fault` so timelines
+/// can mark faults without a dependency on the network crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The verb was silently dropped on the wire.
+    Dropped,
+    /// The verb arrived corrupted and was rejected.
+    Corrupted,
+    /// The verb timed out waiting for a completion.
+    TimedOut,
+    /// The target node was down (flap or crash) when the chain was posted.
+    NodeDown,
+}
+
+impl FaultKind {
+    /// Lower-case stable name used in trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Dropped => "drop",
+            FaultKind::Corrupted => "corrupt",
+            FaultKind::TimedOut => "timeout",
+            FaultKind::NodeDown => "node_down",
+        }
+    }
+}
+
 /// What happened during a span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
+    /// Root of one application access (load or store) trace.
+    AppAccess,
+    /// The access was satisfied by the CPU cache / local DRAM.
+    LocalHit,
+    /// Line fill from FMem into the CPU cache (the "FMem hit" cost).
+    FmemFill,
     /// A page was fetched from a memory node into the local cache.
     RemoteFetch,
     /// A victim page left the local cache through the eviction handler.
     Evict,
     /// Dirty data was shipped to its remote home (cache-line log flush).
     Writeback,
-    /// A major or minor page fault in a VM-based baseline.
+    /// A cache-line log flush batch (degraded-mode chained flush).
+    Flush,
+    /// Dirty-bitmap scan at the start of an eviction.
+    BitmapScan,
+    /// One gathered-segment copy (AVX or DMA) during eviction.
+    SegmentCopy,
+    /// Retry backoff charged after a transient verb failure.
+    Backoff,
+    /// A major or minor page fault in a VM-based baseline, or the page
+    /// fault taken by the `PageFaultFallback` recovery policy.
     PageFault,
     /// A TLB shootdown (remote core invalidation) in a VM baseline.
     TlbShootdown,
@@ -74,20 +156,42 @@ pub enum EventKind {
         /// Bytes moved on the wire.
         bytes: u64,
     },
+    /// Instant: the FPGA missed FMem and escalated to a remote fetch.
+    FmemLookup,
+    /// Instant: the FPGA translated a local page to its remote home.
+    Translate,
+    /// Instant: the FPGA prefetcher suggested pages to pull.
+    PrefetchHint,
+    /// Instant: a machine-check event was raised for a lost node.
+    Mce,
+    /// Instant: an injected network fault fired (shown on the Net track).
+    Fault(FaultKind),
 }
 
 impl EventKind {
     /// A stable snake_case name (the Chrome-trace event name).
     pub fn name(self) -> &'static str {
         match self {
+            EventKind::AppAccess => "app_access",
+            EventKind::LocalHit => "local_hit",
+            EventKind::FmemFill => "fmem_fill",
             EventKind::RemoteFetch => "remote_fetch",
             EventKind::Evict => "evict",
             EventKind::Writeback => "writeback",
+            EventKind::Flush => "flush",
+            EventKind::BitmapScan => "bitmap_scan",
+            EventKind::SegmentCopy => "segment_copy",
+            EventKind::Backoff => "backoff",
             EventKind::PageFault => "page_fault",
             EventKind::TlbShootdown => "tlb_shootdown",
             EventKind::Prefetch => "prefetch",
             EventKind::Sync => "sync",
             EventKind::Verb { .. } => "verb",
+            EventKind::FmemLookup => "fmem_lookup",
+            EventKind::Translate => "translate",
+            EventKind::PrefetchHint => "prefetch_hint",
+            EventKind::Mce => "mce",
+            EventKind::Fault(_) => "fault",
         }
     }
 }
@@ -99,26 +203,49 @@ pub struct SpanEvent {
     pub track: Track,
     /// Start of the span on that thread's simulated clock.
     pub start: Nanos,
-    /// Duration of the span.
+    /// Duration of the span (zero for instant markers).
     pub duration: Nanos,
     /// What happened.
     pub kind: EventKind,
+    /// The top-level operation this span belongs to (NONE if untraced).
+    pub trace: TraceId,
+    /// This span's identity (NONE for legacy `record()` callers).
+    pub span: SpanId,
+    /// The enclosing span (NONE for roots and untraced spans).
+    pub parent: SpanId,
 }
 
 impl SpanEvent {
-    /// Builds a span.
+    /// Builds a causally unlinked span (trace/span/parent all NONE) —
+    /// the pre-PR-4 constructor, still used by the VM baselines.
     pub fn new(track: Track, start: Nanos, duration: Nanos, kind: EventKind) -> Self {
         SpanEvent {
             track,
             start,
             duration,
             kind,
+            trace: TraceId::NONE,
+            span: SpanId::NONE,
+            parent: SpanId::NONE,
         }
     }
 
     /// End of the span (`start + duration`).
     pub fn end(&self) -> Nanos {
         self.start + self.duration
+    }
+
+    /// Whether this is an instant marker rather than an interval.
+    pub fn is_instant(&self) -> bool {
+        self.duration == Nanos::ZERO
+            && matches!(
+                self.kind,
+                EventKind::Fault(_)
+                    | EventKind::Mce
+                    | EventKind::FmemLookup
+                    | EventKind::Translate
+                    | EventKind::PrefetchHint
+            )
     }
 }
 
@@ -130,7 +257,11 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(Track::App.name(), "application");
         assert_eq!(Track::Background.name(), "eviction/poller");
+        assert_eq!(Track::Net.name(), "network");
         assert_eq!(EventKind::RemoteFetch.name(), "remote_fetch");
+        assert_eq!(EventKind::AppAccess.name(), "app_access");
+        assert_eq!(EventKind::Fault(FaultKind::Dropped).name(), "fault");
+        assert_eq!(FaultKind::NodeDown.name(), "node_down");
         assert_eq!(
             EventKind::Verb {
                 opcode: VerbOpcode::Write,
@@ -151,5 +282,22 @@ mod tests {
             EventKind::Sync,
         );
         assert_eq!(s.end(), Nanos::from_ns(15));
+        assert_eq!(s.trace, TraceId::NONE);
+        assert_eq!(s.parent, SpanId::NONE);
+        assert!(!s.is_instant());
+    }
+
+    #[test]
+    fn instants_are_zero_width_markers() {
+        let i = SpanEvent::new(
+            Track::Net,
+            Nanos::from_ns(7),
+            Nanos::ZERO,
+            EventKind::Fault(FaultKind::TimedOut),
+        );
+        assert!(i.is_instant());
+        // A zero-width interval kind is still not an instant marker.
+        let z = SpanEvent::new(Track::App, Nanos::ZERO, Nanos::ZERO, EventKind::Sync);
+        assert!(!z.is_instant());
     }
 }

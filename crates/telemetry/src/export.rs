@@ -108,23 +108,35 @@ fn tid(track: Track) -> u32 {
     match track {
         Track::App => 1,
         Track::Background => 2,
+        Track::Net => 3,
+    }
+}
+
+/// Chrome-trace category for a track.
+fn cat(track: Track) -> &'static str {
+    match track {
+        Track::App => "app",
+        Track::Background => "background",
+        Track::Net => "net",
     }
 }
 
 /// Renders spans as Chrome trace-event JSON (the format Perfetto and
 /// `chrome://tracing` open directly).
 ///
-/// Each span becomes a `ph:"X"` complete event; timestamps are simulated
-/// nanoseconds expressed in the format's microsecond unit. Thread-name
-/// metadata maps [`Track::App`] and [`Track::Background`] onto two named
-/// rows of one `kona-sim` process.
+/// Each span becomes a `ph:"X"` complete event (instant markers such as
+/// injected faults become thread-scoped `ph:"i"` events); timestamps are
+/// simulated nanoseconds expressed in the format's microsecond unit.
+/// Thread-name metadata maps [`Track::App`], [`Track::Background`] and
+/// [`Track::Net`] onto three named rows of one `kona-sim` process, and
+/// causally linked spans carry their trace/span/parent ids in `args`.
 pub fn spans_to_chrome_trace(events: &[SpanEvent]) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     out.push_str(
         "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
          \"args\":{\"name\":\"kona-sim\"}},\n",
     );
-    for track in [Track::App, Track::Background] {
+    for track in [Track::App, Track::Background, Track::Net] {
         let _ = writeln!(
             out,
             "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
@@ -136,30 +148,48 @@ pub fn spans_to_chrome_trace(events: &[SpanEvent]) -> String {
     for (i, ev) in events.iter().enumerate() {
         let ts = ev.start.as_ns() as f64 / 1_000.0;
         let dur = ev.duration.as_ns() as f64 / 1_000.0;
-        let args = match ev.kind {
+        let mut fields = Vec::new();
+        match ev.kind {
             EventKind::Verb { opcode, bytes } => {
-                format!(
-                    ",\"args\":{{\"opcode\":\"{}\",\"bytes\":{bytes}}}",
-                    opcode.name()
-                )
+                fields.push(format!("\"opcode\":\"{}\",\"bytes\":{bytes}", opcode.name()));
             }
-            _ => String::new(),
+            EventKind::Fault(f) => fields.push(format!("\"fault\":\"{}\"", f.name())),
+            _ => {}
+        }
+        if ev.trace.is_some() {
+            fields.push(format!("\"trace\":{}", ev.trace.0));
+        }
+        if ev.span.is_some() {
+            fields.push(format!("\"span\":{},\"parent\":{}", ev.span.0, ev.parent.0));
+        }
+        let args = if fields.is_empty() {
+            String::new()
+        } else {
+            format!(",\"args\":{{{}}}", fields.join(","))
         };
         let sep = if i + 1 == events.len() { "" } else { "," };
-        let _ = writeln!(
-            out,
-            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\
-             \"name\":\"{}\",\"cat\":\"{}\"{args}}}{sep}",
-            tid(ev.track),
-            json_f64(ts),
-            json_f64(dur),
-            ev.kind.name(),
-            if ev.track == Track::App {
-                "app"
-            } else {
-                "background"
-            },
-        );
+        if ev.is_instant() {
+            let _ = writeln!(
+                out,
+                "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\
+                 \"name\":\"{}\",\"cat\":\"{}\"{args}}}{sep}",
+                tid(ev.track),
+                json_f64(ts),
+                ev.kind.name(),
+                cat(ev.track),
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\
+                 \"name\":\"{}\",\"cat\":\"{}\"{args}}}{sep}",
+                tid(ev.track),
+                json_f64(ts),
+                json_f64(dur),
+                ev.kind.name(),
+                cat(ev.track),
+            );
+        }
     }
     out.push_str("],\"displayTimeUnit\":\"ns\"}\n");
     out
@@ -233,11 +263,79 @@ mod tests {
         assert!(s.contains("\"traceEvents\""));
         assert!(s.contains("\"name\":\"application\""));
         assert!(s.contains("\"name\":\"eviction/poller\""));
+        assert!(s.contains("\"name\":\"network\""));
         assert!(s.contains("\"name\":\"remote_fetch\""));
         assert!(s.contains("\"tid\":2"));
         assert!(s.contains("\"opcode\":\"write\",\"bytes\":64"));
         assert!(s.contains("\"ts\":1,\"dur\":0.5"));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn fault_instants_render_on_the_net_track() {
+        use crate::event::FaultKind;
+        let events = vec![SpanEvent::new(
+            Track::Net,
+            Nanos::from_ns(2_000),
+            Nanos::ZERO,
+            EventKind::Fault(FaultKind::TimedOut),
+        )];
+        let s = spans_to_chrome_trace(&events);
+        assert!(s.contains("\"ph\":\"i\",\"s\":\"t\""), "instant phase");
+        assert!(s.contains("\"tid\":3"), "net thread");
+        assert!(s.contains("\"fault\":\"timeout\""));
+        assert!(!s.contains("\"dur\""), "instants carry no duration");
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn causal_ids_appear_in_args() {
+        use crate::event::{SpanId, TraceId};
+        let mut ev = SpanEvent::new(
+            Track::App,
+            Nanos::from_ns(10),
+            Nanos::from_ns(5),
+            EventKind::RemoteFetch,
+        );
+        ev.trace = TraceId(9);
+        ev.span = SpanId(3);
+        ev.parent = SpanId(1);
+        let s = spans_to_chrome_trace(&[ev]);
+        assert!(s.contains("\"trace\":9"));
+        assert!(s.contains("\"span\":3,\"parent\":1"));
+    }
+
+    #[test]
+    fn chrome_trace_handles_hostile_names_and_stays_monotone() {
+        // Escaping: nothing in our static names needs it, but args built
+        // from opcode/fault names must survive a JSON parse; exercise the
+        // escaper on hostile input directly plus a structural check.
+        assert_eq!(json_escape("a\u{0007}b"), "a\\u0007b");
+        assert_eq!(json_escape("tab\tquote\""), "tab\\tquote\\\"");
+        let events: Vec<SpanEvent> = (0..4)
+            .map(|i| {
+                SpanEvent::new(
+                    Track::App,
+                    Nanos::from_ns(i * 100),
+                    Nanos::from_ns(50),
+                    EventKind::Sync,
+                )
+            })
+            .collect();
+        let s = spans_to_chrome_trace(&events);
+        // Timestamps must be emitted in non-decreasing order per track so
+        // Perfetto renders one monotone lane.
+        let mut last = f64::MIN;
+        for line in s.lines().filter(|l| l.contains("\"ph\":\"X\"")) {
+            let ts = line
+                .split("\"ts\":")
+                .nth(1)
+                .and_then(|r| r.split(',').next())
+                .and_then(|v| v.parse::<f64>().ok())
+                .expect("ts field");
+            assert!(ts >= last, "timestamps regressed: {ts} < {last}");
+            last = ts;
+        }
     }
 }

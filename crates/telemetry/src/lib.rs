@@ -1,4 +1,4 @@
-//! Telemetry for the Kona simulator: typed span events, a metrics
+//! Telemetry for the Kona simulator: causal span traces, a metrics
 //! registry and zero-dependency exporters.
 //!
 //! The paper's evaluation lives and dies on per-component visibility —
@@ -7,66 +7,103 @@
 //!
 //! * [`Recorder`] — where span events go. [`NoopRecorder`] (the default)
 //!   discards them for near-zero overhead; [`TraceRecorder`] keeps a ring
-//!   buffer for timeline export.
+//!   buffer for timeline export. Ring overflow is counted in the
+//!   `tel.spans_dropped` counter.
+//! * Causal tracing — [`Telemetry::trace_begin`]/[`Telemetry::trace_end`]
+//!   give each top-level operation a [`TraceId`]; [`Telemetry::span_open`]
+//!   /[`Telemetry::span_close`]/[`Telemetry::span_leaf`] build a tree of
+//!   parent-linked spans under it (see `trace.rs` for the charge-clock
+//!   model). A bounded flight recorder keeps the last N completed traces
+//!   and an [`AttributionEngine`] decomposes each into components that
+//!   sum exactly to end-to-end latency (see `attribution.rs`).
 //! * [`Registry`] with [`Counter`] / [`Gauge`] / [`Histogram`] — always-on
 //!   metrics. Handles are pre-resolved `Rc` cells, so hot paths never do
 //!   string lookups. Histograms are log-bucketed and sized for simulated
 //!   [`Nanos`](kona_types::Nanos) latencies (p50/p95/p99/max accessors).
 //! * Exporters — [`MetricsSnapshot`] to JSON or CSV, and spans to Chrome
 //!   trace-event JSON that <https://ui.perfetto.dev> renders as the
-//!   application thread vs the eviction/poller thread on one simulated
-//!   time axis.
+//!   application / eviction-poller / network threads on one simulated
+//!   time axis, with parent/trace ids in each event's args.
 //!
 //! # Examples
 //!
 //! ```
-//! use kona_telemetry::{EventKind, SpanEvent, Telemetry, Track};
+//! use kona_telemetry::{EventKind, OpKind, Telemetry, Track, VerbOpcode};
 //! use kona_types::Nanos;
 //!
-//! let tel = Telemetry::with_tracing(1024);
-//! let fetches = tel.counter("kona.remote_fetches");
-//! fetches.inc();
-//! tel.record(SpanEvent::new(
-//!     Track::App,
-//!     Nanos::ZERO,
+//! let tel = Telemetry::with_causal(1024, 8);
+//! tel.trace_begin(OpKind::Access);
+//! let fetch = tel.span_open(Track::App, EventKind::RemoteFetch);
+//! tel.span_leaf(
+//!     Track::Net,
+//!     EventKind::Verb { opcode: VerbOpcode::Read, bytes: 4096 },
 //!     Nanos::micros(3),
-//!     EventKind::RemoteFetch,
-//! ));
-//! assert_eq!(tel.snapshot().counter("kona.remote_fetches"), Some(1));
+//! );
+//! tel.span_close(fetch, Nanos::micros(3));
+//! tel.trace_end(Nanos::micros(3));
+//! let report = tel.attribution().expect("engine installed");
+//! assert_eq!(report.violations(), 0);
 //! assert!(tel.chrome_trace().contains("remote_fetch"));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attribution;
 mod event;
 mod export;
 mod metrics;
 mod recorder;
+mod trace;
 
-pub use event::{EventKind, SpanEvent, Track, VerbOpcode};
+pub use attribution::{
+    analyze_trace, AttributionEngine, Component, ComponentVec, OpAttribution, TraceAttribution,
+};
+pub use event::{EventKind, FaultKind, SpanEvent, SpanId, Track, TraceId, VerbOpcode};
 pub use export::{snapshot_to_csv, snapshot_to_json, spans_to_chrome_trace};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramData, HistogramSummary, MetricsDump, MetricsSnapshot,
     Registry,
 };
 pub use recorder::{NoopRecorder, Recorder, TraceRecorder};
+pub use trace::{traces_to_json, OpKind, SpanToken, TraceRecord};
 
+use kona_types::Nanos;
 use std::cell::RefCell;
 use std::rc::Rc;
+use trace::CausalState;
+
+/// Name of the counter tracking spans lost to recorder-ring overflow.
+pub const SPANS_DROPPED: &str = "tel.spans_dropped";
 
 struct Inner {
     registry: Registry,
     recorder: Box<dyn Recorder>,
+    causal: CausalState,
+    engine: Option<AttributionEngine>,
+    spans_dropped: Counter,
+}
+
+impl Inner {
+    /// Routes one span to the recorder, charging ring overflow to the
+    /// `tel.spans_dropped` counter so drops are visible in snapshots.
+    fn record_one(&mut self, event: SpanEvent) {
+        let before = self.recorder.dropped();
+        self.recorder.record(event);
+        let after = self.recorder.dropped();
+        if after > before {
+            self.spans_dropped.add(after - before);
+        }
+    }
 }
 
 /// A cheaply clonable handle bundling the metrics registry with a span
-/// recorder.
+/// recorder and the causal-tracing state.
 ///
 /// Every component of the simulator accepts one of these; clones share
 /// state, so the runtime, fabric, FPGA and eviction handler all feed one
-/// registry. [`Telemetry::disabled`] (also `Default`) keeps metrics but
-/// drops spans.
+/// registry and one trace tree. [`Telemetry::disabled`] (also `Default`)
+/// keeps metrics but drops spans.
 #[derive(Clone)]
 pub struct Telemetry(Rc<RefCell<Inner>>);
 
@@ -81,17 +118,50 @@ impl Telemetry {
         Telemetry::with_recorder(Box::new(TraceRecorder::new(capacity)))
     }
 
+    /// Full causal setup: a span ring of `capacity` events (0 disables
+    /// span retention while keeping causal tracing on), a flight recorder
+    /// keeping the last `flight` completed traces, and an
+    /// [`AttributionEngine`] decomposing every trace as it completes.
+    pub fn with_causal(capacity: usize, flight: usize) -> Self {
+        let tel = if capacity == 0 {
+            Telemetry::with_recorder(Box::new(NoopRecorder))
+        } else {
+            Telemetry::with_tracing(capacity)
+        };
+        {
+            let mut inner = tel.0.borrow_mut();
+            inner.causal.enabled = true;
+            inner.causal.set_flight_capacity(flight);
+            inner.engine = Some(AttributionEngine::default());
+        }
+        tel
+    }
+
     /// Metrics plus a caller-supplied recorder.
     pub fn with_recorder(recorder: Box<dyn Recorder>) -> Self {
+        let mut registry = Registry::new();
+        // Eagerly resolved so every snapshot reports the drop count,
+        // zero included.
+        let spans_dropped = registry.counter(SPANS_DROPPED);
+        let enabled = recorder.is_enabled();
         Telemetry(Rc::new(RefCell::new(Inner {
-            registry: Registry::new(),
+            registry,
             recorder,
+            causal: CausalState::new(enabled),
+            engine: None,
+            spans_dropped,
         })))
     }
 
     /// Whether spans are retained (false under [`NoopRecorder`]).
     pub fn tracing_enabled(&self) -> bool {
         self.0.borrow().recorder.is_enabled()
+    }
+
+    /// Whether causal span calls do anything (recorder enabled, flight
+    /// recorder active or attribution engine installed).
+    pub fn causal_enabled(&self) -> bool {
+        self.0.borrow().causal.enabled
     }
 
     /// The counter named `name` (get-or-create).
@@ -109,9 +179,126 @@ impl Telemetry {
         self.0.borrow_mut().registry.histogram(name)
     }
 
-    /// Sends one span to the recorder.
+    /// Sends one causally unlinked span to the recorder (legacy path,
+    /// still used by the VM baselines).
     pub fn record(&self, event: SpanEvent) {
-        self.0.borrow_mut().recorder.record(event);
+        self.0.borrow_mut().record_one(event);
+    }
+
+    /// Opens a trace for one top-level operation. Returns its id
+    /// ([`TraceId::NONE`] when causal tracing is off). Nested begins fold
+    /// into plain spans, closed by the matching [`trace_end`].
+    ///
+    /// [`trace_end`]: Telemetry::trace_end
+    pub fn trace_begin(&self, op: OpKind) -> TraceId {
+        self.0.borrow_mut().causal.begin(op)
+    }
+
+    /// Relabels the current trace's operation kind (an access that
+    /// escalates into MCE recovery is retagged [`OpKind::Recovery`]).
+    pub fn retag_trace(&self, op: OpKind) {
+        self.0.borrow_mut().causal.retag(op);
+    }
+
+    /// Closes the current trace with its end-to-end latency: dangling
+    /// spans are force-closed, the completed trace goes to the recorder,
+    /// the flight ring and the attribution engine.
+    pub fn trace_end(&self, elapsed: Nanos) {
+        let mut inner = self.0.borrow_mut();
+        let mut out = Vec::new();
+        let record = inner.causal.end(elapsed, &mut out);
+        for ev in out {
+            inner.record_one(ev);
+        }
+        if let Some(record) = record {
+            for &ev in &record.spans {
+                inner.record_one(ev);
+            }
+            if let Some(engine) = &mut inner.engine {
+                engine.observe(&record);
+            }
+        }
+    }
+
+    /// Opens a span on `track` under the current span (or as a top-level
+    /// span when no trace is active). Close it with [`span_close`].
+    ///
+    /// [`span_close`]: Telemetry::span_close
+    pub fn span_open(&self, track: Track, kind: EventKind) -> SpanToken {
+        self.0.borrow_mut().causal.open(track, kind)
+    }
+
+    /// Closes `token` with the reported duration; the recorded duration
+    /// is `max(duration, time covered by same-charge children)` and the
+    /// charge clock snaps to the span's end.
+    pub fn span_close(&self, token: SpanToken, duration: Nanos) {
+        let mut inner = self.0.borrow_mut();
+        let mut out = Vec::new();
+        inner.causal.close(token, duration, &mut out);
+        for ev in out {
+            inner.record_one(ev);
+        }
+    }
+
+    /// Records a leaf span of `duration` on `track`, advancing the
+    /// charge clock.
+    pub fn span_leaf(&self, track: Track, kind: EventKind, duration: Nanos) {
+        let mut inner = self.0.borrow_mut();
+        let mut out = Vec::new();
+        inner.causal.leaf(track, kind, duration, &mut out);
+        for ev in out {
+            inner.record_one(ev);
+        }
+    }
+
+    /// Records a leaf on the display track of whichever simulated thread
+    /// is currently paying (App at top level) — used for retry backoff.
+    pub fn span_leaf_inherit(&self, kind: EventKind, duration: Nanos) {
+        let track = self.0.borrow().causal.inherit_track();
+        self.span_leaf(track, kind, duration);
+    }
+
+    /// Records a zero-width instant marker (fault, MCE, FPGA decision).
+    pub fn instant(&self, track: Track, kind: EventKind) {
+        let mut inner = self.0.borrow_mut();
+        let mut out = Vec::new();
+        inner.causal.instant(track, kind, &mut out);
+        for ev in out {
+            inner.record_one(ev);
+        }
+    }
+
+    /// Keeps the last `capacity` completed traces in the flight ring
+    /// (enables causal tracing when `capacity > 0`).
+    pub fn set_flight_capacity(&self, capacity: usize) {
+        self.0.borrow_mut().causal.set_flight_capacity(capacity);
+    }
+
+    /// Offsets newly allocated trace ids by `base` so parallel workers
+    /// produce globally unique, deterministic ids (e.g. `index << 32`).
+    pub fn set_trace_id_base(&self, base: u64) {
+        self.0.borrow_mut().causal.set_trace_id_base(base);
+    }
+
+    /// The flight recorder's retained traces, oldest first.
+    pub fn flight(&self) -> Vec<TraceRecord> {
+        self.0.borrow().causal.flight().to_vec()
+    }
+
+    /// Completed traces evicted from the flight ring.
+    pub fn flight_dropped(&self) -> u64 {
+        self.0.borrow().causal.flight_dropped()
+    }
+
+    /// The flight recorder contents as JSON (the black-box dump format).
+    pub fn flight_json(&self) -> String {
+        traces_to_json(self.0.borrow().causal.flight())
+    }
+
+    /// A snapshot of the attribution engine, if one is installed
+    /// ([`Telemetry::with_causal`] installs it).
+    pub fn attribution(&self) -> Option<AttributionEngine> {
+        self.0.borrow().engine.clone()
     }
 
     /// A point-in-time copy of every metric.
@@ -174,6 +361,7 @@ impl std::fmt::Debug for Telemetry {
         let inner = self.0.borrow();
         f.debug_struct("Telemetry")
             .field("tracing_enabled", &inner.recorder.is_enabled())
+            .field("causal_enabled", &inner.causal.enabled)
             .field("retained_events", &inner.recorder.events().len())
             .finish()
     }
@@ -182,7 +370,6 @@ impl std::fmt::Debug for Telemetry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kona_types::Nanos;
 
     #[test]
     fn clones_share_state() {
@@ -199,12 +386,14 @@ mod tests {
         ));
         assert_eq!(tel.events().len(), 1);
         assert!(tel.tracing_enabled());
+        assert!(tel.causal_enabled());
     }
 
     #[test]
     fn disabled_drops_spans_keeps_metrics() {
         let tel = Telemetry::disabled();
         assert!(!tel.tracing_enabled());
+        assert!(!tel.causal_enabled());
         tel.record(SpanEvent::new(
             Track::App,
             Nanos::ZERO,
@@ -217,5 +406,65 @@ mod tests {
         let json = tel.metrics_json();
         assert!(json.contains("still_counts"));
         assert!(tel.metrics_csv().contains("still_counts"));
+    }
+
+    #[test]
+    fn ring_overflow_feeds_spans_dropped_counter() {
+        let tel = Telemetry::with_tracing(2);
+        assert_eq!(tel.snapshot().counter(SPANS_DROPPED), Some(0));
+        for i in 0..5 {
+            tel.record(SpanEvent::new(
+                Track::App,
+                Nanos::from_ns(i),
+                Nanos::from_ns(1),
+                EventKind::Sync,
+            ));
+        }
+        assert_eq!(tel.dropped_events(), 3);
+        assert_eq!(tel.snapshot().counter(SPANS_DROPPED), Some(3));
+        // The causal path charges the same counter.
+        tel.span_leaf(Track::App, EventKind::LocalHit, Nanos::from_ns(1));
+        assert_eq!(tel.snapshot().counter(SPANS_DROPPED), Some(4));
+    }
+
+    #[test]
+    fn causal_trace_reaches_recorder_flight_and_engine() {
+        let tel = Telemetry::with_causal(64, 4);
+        tel.trace_begin(OpKind::Access);
+        let fetch = tel.span_open(Track::App, EventKind::RemoteFetch);
+        tel.span_leaf(
+            Track::Net,
+            EventKind::Verb {
+                opcode: VerbOpcode::Read,
+                bytes: 4096,
+            },
+            Nanos::from_ns(3_000),
+        );
+        tel.span_close(fetch, Nanos::from_ns(3_000));
+        tel.trace_end(Nanos::from_ns(3_200));
+
+        let events = tel.events();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.trace.is_some()));
+        let flight = tel.flight();
+        assert_eq!(flight.len(), 1);
+        assert_eq!(flight[0].duration(), Nanos::from_ns(3_200));
+        let engine = tel.attribution().expect("engine");
+        assert_eq!(engine.traces(), 1);
+        assert_eq!(engine.violations(), 0);
+        let acc = &engine.ops()[&OpKind::Access];
+        assert_eq!(acc.critical.total(), 3_200);
+    }
+
+    #[test]
+    fn with_causal_zero_ring_keeps_flight_only() {
+        let tel = Telemetry::with_causal(0, 2);
+        assert!(!tel.tracing_enabled());
+        assert!(tel.causal_enabled());
+        tel.trace_begin(OpKind::Sync);
+        tel.trace_end(Nanos::from_ns(10));
+        assert!(tel.events().is_empty(), "no span ring");
+        assert_eq!(tel.flight().len(), 1);
+        assert_eq!(tel.snapshot().counter(SPANS_DROPPED), Some(0));
     }
 }

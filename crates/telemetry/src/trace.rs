@@ -1,0 +1,611 @@
+//! Causal tracing: trace/span identity, charge clocks and the flight
+//! recorder.
+//!
+//! # Trace model
+//!
+//! A *trace* is one top-level operation ([`OpKind`]): an application
+//! access, an explicit sync, a standalone eviction batch, a prefetch or an
+//! MCE recovery. Within a trace, spans form a tree via parent links, so a
+//! single remote access reads as: `app_access` → `remote_fetch` →
+//! (`flush` → `verb`), `backoff`, `verb` … rather than a bag of events.
+//!
+//! # Charge clocks
+//!
+//! The simulator charges every nanosecond to exactly one of two simulated
+//! threads (the paper's concurrency model): the application thread or the
+//! background eviction/poller machinery. The causal state keeps one
+//! monotone clock per charge. A span *charges* the thread that pays for
+//! it, which is derived from its display [`Track`] and its parent:
+//!
+//! * once inside a Background-charged span, every descendant charges
+//!   Background (background work never bills the app);
+//! * a [`Track::Background`] span under an App-charged parent switches its
+//!   subtree to the background charge (and fast-forwards the background
+//!   clock to the app clock, modelling the hand-off);
+//! * [`Track::Net`] spans charge whichever thread posted them.
+//!
+//! Leaves advance their charge clock by their duration; when a span
+//! closes, its duration is `max(reported, clock-covered)` and the clock
+//! snaps to its end. This makes two invariants true *by construction*:
+//! parents fully contain same-charge children, and the durations of a
+//! span's same-charge children plus its residual sum exactly to its own
+//! duration — which is what lets the attribution table sum exactly to
+//! end-to-end latency (see `attribution.rs`).
+//!
+//! # Determinism
+//!
+//! Span ids are allocated monotonically per `Telemetry` instance and
+//! trace ids monotonically from a configurable base
+//! ([`Telemetry::set_trace_id_base`](crate::Telemetry::set_trace_id_base)),
+//! so parallel workers with private `Telemetry` handles produce
+//! byte-identical trees at any `--jobs` count when results are merged in
+//! input order.
+
+use crate::event::{EventKind, SpanEvent, SpanId, Track, TraceId};
+use kona_types::Nanos;
+
+/// The kind of top-level operation a trace covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// One application load or store.
+    Access,
+    /// An explicit `sync()` flush requested by the application.
+    Sync,
+    /// A standalone eviction batch (not nested in an access).
+    EvictionBatch,
+    /// A standalone prefetch operation.
+    Prefetch,
+    /// An access that escalated into MCE recovery (retagged in place).
+    Recovery,
+}
+
+impl OpKind {
+    /// A stable snake_case name for tables and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Access => "access",
+            OpKind::Sync => "sync",
+            OpKind::EvictionBatch => "eviction_batch",
+            OpKind::Prefetch => "prefetch",
+            OpKind::Recovery => "recovery",
+        }
+    }
+
+    /// The display track of this operation's root span.
+    pub fn track(self) -> Track {
+        match self {
+            OpKind::Access | OpKind::Sync | OpKind::Recovery => Track::App,
+            OpKind::EvictionBatch | OpKind::Prefetch => Track::Background,
+        }
+    }
+
+    /// The event kind used for this operation's root span.
+    pub fn event_kind(self) -> EventKind {
+        match self {
+            OpKind::Access | OpKind::Recovery => EventKind::AppAccess,
+            OpKind::Sync => EventKind::Sync,
+            OpKind::EvictionBatch => EventKind::Evict,
+            OpKind::Prefetch => EventKind::Prefetch,
+        }
+    }
+
+    /// All operation kinds, in table order.
+    pub const ALL: [OpKind; 5] = [
+        OpKind::Access,
+        OpKind::Sync,
+        OpKind::EvictionBatch,
+        OpKind::Prefetch,
+        OpKind::Recovery,
+    ];
+}
+
+/// Handle for an open span, returned by
+/// [`Telemetry::span_open`](crate::Telemetry::span_open) and consumed by
+/// [`Telemetry::span_close`](crate::Telemetry::span_close).
+#[derive(Debug)]
+#[must_use = "open spans must be closed (trace_end force-closes leftovers)"]
+pub struct SpanToken {
+    pub(crate) span: SpanId,
+}
+
+impl SpanToken {
+    /// A token that closes as a no-op (returned when tracing is off).
+    pub(crate) const NOOP: SpanToken = SpanToken { span: SpanId::NONE };
+}
+
+/// One completed trace: the operation it covered and its spans (in close
+/// order; the root is the unique span with `parent == SpanId::NONE`).
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// The trace's identity.
+    pub id: TraceId,
+    /// What kind of top-level operation it was.
+    pub op: OpKind,
+    /// Every span of the trace, children before parents.
+    pub spans: Vec<SpanEvent>,
+}
+
+impl TraceRecord {
+    /// The root span, if the trace is well-formed.
+    pub fn root(&self) -> Option<&SpanEvent> {
+        self.spans.iter().find(|s| s.parent == SpanId::NONE)
+    }
+
+    /// End-to-end duration (the root span's duration).
+    pub fn duration(&self) -> Nanos {
+        self.root().map_or(Nanos::ZERO, |r| r.duration)
+    }
+}
+
+/// The charge a span bills its time to: App or Background (never Net).
+/// `parent` is the enclosing span's charge, if any.
+pub(crate) fn charge_of(track: Track, parent: Option<Track>) -> Track {
+    if parent == Some(Track::Background) || track == Track::Background {
+        Track::Background
+    } else {
+        Track::App
+    }
+}
+
+fn clock_index(charge: Track) -> usize {
+    match charge {
+        Track::Background => 1,
+        _ => 0,
+    }
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    span: SpanId,
+    parent: SpanId,
+    track: Track,
+    charge: Track,
+    start: Nanos,
+    kind: EventKind,
+}
+
+#[derive(Debug)]
+struct TraceCtx {
+    id: TraceId,
+    op: OpKind,
+    root: SpanId,
+    /// Tokens of nested `trace_begin`s folded into plain spans.
+    nested: Vec<SpanId>,
+    buf: Vec<SpanEvent>,
+}
+
+/// The per-`Telemetry` causal state: clocks, the open-span stack, the
+/// current trace and the flight recorder ring.
+#[derive(Debug)]
+pub(crate) struct CausalState {
+    pub(crate) enabled: bool,
+    clocks: [Nanos; 2],
+    stack: Vec<OpenSpan>,
+    cur: Option<TraceCtx>,
+    next_span: u32,
+    next_trace: u64,
+    trace_base: u64,
+    flight: Vec<TraceRecord>,
+    flight_capacity: usize,
+    flight_dropped: u64,
+}
+
+impl CausalState {
+    pub(crate) fn new(enabled: bool) -> Self {
+        CausalState {
+            enabled,
+            clocks: [Nanos::ZERO; 2],
+            stack: Vec::new(),
+            cur: None,
+            next_span: 0,
+            next_trace: 0,
+            trace_base: 0,
+            flight: Vec::new(),
+            flight_capacity: 0,
+            flight_dropped: 0,
+        }
+    }
+
+    pub(crate) fn set_flight_capacity(&mut self, capacity: usize) {
+        self.flight_capacity = capacity;
+        if capacity > 0 {
+            self.enabled = true;
+        }
+        while self.flight.len() > capacity {
+            self.flight.remove(0);
+            self.flight_dropped += 1;
+        }
+    }
+
+    pub(crate) fn set_trace_id_base(&mut self, base: u64) {
+        self.trace_base = base;
+        self.next_trace = 0;
+    }
+
+    pub(crate) fn flight(&self) -> &[TraceRecord] {
+        &self.flight
+    }
+
+    pub(crate) fn flight_dropped(&self) -> u64 {
+        self.flight_dropped
+    }
+
+    fn alloc_span(&mut self) -> SpanId {
+        self.next_span += 1;
+        SpanId(self.next_span)
+    }
+
+    fn parent(&self) -> (SpanId, Option<Track>) {
+        match self.stack.last() {
+            Some(top) => (top.span, Some(top.charge)),
+            None => (SpanId::NONE, None),
+        }
+    }
+
+    fn current_trace(&self) -> TraceId {
+        self.cur.as_ref().map_or(TraceId::NONE, |c| c.id)
+    }
+
+    /// A Background-charged span opening under an App-charged parent
+    /// models handing work to the background thread: that thread cannot
+    /// start before "now" on the app clock.
+    fn sync_clocks(&mut self, charge: Track, parent_charge: Option<Track>) {
+        if charge == Track::Background && parent_charge == Some(Track::App) {
+            self.clocks[1] = self.clocks[1].max(self.clocks[0]);
+        }
+    }
+
+    fn emit(&mut self, ev: SpanEvent, out: &mut Vec<SpanEvent>) {
+        match &mut self.cur {
+            Some(ctx) => ctx.buf.push(ev),
+            None => out.push(ev),
+        }
+    }
+
+    /// Starts a trace. A `trace_begin` while another trace is open folds
+    /// into a plain span of the nested operation's kind (closed by the
+    /// matching `trace_end`), so callers never need to know their nesting.
+    pub(crate) fn begin(&mut self, op: OpKind) -> TraceId {
+        if !self.enabled {
+            return TraceId::NONE;
+        }
+        if self.cur.is_some() {
+            let token = self.open(op.track(), op.event_kind());
+            if let Some(ctx) = &mut self.cur {
+                ctx.nested.push(token.span);
+            }
+            return self.current_trace();
+        }
+        self.next_trace += 1;
+        let id = TraceId(self.trace_base + self.next_trace);
+        self.cur = Some(TraceCtx {
+            id,
+            op,
+            root: SpanId::NONE,
+            nested: Vec::new(),
+            buf: Vec::new(),
+        });
+        let token = self.open(op.track(), op.event_kind());
+        if let Some(ctx) = &mut self.cur {
+            ctx.root = token.span;
+        }
+        id
+    }
+
+    /// Relabels the current trace's operation (e.g. an access that
+    /// escalated into MCE recovery becomes a `Recovery` operation).
+    pub(crate) fn retag(&mut self, op: OpKind) {
+        if let Some(ctx) = &mut self.cur {
+            ctx.op = op;
+        }
+    }
+
+    /// Ends the current trace: force-closes dangling spans (error paths
+    /// may propagate `?` past a close), closes the root with
+    /// `max(elapsed, covered)` and returns the completed record.
+    pub(crate) fn end(&mut self, elapsed: Nanos, out: &mut Vec<SpanEvent>) -> Option<TraceRecord> {
+        if !self.enabled {
+            return None;
+        }
+        let ctx = self.cur.as_mut()?;
+        if let Some(span) = ctx.nested.pop() {
+            self.close(SpanToken { span }, elapsed, out);
+            return None;
+        }
+        let root = ctx.root;
+        self.close(SpanToken { span: root }, elapsed, out);
+        let ctx = self.cur.take()?;
+        let record = TraceRecord {
+            id: ctx.id,
+            op: ctx.op,
+            spans: ctx.buf,
+        };
+        if self.flight_capacity > 0 {
+            if self.flight.len() == self.flight_capacity {
+                self.flight.remove(0);
+                self.flight_dropped += 1;
+            }
+            self.flight.push(record.clone());
+        }
+        Some(record)
+    }
+
+    pub(crate) fn open(&mut self, track: Track, kind: EventKind) -> SpanToken {
+        if !self.enabled {
+            return SpanToken::NOOP;
+        }
+        let (parent, parent_charge) = self.parent();
+        let charge = charge_of(track, parent_charge);
+        self.sync_clocks(charge, parent_charge);
+        let span = self.alloc_span();
+        self.stack.push(OpenSpan {
+            span,
+            parent,
+            track,
+            charge,
+            start: self.clocks[clock_index(charge)],
+            kind,
+        });
+        SpanToken { span }
+    }
+
+    /// The display track matching the current charge (used by leaves that
+    /// want to ride whichever thread is paying, e.g. retry backoff).
+    pub(crate) fn inherit_track(&self) -> Track {
+        match self.stack.last() {
+            Some(top) => top.charge,
+            None => Track::App,
+        }
+    }
+
+    pub(crate) fn close(&mut self, token: SpanToken, duration: Nanos, out: &mut Vec<SpanEvent>) {
+        if !self.enabled || !token.span.is_some() {
+            return;
+        }
+        let Some(pos) = self.stack.iter().rposition(|s| s.span == token.span) else {
+            return;
+        };
+        while self.stack.len() > pos + 1 {
+            let dangling = self.stack.pop().expect("len checked");
+            self.finish(dangling, None, out);
+        }
+        let open = self.stack.pop().expect("position found");
+        self.finish(open, Some(duration), out);
+    }
+
+    fn finish(&mut self, open: OpenSpan, reported: Option<Nanos>, out: &mut Vec<SpanEvent>) {
+        let i = clock_index(open.charge);
+        let covered = self.clocks[i].saturating_sub(open.start);
+        let duration = reported.map_or(covered, |r| r.max(covered));
+        self.clocks[i] = open.start + duration;
+        let ev = SpanEvent {
+            track: open.track,
+            start: open.start,
+            duration,
+            kind: open.kind,
+            trace: self.current_trace(),
+            span: open.span,
+            parent: open.parent,
+        };
+        self.emit(ev, out);
+    }
+
+    pub(crate) fn leaf(&mut self, track: Track, kind: EventKind, duration: Nanos, out: &mut Vec<SpanEvent>) {
+        if !self.enabled {
+            return;
+        }
+        let (parent, parent_charge) = self.parent();
+        let charge = charge_of(track, parent_charge);
+        self.sync_clocks(charge, parent_charge);
+        let i = clock_index(charge);
+        let start = self.clocks[i];
+        self.clocks[i] = start + duration;
+        let span = self.alloc_span();
+        let ev = SpanEvent {
+            track,
+            start,
+            duration,
+            kind,
+            trace: self.current_trace(),
+            span,
+            parent,
+        };
+        self.emit(ev, out);
+    }
+
+    pub(crate) fn instant(&mut self, track: Track, kind: EventKind, out: &mut Vec<SpanEvent>) {
+        self.leaf(track, kind, Nanos::ZERO, out);
+    }
+}
+
+/// Serializes completed traces as a JSON array (the flight-recorder dump
+/// format; also used for trace-tree fingerprints in tests).
+pub fn traces_to_json(traces: &[TraceRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[");
+    for (ti, t) in traces.iter().enumerate() {
+        let tsep = if ti == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{tsep}\n  {{\"trace\":{},\"op\":\"{}\",\"duration_ns\":{},\"spans\":[",
+            t.id.0,
+            t.op.name(),
+            t.duration().as_ns()
+        );
+        for (si, s) in t.spans.iter().enumerate() {
+            let ssep = if si == 0 { "" } else { "," };
+            let extra = match s.kind {
+                EventKind::Verb { opcode, bytes } => {
+                    format!(",\"opcode\":\"{}\",\"bytes\":{bytes}", opcode.name())
+                }
+                EventKind::Fault(f) => format!(",\"fault\":\"{}\"", f.name()),
+                _ => String::new(),
+            };
+            let _ = write!(
+                out,
+                "{ssep}\n    {{\"span\":{},\"parent\":{},\"track\":\"{}\",\"kind\":\"{}\",\
+                 \"start_ns\":{},\"dur_ns\":{}{extra}}}",
+                s.span.0,
+                s.parent.0,
+                s.track.name(),
+                s.kind.name(),
+                s.start.as_ns(),
+                s.duration.as_ns()
+            );
+        }
+        out.push_str("\n  ]}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_state_is_inert() {
+        let mut s = CausalState::new(false);
+        let mut out = Vec::new();
+        assert_eq!(s.begin(OpKind::Access), TraceId::NONE);
+        let tok = s.open(Track::App, EventKind::RemoteFetch);
+        s.close(tok, Nanos::from_ns(10), &mut out);
+        assert!(s.end(Nanos::from_ns(10), &mut out).is_none());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn simple_trace_tree_and_containment() {
+        let mut s = CausalState::new(true);
+        let mut out = Vec::new();
+        let id = s.begin(OpKind::Access);
+        assert!(id.is_some());
+        s.leaf(Track::App, EventKind::LocalHit, Nanos::from_ns(3), &mut out);
+        let fetch = s.open(Track::App, EventKind::RemoteFetch);
+        s.leaf(Track::Net, EventKind::Verb { opcode: crate::VerbOpcode::Read, bytes: 4096 }, Nanos::from_ns(40), &mut out);
+        s.close(fetch, Nanos::from_ns(50), &mut out);
+        let rec = s.end(Nanos::from_ns(60), &mut out).expect("trace completes");
+        assert!(out.is_empty(), "in-trace spans buffer in the record");
+        assert_eq!(rec.spans.len(), 4);
+        let root = *rec.root().expect("root");
+        assert_eq!(root.kind, EventKind::AppAccess);
+        assert_eq!(root.duration, Nanos::from_ns(60));
+        for s in &rec.spans {
+            assert_eq!(s.trace, id);
+            if s.parent.is_some() {
+                let parent = rec.spans.iter().find(|p| p.span == s.parent).expect("parent");
+                assert!(s.start >= parent.start && s.end() <= parent.end(), "containment");
+            }
+        }
+        // The verb leaf nests under the fetch span, not the root.
+        let verb = rec.spans.iter().find(|s| matches!(s.kind, EventKind::Verb { .. })).unwrap();
+        let fetch = rec.spans.iter().find(|s| s.kind == EventKind::RemoteFetch).unwrap();
+        assert_eq!(verb.parent, fetch.span);
+        // Reported < covered is corrected upward: fetch covered 40ns, reported 50.
+        assert_eq!(fetch.duration, Nanos::from_ns(50));
+    }
+
+    #[test]
+    fn background_children_do_not_bill_the_app_clock() {
+        let mut s = CausalState::new(true);
+        let mut out = Vec::new();
+        s.begin(OpKind::Access);
+        s.leaf(Track::App, EventKind::FmemFill, Nanos::from_ns(10), &mut out);
+        let evict = s.open(Track::Background, EventKind::Evict);
+        s.leaf(Track::Background, EventKind::SegmentCopy, Nanos::from_ns(500), &mut out);
+        s.close(evict, Nanos::from_ns(500), &mut out);
+        let rec = s.end(Nanos::from_ns(10), &mut out).expect("trace");
+        // Root covers only the app-charged 10ns, not the background 500.
+        assert_eq!(rec.duration(), Nanos::from_ns(10));
+        let evict = rec.spans.iter().find(|s| s.kind == EventKind::Evict).unwrap();
+        // Background clock fast-forwarded to the app hand-off point.
+        assert_eq!(evict.start, Nanos::from_ns(10));
+    }
+
+    #[test]
+    fn dangling_spans_are_force_closed_at_trace_end() {
+        let mut s = CausalState::new(true);
+        let mut out = Vec::new();
+        s.begin(OpKind::Access);
+        let _fetch = s.open(Track::App, EventKind::RemoteFetch);
+        s.leaf(Track::App, EventKind::Backoff, Nanos::from_ns(5), &mut out);
+        // Error path: the fetch token is never closed.
+        let rec = s.end(Nanos::from_ns(5), &mut out).expect("trace");
+        let fetch = rec.spans.iter().find(|s| s.kind == EventKind::RemoteFetch).unwrap();
+        assert_eq!(fetch.duration, Nanos::from_ns(5), "covered duration");
+        assert_eq!(rec.duration(), Nanos::from_ns(5));
+    }
+
+    #[test]
+    fn nested_begin_folds_into_a_span() {
+        let mut s = CausalState::new(true);
+        let mut out = Vec::new();
+        let outer = s.begin(OpKind::Access);
+        let inner = s.begin(OpKind::Sync);
+        assert_eq!(outer, inner, "nested begin joins the open trace");
+        s.leaf(Track::App, EventKind::Backoff, Nanos::from_ns(2), &mut out);
+        s.end(Nanos::from_ns(2), &mut out);
+        let rec = s.end(Nanos::from_ns(4), &mut out).expect("outer trace");
+        assert_eq!(rec.op, OpKind::Access);
+        let sync = rec.spans.iter().find(|s| s.kind == EventKind::Sync).unwrap();
+        assert_eq!(sync.duration, Nanos::from_ns(2));
+        assert_eq!(rec.duration(), Nanos::from_ns(4));
+    }
+
+    #[test]
+    fn spans_outside_traces_still_record_with_parent_links() {
+        let mut s = CausalState::new(true);
+        let mut out = Vec::new();
+        let evict = s.open(Track::Background, EventKind::Evict);
+        s.leaf(Track::Background, EventKind::BitmapScan, Nanos::from_ns(50), &mut out);
+        s.close(evict, Nanos::from_ns(60), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].kind, EventKind::Evict);
+        assert_eq!(out[0].parent, out[1].span);
+        assert_eq!(out[1].trace, TraceId::NONE);
+    }
+
+    #[test]
+    fn flight_ring_is_bounded_and_counts_drops() {
+        let mut s = CausalState::new(true);
+        s.set_flight_capacity(2);
+        let mut out = Vec::new();
+        for _ in 0..5 {
+            s.begin(OpKind::Access);
+            s.leaf(Track::App, EventKind::LocalHit, Nanos::from_ns(1), &mut out);
+            s.end(Nanos::from_ns(1), &mut out);
+        }
+        assert_eq!(s.flight().len(), 2);
+        assert_eq!(s.flight_dropped(), 3);
+        // The ring keeps the most recent traces.
+        assert_eq!(s.flight()[0].id, TraceId(4));
+        assert_eq!(s.flight()[1].id, TraceId(5));
+    }
+
+    #[test]
+    fn trace_ids_honor_the_worker_base() {
+        let mut s = CausalState::new(true);
+        s.set_trace_id_base(7 << 32);
+        let id = s.begin(OpKind::Access);
+        assert_eq!(id, TraceId((7 << 32) + 1));
+        let mut out = Vec::new();
+        s.end(Nanos::ZERO, &mut out);
+    }
+
+    #[test]
+    fn traces_json_shape() {
+        let mut s = CausalState::new(true);
+        s.set_flight_capacity(4);
+        let mut out = Vec::new();
+        s.begin(OpKind::Sync);
+        s.leaf(Track::Net, EventKind::Verb { opcode: crate::VerbOpcode::Write, bytes: 64 }, Nanos::from_ns(9), &mut out);
+        s.instant(Track::Net, EventKind::Fault(crate::FaultKind::Dropped), &mut out);
+        s.end(Nanos::from_ns(9), &mut out);
+        let json = traces_to_json(s.flight());
+        assert!(json.contains("\"op\":\"sync\""));
+        assert!(json.contains("\"opcode\":\"write\",\"bytes\":64"));
+        assert!(json.contains("\"fault\":\"drop\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

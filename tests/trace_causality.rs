@@ -1,0 +1,210 @@
+//! Causal-tracing integration checks (PR 4): every traced run of the real
+//! Kona runtime must produce well-formed trace trees (one root, parents
+//! containing their same-charge children), critical-path components that
+//! sum exactly to end-to-end latency, and byte-identical trees and
+//! attribution across `par_map` worker counts and across replays.
+
+use kona::{ClusterConfig, FailurePolicy, KonaRuntime, RemoteMemoryRuntime};
+use kona_net::FaultPlan;
+use kona_telemetry::{
+    analyze_trace, traces_to_json, EventKind, SpanEvent, SpanId, Telemetry, TraceRecord, Track,
+};
+use kona_types::{par_map, Jobs};
+use std::collections::HashMap;
+
+/// A cluster small enough that the access pattern below forces evictions,
+/// writebacks and remote fetches inside nearly every access trace.
+fn tight_cluster() -> ClusterConfig {
+    let mut cfg = ClusterConfig::small().with_local_cache_pages(8);
+    cfg.cpu_cache_lines = 64;
+    cfg
+}
+
+/// Touches enough pages to exercise fetch, hit, eviction and writeback.
+fn drive(rt: &mut KonaRuntime) {
+    let base = rt.allocate(64 * 4096).expect("allocate");
+    for p in 0..48u64 {
+        rt.write_bytes(base + p * 4096, &[p as u8; 128]).expect("write");
+    }
+    for p in 0..48u64 {
+        let mut buf = [0u8; 64];
+        rt.read_bytes(base + p * 4096, &mut buf).expect("read");
+    }
+    rt.sync().expect("sync");
+}
+
+/// Runs the standard workload with full causal telemetry (flight ring
+/// large enough to retain every completed trace) and returns the handle.
+fn traced_run() -> Telemetry {
+    let tel = Telemetry::with_causal(1 << 18, 1 << 12);
+    let mut rt = KonaRuntime::with_telemetry(tight_cluster(), tel.clone()).expect("config");
+    drive(&mut rt);
+    tel
+}
+
+/// Recomputes each span's charge (App or Background) from the public
+/// tree: Background if the parent charges Background or the span displays
+/// on the Background track, App otherwise. Mirrors `charge_of`.
+fn charges(spans: &[SpanEvent]) -> HashMap<SpanId, Track> {
+    let mut out: HashMap<SpanId, Track> = HashMap::new();
+    // Spans arrive children-before-parents; walk in reverse so every
+    // parent's charge is known before its children are visited.
+    for s in spans.iter().rev() {
+        let parent_bg = out.get(&s.parent) == Some(&Track::Background);
+        let charge = if parent_bg || s.track == Track::Background {
+            Track::Background
+        } else {
+            Track::App
+        };
+        out.insert(s.span, charge);
+    }
+    out
+}
+
+#[test]
+fn every_trace_is_a_tree_with_contained_same_charge_children() {
+    let tel = traced_run();
+    let traces = tel.flight();
+    assert_eq!(tel.flight_dropped(), 0, "flight ring must hold every trace");
+    assert!(traces.len() > 50, "workload must complete many traces");
+
+    let mut saw_fetch = false;
+    for t in &traces {
+        let roots: Vec<&SpanEvent> =
+            t.spans.iter().filter(|s| s.parent == SpanId::NONE).collect();
+        assert_eq!(roots.len(), 1, "trace {} must have exactly one root", t.id.0);
+        assert_eq!(roots[0].duration, t.duration());
+
+        let by_id: HashMap<SpanId, &SpanEvent> =
+            t.spans.iter().map(|s| (s.span, s)).collect();
+        let charge = charges(&t.spans);
+        for s in &t.spans {
+            assert_eq!(s.trace, t.id, "span carries its trace id");
+            assert!(s.span.is_some(), "causal spans have identities");
+            if s.kind == EventKind::RemoteFetch {
+                saw_fetch = true;
+            }
+            if !s.parent.is_some() {
+                continue;
+            }
+            let p = by_id.get(&s.parent).expect("parent span is in the trace");
+            if charge[&s.span] == charge[&p.span] {
+                assert!(
+                    s.start >= p.start && s.end() <= p.end(),
+                    "trace {}: {} [{}, {}] escapes parent {} [{}, {}]",
+                    t.id.0,
+                    s.kind.name(),
+                    s.start.as_ns(),
+                    s.end().as_ns(),
+                    p.kind.name(),
+                    p.start.as_ns(),
+                    p.end().as_ns(),
+                );
+            }
+        }
+    }
+    assert!(saw_fetch, "tight cache must force remote fetches into traces");
+}
+
+#[test]
+fn critical_components_sum_exactly_to_end_to_end_latency() {
+    let tel = traced_run();
+    let engine = tel.attribution().expect("with_causal installs the engine");
+    assert!(engine.traces() > 50);
+    assert_eq!(engine.violations(), 0, "exact-sum invariant must hold");
+
+    // Re-derive the invariant per retained trace from the public API.
+    let mut total = 0u64;
+    for t in tel.flight() {
+        let a = analyze_trace(&t).expect("well-formed trace");
+        assert!(
+            a.exact,
+            "trace {}: components {} != duration {}",
+            t.id.0,
+            a.critical.total(),
+            t.duration().as_ns()
+        );
+        assert_eq!(a.critical.total(), t.duration().as_ns());
+        total += t.duration().as_ns();
+    }
+    // The engine saw the same traces the flight ring retained.
+    assert_eq!(engine.overall().total_ns, total);
+    assert_eq!(engine.overall().count, engine.traces());
+}
+
+/// One worker's full observable output: the trace trees and the
+/// attribution tables, both as deterministic JSON.
+fn worker_fingerprint(idx: usize, seed_pages: u64) -> String {
+    let tel = Telemetry::with_causal(1 << 18, 1 << 12);
+    tel.set_trace_id_base((idx as u64) << 32);
+    let mut rt = KonaRuntime::with_telemetry(tight_cluster(), tel.clone()).expect("config");
+    let base = rt.allocate(64 * 4096).expect("allocate");
+    for p in 0..seed_pages {
+        rt.write_bytes(base + (p % 48) * 4096, &[p as u8; 96]).expect("write");
+    }
+    rt.sync().expect("sync");
+    let engine = tel.attribution().expect("engine");
+    assert_eq!(engine.violations(), 0);
+    format!("{}{}", tel.flight_json(), engine.to_json())
+}
+
+#[test]
+fn trees_and_attribution_are_identical_across_job_counts() {
+    let items: Vec<(usize, u64)> = vec![(0, 40), (1, 56), (2, 32)];
+    let serial = par_map(Jobs::serial(), items.clone(), |_, (i, n)| {
+        worker_fingerprint(i, n)
+    });
+    let parallel = par_map(Jobs::new(3), items, |_, (i, n)| worker_fingerprint(i, n));
+    assert_eq!(serial, parallel, "trace trees must not depend on --jobs");
+    // Worker id bases keep trace ids globally unique across workers.
+    assert!(serial[0].contains("\"trace\":1"));
+    assert!(serial[1].contains(&format!("\"trace\":{}", (1u64 << 32) + 1)));
+}
+
+#[test]
+fn replaying_the_same_workload_reproduces_traces_byte_for_byte() {
+    let a = traced_run();
+    let b = traced_run();
+    assert_eq!(a.flight_json(), b.flight_json());
+    assert_eq!(
+        a.attribution().expect("engine").to_json(),
+        b.attribution().expect("engine").to_json()
+    );
+    assert_eq!(a.chrome_trace(), b.chrome_trace());
+    assert_eq!(a.dropped_events(), b.dropped_events());
+}
+
+#[test]
+fn injected_faults_appear_as_net_instants_inside_traces() {
+    let plan = FaultPlan::calm(7).named("causality-lossy").with_drop_prob(0.2);
+    let mut cfg = tight_cluster().with_replicas(2);
+    cfg.memory_nodes = 3;
+    cfg.fault_plan = Some(plan);
+    let tel = Telemetry::with_causal(1 << 18, 1 << 12);
+    let mut rt = KonaRuntime::with_telemetry(cfg, tel.clone()).expect("config");
+    rt.set_failure_policy(FailurePolicy::PageFaultFallback);
+    let base = rt.allocate(64 * 4096).expect("allocate");
+    for p in 0..48u64 {
+        // Dropped verbs may surface as access errors; the traces (and the
+        // fault instants inside them) are the subject here, not the data.
+        let _ = rt.write_bytes(base + p * 4096, &[p as u8; 128]);
+    }
+    let _ = rt.sync();
+
+    let traces: Vec<TraceRecord> = tel.flight();
+    let faults: Vec<&SpanEvent> = traces
+        .iter()
+        .flat_map(|t| t.spans.iter())
+        .filter(|s| matches!(s.kind, EventKind::Fault(_)))
+        .collect();
+    assert!(!faults.is_empty(), "20% drop probability must fire");
+    for f in &faults {
+        assert_eq!(f.track, Track::Net, "fault markers live on the Net track");
+        assert!(f.is_instant());
+        assert!(f.trace.is_some() && f.parent.is_some(), "faults nest causally");
+    }
+    // Every trace still satisfies the exact-sum invariant under faults.
+    assert_eq!(tel.attribution().expect("engine").violations(), 0);
+    let json = traces_to_json(&traces);
+    assert!(json.contains("\"fault\":\"drop\""));
+}
