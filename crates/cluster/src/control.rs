@@ -1,0 +1,334 @@
+//! The cluster control plane.
+//!
+//! [`ClusterRuntime`] wraps a [`KonaRuntime`] and adds the rack-scale
+//! duties the paper assigns to the memory controller: it journals the
+//! eviction handler's flushed log batches and replays them into per-node
+//! [`MemoryNodeRuntime`] apply workers, re-replicates slabs after a node
+//! crash to restore the K-way budget, and migrates slabs off overloaded
+//! nodes when occupancy skews. Control work runs on a deterministic
+//! operation-count tick, so identical inputs produce identical traffic.
+
+use crate::node_runtime::{MemoryNodeRuntime, NodeRuntimeConfig};
+use kona::{ClusterConfig, KonaRuntime, NodeOccupancy, RemoteMemoryRuntime, RuntimeStats};
+use kona_telemetry::Telemetry;
+use kona_types::{MemAccess, Nanos, Result, VirtAddr};
+
+/// Control-plane tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ControlPlaneConfig {
+    /// Run a control tick every this many runtime operations (accesses,
+    /// reads, writes, syncs).
+    pub tick_ops: u64,
+    /// Rebalance when the fullest and emptiest live nodes differ by more
+    /// than this many slabs.
+    pub rebalance_skew_slabs: u64,
+    /// Per-node apply/compaction tuning.
+    pub node: NodeRuntimeConfig,
+}
+
+impl Default for ControlPlaneConfig {
+    fn default() -> Self {
+        ControlPlaneConfig {
+            tick_ops: 64,
+            rebalance_skew_slabs: 2,
+            node: NodeRuntimeConfig::default(),
+        }
+    }
+}
+
+/// Rolled-up view of the cluster's health, combined from the compute
+/// runtime's counters and every node runtime's totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClusterStats {
+    /// Encoded bytes waiting in node apply backlogs.
+    pub backlog_bytes: u64,
+    /// Entries applied into node page stores (post-compaction).
+    pub entries_applied: u64,
+    /// Payload bytes applied into node page stores.
+    pub bytes_applied: u64,
+    /// Entries dropped by same-line dedupe across all nodes.
+    pub entries_deduped: u64,
+    /// Pages folded into full-page images across all nodes.
+    pub pages_folded: u64,
+    /// Dirty lines across compacted pages (compaction-ratio numerator).
+    pub compaction_dirty_lines: u64,
+    /// Pages touched by compaction (compaction-ratio denominator).
+    pub compaction_pages: u64,
+    /// Bytes moved by migration and re-replication.
+    pub migration_bytes: u64,
+    /// Replacement copies created after node losses.
+    pub rereplications: u64,
+    /// Slabs still missing part of their replication budget.
+    pub under_replicated: u64,
+}
+
+impl ClusterStats {
+    /// Cluster-wide compaction ratio (the FPGA's dirty-ratio pattern,
+    /// aggregated over every node's compacted pages).
+    pub fn compaction_ratio(&self) -> f64 {
+        if self.compaction_pages == 0 {
+            return 0.0;
+        }
+        self.compaction_dirty_lines as f64
+            / (self.compaction_pages * kona_types::LINES_PER_PAGE_4K as u64) as f64
+    }
+}
+
+/// The Kona runtime plus its cluster control plane.
+///
+/// Drives exactly like a [`KonaRuntime`] through
+/// [`RemoteMemoryRuntime`]; every `tick_ops` operations the control
+/// plane drains journaled log shipments into the per-node apply workers,
+/// retries crash repair, and rebalances occupancy skew.
+///
+/// # Examples
+///
+/// ```
+/// # use kona_cluster::ClusterRuntime;
+/// # use kona::{ClusterConfig, RemoteMemoryRuntime};
+/// let mut rt = ClusterRuntime::new(ClusterConfig::small()).unwrap();
+/// let addr = rt.allocate(1 << 20).unwrap();
+/// rt.write_bytes(addr, &[42u8; 256]).unwrap();
+/// rt.sync().unwrap();
+/// assert!(rt.cluster_stats().bytes_applied >= 256);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterRuntime {
+    inner: KonaRuntime,
+    nodes: Vec<MemoryNodeRuntime>,
+    plane: ControlPlaneConfig,
+    ops: u64,
+    ticks: u64,
+}
+
+impl ClusterRuntime {
+    /// Creates a cluster runtime with default control-plane tuning and
+    /// no telemetry.
+    ///
+    /// # Errors
+    ///
+    /// As for [`KonaRuntime::new`].
+    pub fn new(config: ClusterConfig) -> Result<Self> {
+        Self::with_telemetry(config, ControlPlaneConfig::default(), Telemetry::disabled())
+    }
+
+    /// Creates a cluster runtime publishing metrics and Cluster-track
+    /// spans to `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`KonaRuntime::new`].
+    pub fn with_telemetry(
+        config: ClusterConfig,
+        plane: ControlPlaneConfig,
+        telemetry: Telemetry,
+    ) -> Result<Self> {
+        let nodes = (0..config.memory_nodes)
+            .map(|id| MemoryNodeRuntime::with_telemetry(id, plane.node, telemetry.clone()))
+            .collect();
+        let mut inner = KonaRuntime::with_telemetry(config, telemetry)?;
+        inner.enable_shipment_journal();
+        inner.set_auto_repair(true);
+        Ok(ClusterRuntime {
+            inner,
+            nodes,
+            plane,
+            ops: 0,
+            ticks: 0,
+        })
+    }
+
+    /// The wrapped compute-node runtime.
+    pub fn inner(&self) -> &KonaRuntime {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped runtime (fault injection, manual
+    /// migration).
+    pub fn inner_mut(&mut self) -> &mut KonaRuntime {
+        &mut self.inner
+    }
+
+    /// The per-node runtimes, indexed by fabric node id.
+    pub fn nodes(&self) -> &[MemoryNodeRuntime] {
+        &self.nodes
+    }
+
+    /// One node's runtime, if `id` is in range.
+    pub fn node(&self, id: u32) -> Option<&MemoryNodeRuntime> {
+        self.nodes.get(id as usize)
+    }
+
+    /// Control ticks run so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Per-node occupancy as accounted by the rack controller.
+    pub fn occupancy(&self) -> Vec<NodeOccupancy> {
+        self.inner.node_occupancy()
+    }
+
+    /// Runs one control tick: drain journaled shipments into the node
+    /// apply workers, retry crash repair, and rebalance skew. Repair and
+    /// rebalance errors are swallowed — both retry on the next tick and
+    /// stay observable through
+    /// [`under_replicated`](ClusterStats::under_replicated) and the
+    /// occupancy summary.
+    pub fn tick(&mut self) {
+        self.ticks += 1;
+        for (node, at, encoded) in self.inner.drain_log_shipments() {
+            if let Some(nr) = self.nodes.get_mut(node as usize) {
+                nr.ingest(at, encoded);
+            }
+        }
+        for nr in &mut self.nodes {
+            nr.apply();
+        }
+        // Repair first (it restores the replication budget), then smooth
+        // out any skew the replacement grants introduced.
+        let _ = self.inner.repair_lost_nodes();
+        let _ = self.inner.rebalance(self.plane.rebalance_skew_slabs);
+    }
+
+    /// Rolled-up cluster health.
+    pub fn cluster_stats(&self) -> ClusterStats {
+        let rt = self.inner.stats();
+        let mut out = ClusterStats {
+            migration_bytes: rt.migration_bytes,
+            rereplications: rt.rereplications,
+            under_replicated: self.inner.under_replicated_slabs() as u64,
+            ..ClusterStats::default()
+        };
+        for nr in &self.nodes {
+            let s = nr.stats();
+            out.backlog_bytes += nr.backlog_bytes();
+            out.entries_applied += s.entries_applied;
+            out.bytes_applied += s.bytes_applied;
+            out.entries_deduped += s.entries_deduped;
+            out.pages_folded += s.pages_folded;
+            out.compaction_dirty_lines += s.compaction_dirty_lines;
+            out.compaction_pages += s.compaction_pages;
+        }
+        out
+    }
+
+    fn after_op(&mut self) {
+        self.ops += 1;
+        if self.plane.tick_ops > 0 && self.ops.is_multiple_of(self.plane.tick_ops) {
+            self.tick();
+        }
+    }
+}
+
+impl RemoteMemoryRuntime for ClusterRuntime {
+    fn name(&self) -> &str {
+        "Kona-Cluster"
+    }
+
+    fn allocate(&mut self, bytes: u64) -> Result<VirtAddr> {
+        self.inner.allocate(bytes)
+    }
+
+    fn free(&mut self, addr: VirtAddr, bytes: u64) {
+        self.inner.free(addr, bytes);
+    }
+
+    fn access(&mut self, access: MemAccess) -> Result<Nanos> {
+        let t = self.inner.access(access)?;
+        self.after_op();
+        Ok(t)
+    }
+
+    fn write_bytes(&mut self, addr: VirtAddr, data: &[u8]) -> Result<Nanos> {
+        let t = self.inner.write_bytes(addr, data)?;
+        self.after_op();
+        Ok(t)
+    }
+
+    fn read_bytes(&mut self, addr: VirtAddr, buf: &mut [u8]) -> Result<Nanos> {
+        let t = self.inner.read_bytes(addr, buf)?;
+        self.after_op();
+        Ok(t)
+    }
+
+    fn sync(&mut self) -> Result<Nanos> {
+        let t = self.inner.sync()?;
+        // Sync is a drain point: always run the control tick so every
+        // journaled shipment reaches its node runtime.
+        self.tick();
+        self.ops += 1;
+        Ok(t)
+    }
+
+    fn stats(&self) -> RuntimeStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kona_types::ByteSize;
+
+    fn config() -> ClusterConfig {
+        ClusterConfig::small()
+    }
+
+    #[test]
+    fn shipments_reach_node_runtimes_on_sync() {
+        let mut rt = ClusterRuntime::new(config()).unwrap();
+        let addr = rt.allocate(1 << 20).unwrap();
+        rt.write_bytes(addr, &[0x5A; 4096]).unwrap();
+        rt.sync().unwrap();
+        let stats = rt.cluster_stats();
+        assert!(stats.bytes_applied >= 4096, "stats: {stats:?}");
+        assert_eq!(stats.backlog_bytes, 0);
+        assert!(rt.ticks() >= 1);
+    }
+
+    #[test]
+    fn node_store_matches_written_bytes() {
+        let mut rt = ClusterRuntime::new(config()).unwrap();
+        let addr = rt.allocate(1 << 20).unwrap();
+        let pattern: Vec<u8> = (0..256u32).map(|i| i as u8).collect();
+        rt.write_bytes(addr, &pattern).unwrap();
+        rt.sync().unwrap();
+        // The slab's primary node applied the flushed log; its store
+        // mirrors the bytes at the slab's remote offset.
+        let total: u64 = rt
+            .nodes()
+            .iter()
+            .map(|n| n.stats().bytes_applied)
+            .sum();
+        assert!(total >= 256);
+    }
+
+    #[test]
+    fn tick_cadence_follows_ops() {
+        let mut rt = ClusterRuntime::with_telemetry(
+            config(),
+            ControlPlaneConfig {
+                tick_ops: 2,
+                ..ControlPlaneConfig::default()
+            },
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        let addr = rt.allocate(1 << 20).unwrap();
+        for i in 0..6u64 {
+            rt.write_bytes(addr + i * 64, &[1; 64]).unwrap();
+        }
+        assert_eq!(rt.ticks(), 3);
+    }
+
+    #[test]
+    fn occupancy_visible_through_control_plane() {
+        let mut rt = ClusterRuntime::new(config()).unwrap();
+        rt.allocate(1 << 20).unwrap();
+        let occ = rt.occupancy();
+        assert_eq!(occ.len(), 2);
+        let used: u64 = occ.iter().map(|o| o.used).sum();
+        assert_eq!(used, ByteSize::mib(1).bytes());
+    }
+}

@@ -1,0 +1,31 @@
+//! Cluster control plane for the Kona disaggregated-memory runtime.
+//!
+//! This crate adds the rack-scale layer above `kona`'s single
+//! compute-node runtime:
+//!
+//! - [`MemoryNodeRuntime`] — each memory node's software runtime. It
+//!   receives the cache-line-log batches the compute node's eviction
+//!   handler flushed (via the shipment journal), holds them in an apply
+//!   backlog, and runs a compaction worker that dedupes superseded
+//!   entries and folds hot pages into full-page images before the apply
+//!   worker writes them into the node's page store — all in simulated
+//!   time on the node's own clock.
+//! - [`ClusterRuntime`] — a [`kona::RemoteMemoryRuntime`] wrapper that
+//!   drives those workers on a deterministic operation-count tick and
+//!   runs the control plane: capacity-aware placement (configured
+//!   through [`kona::PlacementKind`]), slab migration and rebalancing on
+//!   occupancy skew, and post-crash re-replication that restores the
+//!   K-way replication budget.
+//!
+//! Everything is deterministic: control work is keyed to operation
+//! counts and simulated clocks, never the wall clock, so runs are
+//! byte-identical at any parallelism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod control;
+mod node_runtime;
+
+pub use control::{ClusterRuntime, ClusterStats, ControlPlaneConfig};
+pub use node_runtime::{MemoryNodeRuntime, NodeRuntimeConfig, NodeRuntimeStats};

@@ -43,10 +43,15 @@ pub struct SlabAllocator {
     slabs: Vec<(u64, u64)>,
     /// Per size-class free lists of object addresses.
     free_lists: FxHashMap<u64, Vec<u64>>,
+    /// Live objects: address → size class. Lets `free` reject addresses
+    /// that are not (or are no longer) allocated.
+    allocated: FxHashMap<u64, u64>,
     /// Total bytes handed out minus freed (size-class granularity).
     live_bytes: u64,
     /// Total capacity added.
     capacity: u64,
+    /// Rejected `free` calls (double frees / never-allocated addresses).
+    double_frees: u64,
 }
 
 impl SlabAllocator {
@@ -95,6 +100,7 @@ impl SlabAllocator {
         let class = size_class(bytes);
         if let Some(addr) = self.free_lists.get_mut(&class).and_then(Vec::pop) {
             self.live_bytes += class;
+            self.allocated.insert(addr, class);
             return Ok(VfMemAddr::new(addr));
         }
         for (cursor, end) in &mut self.slabs {
@@ -102,21 +108,47 @@ impl SlabAllocator {
             if aligned + class <= *end {
                 *cursor = aligned + class;
                 self.live_bytes += class;
+                self.allocated.insert(aligned, class);
                 return Ok(VfMemAddr::new(aligned));
             }
         }
         Err(KonaError::OutOfLocalReservation)
     }
 
-    /// Returns an object of `bytes` at `addr` to the allocator.
+    /// Returns an object of `bytes` at `addr` to the allocator, reporting
+    /// whether the free was accepted.
     ///
-    /// `bytes` must be the size passed to [`SlabAllocator::allocate`];
-    /// freeing with a different size corrupts the size-class accounting
-    /// (as with C `free` of a bad pointer, this is the caller's contract).
-    pub fn free(&mut self, addr: VfMemAddr, bytes: u64) {
+    /// `bytes` must be the size passed to [`SlabAllocator::allocate`].
+    /// A double free, a never-allocated address, or a size landing in the
+    /// wrong class is rejected (returns `false`, counted in
+    /// [`SlabAllocator::double_frees`]) instead of corrupting the free
+    /// lists — the interposition library's analogue of glibc's
+    /// `free(): invalid pointer` abort.
+    pub fn free(&mut self, addr: VfMemAddr, bytes: u64) -> bool {
         let class = size_class(bytes);
-        self.free_lists.entry(class).or_default().push(addr.raw());
-        self.live_bytes = self.live_bytes.saturating_sub(class);
+        match self.allocated.get(&addr.raw()) {
+            Some(&held) if held == class => {
+                self.allocated.remove(&addr.raw());
+                self.free_lists.entry(class).or_default().push(addr.raw());
+                self.live_bytes = self.live_bytes.saturating_sub(class);
+                true
+            }
+            _ => {
+                self.double_frees += 1;
+                false
+            }
+        }
+    }
+
+    /// Rejected `free` calls so far (double frees, bad addresses, wrong
+    /// sizes).
+    pub fn double_frees(&self) -> u64 {
+        self.double_frees
+    }
+
+    /// Number of currently live objects.
+    pub fn live_objects(&self) -> usize {
+        self.allocated.len()
     }
 }
 
@@ -181,6 +213,30 @@ mod tests {
         a.free(small, 64);
         let big = a.allocate(128).unwrap();
         assert_ne!(big, small); // 64-class free slot not reused for 128
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut a = SlabAllocator::new();
+        a.add_slab(VfMemAddr::new(0), 4096);
+        let p = a.allocate(64).unwrap();
+        assert!(a.free(p, 64));
+        assert!(!a.free(p, 64), "double free accepted");
+        assert_eq!(a.double_frees(), 1);
+        // Never-allocated address.
+        assert!(!a.free(VfMemAddr::new(0x9999), 64));
+        // Wrong size class.
+        let q = a.allocate(64).unwrap();
+        assert!(!a.free(q, 4096));
+        assert_eq!(a.double_frees(), 3);
+        assert_eq!(a.live_objects(), 1);
+        // Rejections never corrupt the free lists: the one freed slot is
+        // reused once and only once.
+        let r1 = a.allocate(64).unwrap();
+        assert_ne!(r1, q);
+        let r2 = a.allocate(64).unwrap();
+        assert_ne!(r2, r1);
+        assert_ne!(r2, q);
     }
 
     #[test]

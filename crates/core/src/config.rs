@@ -1,9 +1,55 @@
 //! Cluster and latency configuration.
 
+use crate::controller::{CapacityWeighted, PlacementPolicy, PowerOfTwoChoices, RoundRobin};
 use kona_fpga::NextPagePrefetcher;
 use kona_net::FaultPlan;
 use kona_types::rng::{Rng, StdRng};
 use kona_types::{ByteSize, KonaError, Nanos, Result, PAGE_SIZE_4K};
+
+/// Which [`PlacementPolicy`] the rack controller runs.
+///
+/// A plain enum (rather than a boxed trait object) so `ClusterConfig`
+/// stays `Clone + Debug` trivially and experiment binaries can parse it
+/// from a flag; [`PlacementKind::build`] produces the live policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementKind {
+    /// Rotate grants over nodes in registration order (the paper's
+    /// baseline).
+    #[default]
+    RoundRobin,
+    /// Sample nodes with probability proportional to free capacity.
+    CapacityWeighted,
+    /// Sample two nodes, grant on the emptier (d=2 choices).
+    PowerOfTwoChoices,
+}
+
+impl PlacementKind {
+    /// Instantiates the policy, seeding any internal PRNG from `seed`.
+    pub fn build(self, seed: u64) -> Box<dyn PlacementPolicy> {
+        match self {
+            PlacementKind::RoundRobin => Box::new(RoundRobin::default()),
+            PlacementKind::CapacityWeighted => Box::new(CapacityWeighted::new(seed)),
+            PlacementKind::PowerOfTwoChoices => Box::new(PowerOfTwoChoices::new(seed)),
+        }
+    }
+
+    /// Parses the experiment-flag spelling (`round-robin`, `capacity`,
+    /// `p2c`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::InvalidConfig`] for unknown names.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "round-robin" | "rr" => Ok(PlacementKind::RoundRobin),
+            "capacity" => Ok(PlacementKind::CapacityWeighted),
+            "p2c" => Ok(PlacementKind::PowerOfTwoChoices),
+            other => Err(KonaError::InvalidConfig(format!(
+                "unknown placement policy '{other}' (expected round-robin, capacity or p2c)"
+            ))),
+        }
+    }
+}
 
 /// Whether the runtime moves real bytes or only simulates timing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -235,6 +281,8 @@ pub struct ClusterConfig {
     /// Optional fault plan installed into the fabric at construction
     /// (chaos testing; `None` = healthy network).
     pub fault_plan: Option<FaultPlan>,
+    /// Slab placement policy run by the rack controller.
+    pub placement: PlacementKind,
 }
 
 impl ClusterConfig {
@@ -257,6 +305,7 @@ impl ClusterConfig {
             retry: RetryPolicy::default(),
             degraded: DegradedConfig::default(),
             fault_plan: None,
+            placement: PlacementKind::RoundRobin,
         }
     }
 
@@ -314,6 +363,13 @@ impl ClusterConfig {
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Returns the configuration with the given slab placement policy.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementKind) -> Self {
+        self.placement = placement;
         self
     }
 
@@ -490,6 +546,34 @@ mod tests {
             ..RetryPolicy::default()
         });
         assert!(bad_retry.validate().is_err());
+    }
+
+    #[test]
+    fn placement_kind_parses_and_builds() {
+        assert_eq!(
+            PlacementKind::parse("round-robin").unwrap(),
+            PlacementKind::RoundRobin
+        );
+        assert_eq!(
+            PlacementKind::parse("capacity").unwrap(),
+            PlacementKind::CapacityWeighted
+        );
+        assert_eq!(
+            PlacementKind::parse("p2c").unwrap(),
+            PlacementKind::PowerOfTwoChoices
+        );
+        assert!(PlacementKind::parse("zeal").is_err());
+        for kind in [
+            PlacementKind::RoundRobin,
+            PlacementKind::CapacityWeighted,
+            PlacementKind::PowerOfTwoChoices,
+        ] {
+            let policy = kind.build(7);
+            assert!(!policy.name().is_empty());
+        }
+        let c = ClusterConfig::small().with_placement(PlacementKind::CapacityWeighted);
+        assert_eq!(c.placement, PlacementKind::CapacityWeighted);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

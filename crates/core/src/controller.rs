@@ -4,9 +4,13 @@
 //! allocates memory at a coarse granularity, using large slabs ... off the
 //! critical path of the application. Each memory node has to register with
 //! the controller the amount of memory offered" (§4.1). We implement the
-//! centralized design the paper assumes.
+//! centralized design the paper assumes, with pluggable placement: the
+//! paper's round-robin default, plus capacity-aware policies
+//! (free-capacity-weighted and power-of-two-choices) for skewed racks.
 
+use kona_types::rng::{Rng, StdRng};
 use kona_types::{ByteSize, KonaError, RemoteAddr, Result};
+use std::fmt;
 
 /// A slab granted by the controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,9 +21,160 @@ pub struct SlabGrant {
     pub len: u64,
 }
 
-/// The centralized rack controller: tracks each node's registered pool and
-/// hands out slabs round-robin across nodes (spreading load, and giving
-/// replication distinct nodes to target).
+/// One live node's occupancy as reported by [`Controller::occupancy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeOccupancy {
+    /// The node id.
+    pub id: u32,
+    /// Position in the controller's registration order (stable; placement
+    /// policies use it for rotation).
+    pub index: usize,
+    /// Bytes currently granted out of this node.
+    pub used: u64,
+    /// The node's registered capacity in bytes.
+    pub capacity: u64,
+}
+
+impl NodeOccupancy {
+    /// Bytes not yet granted.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+}
+
+/// How the controller picks the node for the next slab grant.
+///
+/// Implementations are deterministic given their seed: the simulator's
+/// byte-identical replay guarantee extends through placement.
+pub trait PlacementPolicy: fmt::Debug + Send {
+    /// Short stable name (appears in experiment banners).
+    fn name(&self) -> &'static str;
+
+    /// Picks one of `candidates` (all eligible: live, not excluded, with a
+    /// free slab), returning an index into the slice. `total_nodes` is the
+    /// rack size including ineligible nodes, for rotation arithmetic.
+    fn pick(&mut self, candidates: &[NodeOccupancy], total_nodes: usize) -> usize;
+
+    /// Clones the policy behind the trait object (placement state and all),
+    /// so [`Controller`] stays `Clone` for checkpoint/replay.
+    fn clone_box(&self) -> Box<dyn PlacementPolicy>;
+}
+
+impl Clone for Box<dyn PlacementPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The paper's default: rotate over nodes in registration order.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl PlacementPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn pick(&mut self, candidates: &[NodeOccupancy], total_nodes: usize) -> usize {
+        let n = total_nodes.max(1);
+        let chosen = (0..candidates.len())
+            .min_by_key(|&i| (candidates[i].index + n - self.next % n) % n)
+            .expect("candidates is non-empty");
+        self.next = (candidates[chosen].index + 1) % n;
+        chosen
+    }
+
+    fn clone_box(&self) -> Box<dyn PlacementPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// Samples nodes with probability proportional to free capacity, so a
+/// half-empty node absorbs twice the grants of a three-quarters-full one
+/// and the rack fills evenly even when node sizes differ.
+#[derive(Debug, Clone)]
+pub struct CapacityWeighted {
+    rng: StdRng,
+}
+
+impl CapacityWeighted {
+    /// Creates the policy with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        CapacityWeighted {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl PlacementPolicy for CapacityWeighted {
+    fn name(&self) -> &'static str {
+        "capacity"
+    }
+
+    fn pick(&mut self, candidates: &[NodeOccupancy], _total_nodes: usize) -> usize {
+        let total_free: u64 = candidates.iter().map(|c| c.free()).sum();
+        if total_free == 0 {
+            return 0;
+        }
+        let mut ticket = self.rng.gen_range(0..total_free);
+        for (i, c) in candidates.iter().enumerate() {
+            if ticket < c.free() {
+                return i;
+            }
+            ticket -= c.free();
+        }
+        candidates.len() - 1
+    }
+
+    fn clone_box(&self) -> Box<dyn PlacementPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// Power-of-two-choices: sample two candidates uniformly, grant on the one
+/// with more free capacity. Near-balanced load with O(1) state — the
+/// classic d=2 result.
+#[derive(Debug, Clone)]
+pub struct PowerOfTwoChoices {
+    rng: StdRng,
+}
+
+impl PowerOfTwoChoices {
+    /// Creates the policy with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        PowerOfTwoChoices {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl PlacementPolicy for PowerOfTwoChoices {
+    fn name(&self) -> &'static str {
+        "p2c"
+    }
+
+    fn pick(&mut self, candidates: &[NodeOccupancy], _total_nodes: usize) -> usize {
+        let n = candidates.len();
+        let a = self.rng.gen_range(0..n as u64) as usize;
+        let b = self.rng.gen_range(0..n as u64) as usize;
+        if candidates[b].free() > candidates[a].free() {
+            b
+        } else {
+            a
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn PlacementPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// The centralized rack controller: tracks each node's registered pool,
+/// hands out slabs under a pluggable [`PlacementPolicy`] (round-robin by
+/// default), and reclaims freed slabs into per-node free lists so capacity
+/// cycles instead of ratcheting.
 ///
 /// # Examples
 ///
@@ -35,22 +190,26 @@ pub struct SlabGrant {
 #[derive(Debug, Clone)]
 pub struct Controller {
     slab_size: u64,
-    /// Per node: (id, next free offset, capacity).
     nodes: Vec<NodeState>,
-    next_node: usize,
+    policy: Box<dyn PlacementPolicy>,
     slabs_granted: u64,
+    slabs_reclaimed: u64,
 }
 
 #[derive(Debug, Clone)]
 struct NodeState {
     id: u32,
+    /// Next never-granted offset (bump allocation frontier).
     cursor: u64,
     capacity: u64,
     removed: bool,
+    /// Reclaimed slab offsets below `cursor`, reissued lowest-first.
+    free: Vec<u64>,
 }
 
 impl Controller {
-    /// Creates a controller granting slabs of `slab_size` bytes.
+    /// Creates a controller granting slabs of `slab_size` bytes under
+    /// round-robin placement.
     ///
     /// # Panics
     ///
@@ -60,14 +219,25 @@ impl Controller {
         Controller {
             slab_size,
             nodes: Vec::new(),
-            next_node: 0,
+            policy: Box::new(RoundRobin::default()),
             slabs_granted: 0,
+            slabs_reclaimed: 0,
         }
     }
 
     /// The configured slab size.
     pub fn slab_size(&self) -> u64 {
         self.slab_size
+    }
+
+    /// Replaces the placement policy (takes effect on the next grant).
+    pub fn set_policy(&mut self, policy: Box<dyn PlacementPolicy>) {
+        self.policy = policy;
+    }
+
+    /// The active placement policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 
     /// Registers a memory node offering `capacity` bytes.
@@ -77,6 +247,7 @@ impl Controller {
             cursor: 0,
             capacity,
             removed: false,
+            free: Vec::new(),
         });
     }
 
@@ -89,13 +260,25 @@ impl Controller {
         }
     }
 
+    /// Whether `id` is registered and not removed.
+    pub fn is_live(&self, id: u32) -> bool {
+        self.nodes.iter().any(|n| n.id == id && !n.removed)
+    }
+
+    fn node_used(&self, n: &NodeState) -> u64 {
+        n.cursor - n.free.len() as u64 * self.slab_size
+    }
+
     /// Bytes still allocatable across all live nodes.
     pub fn available(&self) -> ByteSize {
         ByteSize(
             self.nodes
                 .iter()
                 .filter(|n| !n.removed)
-                .map(|n| (n.capacity - n.cursor) / self.slab_size * self.slab_size)
+                .map(|n| {
+                    (n.capacity - n.cursor) / self.slab_size * self.slab_size
+                        + n.free.len() as u64 * self.slab_size
+                })
                 .sum(),
         )
     }
@@ -105,7 +288,37 @@ impl Controller {
         self.slabs_granted
     }
 
-    /// Allocates one slab, round-robin over live nodes with space.
+    /// Total slabs returned via [`Controller::free_slab`].
+    pub fn slabs_reclaimed(&self) -> u64 {
+        self.slabs_reclaimed
+    }
+
+    /// Per-node occupancy of every live node, in registration order.
+    pub fn occupancy(&self) -> Vec<NodeOccupancy> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.removed)
+            .map(|(index, n)| NodeOccupancy {
+                id: n.id,
+                index,
+                used: self.node_used(n),
+                capacity: n.capacity,
+            })
+            .collect()
+    }
+
+    /// Human-readable per-node occupancy, e.g.
+    /// `node0 4.0 MiB/4.0 MiB, node1 3.0 MiB/4.0 MiB`.
+    pub fn occupancy_summary(&self) -> String {
+        self.occupancy()
+            .iter()
+            .map(|o| format!("node{} {}/{}", o.id, ByteSize(o.used), ByteSize(o.capacity)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Allocates one slab on a node chosen by the placement policy.
     ///
     /// # Errors
     ///
@@ -121,31 +334,81 @@ impl Controller {
     /// # Errors
     ///
     /// Returns [`KonaError::OutOfRemoteMemory`] when no eligible node can
-    /// fit a slab.
+    /// fit a slab; the error carries a per-node occupancy summary.
     pub fn allocate_slab_excluding(&mut self, exclude: &[u32]) -> Result<SlabGrant> {
-        let n = self.nodes.len();
-        for i in 0..n {
-            let idx = (self.next_node + i) % n.max(1);
-            let node = &mut self.nodes[idx];
-            if node.removed
-                || exclude.contains(&node.id)
-                || node.cursor + self.slab_size > node.capacity
-            {
-                continue;
-            }
-            let grant = SlabGrant {
-                remote: RemoteAddr::new(node.id, node.cursor),
-                len: self.slab_size,
-            };
-            node.cursor += self.slab_size;
-            self.next_node = (idx + 1) % n;
-            self.slabs_granted += 1;
-            return Ok(grant);
+        let candidates: Vec<NodeOccupancy> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                !n.removed
+                    && !exclude.contains(&n.id)
+                    && (!n.free.is_empty() || n.cursor + self.slab_size <= n.capacity)
+            })
+            .map(|(index, n)| NodeOccupancy {
+                id: n.id,
+                index,
+                used: self.node_used(n),
+                capacity: n.capacity,
+            })
+            .collect();
+        if candidates.is_empty() {
+            return Err(KonaError::OutOfRemoteMemory {
+                requested: self.slab_size,
+                available: self.available().bytes(),
+                occupancy: self.occupancy_summary(),
+            });
         }
-        Err(KonaError::OutOfRemoteMemory {
-            requested: self.slab_size,
-            available: self.available().bytes(),
+        let chosen = self.policy.pick(&candidates, self.nodes.len());
+        debug_assert!(chosen < candidates.len(), "policy picked out of range");
+        let idx = candidates[chosen.min(candidates.len() - 1)].index;
+        let node = &mut self.nodes[idx];
+        let offset = if node.free.is_empty() {
+            let off = node.cursor;
+            node.cursor += self.slab_size;
+            off
+        } else {
+            // Reissue reclaimed slabs lowest-offset-first: deterministic,
+            // and keeps the touched footprint compact.
+            node.free.sort_unstable();
+            node.free.remove(0)
+        };
+        self.slabs_granted += 1;
+        Ok(SlabGrant {
+            remote: RemoteAddr::new(node.id, offset),
+            len: self.slab_size,
         })
+    }
+
+    /// Returns a previously granted slab to its node's free list, making
+    /// the capacity allocatable again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::UnknownMemoryNode`] if no node matches, and
+    /// [`KonaError::InvalidConfig`] for offsets that were never granted
+    /// (misaligned, beyond the frontier, or already free).
+    pub fn free_slab(&mut self, remote: RemoteAddr) -> Result<()> {
+        let slab = self.slab_size;
+        let node = self
+            .nodes
+            .iter_mut()
+            .find(|n| n.id == remote.node())
+            .ok_or(KonaError::UnknownMemoryNode(remote.node()))?;
+        let offset = remote.offset();
+        if !offset.is_multiple_of(slab) || offset + slab > node.cursor {
+            return Err(KonaError::InvalidConfig(format!(
+                "free of ungranted slab at {remote}"
+            )));
+        }
+        if node.free.contains(&offset) {
+            return Err(KonaError::InvalidConfig(format!(
+                "double free of slab at {remote}"
+            )));
+        }
+        node.free.push(offset);
+        self.slabs_reclaimed += 1;
+        Ok(())
     }
 }
 
@@ -181,6 +444,10 @@ mod tests {
         let err = c.allocate_slab().unwrap_err();
         assert!(matches!(err, KonaError::OutOfRemoteMemory { .. }));
         assert_eq!(c.available().bytes(), 0);
+        // The error names every node with its fill level.
+        let msg = err.to_string();
+        assert!(msg.contains("node0 4.0 MiB/4.0 MiB"), "got: {msg}");
+        assert!(msg.contains("node1"), "got: {msg}");
     }
 
     #[test]
@@ -199,6 +466,8 @@ mod tests {
             assert_eq!(c.allocate_slab().unwrap().remote.node(), 1);
         }
         assert!(c.allocate_slab().is_err());
+        assert!(!c.is_live(0));
+        assert!(c.is_live(1));
     }
 
     #[test]
@@ -212,5 +481,108 @@ mod tests {
         let mut c = Controller::new(1 << 20);
         c.register_node(0, (1 << 20) + 512);
         assert_eq!(c.available().bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn free_slab_recycles_capacity() {
+        let mut c = controller();
+        let grants: Vec<_> = (0..8).map(|_| c.allocate_slab().unwrap()).collect();
+        assert!(c.allocate_slab().is_err());
+        c.free_slab(grants[2].remote).unwrap();
+        c.free_slab(grants[5].remote).unwrap();
+        assert_eq!(c.available().bytes(), 2 << 20);
+        assert_eq!(c.slabs_reclaimed(), 2);
+        // Reissued slabs land exactly where the freed ones were.
+        let again = c.allocate_slab().unwrap();
+        assert!(grants[2..].iter().any(|g| g.remote == again.remote));
+        let again2 = c.allocate_slab().unwrap();
+        assert_ne!(again.remote, again2.remote);
+        assert!(c.allocate_slab().is_err());
+    }
+
+    #[test]
+    fn free_slab_rejects_bogus_and_double_free() {
+        let mut c = controller();
+        let g = c.allocate_slab().unwrap();
+        // Never-granted offset (beyond the frontier).
+        assert!(c.free_slab(RemoteAddr::new(0, 3 << 20)).is_err());
+        // Misaligned.
+        assert!(c.free_slab(RemoteAddr::new(g.remote.node(), 17)).is_err());
+        // Unknown node.
+        assert!(matches!(
+            c.free_slab(RemoteAddr::new(99, 0)),
+            Err(KonaError::UnknownMemoryNode(99))
+        ));
+        c.free_slab(g.remote).unwrap();
+        let err = c.free_slab(g.remote).unwrap_err();
+        assert!(err.to_string().contains("double free"), "got: {err}");
+    }
+
+    #[test]
+    fn occupancy_reports_live_nodes() {
+        let mut c = controller();
+        c.allocate_slab().unwrap();
+        c.allocate_slab().unwrap();
+        c.allocate_slab().unwrap();
+        let occ = c.occupancy();
+        assert_eq!(occ.len(), 2);
+        assert_eq!(occ[0].used + occ[1].used, 3 << 20);
+        assert!(occ.iter().all(|o| o.capacity == 4 << 20));
+        c.remove_node(1);
+        assert_eq!(c.occupancy().len(), 1);
+        assert!(c.occupancy_summary().starts_with("node0 "));
+    }
+
+    #[test]
+    fn capacity_weighted_prefers_empty_nodes() {
+        let mut c = Controller::new(1 << 20);
+        c.register_node(0, 64 << 20);
+        c.register_node(1, 4 << 20);
+        c.set_policy(Box::new(CapacityWeighted::new(7)));
+        assert_eq!(c.policy_name(), "capacity");
+        let mut on_big = 0;
+        for _ in 0..32 {
+            if c.allocate_slab().unwrap().remote.node() == 0 {
+                on_big += 1;
+            }
+        }
+        // The 16x-larger node should absorb the overwhelming majority.
+        assert!(on_big >= 24, "only {on_big}/32 grants on the large node");
+    }
+
+    #[test]
+    fn power_of_two_choices_balances() {
+        let mut c = Controller::new(1 << 20);
+        for id in 0..4 {
+            c.register_node(id, 16 << 20);
+        }
+        c.set_policy(Box::new(PowerOfTwoChoices::new(11)));
+        for _ in 0..32 {
+            c.allocate_slab().unwrap();
+        }
+        let occ = c.occupancy();
+        let max = occ.iter().map(|o| o.used).max().unwrap();
+        let min = occ.iter().map(|o| o.used).min().unwrap();
+        // d=2 keeps the spread tight: no node runs away from the pack.
+        assert!(max - min <= 6 << 20, "spread {}", (max - min) >> 20);
+    }
+
+    #[test]
+    fn policies_are_deterministic() {
+        for policy in 0..2 {
+            let mk = |seed: u64| -> Vec<u32> {
+                let mut c = Controller::new(1 << 20);
+                for id in 0..3 {
+                    c.register_node(id, 8 << 20);
+                }
+                c.set_policy(if policy == 0 {
+                    Box::new(CapacityWeighted::new(seed))
+                } else {
+                    Box::new(PowerOfTwoChoices::new(seed))
+                });
+                (0..12).map(|_| c.allocate_slab().unwrap().remote.node()).collect()
+            };
+            assert_eq!(mk(42), mk(42));
+        }
     }
 }

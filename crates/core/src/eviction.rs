@@ -114,6 +114,9 @@ pub struct EvictionStats {
     pub skipped_targets: u64,
     /// Degraded-mode flushes that combined all node logs into one chain.
     pub batched_flushes: u64,
+    /// Lost nodes whose data has been re-replicated elsewhere (the loss
+    /// budget regenerates by this much).
+    pub repaired_nodes: u64,
 }
 
 /// The eviction handler.
@@ -146,6 +149,15 @@ pub struct EvictionHandler {
     /// Nodes whose log was abandoned mid-run: their remote copy is stale,
     /// so they take no further writebacks and must not serve reads.
     lost_nodes: FxHashSet<u32>,
+    /// Lost nodes whose slabs have since been re-replicated onto healthy
+    /// nodes: they still take no writebacks, but they no longer consume
+    /// the loss budget (the K-way guarantee has been restored).
+    repaired_nodes: FxHashSet<u32>,
+    /// When `Some`, every successfully flushed `(node, time, encoded log)`
+    /// batch is journaled here for the cluster layer's memory-node
+    /// runtimes to ingest (log application is idempotent, so re-applying
+    /// the journal is safe).
+    journal: Option<Vec<(u32, Nanos, Vec<u8>)>>,
     /// Degraded mode: widen batching by combining every node's log into
     /// one chained post per flush cycle.
     degraded: bool,
@@ -175,6 +187,8 @@ impl EvictionHandler {
             rng: StdRng::seed_from_u64(RetryPolicy::default().seed ^ 0xE71C),
             max_node_losses: 0,
             lost_nodes: FxHashSet::default(),
+            repaired_nodes: FxHashSet::default(),
+            journal: None,
             degraded: false,
             pages_evicted: telemetry.counter(names::PAGES_EVICTED),
             writeback_bytes: telemetry.counter(names::WRITEBACK_BYTES),
@@ -232,6 +246,39 @@ impl EvictionHandler {
     /// is stale: the runtime must not fetch from them.
     pub fn lost_nodes(&self) -> &FxHashSet<u32> {
         &self.lost_nodes
+    }
+
+    /// Marks a lost node's data as re-replicated onto healthy nodes: the
+    /// node stays lost (no writebacks, no reads) but stops consuming the
+    /// loss budget, so a *further* node loss can again be absorbed.
+    pub fn note_node_repaired(&mut self, node: u32) {
+        if self.lost_nodes.contains(&node) && self.repaired_nodes.insert(node) {
+            self.stats.repaired_nodes += 1;
+        }
+    }
+
+    /// Lost nodes still counting against the loss budget (lost minus
+    /// repaired).
+    pub fn unrepaired_losses(&self) -> usize {
+        self.lost_nodes
+            .iter()
+            .filter(|n| !self.repaired_nodes.contains(n))
+            .count()
+    }
+
+    /// Starts journaling flushed log batches (see
+    /// [`EvictionHandler::drain_shipments`]).
+    pub fn enable_shipment_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// Drains the journal of successfully shipped `(node, flush time,
+    /// encoded log)` batches accumulated since the last drain. Empty when
+    /// journaling was never enabled.
+    pub fn drain_shipments(&mut self) -> Vec<(u32, Nanos, Vec<u8>)> {
+        self.journal.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// Accumulated phase breakdown.
@@ -424,7 +471,7 @@ impl EvictionHandler {
                     backoff_total += backoff;
                 }
                 Err(e) => {
-                    if e.is_transient() && self.lost_nodes.len() < self.max_node_losses {
+                    if e.is_transient() && self.unrepaired_losses() < self.max_node_losses {
                         self.lost_nodes.insert(node);
                         self.stats.abandoned_flushes += 1;
                         if self.logs.values().all(|l| l.used_bytes() == 0) {
@@ -439,6 +486,9 @@ impl EvictionHandler {
             }
         };
         self.breakdown.rdma_write += rdma_time;
+        if let Some(journal) = &mut self.journal {
+            journal.push((node, fabric.now(), encoded.clone()));
+        }
 
         // Remote thread unpacks and acknowledges. "The process is
         // asynchronous: the acknowledgment latency can be hidden by
@@ -557,7 +607,7 @@ impl EvictionHandler {
                 }
                 Err(e) => {
                     let lose = e.failed_node().filter(|_| {
-                        e.is_transient() && self.lost_nodes.len() < self.max_node_losses
+                        e.is_transient() && self.unrepaired_losses() < self.max_node_losses
                     });
                     let Some(node) = lose else {
                         self.telemetry.span_close(wb_span, backoff_total);
@@ -575,6 +625,12 @@ impl EvictionHandler {
             }
         };
         self.breakdown.rdma_write += rdma_time;
+        if let Some(journal) = &mut self.journal {
+            let now = fabric.now();
+            for (node, encoded) in &batch {
+                journal.push((*node, now, encoded.clone()));
+            }
+        }
 
         // Each receiver unpacks its own log; acks ride back together, so
         // only one verb round trip is charged for the whole batch.
@@ -954,6 +1010,107 @@ mod tests {
         // The whole cycle was one doorbell.
         assert_eq!(f.stats().posts, 1);
         assert!(!h.is_pending(0));
+    }
+
+    #[test]
+    fn shipment_journal_records_flushed_batches() {
+        let mut h = EvictionHandler::new(1 << 20, 65536);
+        h.enable_shipment_journal();
+        let mut f = fabric_with_nodes(2);
+        let mut p = Poller::new();
+        let mut page = vec![0u8; 4096];
+        page[..64].fill(0x21);
+        h.evict_page(
+            &victim(0, &[0]),
+            Some(&page),
+            RemoteAddr::new(0, 0),
+            &[RemoteAddr::new(1, 0)],
+            &mut f,
+            &mut p,
+        )
+        .unwrap();
+        assert!(h.drain_shipments().is_empty(), "nothing shipped yet");
+        h.flush_all(&mut f, &mut p).unwrap();
+        let shipped = h.drain_shipments();
+        assert_eq!(shipped.len(), 2, "one batch per node");
+        let mut nodes: Vec<u32> = shipped.iter().map(|(n, _, _)| *n).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![0, 1]);
+        // Journaled bytes are the encoded log: header + one line.
+        assert!(shipped.iter().all(|(_, _, enc)| enc.len() == 16 + 64));
+        // Drain empties the journal.
+        assert!(h.drain_shipments().is_empty());
+        // Journaling is opt-in: a fresh handler journals nothing.
+        let mut h2 = EvictionHandler::new(1 << 20, 65536);
+        let mut f2 = fabric_with_nodes(1);
+        h2.evict_page(&victim(0, &[0]), Some(&page), RemoteAddr::new(0, 0), &[], &mut f2, &mut p)
+            .unwrap();
+        h2.flush_all(&mut f2, &mut p).unwrap();
+        assert!(h2.drain_shipments().is_empty());
+    }
+
+    #[test]
+    fn repaired_node_replenishes_loss_budget() {
+        use kona_net::{FaultInjector, FaultPlan};
+        let mut h = EvictionHandler::new(1 << 20, 65536);
+        h.set_retry_policy(RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        });
+        h.set_max_node_losses(1);
+        let mut f = fabric_with_nodes(3);
+        f.set_fault_injector(FaultInjector::new(
+            FaultPlan::calm(7)
+                .with_crash(0, Nanos::ZERO)
+                .with_crash(1, Nanos::ZERO),
+        ));
+        let mut p = Poller::new();
+        let mut page = vec![0u8; 4096];
+        page[..64].fill(0x44);
+        h.evict_page(
+            &victim(0, &[0]),
+            Some(&page),
+            RemoteAddr::new(0, 0),
+            &[RemoteAddr::new(2, 0)],
+            &mut f,
+            &mut p,
+        )
+        .unwrap();
+        h.flush_all(&mut f, &mut p).unwrap();
+        assert!(h.lost_nodes().contains(&0));
+        assert_eq!(h.unrepaired_losses(), 1);
+        // Budget exhausted: losing node 1 now would be fatal ...
+        h.evict_page(
+            &victim(1, &[0]),
+            Some(&page),
+            RemoteAddr::new(1, 0),
+            &[RemoteAddr::new(2, 4096)],
+            &mut f,
+            &mut p,
+        )
+        .unwrap();
+        assert!(h.flush_all(&mut f, &mut p).is_err());
+        // ... but after re-replication repairs node 0, the budget
+        // regenerates and node 1's loss is absorbed.
+        h.note_node_repaired(0);
+        assert_eq!(h.unrepaired_losses(), 0);
+        assert_eq!(h.stats().repaired_nodes, 1);
+        h.evict_page(
+            &victim(2, &[0]),
+            Some(&page),
+            RemoteAddr::new(1, 8192),
+            &[RemoteAddr::new(2, 8192)],
+            &mut f,
+            &mut p,
+        )
+        .unwrap();
+        h.flush_all(&mut f, &mut p).unwrap();
+        assert!(h.lost_nodes().contains(&1));
+        assert_eq!(h.unrepaired_losses(), 1);
+        assert_eq!(f.node(2).unwrap().read_bytes(8192, 64), &[0x44; 64][..]);
+        // Repairing an unknown node is a no-op.
+        h.note_node_repaired(99);
+        assert_eq!(h.stats().repaired_nodes, 1);
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub struct PolicyCounts {
     pub mce: u64,
     /// Failures routed through the page-fault fallback.
     pub fallback: u64,
+    /// Slabs re-replicated onto healthy nodes after a permanent node
+    /// loss (the cluster layer's repair protocol).
+    pub rereplications: u64,
 }
 
 /// Failure bookkeeping shared by the runtime.
@@ -178,6 +181,11 @@ impl FailureState {
     /// the whole point of the fallback is that no MCE is raised.
     pub fn note_fallback(&mut self) {
         self.counts.fallback += 1;
+    }
+
+    /// Counts one slab re-replicated after a permanent node loss.
+    pub fn note_rereplication(&mut self) {
+        self.counts.rereplications += 1;
     }
 
     /// Drops all retained events (counters are preserved).

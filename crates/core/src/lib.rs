@@ -64,8 +64,11 @@ mod stats;
 mod vm_runtime;
 
 pub use alloc::SlabAllocator;
-pub use config::{ClusterConfig, DataMode, DegradedConfig, LatencyProfile, RetryPolicy};
-pub use controller::{Controller, SlabGrant};
+pub use config::{ClusterConfig, DataMode, DegradedConfig, LatencyProfile, PlacementKind, RetryPolicy};
+pub use controller::{
+    CapacityWeighted, Controller, NodeOccupancy, PlacementPolicy, PowerOfTwoChoices, RoundRobin,
+    SlabGrant,
+};
 pub use eviction::{CopyEngine, EvictionBreakdown, EvictionHandler, EvictionStats};
 pub use failure::{FailurePolicy, FailureState, McEvent, PolicyCounts};
 pub use log::{CacheLineLog, LogEntry, LogReceiver, ReceiverReport};

@@ -48,6 +48,11 @@ pub mod names {
     pub const DEGRADED_ENTRIES: &str = "kona.degraded_entries";
     /// Page-fault-fallback waits that rode out a scheduled outage.
     pub const FALLBACK_WAITS: &str = "kona.fallback_waits";
+    /// Bytes copied between memory nodes by slab migration and
+    /// re-replication (rebalance traffic; Kona only).
+    pub const MIGRATION_BYTES: &str = "kona.migration_bytes";
+    /// Slabs re-replicated after a permanent node loss (Kona only).
+    pub const REREPLICATIONS: &str = "kona.rereplications";
     /// Remote-fetch latency histogram, in nanoseconds.
     pub const FETCH_NS: &str = "kona.fetch_ns";
     /// Per-page eviction latency histogram, in nanoseconds.
@@ -80,6 +85,8 @@ pub(crate) struct RuntimeCounters {
     pub failovers: Counter,
     pub degraded_entries: Counter,
     pub fallback_waits: Counter,
+    pub migration_bytes: Counter,
+    pub rereplications: Counter,
 }
 
 impl RuntimeCounters {
@@ -102,6 +109,8 @@ impl RuntimeCounters {
             failovers: telemetry.counter(names::FAILOVERS),
             degraded_entries: telemetry.counter(names::DEGRADED_ENTRIES),
             fallback_waits: telemetry.counter(names::FALLBACK_WAITS),
+            migration_bytes: telemetry.counter(names::MIGRATION_BYTES),
+            rereplications: telemetry.counter(names::REREPLICATIONS),
         }
     }
 
@@ -146,6 +155,8 @@ impl RuntimeCounters {
             failovers: self.failovers.get(),
             degraded_entries: self.degraded_entries.get(),
             fallback_waits: self.fallback_waits.get(),
+            migration_bytes: self.migration_bytes.get(),
+            rereplications: self.rereplications.get(),
         }
     }
 }

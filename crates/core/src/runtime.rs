@@ -2,7 +2,7 @@
 
 use crate::alloc::SlabAllocator;
 use crate::config::{ClusterConfig, DataMode};
-use crate::controller::Controller;
+use crate::controller::{Controller, NodeOccupancy};
 use crate::eviction::EvictionHandler;
 use crate::failure::{FailurePolicy, FailureState, McEvent};
 use crate::metrics::{names, RuntimeCounters};
@@ -121,6 +121,11 @@ pub struct KonaRuntime {
     /// Whether degraded mode is currently applied to the components
     /// (prefetch shedding, widened eviction batching).
     degraded_active: bool,
+    /// Whether a new node abandonment immediately triggers
+    /// [`KonaRuntime::repair_lost_nodes`] (the cluster control plane
+    /// turns this on; off by default to keep single-rack behaviour
+    /// identical to earlier revisions).
+    auto_repair: bool,
     /// Black-box dumps (flight traces + fault log) captured at recovery
     /// milestones; bounded to the most recent few.
     flight_dumps: Vec<String>,
@@ -152,6 +157,7 @@ impl KonaRuntime {
         config.validate()?;
         let mut fabric = Fabric::new(NetworkModel::connectx5());
         let mut controller = Controller::new(config.slab_size.bytes());
+        controller.set_policy(config.placement.build(config.retry.seed ^ 0x70AC));
         let data_capacity = config.node_capacity.bytes();
         let log_capacity = config.log_capacity.bytes();
         for id in 0..config.memory_nodes {
@@ -200,6 +206,7 @@ impl KonaRuntime {
             config,
             next_wr_id: 0,
             degraded_active: false,
+            auto_repair: false,
             flight_dumps: Vec::new(),
             seen_abandoned: 0,
         })
@@ -325,6 +332,12 @@ impl KonaRuntime {
         if abandoned > self.seen_abandoned {
             self.seen_abandoned = abandoned;
             self.note_flight_dump("node_abandoned");
+            if self.auto_repair {
+                // Best-effort: grant exhaustion leaves the affected slabs
+                // observably under-replicated for the control plane's
+                // next sweep to retry.
+                let _ = self.repair_lost_nodes();
+            }
         }
     }
 
@@ -727,6 +740,13 @@ impl RemoteMemoryRuntime for KonaRuntime {
     }
 
     fn free(&mut self, addr: VirtAddr, bytes: u64) {
+        // Mirror of `allocate`: whole-slab allocations hand their slabs
+        // back to the rack controller; AllocLib objects go back on their
+        // size-class free list.
+        if bytes > self.config.slab_size.bytes() / 2 {
+            self.reclaim_slabs(addr, bytes);
+            return;
+        }
         self.allocator.free(VfMemAddr::new(addr.raw()), bytes);
     }
 
@@ -861,6 +881,398 @@ impl KonaRuntime {
         self.check_abandoned();
         self.counters.charge_app(elapsed);
         Ok(elapsed)
+    }
+}
+
+/// Cluster control-plane operations: occupancy accounting, slab
+/// migration, rebalancing and post-crash re-replication. These are the
+/// rack-scale duties the paper assigns to the memory controller (§4.5);
+/// `kona-cluster` drives them from its control plane.
+impl KonaRuntime {
+    /// Chunk size for slab copies over the fabric (matches the eviction
+    /// log's batching granularity).
+    const COPY_CHUNK: u64 = 64 * 1024;
+
+    /// Turns automatic re-replication after a node abandonment on or
+    /// off. Off by default so single-rack behaviour matches earlier
+    /// revisions; the cluster control plane turns it on.
+    pub fn set_auto_repair(&mut self, on: bool) {
+        self.auto_repair = on;
+    }
+
+    /// Per-node occupancy as accounted by the rack controller.
+    pub fn node_occupancy(&self) -> Vec<NodeOccupancy> {
+        self.controller.occupancy()
+    }
+
+    /// Human-readable controller occupancy (for logs and error text).
+    pub fn occupancy_summary(&self) -> String {
+        self.controller.occupancy_summary()
+    }
+
+    /// Name of the active placement policy.
+    pub fn placement_name(&self) -> &'static str {
+        self.controller.policy_name()
+    }
+
+    /// Bases and lengths of the currently mapped slabs.
+    pub fn slab_map(&self) -> Vec<(u64, u64)> {
+        self.slabs.iter().map(|(&b, i)| (b, i.len)).collect()
+    }
+
+    /// Opts in to journaling flushed cache-line-log batches so the
+    /// cluster layer can replay them into per-node memory runtimes.
+    pub fn enable_shipment_journal(&mut self) {
+        self.eviction.enable_shipment_journal();
+    }
+
+    /// Drains the journaled `(node, flush time, encoded batch)`
+    /// shipments accumulated since the last drain.
+    pub fn drain_log_shipments(&mut self) -> Vec<(u32, Nanos, Vec<u8>)> {
+        self.eviction.drain_shipments()
+    }
+
+    /// Slabs currently missing part of their replication budget: the
+    /// primary or a replica sits on a lost node, or the replica list is
+    /// short of `replicas - 1`.
+    pub fn under_replicated_slabs(&self) -> usize {
+        let lost = self.eviction.lost_nodes();
+        let want = self.config.replicas.saturating_sub(1);
+        self.slabs
+            .iter()
+            .filter(|&(&base, info)| {
+                let primary_bad = self
+                    .fpga
+                    .translate_page(VfMemAddr::new(base).page_number())
+                    .map(|r| lost.contains(&r.node()))
+                    .unwrap_or(true);
+                primary_bad
+                    || info.replicas.len() < want
+                    || info.replicas.iter().any(|r| lost.contains(&r.node()))
+            })
+            .count()
+    }
+
+    /// Moves the slab at `base` (a slab base address) to a node chosen
+    /// by the placement policy among nodes not already hosting a copy.
+    /// The image is copied over the fabric, translation repoints to the
+    /// new location, and the vacated slab returns to its node's free
+    /// list. Returns the bytes moved.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `base` maps no slab, no eligible node has capacity, or
+    /// the copy hits an unrecoverable network failure (the original
+    /// placement is kept in that case).
+    pub fn migrate_slab(&mut self, base: u64) -> Result<u64> {
+        self.migrate_slab_to(VfMemAddr::new(base), &[])
+            .map(|(bytes, _)| bytes)
+    }
+
+    /// Migrates slabs off the fullest node until the occupancy gap
+    /// between the fullest and emptiest live nodes is at most
+    /// `max_skew_slabs` slabs (floored at one slab — a one-slab gap
+    /// cannot be improved by moving a slab). Each move targets the
+    /// emptiest node. Returns the total bytes moved.
+    ///
+    /// # Errors
+    ///
+    /// As for [`KonaRuntime::migrate_slab`]; slabs moved before the
+    /// error stay moved.
+    pub fn rebalance(&mut self, max_skew_slabs: u64) -> Result<u64> {
+        let span = self.telemetry.span_open(Track::Cluster, EventKind::Rebalance);
+        match self.rebalance_inner(max_skew_slabs) {
+            Ok((moved, t)) => {
+                self.telemetry.span_close(span, t);
+                Ok(moved)
+            }
+            Err(e) => {
+                self.telemetry.span_close(span, Nanos::ZERO);
+                Err(e)
+            }
+        }
+    }
+
+    fn rebalance_inner(&mut self, max_skew_slabs: u64) -> Result<(u64, Nanos)> {
+        let slab = self.config.slab_size.bytes();
+        let mut moved = 0u64;
+        let mut elapsed = Nanos::ZERO;
+        // Bounded sweep: each move shrinks the gap by one slab, so this
+        // only guards against pathological configurations.
+        for _ in 0..64 {
+            let occ = self.controller.occupancy();
+            if occ.len() < 2 {
+                break;
+            }
+            let fullest = *occ
+                .iter()
+                .max_by_key(|o| (o.used, std::cmp::Reverse(o.id)))
+                .expect("occupancy non-empty");
+            let emptiest = *occ
+                .iter()
+                .min_by_key(|o| (o.used, o.id))
+                .expect("occupancy non-empty");
+            // A gap of one slab is the balance floor: moving a slab
+            // across it just flips which node is fullest.
+            let floor = max_skew_slabs.max(1);
+            if fullest.used.saturating_sub(emptiest.used) <= floor.saturating_mul(slab) {
+                break;
+            }
+            // First slab whose primary lives on the fullest node.
+            let candidate = self.slabs.keys().copied().find(|&b| {
+                self.fpga
+                    .translate_page(VfMemAddr::new(b).page_number())
+                    .map(|r| r.node() == fullest.id)
+                    .unwrap_or(false)
+            });
+            let Some(base) = candidate else { break };
+            // Steer the move to the emptiest node by excluding the rest.
+            let exclude: Vec<u32> = occ
+                .iter()
+                .map(|o| o.id)
+                .filter(|&id| id != emptiest.id)
+                .collect();
+            let (bytes, t) = self.migrate_slab_to(VfMemAddr::new(base), &exclude)?;
+            moved += bytes;
+            elapsed += t;
+        }
+        Ok((moved, elapsed))
+    }
+
+    fn migrate_slab_to(&mut self, base: VfMemAddr, exclude: &[u32]) -> Result<(u64, Nanos)> {
+        let info = self
+            .slabs
+            .get(&base.raw())
+            .cloned()
+            .ok_or_else(|| KonaError::InvalidConfig(format!("no slab at {:#x}", base.raw())))?;
+        // Unflushed log entries carry pre-resolved remote addresses, so
+        // push them to the old location before copying its image.
+        let mut elapsed = self
+            .eviction
+            .flush_all(&mut self.fabric, &mut self.poller)?;
+        self.check_abandoned();
+        let src = self.fpga.translate_page(base.page_number())?;
+        let mut hosts: Vec<u32> = vec![src.node()];
+        hosts.extend(info.replicas.iter().map(|r| r.node()));
+        hosts.extend_from_slice(exclude);
+        let grant = self.controller.allocate_slab_excluding(&hosts)?;
+        let span = self.telemetry.span_open(Track::Cluster, EventKind::Migration);
+        match self.copy_remote(src, grant.remote, info.len) {
+            Ok(t) => {
+                self.telemetry.span_close(span, t);
+                self.counters.charge_background(t);
+                elapsed += t;
+            }
+            Err(e) => {
+                self.telemetry.span_close(span, Nanos::ZERO);
+                let _ = self.controller.free_slab(grant.remote);
+                return Err(e);
+            }
+        }
+        self.fpga.translation_mut().unregister(base);
+        self.fpga
+            .translation_mut()
+            .register(base, info.len, grant.remote)?;
+        let _ = self.controller.free_slab(src);
+        self.counters.migration_bytes.add(info.len);
+        Ok((info.len, elapsed))
+    }
+
+    /// Re-replicates every slab that references a lost node, restoring
+    /// the configured K-way budget (the lost-node protocol extended to
+    /// the rack: the control plane re-creates the lost copies on healthy
+    /// nodes).
+    ///
+    /// Lost nodes are first withdrawn from the controller so replacement
+    /// grants never land on them. For each affected slab a healthy copy
+    /// is the source — a surviving replica is promoted to primary when
+    /// the primary itself was lost — and the image is copied to a fresh
+    /// grant over the fabric. Once a lost node no longer backs any slab
+    /// it is marked repaired, which replenishes the eviction handler's
+    /// loss budget. Returns the number of replacement copies created.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grant exhaustion and unrecoverable network failures;
+    /// slabs repaired before the error stay repaired, and the remainder
+    /// stay visible through [`KonaRuntime::under_replicated_slabs`].
+    pub fn repair_lost_nodes(&mut self) -> Result<u64> {
+        let lost = self.eviction.lost_nodes().clone();
+        if lost.is_empty() {
+            return Ok(0);
+        }
+        // Stop granting on lost nodes before placing any replacement.
+        for &n in &lost {
+            self.controller.remove_node(n);
+        }
+        // Push pending log entries to the survivors so copied images are
+        // current. Failures here are exactly what repair absorbs.
+        if let Ok(t) = self.eviction.flush_all(&mut self.fabric, &mut self.poller) {
+            self.counters.charge_background(t);
+        }
+        let mut created = 0u64;
+        let bases: Vec<u64> = self.slabs.keys().copied().collect();
+        for base_raw in bases {
+            let base = VfMemAddr::new(base_raw);
+            let info = self.slabs.get(&base_raw).cloned().expect("slab exists");
+            let primary = self.fpga.translate_page(base.page_number())?;
+            let primary_lost = lost.contains(&primary.node());
+            let replica_lost = info.replicas.iter().any(|r| lost.contains(&r.node()));
+            if !primary_lost && !replica_lost {
+                continue;
+            }
+            let mut replicas = info.replicas.clone();
+            let mut source = primary;
+            if primary_lost {
+                let Some(idx) = replicas.iter().position(|r| !lost.contains(&r.node()))
+                else {
+                    // Every copy was lost: nothing to copy from. Leave
+                    // the slab in place so the loss stays observable.
+                    continue;
+                };
+                source = replicas.remove(idx);
+                self.fpga.translation_mut().unregister(base);
+                self.fpga.translation_mut().register(base, info.len, source)?;
+            }
+            replicas.retain(|r| !lost.contains(&r.node()));
+            self.slabs
+                .get_mut(&base_raw)
+                .expect("slab exists")
+                .replicas = replicas.clone();
+            let want = self.config.replicas.saturating_sub(1);
+            while replicas.len() < want {
+                let mut hosts: Vec<u32> = vec![source.node()];
+                hosts.extend(replicas.iter().map(|r| r.node()));
+                let grant = self.controller.allocate_slab_excluding(&hosts)?;
+                let span = self.telemetry.span_open(Track::Cluster, EventKind::Migration);
+                match self.copy_remote(source, grant.remote, info.len) {
+                    Ok(t) => {
+                        self.telemetry.span_close(span, t);
+                        self.counters.charge_background(t);
+                    }
+                    Err(e) => {
+                        self.telemetry.span_close(span, Nanos::ZERO);
+                        let _ = self.controller.free_slab(grant.remote);
+                        return Err(e);
+                    }
+                }
+                self.counters.migration_bytes.add(info.len);
+                self.counters.rereplications.inc();
+                self.failure.note_rereplication();
+                replicas.push(grant.remote);
+                self.slabs
+                    .get_mut(&base_raw)
+                    .expect("slab exists")
+                    .replicas = replicas.clone();
+                created += 1;
+            }
+        }
+        // A lost node with no remaining references is fully evacuated;
+        // repairing it replenishes the eviction handler's loss budget.
+        let mut evacuated: Vec<u32> = lost.into_iter().collect();
+        evacuated.sort_unstable();
+        for n in evacuated {
+            if !self.slab_references_node(n) {
+                self.eviction.note_node_repaired(n);
+            }
+        }
+        Ok(created)
+    }
+
+    fn slab_references_node(&self, node: u32) -> bool {
+        self.slabs.iter().any(|(&base, info)| {
+            self.fpga
+                .translate_page(VfMemAddr::new(base).page_number())
+                .map(|r| r.node() == node)
+                .unwrap_or(false)
+                || info.replicas.iter().any(|r| r.node() == node)
+        })
+    }
+
+    /// Copies `len` bytes from `src` to `dst` over the fabric in
+    /// [`KonaRuntime::COPY_CHUNK`] pieces (RDMA read from the survivor,
+    /// write to the replacement), retrying transient faults under the
+    /// cluster's retry policy.
+    fn copy_remote(&mut self, src: RemoteAddr, dst: RemoteAddr, len: u64) -> Result<Nanos> {
+        let mut elapsed = Nanos::ZERO;
+        let mut off = 0u64;
+        while off < len {
+            let chunk = Self::COPY_CHUNK.min(len - off);
+            let (t_read, completions) =
+                self.post_retrying(|id| WorkRequest::read(id, src.add(off), chunk).signaled())?;
+            elapsed += t_read;
+            let data = completions
+                .first()
+                .map(|c| c.data.to_vec())
+                .unwrap_or_else(|| vec![0; chunk as usize]);
+            let (t_write, _) = self
+                .post_retrying(|id| WorkRequest::write(id, dst.add(off), data.clone()).signaled())?;
+            elapsed += t_write;
+            off += chunk;
+        }
+        Ok(elapsed)
+    }
+
+    /// Posts one work request, retrying transient failures with the
+    /// retry policy's backoff (no failover: the caller picks targets).
+    fn post_retrying<F>(&mut self, mut make: F) -> Result<(Nanos, Vec<kona_net::Completion>)>
+    where
+        F: FnMut(u64) -> WorkRequest,
+    {
+        let retry = self.config.retry.clone();
+        let mut attempt = 0u32;
+        let mut waited = Nanos::ZERO;
+        loop {
+            let id = self.wr_id();
+            match self.poller.post_and_poll(&mut self.fabric, vec![make(id)]) {
+                Ok((t, completions)) => return Ok((waited + t, completions)),
+                Err(e) if e.is_transient() && attempt + 1 < retry.max_attempts => {
+                    self.counters.retries.inc();
+                    let backoff = retry.backoff_for(attempt, self.failure.rng_mut());
+                    attempt += 1;
+                    self.counters.backoff_ns.add(backoff.as_ns());
+                    self.fabric.advance_time(backoff);
+                    waited += backoff;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Returns the whole-slab allocation at `addr` to the controller:
+    /// pending log entries are flushed (they carry pre-resolved remote
+    /// addresses that must not land in a re-granted slab), resident
+    /// pages are dropped without writeback, translation entries are
+    /// withdrawn, and every backing slab — primary and replicas — goes
+    /// back on its node's free list for reuse.
+    fn reclaim_slabs(&mut self, addr: VirtAddr, bytes: u64) {
+        if let Ok(t) = self.eviction.flush_all(&mut self.fabric, &mut self.poller) {
+            self.counters.charge_background(t);
+        }
+        self.check_abandoned();
+        let slab = self.config.slab_size.bytes();
+        let count = bytes.div_ceil(slab);
+        for k in 0..count {
+            let base = addr.raw() + k * slab;
+            let Some(info) = self.slabs.remove(&base) else {
+                continue;
+            };
+            let mut page = base;
+            while page < base + info.len {
+                let pn = VfMemAddr::new(page).page_number();
+                if self.fpga.fmem_resident(pn) {
+                    let _ = self.fpga.evict_page(pn);
+                }
+                self.local_pages.remove(&pn.raw());
+                page += PAGE_SIZE_4K;
+            }
+            if let Some(primary) = self.fpga.translation_mut().unregister(VfMemAddr::new(base)) {
+                let _ = self.controller.free_slab(primary);
+            }
+            for r in info.replicas {
+                let _ = self.controller.free_slab(r);
+            }
+        }
     }
 }
 

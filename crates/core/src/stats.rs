@@ -42,6 +42,11 @@ pub struct RuntimeStats {
     pub degraded_entries: u64,
     /// Page-fault-fallback waits that rode out a scheduled outage.
     pub fallback_waits: u64,
+    /// Bytes copied between memory nodes by slab migration and
+    /// re-replication (rebalance traffic; Kona only).
+    pub migration_bytes: u64,
+    /// Slabs re-replicated after a permanent node loss (Kona only).
+    pub rereplications: u64,
 }
 
 impl RuntimeStats {
@@ -90,6 +95,8 @@ impl RuntimeStats {
         self.failovers += other.failovers;
         self.degraded_entries += other.degraded_entries;
         self.fallback_waits += other.fallback_waits;
+        self.migration_bytes += other.migration_bytes;
+        self.rereplications += other.rereplications;
     }
 }
 
@@ -125,7 +132,7 @@ impl fmt::Display for RuntimeStats {
             self.prefetches,
             self.mce_events
         )?;
-        write!(
+        writeln!(
             f,
             "retries {} (backoff {})  failovers {}  degraded entries {}  \
              fallback waits {}",
@@ -134,6 +141,11 @@ impl fmt::Display for RuntimeStats {
             self.failovers,
             self.degraded_entries,
             self.fallback_waits
+        )?;
+        write!(
+            f,
+            "migration {} B  rereplications {}",
+            self.migration_bytes, self.rereplications
         )
     }
 }

@@ -215,6 +215,20 @@ impl Fabric {
         Ok(())
     }
 
+    /// Deregisters `[offset, offset+len)` on node `id`: verbs touching the
+    /// range fail afterwards (regions straddling the edges are split).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KonaError::UnknownMemoryNode`] if the node does not exist.
+    pub fn deregister(&mut self, id: u32, offset: u64, len: u64) -> Result<()> {
+        self.nodes
+            .get_mut(&id)
+            .ok_or(KonaError::UnknownMemoryNode(id))?
+            .deregister(offset, len);
+        Ok(())
+    }
+
     /// Immutable access to a node's memory.
     pub fn node(&self, id: u32) -> Option<&NodeMemory> {
         self.nodes.get(&id)

@@ -22,7 +22,9 @@ use kona_types::{KonaError, RemoteAddr, Result};
 pub struct NodeMemory {
     id: u32,
     bytes: Vec<u8>,
-    /// Registered `(offset, len)` ranges, kept sorted by offset.
+    /// Registered `(offset, len)` ranges: sorted by offset, disjoint and
+    /// non-adjacent (overlapping or touching registrations coalesce), so
+    /// membership checks can binary-search.
     regions: Vec<(u64, u64)>,
 }
 
@@ -46,7 +48,9 @@ impl NodeMemory {
         self.bytes.len() as u64
     }
 
-    /// Registers `[offset, offset + len)` for RDMA access.
+    /// Registers `[offset, offset + len)` for RDMA access. Overlapping or
+    /// adjacent registrations coalesce into one region (as a NIC merges
+    /// MRs covering the same pages), keeping the region list minimal.
     ///
     /// # Panics
     ///
@@ -56,20 +60,67 @@ impl NodeMemory {
             offset + len <= self.capacity(),
             "registration beyond pool capacity"
         );
+        if len == 0 {
+            return;
+        }
         self.regions.push((offset, len));
         self.regions.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.regions.len());
+        for &(start, rlen) in &self.regions {
+            match merged.last_mut() {
+                Some((mstart, mlen)) if start <= *mstart + *mlen => {
+                    *mlen = (*mlen).max(start + rlen - *mstart);
+                }
+                _ => merged.push((start, rlen)),
+            }
+        }
+        self.regions = merged;
+    }
+
+    /// Deregisters `[offset, offset + len)`: any registered coverage
+    /// intersecting the range is removed, splitting regions that straddle
+    /// its edges. Deregistering unregistered bytes is a no-op.
+    pub fn deregister(&mut self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let end = offset + len;
+        let mut next: Vec<(u64, u64)> = Vec::with_capacity(self.regions.len() + 1);
+        for &(start, rlen) in &self.regions {
+            let rend = start + rlen;
+            if rend <= offset || start >= end {
+                next.push((start, rlen));
+                continue;
+            }
+            if start < offset {
+                next.push((start, offset - start));
+            }
+            if rend > end {
+                next.push((end, rend - end));
+            }
+        }
+        self.regions = next;
+    }
+
+    /// Registered regions currently in effect (sorted, disjoint).
+    pub fn regions(&self) -> &[(u64, u64)] {
+        &self.regions
     }
 
     /// Checks that `[offset, offset+len)` lies inside one registered region.
+    ///
+    /// Regions are sorted and disjoint, so the candidate region — the last
+    /// one starting at or before `offset` — is found by binary search.
     ///
     /// # Errors
     ///
     /// Returns [`KonaError::UnregisteredMemory`] otherwise.
     pub fn check_registered(&self, offset: u64, len: u64) -> Result<()> {
-        let covered = self
-            .regions
-            .iter()
-            .any(|&(start, rlen)| offset >= start && offset + len <= start + rlen);
+        let idx = self.regions.partition_point(|&(start, _)| start <= offset);
+        let covered = idx > 0 && {
+            let (start, rlen) = self.regions[idx - 1];
+            offset + len <= start + rlen
+        };
         if covered {
             Ok(())
         } else {
@@ -177,5 +228,79 @@ mod tests {
         assert!(n.check_registered(64, 64).is_ok());
         assert!(n.check_registered(600, 100).is_ok());
         assert!(n.check_registered(200, 8).is_err());
+    }
+
+    #[test]
+    fn overlapping_registrations_coalesce() {
+        let mut n = NodeMemory::new(0, 1024);
+        n.register(0, 128);
+        n.register(64, 128); // overlaps the first
+        n.register(192, 64); // adjacent to the merged region
+        assert_eq!(n.regions(), &[(0, 256)]);
+        // A transfer spanning the old region boundaries now passes.
+        assert!(n.check_registered(100, 150).is_ok());
+        assert!(n.check_registered(0, 257).is_err());
+        // Containment and duplicates add nothing.
+        n.register(32, 8);
+        n.register(0, 256);
+        assert_eq!(n.regions(), &[(0, 256)]);
+        n.register(0, 0); // zero-length no-op
+        assert_eq!(n.regions(), &[(0, 256)]);
+    }
+
+    #[test]
+    fn deregister_removes_and_splits() {
+        let mut n = NodeMemory::new(0, 1024);
+        n.register(0, 512);
+        // Punch a hole in the middle: the region splits in two.
+        n.deregister(128, 64);
+        assert_eq!(n.regions(), &[(0, 128), (192, 320)]);
+        assert!(n.check_registered(0, 128).is_ok());
+        assert!(n.check_registered(128, 64).is_err());
+        assert!(n.check_registered(192, 320).is_ok());
+        assert!(n.check_registered(100, 100).is_err()); // straddles the hole
+        // Trim an edge.
+        n.deregister(0, 64);
+        assert_eq!(n.regions(), &[(64, 64), (192, 320)]);
+        // Remove across several regions at once.
+        n.deregister(0, 1024);
+        assert!(n.regions().is_empty());
+        assert!(n.check_registered(64, 1).is_err());
+        // Deregistering nothing is a no-op.
+        n.deregister(0, 0);
+        n.deregister(900, 100);
+        assert!(n.regions().is_empty());
+    }
+
+    #[test]
+    fn check_registered_binary_search_agrees_with_scan() {
+        use kona_types::rng::{Rng, StdRng};
+        let mut rng = StdRng::seed_from_u64(0xC0A1);
+        for _ in 0..32 {
+            let mut n = NodeMemory::new(0, 4096);
+            let mut naive: Vec<(u64, u64)> = Vec::new();
+            for _ in 0..rng.gen_range(1usize..8) {
+                let start = rng.gen_range(0u64..4000);
+                let len = rng.gen_range(1u64..=(4096 - start).min(400));
+                n.register(start, len);
+                naive.push((start, len));
+            }
+            for _ in 0..64 {
+                let off = rng.gen_range(0u64..4096);
+                let len = rng.gen_range(1u64..=(4096 - off).min(256));
+                let scan = naive
+                    .iter()
+                    .any(|&(s, l)| off >= s && off + len <= s + l);
+                // The coalesced form may cover *more* than any single naive
+                // region (adjacent merges), never less.
+                let fast = n.check_registered(off, len).is_ok();
+                if scan {
+                    assert!(fast, "covered range rejected at {off}+{len}");
+                }
+                if !fast {
+                    assert!(!scan);
+                }
+            }
+        }
     }
 }

@@ -23,6 +23,10 @@ pub enum Track {
     /// The network fabric: posted verb chains and injected faults. Spans
     /// here are *charged* to the thread that posted them (see `trace.rs`).
     Net,
+    /// The cluster control plane and memory-node runtimes: log apply and
+    /// compaction on the remote CPUs, slab migration, rebalancing and
+    /// re-replication. Charged as background work (see `trace.rs`).
+    Cluster,
 }
 
 impl Track {
@@ -32,6 +36,7 @@ impl Track {
             Track::App => "application",
             Track::Background => "eviction/poller",
             Track::Net => "network",
+            Track::Cluster => "cluster",
         }
     }
 }
@@ -156,6 +161,17 @@ pub enum EventKind {
         /// Bytes moved on the wire.
         bytes: u64,
     },
+    /// A memory-node runtime applied a batch of log entries into its page
+    /// store (remote-CPU work on the Cluster track).
+    LogApply,
+    /// The log-compaction worker deduplicated same-line entries or folded
+    /// a hot page's backlog into a full-page image.
+    Compaction,
+    /// A slab's bytes moved to a new home node (migration or
+    /// re-replication after a permanent node loss).
+    Migration,
+    /// A cluster rebalance pass triggered by capacity skew.
+    Rebalance,
     /// Instant: the FPGA missed FMem and escalated to a remote fetch.
     FmemLookup,
     /// Instant: the FPGA translated a local page to its remote home.
@@ -187,6 +203,10 @@ impl EventKind {
             EventKind::Prefetch => "prefetch",
             EventKind::Sync => "sync",
             EventKind::Verb { .. } => "verb",
+            EventKind::LogApply => "log_apply",
+            EventKind::Compaction => "compaction",
+            EventKind::Migration => "migration",
+            EventKind::Rebalance => "rebalance",
             EventKind::FmemLookup => "fmem_lookup",
             EventKind::Translate => "translate",
             EventKind::PrefetchHint => "prefetch_hint",
@@ -258,7 +278,12 @@ mod tests {
         assert_eq!(Track::App.name(), "application");
         assert_eq!(Track::Background.name(), "eviction/poller");
         assert_eq!(Track::Net.name(), "network");
+        assert_eq!(Track::Cluster.name(), "cluster");
         assert_eq!(EventKind::RemoteFetch.name(), "remote_fetch");
+        assert_eq!(EventKind::LogApply.name(), "log_apply");
+        assert_eq!(EventKind::Compaction.name(), "compaction");
+        assert_eq!(EventKind::Migration.name(), "migration");
+        assert_eq!(EventKind::Rebalance.name(), "rebalance");
         assert_eq!(EventKind::AppAccess.name(), "app_access");
         assert_eq!(EventKind::Fault(FaultKind::Dropped).name(), "fault");
         assert_eq!(FaultKind::NodeDown.name(), "node_down");

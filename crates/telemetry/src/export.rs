@@ -109,6 +109,7 @@ fn tid(track: Track) -> u32 {
         Track::App => 1,
         Track::Background => 2,
         Track::Net => 3,
+        Track::Cluster => 4,
     }
 }
 
@@ -118,6 +119,7 @@ fn cat(track: Track) -> &'static str {
         Track::App => "app",
         Track::Background => "background",
         Track::Net => "net",
+        Track::Cluster => "cluster",
     }
 }
 
@@ -136,7 +138,7 @@ pub fn spans_to_chrome_trace(events: &[SpanEvent]) -> String {
         "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
          \"args\":{\"name\":\"kona-sim\"}},\n",
     );
-    for track in [Track::App, Track::Background, Track::Net] {
+    for track in [Track::App, Track::Background, Track::Net, Track::Cluster] {
         let _ = writeln!(
             out,
             "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\

@@ -138,9 +138,14 @@ impl TraceRecord {
 }
 
 /// The charge a span bills its time to: App or Background (never Net).
+/// Cluster-track spans (memory-node runtimes, migration, rebalance) are
+/// off the application's critical path, so they charge as background.
 /// `parent` is the enclosing span's charge, if any.
 pub(crate) fn charge_of(track: Track, parent: Option<Track>) -> Track {
-    if parent == Some(Track::Background) || track == Track::Background {
+    if parent == Some(Track::Background)
+        || track == Track::Background
+        || track == Track::Cluster
+    {
         Track::Background
     } else {
         Track::App

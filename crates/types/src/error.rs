@@ -46,6 +46,10 @@ pub enum KonaError {
         requested: u64,
         /// Bytes still available across all memory nodes.
         available: u64,
+        /// Per-node occupancy summary (e.g. `node0 4/4MiB, node1 3/4MiB`),
+        /// so the operator can see *which* nodes are full. Empty when the
+        /// producer has no per-node view.
+        occupancy: String,
     },
     /// The compute node's local allocator exhausted its reserved slabs and
     /// the controller could not provide more.
@@ -125,10 +129,18 @@ impl fmt::Display for KonaError {
             KonaError::OutOfRemoteMemory {
                 requested,
                 available,
-            } => write!(
-                f,
-                "out of remote memory: requested {requested} bytes, {available} available"
-            ),
+                occupancy,
+            } => {
+                write!(
+                    f,
+                    "out of remote memory: requested {requested} bytes, {available} available"
+                )?;
+                if occupancy.is_empty() {
+                    Ok(())
+                } else {
+                    write!(f, " ({occupancy})")
+                }
+            }
             KonaError::OutOfLocalReservation => {
                 f.write_str("local slab reservation exhausted")
             }
@@ -193,8 +205,16 @@ mod tests {
         let e = KonaError::OutOfRemoteMemory {
             requested: 100,
             available: 10,
+            occupancy: String::new(),
         };
         assert!(e.to_string().contains("100"));
+        assert!(!e.to_string().contains('('), "no empty occupancy suffix");
+        let e = KonaError::OutOfRemoteMemory {
+            requested: 100,
+            available: 10,
+            occupancy: "node0 4/4MiB, node1 3/4MiB".into(),
+        };
+        assert!(e.to_string().contains("node0 4/4MiB"));
         let e = KonaError::ReplicationQuorumFailed {
             acked: 1,
             required: 3,

@@ -1,0 +1,293 @@
+//! Integration tests for the cluster control plane: allocator safety
+//! properties, capacity-aware placement, slab reclaim and migration,
+//! post-crash re-replication, and whole-cluster determinism.
+
+use kona::{
+    ClusterConfig, KonaRuntime, PlacementKind, RemoteMemoryRuntime, SlabAllocator,
+};
+use kona_cluster::{ClusterRuntime, ControlPlaneConfig, NodeRuntimeConfig};
+use kona_net::FaultPlan;
+use kona_telemetry::Telemetry;
+use kona_types::rng::{Rng, StdRng};
+use kona_types::{ByteSize, Nanos, VfMemAddr};
+
+const MIB: u64 = 1 << 20;
+
+fn three_nodes() -> ClusterConfig {
+    let mut cfg = ClusterConfig::small();
+    cfg.memory_nodes = 3;
+    cfg
+}
+
+// ---------------------------------------------------------------------
+// SlabAllocator safety properties (AllocLib's size-class allocator).
+// ---------------------------------------------------------------------
+
+/// Random allocate/free interleavings never hand out overlapping
+/// objects, frees always make the address reusable, and exhaustion is a
+/// clean error that leaves the allocator usable.
+#[test]
+fn prop_allocator_no_overlap_across_interleavings() {
+    let mut rng = StdRng::seed_from_u64(0x00A1_10C8);
+    for case in 0..32 {
+        let mut alloc = SlabAllocator::new();
+        for s in 0..4u64 {
+            alloc.add_slab(VfMemAddr::new(s * MIB), MIB);
+        }
+        // (address, size class) of live objects.
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for step in 0..200 {
+            if live.is_empty() || rng.gen_bool(0.6) {
+                let bytes = rng.gen_range(1u64..16384);
+                let class = bytes.max(64).next_power_of_two();
+                match alloc.allocate(bytes) {
+                    Ok(addr) => {
+                        for &(a, c) in &live {
+                            assert!(
+                                addr.raw() + class <= a || a + c <= addr.raw(),
+                                "case {case} step {step}: {addr:?}+{class} overlaps {a}+{c}"
+                            );
+                        }
+                        live.push((addr.raw(), class));
+                    }
+                    // Exhaustion must not corrupt state; the next free
+                    // makes progress possible again.
+                    Err(kona_types::KonaError::OutOfLocalReservation) => {}
+                    Err(e) => panic!("case {case} step {step}: unexpected error {e}"),
+                }
+            } else {
+                let idx = rng.gen_range(0..live.len());
+                let (addr, class) = live.swap_remove(idx);
+                assert!(
+                    alloc.free(VfMemAddr::new(addr), class),
+                    "case {case} step {step}: valid free rejected"
+                );
+            }
+        }
+        assert_eq!(alloc.live_objects(), live.len());
+        assert_eq!(alloc.double_frees(), 0);
+    }
+}
+
+#[test]
+fn allocator_free_reallocate_roundtrip_and_double_free() {
+    let mut alloc = SlabAllocator::new();
+    alloc.add_slab(VfMemAddr::new(0), MIB);
+    let a = alloc.allocate(128).unwrap();
+    assert!(alloc.free(a, 128));
+    // The freed address is reissued for the same size class.
+    assert_eq!(alloc.allocate(128).unwrap(), a);
+    // A second free of the same object is rejected and counted.
+    let b = alloc.allocate(64).unwrap();
+    assert!(alloc.free(b, 64));
+    assert!(!alloc.free(b, 64));
+    assert_eq!(alloc.double_frees(), 1);
+    // Freeing with the wrong size class is rejected too.
+    let c = alloc.allocate(256).unwrap();
+    assert!(!alloc.free(c, 64));
+    assert!(alloc.free(c, 256));
+}
+
+#[test]
+fn allocator_exhaustion_is_clean() {
+    let mut alloc = SlabAllocator::new();
+    alloc.add_slab(VfMemAddr::new(0), 4096);
+    let mut got = Vec::new();
+    while let Ok(a) = alloc.allocate(1024) {
+        got.push(a);
+    }
+    assert_eq!(got.len(), 4);
+    assert!(alloc.allocate(1024).is_err());
+    // Recovers after a free.
+    assert!(alloc.free(got.pop().unwrap(), 1024));
+    assert!(alloc.allocate(1024).is_ok());
+}
+
+// ---------------------------------------------------------------------
+// Placement, reclaim, migration, rebalancing.
+// ---------------------------------------------------------------------
+
+#[test]
+fn capacity_aware_placement_touches_every_node() {
+    for kind in [PlacementKind::CapacityWeighted, PlacementKind::PowerOfTwoChoices] {
+        let mut cfg = ClusterConfig::small().with_placement(kind);
+        cfg.memory_nodes = 4;
+        let mut rt = KonaRuntime::new(cfg).unwrap();
+        for _ in 0..16 {
+            rt.allocate(MIB).unwrap();
+        }
+        let occ = rt.node_occupancy();
+        assert_eq!(occ.len(), 4);
+        assert!(
+            occ.iter().all(|o| o.used > 0),
+            "{kind:?} starved a node: {occ:?}"
+        );
+    }
+}
+
+#[test]
+fn freed_slabs_return_to_their_nodes() {
+    let mut rt = KonaRuntime::new(three_nodes()).unwrap();
+    let total = ByteSize::mib(32).bytes() * 3;
+    let a = rt.allocate(MIB).unwrap();
+    let b = rt.allocate(MIB).unwrap();
+    assert_eq!(
+        rt.node_occupancy().iter().map(|o| o.free()).sum::<u64>(),
+        total - 2 * MIB
+    );
+    rt.free(a, MIB);
+    rt.free(b, MIB);
+    assert_eq!(
+        rt.node_occupancy().iter().map(|o| o.free()).sum::<u64>(),
+        total,
+        "reclaimed slabs must count as free capacity again"
+    );
+    // The reclaimed capacity is reusable.
+    rt.allocate(MIB).unwrap();
+}
+
+#[test]
+fn migrate_slab_preserves_data() {
+    // Tiny cache so the written page is evicted (and its log flushed)
+    // before migration; the read afterwards must fetch from the slab's
+    // new home.
+    let cfg = ClusterConfig::small().with_local_cache_pages(4);
+    let mut rt = KonaRuntime::new(cfg).unwrap();
+    let addr = rt.allocate(MIB).unwrap();
+    rt.write_bytes(addr, &[0xAB; 4096]).unwrap();
+    for page in 1..9u64 {
+        rt.write_bytes(addr + page * 4096, &[0x11; 64]).unwrap();
+    }
+    rt.sync().unwrap();
+    assert!(
+        !rt.fpga().fmem_resident(kona_types::PageNumber(addr.raw() / 4096)),
+        "page 0 must have been evicted for the post-migration read to hit the fabric"
+    );
+    let moved = rt.migrate_slab(addr.raw()).unwrap();
+    assert_eq!(moved, MIB);
+    assert_eq!(rt.stats().migration_bytes, MIB);
+    let mut buf = [0u8; 4096];
+    rt.read_bytes(addr, &mut buf).unwrap();
+    assert_eq!(buf, [0xAB; 4096]);
+}
+
+#[test]
+fn rebalance_moves_slabs_toward_empty_nodes() {
+    let mut rt = KonaRuntime::new(three_nodes()).unwrap();
+    // Round-robin lands a..f on nodes 0,1,2,0,1,2; freeing b,c,e,f
+    // leaves node 0 with two slabs and nodes 1,2 empty.
+    let slabs: Vec<_> = (0..6).map(|_| rt.allocate(MIB).unwrap()).collect();
+    for &s in &slabs[1..3] {
+        rt.free(s, MIB);
+    }
+    for &s in &slabs[4..6] {
+        rt.free(s, MIB);
+    }
+    let used_of = |rt: &KonaRuntime, id: u32| {
+        rt.node_occupancy().iter().find(|o| o.id == id).unwrap().used
+    };
+    assert_eq!(used_of(&rt, 0), 2 * MIB);
+    assert_eq!(used_of(&rt, 1), 0);
+    let moved = rt.rebalance(1).unwrap();
+    assert_eq!(moved, MIB, "one move reaches the one-slab balance floor");
+    assert_eq!(used_of(&rt, 0), MIB);
+    // Data on both surviving slabs is intact.
+    let mut buf = [0u8; 64];
+    rt.read_bytes(slabs[0], &mut buf).unwrap();
+    rt.read_bytes(slabs[3], &mut buf).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Crash repair: re-replication restores the K-way budget.
+// ---------------------------------------------------------------------
+
+fn crash_config(victim: u32) -> ClusterConfig {
+    let mut cfg = ClusterConfig::small()
+        .with_replicas(2)
+        .with_fault_plan(FaultPlan::calm(7).with_crash(victim, Nanos::micros(40)));
+    cfg.memory_nodes = 3;
+    cfg
+}
+
+fn drive(rt: &mut ClusterRuntime) {
+    let addr = rt.allocate(MIB).unwrap();
+    for page in 0..32u64 {
+        rt.write_bytes(addr + page * 4096, &[page as u8; 256]).unwrap();
+    }
+    rt.sync().unwrap();
+    // Keep dirtying and syncing so evictions hit the crashed node after
+    // the fault fires, then give the control plane ticks to repair.
+    for round in 0..4u64 {
+        for page in 0..32u64 {
+            rt.write_bytes(addr + page * 4096, &[(round + page) as u8; 64])
+                .unwrap();
+        }
+        rt.sync().unwrap();
+    }
+}
+
+#[test]
+fn permanent_crash_is_repaired_by_rereplication() {
+    let mut rt = ClusterRuntime::new(crash_config(0)).unwrap();
+    drive(&mut rt);
+    let stats = rt.cluster_stats();
+    assert_eq!(
+        stats.under_replicated, 0,
+        "repair must restore the K-way budget: {stats:?}"
+    );
+    assert!(stats.rereplications >= 1, "stats: {stats:?}");
+    assert!(
+        stats.migration_bytes >= MIB,
+        "each re-replication copies a whole slab: {stats:?}"
+    );
+    // The lost node is out of the grant pool; survivors carry the load.
+    let occ = rt.occupancy();
+    assert!(occ.iter().all(|o| o.id != 0), "occupancy: {occ:?}");
+    assert_eq!(rt.stats().rereplications, stats.rereplications);
+}
+
+#[test]
+fn cluster_runs_are_deterministic() {
+    let run = || {
+        let mut rt = ClusterRuntime::with_telemetry(
+            crash_config(0),
+            ControlPlaneConfig {
+                tick_ops: 8,
+                rebalance_skew_slabs: 1,
+                node: NodeRuntimeConfig::default(),
+            },
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        drive(&mut rt);
+        (rt.stats(), rt.cluster_stats(), rt.ticks())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "identical runs must produce identical stats");
+    assert!(a.0.app_time > Nanos::ZERO);
+}
+
+#[test]
+fn shipped_logs_rebuild_node_page_stores() {
+    let mut rt = ClusterRuntime::new(three_nodes()).unwrap();
+    let addr = rt.allocate(MIB).unwrap();
+    rt.write_bytes(addr, &[0xC4; 4096]).unwrap();
+    rt.sync().unwrap();
+    let stats = rt.cluster_stats();
+    assert!(stats.bytes_applied >= 4096, "stats: {stats:?}");
+    assert_eq!(stats.backlog_bytes, 0, "sync drains every backlog");
+    // Exactly one node (the slab's primary; replicas=1 means no copies)
+    // applied the page image, and its store holds the written bytes.
+    let applied: Vec<_> = rt
+        .nodes()
+        .iter()
+        .filter(|n| n.stats().bytes_applied > 0)
+        .collect();
+    assert_eq!(applied.len(), 1);
+    let node = applied[0];
+    let page = node
+        .page(0)
+        .expect("slab offset 0 on the primary holds the written page");
+    assert_eq!(&page[..64], &[0xC4; 64]);
+}
