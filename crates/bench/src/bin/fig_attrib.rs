@@ -21,9 +21,7 @@
 //! ```
 
 use kona::{ClusterConfig, KonaRuntime, RemoteMemoryRuntime};
-use kona_bench::{
-    banner, workload_by_name, ExpOptions, TextTable, TRACE_RING_CAPACITY, WORKLOAD_NAMES,
-};
+use kona_bench::{banner, workload_by_name, ExpOptions, TextTable, WORKLOAD_NAMES};
 use kona_telemetry::{
     AttributionEngine, Component, MetricsDump, SpanEvent, Telemetry, TraceAttribution,
 };
@@ -50,7 +48,7 @@ struct WorkloadAttrib {
 /// Span events are retained (ring capacity > 0) only when a `--trace-out`
 /// timeline was requested — attribution itself consumes each trace at
 /// `trace_end` and needs no retention, so unbounded runs stay drop-free.
-fn run_one(idx: usize, name: &str, quick: bool, keep_spans: bool) -> WorkloadAttrib {
+fn run_one(idx: usize, name: &str, quick: bool, span_capacity: usize) -> WorkloadAttrib {
     let windows = if quick { 2 } else { 4 };
     let profile = WorkloadProfile::default().with_windows(windows);
     let wl = workload_by_name(name, profile).expect("known workload");
@@ -65,8 +63,7 @@ fn run_one(idx: usize, name: &str, quick: bool, keep_spans: bool) -> WorkloadAtt
     let cache_pages = ((pages / 2).max(4)) as usize;
     cfg.local_cache_pages = cache_pages - cache_pages % 4;
 
-    let capacity = if keep_spans { TRACE_RING_CAPACITY } else { 0 };
-    let tel = Telemetry::with_causal(capacity, FLIGHT_CAPACITY);
+    let tel = Telemetry::with_causal(span_capacity, FLIGHT_CAPACITY);
     tel.set_trace_id_base((idx as u64) << 32);
     let mut rt = KonaRuntime::with_telemetry(cfg, tel.clone()).expect("config valid");
     rt.allocate(span).expect("allocation fits");
@@ -133,10 +130,14 @@ fn main() -> ExitCode {
     };
 
     let quick = opts.quick;
-    let keep_spans = opts.trace_out().is_some();
+    let span_capacity = if opts.trace_out().is_some() {
+        opts.trace_capacity()
+    } else {
+        0
+    };
     let items: Vec<(usize, String)> = names.into_iter().enumerate().collect();
     let results = par_map(opts.jobs, items, move |_, (idx, name)| {
-        run_one(idx, &name, quick, keep_spans)
+        run_one(idx, &name, quick, span_capacity)
     });
 
     // Merge into one output telemetry in workload order: the registry via

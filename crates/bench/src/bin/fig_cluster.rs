@@ -36,6 +36,7 @@ struct Outcome {
     cluster: ClusterStats,
     abandoned: u64,
     verify_errors: u64,
+    series: Option<kona_telemetry::SeriesData>,
 }
 
 impl Outcome {
@@ -50,7 +51,14 @@ impl Outcome {
 
 /// Drives `ops` accesses against a cluster running `plan`, checking
 /// every read against a host-side model.
-fn run_plan(plan: FaultPlan, seed: u64, ops: u64, nodes: u32, placement: PlacementKind) -> Outcome {
+fn run_plan(
+    plan: FaultPlan,
+    seed: u64,
+    ops: u64,
+    nodes: u32,
+    placement: PlacementKind,
+    series_window: Option<u64>,
+) -> Outcome {
     let name = plan.name;
     let mut cfg = ClusterConfig::small()
         .with_local_cache_pages(8)
@@ -59,12 +67,12 @@ fn run_plan(plan: FaultPlan, seed: u64, ops: u64, nodes: u32, placement: Placeme
     cfg.cpu_cache_lines = 64;
     cfg.memory_nodes = nodes;
     cfg.fault_plan = Some(plan);
-    let mut rt = ClusterRuntime::with_telemetry(
-        cfg,
-        ControlPlaneConfig::default(),
-        kona_telemetry::Telemetry::disabled(),
-    )
-    .expect("valid config");
+    let tel = kona_telemetry::Telemetry::disabled();
+    if let Some(window) = series_window {
+        tel.enable_timeseries(window);
+    }
+    let mut rt = ClusterRuntime::with_telemetry(cfg, ControlPlaneConfig::default(), tel.clone())
+        .expect("valid config");
     let base = rt.allocate(PAGES * 4096).expect("allocate");
     let mut model = vec![0u8; (PAGES * 4096) as usize];
     let mut rng = StdRng::seed_from_u64(seed);
@@ -119,6 +127,7 @@ fn run_plan(plan: FaultPlan, seed: u64, ops: u64, nodes: u32, placement: Placeme
         cluster: rt.cluster_stats(),
         abandoned,
         verify_errors,
+        series: tel.series().map(|s| s.prefixed(name)),
     }
 }
 
@@ -128,7 +137,7 @@ fn main() {
         "Cluster control plane: availability and rebalance traffic",
         "per-node apply/compaction + placement, migration, re-replication",
     );
-    let seed: u64 = opts.value_of("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let seed: u64 = opts.seed();
     let nodes: u32 = opts.value_of("nodes").and_then(|s| s.parse().ok()).unwrap_or(3);
     let placement = opts
         .value_of("placement")
@@ -141,8 +150,9 @@ fn main() {
     );
 
     let plans = FaultPlan::bundled(seed, VICTIM);
+    let series_window = opts.series_window_ns();
     let results = par_map(opts.jobs, plans, |_, plan| {
-        run_plan(plan, seed, ops, nodes, placement)
+        run_plan(plan, seed, ops, nodes, placement, series_window)
     });
 
     let tel = opts.telemetry();
@@ -202,7 +212,16 @@ fn main() {
          Backlogs drain to zero and reads verify byte-exact throughout."
     );
 
-    opts.write_outputs(&tel);
+    let merged = series_window.map(|window| {
+        let mut all = kona_telemetry::SeriesData::new(window);
+        for r in &results {
+            if let Some(s) = &r.series {
+                all.merge(s);
+            }
+        }
+        all
+    });
+    opts.write_outputs_with_series(&tel, merged.as_ref());
     if gate_failures > 0 {
         eprintln!("\ncluster gate FAILED for {gate_failures} plan(s)");
         std::process::exit(1);

@@ -32,6 +32,7 @@ struct Outcome {
     eviction: kona::EvictionStats,
     verb_faults: u64,
     verify_errors: u64,
+    series: Option<kona_telemetry::SeriesData>,
 }
 
 impl Outcome {
@@ -46,13 +47,17 @@ impl Outcome {
 
 /// Drives `ops` single-line accesses against a cluster running `plan`,
 /// checking every read against a local model of the memory.
-fn run_plan(plan: FaultPlan, seed: u64, ops: u64) -> Outcome {
+fn run_plan(plan: FaultPlan, seed: u64, ops: u64, series_window: Option<u64>) -> Outcome {
     let name = plan.name;
     let mut cfg = ClusterConfig::small().with_local_cache_pages(8).with_replicas(2);
     cfg.cpu_cache_lines = 64;
     cfg.memory_nodes = 3;
     cfg.fault_plan = Some(plan);
-    let mut rt = KonaRuntime::new(cfg).expect("valid config");
+    let tel = kona_telemetry::Telemetry::disabled();
+    if let Some(window) = series_window {
+        tel.enable_timeseries(window);
+    }
+    let mut rt = KonaRuntime::with_telemetry(cfg, tel.clone()).expect("valid config");
     let base = rt.allocate(PAGES * 4096).expect("allocate");
     let mut model = vec![0u8; (PAGES * 4096) as usize];
     let mut rng = StdRng::seed_from_u64(seed);
@@ -102,6 +107,7 @@ fn run_plan(plan: FaultPlan, seed: u64, ops: u64) -> Outcome {
         eviction: rt.eviction_stats(),
         verb_faults: rt.fabric_mut().fault_stats().total_verb_faults(),
         verify_errors,
+        series: tel.series().map(|s| s.prefixed(name)),
     }
 }
 
@@ -111,12 +117,15 @@ fn main() {
         "Failure recovery: availability under injected faults (§4.5)",
         "fault-injection fabric + retry/failover/degraded-mode runtime",
     );
-    let seed: u64 = opts.value_of("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let seed: u64 = opts.seed();
     let ops: u64 = if opts.quick { 600 } else { 6_000 };
     println!("seed: {seed}, ops per plan: {ops}, replicas: 2, victim node: {VICTIM}\n");
 
     let plans = FaultPlan::bundled(seed, VICTIM);
-    let results = par_map(opts.jobs, plans, |_, plan| run_plan(plan, seed, ops));
+    let series_window = opts.series_window_ns();
+    let results = par_map(opts.jobs, plans, |_, plan| {
+        run_plan(plan, seed, ops, series_window)
+    });
 
     let tel = opts.telemetry();
     let mut table = TextTable::new(&[
@@ -163,5 +172,14 @@ fn main() {
          Data is verified byte-exact against a host-side model throughout."
     );
 
-    opts.write_outputs(&tel);
+    let merged = series_window.map(|window| {
+        let mut all = kona_telemetry::SeriesData::new(window);
+        for r in &results {
+            if let Some(s) = &r.series {
+                all.merge(s);
+            }
+        }
+        all
+    });
+    opts.write_outputs_with_series(&tel, merged.as_ref());
 }

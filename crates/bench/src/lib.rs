@@ -8,7 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use kona_telemetry::Telemetry;
+use kona_telemetry::{SeriesData, Telemetry, DEFAULT_WINDOW_NS};
 use kona_types::{Jobs, Nanos};
 use kona_workloads::{
     GraphAlgorithm, GraphWorkload, HistogramWorkload, LinearRegressionWorkload, RedisWorkload,
@@ -111,26 +111,103 @@ impl ExpOptions {
         self.value_of("trace-out")
     }
 
+    /// `--series-out <path>`: windowed time-series destination (`.csv`
+    /// writes CSV, anything else JSON).
+    pub fn series_out(&self) -> Option<&str> {
+        self.value_of("series-out")
+    }
+
+    /// `--health-out <path>`: health-report JSON destination.
+    pub fn health_out(&self) -> Option<&str> {
+        self.value_of("health-out")
+    }
+
+    /// `--seed N`: base RNG seed for the experiment (default 42).
+    pub fn seed(&self) -> u64 {
+        self.value_of("seed")
+            .map(|s| s.parse().expect("--seed takes an integer"))
+            .unwrap_or(42)
+    }
+
+    /// `--trace-capacity N`: span-ring capacity for instrumented runs
+    /// (default [`TRACE_RING_CAPACITY`]). Spans beyond the capacity drop
+    /// oldest-first and are counted in `tel.spans_dropped`.
+    pub fn trace_capacity(&self) -> usize {
+        self.value_of("trace-capacity")
+            .map(|s| s.parse().expect("--trace-capacity takes an integer"))
+            .unwrap_or(TRACE_RING_CAPACITY)
+    }
+
+    /// `--window-ns N`: explicit time-series window width in simulated
+    /// nanoseconds.
+    pub fn window_ns(&self) -> Option<u64> {
+        self.value_of("window-ns")
+            .map(|s| s.parse().expect("--window-ns takes an integer"))
+    }
+
+    /// The window width to collect time series at, if any output wants
+    /// them: `Some` when `--window-ns` or `--series-out` is present
+    /// (explicit width, or [`DEFAULT_WINDOW_NS`]).
+    pub fn series_window_ns(&self) -> Option<u64> {
+        match self.window_ns() {
+            Some(w) => Some(w),
+            None if self.series_out().is_some() => Some(DEFAULT_WINDOW_NS),
+            None => None,
+        }
+    }
+
     /// Telemetry for the run: span tracing is enabled only when
     /// `--trace-out` asks for a timeline (the metrics registry records
-    /// either way).
+    /// either way), and windowed series collection only when
+    /// `--window-ns`/`--series-out` ask for it.
     pub fn telemetry(&self) -> Telemetry {
-        if self.trace_out().is_some() {
-            Telemetry::with_tracing(TRACE_RING_CAPACITY)
+        let tel = if self.trace_out().is_some() {
+            Telemetry::with_tracing(self.trace_capacity())
         } else {
             Telemetry::disabled()
+        };
+        if let Some(window) = self.series_window_ns() {
+            tel.enable_timeseries(window);
+        }
+        tel
+    }
+
+    /// Writes the windowed series to `--series-out` (CSV for `.csv`
+    /// paths, JSON otherwise).
+    pub fn write_series(&self, series: &SeriesData) {
+        if let Some(path) = self.series_out() {
+            let body = if path.ends_with(".csv") {
+                series.to_csv()
+            } else {
+                series.to_json()
+            };
+            std::fs::write(path, body).expect("write series");
+            println!("\ntime series written to {path}");
         }
     }
 
     /// Writes the `--metrics-out` / `--trace-out` artifacts, warning when
     /// the trace ring wrapped (`tel.spans_dropped` in the snapshot).
     pub fn write_outputs(&self, tel: &Telemetry) {
+        self.write_outputs_with_series(tel, None);
+    }
+
+    /// [`ExpOptions::write_outputs`] plus `--series-out`; when both a
+    /// trace and a series are requested the Chrome trace also carries the
+    /// series as counter tracks.
+    pub fn write_outputs_with_series(&self, tel: &Telemetry, series: Option<&SeriesData>) {
         if let Some(path) = self.metrics_out() {
             std::fs::write(path, tel.metrics_json()).expect("write metrics");
             println!("\nmetrics snapshot written to {path}");
         }
         if let Some(path) = self.trace_out() {
-            std::fs::write(path, tel.chrome_trace()).expect("write trace");
+            let trace = match series {
+                Some(s) => {
+                    kona_telemetry::spans_to_chrome_trace_with_series(&tel.events(), Some(s))
+                }
+                None => tel.chrome_trace(),
+            };
+            std::fs::write(path, trace).expect("write trace");
             println!("\nchrome trace written to {path}");
             let dropped = tel.dropped_events();
             if dropped > 0 {
@@ -139,6 +216,9 @@ impl ExpOptions {
                      (tel.spans_dropped)"
                 );
             }
+        }
+        if let Some(series) = series {
+            self.write_series(series);
         }
     }
 }

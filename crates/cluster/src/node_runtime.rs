@@ -125,8 +125,8 @@ impl MemoryNodeRuntime {
     /// Creates a node runtime with explicit tuning, publishing
     /// `cluster.node<id>.*` gauges and Cluster-track spans to `telemetry`.
     pub fn with_telemetry(id: u32, config: NodeRuntimeConfig, telemetry: Telemetry) -> Self {
-        let backlog_gauge = telemetry.gauge(&format!("cluster.node{id}.backlog_bytes"));
-        let ratio_gauge = telemetry.gauge(&format!("cluster.node{id}.compaction_ratio"));
+        let backlog_gauge = telemetry.gauge_interned("cluster.node", id, "backlog_bytes");
+        let ratio_gauge = telemetry.gauge_interned("cluster.node", id, "compaction_ratio");
         MemoryNodeRuntime {
             id,
             config,
@@ -200,6 +200,7 @@ impl MemoryNodeRuntime {
         self.clock = self.clock.max(at);
         self.backlog.push_back((at, encoded));
         self.backlog_gauge.set(self.backlog_bytes as f64);
+        self.telemetry.observe_time(self.clock);
     }
 
     /// Runs the compaction worker then the apply worker over the whole
@@ -225,6 +226,7 @@ impl MemoryNodeRuntime {
         self.clock += elapsed;
         self.backlog_gauge.set(self.backlog_bytes as f64);
         self.ratio_gauge.set(self.stats.compaction_ratio());
+        self.telemetry.observe_time(self.clock);
         elapsed
     }
 

@@ -319,6 +319,7 @@ impl EvictionHandler {
         let res = self.evict_page_inner(victim, page_data, primary, replicas, fabric, poller);
         self.telemetry
             .span_close(span, *res.as_ref().unwrap_or(&Nanos::ZERO));
+        self.telemetry.observe_time(fabric.now());
         res
     }
 
@@ -526,6 +527,7 @@ impl EvictionHandler {
         let res = self.flush_all_inner(fabric, poller);
         self.telemetry
             .span_close(span, *res.as_ref().unwrap_or(&Nanos::ZERO));
+        self.telemetry.observe_time(fabric.now());
         res
     }
 

@@ -87,6 +87,7 @@ pub(crate) struct RuntimeCounters {
     pub fallback_waits: Counter,
     pub migration_bytes: Counter,
     pub rereplications: Counter,
+    pub spans_dropped: Counter,
 }
 
 impl RuntimeCounters {
@@ -111,6 +112,7 @@ impl RuntimeCounters {
             fallback_waits: telemetry.counter(names::FALLBACK_WAITS),
             migration_bytes: telemetry.counter(names::MIGRATION_BYTES),
             rereplications: telemetry.counter(names::REREPLICATIONS),
+            spans_dropped: telemetry.counter(kona_telemetry::SPANS_DROPPED),
         }
     }
 
@@ -157,6 +159,7 @@ impl RuntimeCounters {
             fallback_waits: self.fallback_waits.get(),
             migration_bytes: self.migration_bytes.get(),
             rereplications: self.rereplications.get(),
+            spans_dropped: self.spans_dropped.get(),
         }
     }
 }

@@ -370,6 +370,7 @@ impl KonaRuntime {
             self.counters.app_dirty_bytes.add(u64::from(access.len));
         }
         self.counters.charge_app(elapsed);
+        self.telemetry.observe_time(self.fabric.now());
         Ok(elapsed)
     }
 
@@ -766,6 +767,7 @@ impl RemoteMemoryRuntime for KonaRuntime {
             self.counters.app_dirty_bytes.add(u64::from(access.len));
         }
         self.counters.charge_app(elapsed);
+        self.telemetry.observe_time(self.fabric.now());
         Ok(elapsed)
     }
 
@@ -797,6 +799,7 @@ impl RemoteMemoryRuntime for KonaRuntime {
         }
         self.counters.app_dirty_bytes.add(data.len() as u64);
         self.counters.charge_app(elapsed);
+        self.telemetry.observe_time(self.fabric.now());
         Ok(elapsed)
     }
 
@@ -827,17 +830,21 @@ impl RemoteMemoryRuntime for KonaRuntime {
             off += chunk;
         }
         self.counters.charge_app(elapsed);
+        self.telemetry.observe_time(self.fabric.now());
         Ok(elapsed)
     }
 
     fn sync(&mut self) -> Result<Nanos> {
-        if !self.telemetry.causal_enabled() {
-            return self.sync_inner();
-        }
-        self.telemetry.trace_begin(OpKind::Sync);
-        let res = self.sync_inner();
-        self.telemetry
-            .trace_end(*res.as_ref().unwrap_or(&Nanos::ZERO));
+        let res = if !self.telemetry.causal_enabled() {
+            self.sync_inner()
+        } else {
+            self.telemetry.trace_begin(OpKind::Sync);
+            let res = self.sync_inner();
+            self.telemetry
+                .trace_end(*res.as_ref().unwrap_or(&Nanos::ZERO));
+            res
+        };
+        self.telemetry.observe_time(self.fabric.now());
         res
     }
 

@@ -47,6 +47,10 @@ pub struct RuntimeStats {
     pub migration_bytes: u64,
     /// Slabs re-replicated after a permanent node loss (Kona only).
     pub rereplications: u64,
+    /// Span events lost to telemetry ring-buffer overflow; nonzero means
+    /// the exported timeline is a suffix of the run (raise the trace
+    /// capacity to keep it all).
+    pub spans_dropped: u64,
 }
 
 impl RuntimeStats {
@@ -97,6 +101,7 @@ impl RuntimeStats {
         self.fallback_waits += other.fallback_waits;
         self.migration_bytes += other.migration_bytes;
         self.rereplications += other.rereplications;
+        self.spans_dropped += other.spans_dropped;
     }
 }
 
@@ -144,8 +149,8 @@ impl fmt::Display for RuntimeStats {
         )?;
         write!(
             f,
-            "migration {} B  rereplications {}",
-            self.migration_bytes, self.rereplications
+            "migration {} B  rereplications {}  spans dropped {}",
+            self.migration_bytes, self.rereplications, self.spans_dropped
         )
     }
 }
@@ -247,5 +252,21 @@ mod tests {
         assert!(text.contains("remote fetches 2"));
         assert!(text.contains("evicted 4 pages"));
         assert!(text.contains("hit ratio 83.3%"));
+        assert!(text.contains("spans dropped 0"));
+    }
+
+    #[test]
+    fn spans_dropped_merges_and_displays() {
+        let mut a = RuntimeStats {
+            spans_dropped: 2,
+            ..Default::default()
+        };
+        let b = RuntimeStats {
+            spans_dropped: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.spans_dropped, 5);
+        assert!(a.to_string().contains("spans dropped 5"));
     }
 }

@@ -34,6 +34,9 @@ struct NetCounters {
     posts: Counter,
     completions: Counter,
     signaled_chain_ns: Histogram,
+    verb_ns_read: Histogram,
+    verb_ns_write: Histogram,
+    verb_ns_send: Histogram,
     faults_dropped: Counter,
     faults_corrupted: Counter,
     faults_timed_out: Counter,
@@ -50,6 +53,9 @@ impl NetCounters {
             posts: telemetry.counter("net.posts"),
             completions: telemetry.counter("net.completions"),
             signaled_chain_ns: telemetry.histogram("net.signaled_chain_ns"),
+            verb_ns_read: telemetry.histogram("net.verb_ns.read"),
+            verb_ns_write: telemetry.histogram("net.verb_ns.write"),
+            verb_ns_send: telemetry.histogram("net.verb_ns.send"),
             faults_dropped: telemetry.counter("net.faults.dropped"),
             faults_corrupted: telemetry.counter("net.faults.corrupted"),
             faults_timed_out: telemetry.counter("net.faults.timed_out"),
@@ -62,6 +68,14 @@ impl NetCounters {
             Opcode::Read => &self.verbs_read,
             Opcode::Write => &self.verbs_write,
             Opcode::Send => &self.verbs_send,
+        }
+    }
+
+    fn latency_for_opcode(&self, opcode: Opcode) -> &Histogram {
+        match opcode {
+            Opcode::Read => &self.verb_ns_read,
+            Opcode::Write => &self.verb_ns_write,
+            Opcode::Send => &self.verb_ns_send,
         }
     }
 
@@ -154,6 +168,7 @@ impl Fabric {
         if let Some(inj) = &mut self.injector {
             inj.advance_to(self.clock);
         }
+        self.telemetry.observe_time(self.clock);
     }
 
     /// Installs a fault injector; it is consulted on every subsequent
@@ -321,6 +336,7 @@ impl Fabric {
                         kona_telemetry::Track::Net,
                         kona_telemetry::EventKind::Fault(kona_telemetry::FaultKind::NodeDown),
                     );
+                    self.telemetry.observe_time(self.clock);
                     return Err(KonaError::MemoryNodeFailed(node_id));
                 }
             }
@@ -373,6 +389,7 @@ impl Fabric {
                         kona_telemetry::Track::Net,
                         kona_telemetry::EventKind::Fault(fault_kind_event(kind)),
                     );
+                    self.telemetry.observe_time(self.clock);
                     return Err(KonaError::VerbFault {
                         node: node_id,
                         kind,
@@ -421,6 +438,8 @@ impl Fabric {
             self.net.signaled_chain_ns.record(time.as_ns());
         }
         if let Some(opcode) = lead_opcode {
+            // Per-verb chain latency, keyed by the chain's lead opcode.
+            self.net.latency_for_opcode(opcode).record(time.as_ns());
             // One Net-track leaf per chain, charged to whichever simulated
             // thread posted it (the causal tracer inherits the charge).
             self.telemetry.span_leaf(
@@ -432,6 +451,7 @@ impl Fabric {
                 time,
             );
         }
+        self.telemetry.observe_time(self.clock);
         Ok((time, completions))
     }
 }

@@ -182,6 +182,11 @@ pub enum EventKind {
     Mce,
     /// Instant: an injected network fault fired (shown on the Net track).
     Fault(FaultKind),
+    /// Instant: a health-monitor rule started firing (payload: rule index
+    /// in the installed rule set).
+    AlertFiring(u16),
+    /// Instant: a firing health-monitor rule resolved.
+    AlertResolved(u16),
 }
 
 impl EventKind {
@@ -212,6 +217,8 @@ impl EventKind {
             EventKind::PrefetchHint => "prefetch_hint",
             EventKind::Mce => "mce",
             EventKind::Fault(_) => "fault",
+            EventKind::AlertFiring(_) => "alert_firing",
+            EventKind::AlertResolved(_) => "alert_resolved",
         }
     }
 }
@@ -265,6 +272,8 @@ impl SpanEvent {
                     | EventKind::FmemLookup
                     | EventKind::Translate
                     | EventKind::PrefetchHint
+                    | EventKind::AlertFiring(_)
+                    | EventKind::AlertResolved(_)
             )
     }
 }
@@ -286,6 +295,8 @@ mod tests {
         assert_eq!(EventKind::Rebalance.name(), "rebalance");
         assert_eq!(EventKind::AppAccess.name(), "app_access");
         assert_eq!(EventKind::Fault(FaultKind::Dropped).name(), "fault");
+        assert_eq!(EventKind::AlertFiring(0).name(), "alert_firing");
+        assert_eq!(EventKind::AlertResolved(3).name(), "alert_resolved");
         assert_eq!(FaultKind::NodeDown.name(), "node_down");
         assert_eq!(
             EventKind::Verb {

@@ -8,10 +8,11 @@
 
 use crate::event::{EventKind, SpanEvent, Track};
 use crate::metrics::MetricsSnapshot;
+use crate::timeseries::SeriesData;
 use std::fmt::Write as _;
 
 /// Escapes `s` for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -30,7 +31,7 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Formats an `f64` as a JSON number (non-finite values become 0).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -133,6 +134,19 @@ fn cat(track: Track) -> &'static str {
 /// [`Track::Net`] onto three named rows of one `kona-sim` process, and
 /// causally linked spans carry their trace/span/parent ids in `args`.
 pub fn spans_to_chrome_trace(events: &[SpanEvent]) -> String {
+    spans_to_chrome_trace_with_series(events, None)
+}
+
+/// Like [`spans_to_chrome_trace`], but additionally renders a windowed
+/// [`SeriesData`] as Perfetto counter tracks (`ph:"C"` events) on the
+/// same simulated-time axis: one track per counter/gauge, and
+/// `p50`/`p95`/`p99` tracks per histogram, each sample placed at its
+/// window's start.
+pub fn spans_to_chrome_trace_with_series(
+    events: &[SpanEvent],
+    series: Option<&SeriesData>,
+) -> String {
+    let counters_present = series.is_some_and(|s| !s.windows.is_empty());
     let mut out = String::from("{\"traceEvents\":[\n");
     out.push_str(
         "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
@@ -156,6 +170,9 @@ pub fn spans_to_chrome_trace(events: &[SpanEvent]) -> String {
                 fields.push(format!("\"opcode\":\"{}\",\"bytes\":{bytes}", opcode.name()));
             }
             EventKind::Fault(f) => fields.push(format!("\"fault\":\"{}\"", f.name())),
+            EventKind::AlertFiring(rule) | EventKind::AlertResolved(rule) => {
+                fields.push(format!("\"rule\":{rule}"));
+            }
             _ => {}
         }
         if ev.trace.is_some() {
@@ -169,7 +186,11 @@ pub fn spans_to_chrome_trace(events: &[SpanEvent]) -> String {
         } else {
             format!(",\"args\":{{{}}}", fields.join(","))
         };
-        let sep = if i + 1 == events.len() { "" } else { "," };
+        let sep = if i + 1 == events.len() && !counters_present {
+            ""
+        } else {
+            ","
+        };
         if ev.is_instant() {
             let _ = writeln!(
                 out,
@@ -192,6 +213,38 @@ pub fn spans_to_chrome_trace(events: &[SpanEvent]) -> String {
                 cat(ev.track),
             );
         }
+    }
+    if counters_present {
+        let series = series.expect("counters_present implies series");
+        let mut lines: Vec<String> = Vec::new();
+        let mut counter = |name: &str, ts: f64, value: String| {
+            lines.push(format!(
+                "{{\"ph\":\"C\",\"pid\":1,\"ts\":{},\"name\":\"{}\",\
+                 \"args\":{{\"value\":{value}}}}}",
+                json_f64(ts),
+                json_escape(name),
+            ));
+        };
+        for w in &series.windows {
+            let ts = w.start_ns(series.window_ns) as f64 / 1_000.0;
+            for (name, v) in &w.counters {
+                counter(name, ts, v.to_string());
+            }
+            for (name, v) in &w.gauges {
+                counter(name, ts, json_f64(*v));
+            }
+            for (name, data) in &w.histograms {
+                for (field, v) in [
+                    ("p50", data.p50()),
+                    ("p95", data.p95()),
+                    ("p99", data.p99()),
+                ] {
+                    counter(&format!("{name}.{field}"), ts, v.to_string());
+                }
+            }
+        }
+        out.push_str(&lines.join(",\n"));
+        out.push('\n');
     }
     out.push_str("],\"displayTimeUnit\":\"ns\"}\n");
     out
@@ -289,6 +342,45 @@ mod tests {
         assert!(s.contains("\"fault\":\"timeout\""));
         assert!(!s.contains("\"dur\""), "instants carry no duration");
         assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn counter_tracks_render_alongside_spans() {
+        use crate::timeseries::{SeriesData, SeriesWindow};
+        let events = vec![SpanEvent::new(
+            Track::App,
+            Nanos::from_ns(1_000),
+            Nanos::from_ns(500),
+            EventKind::RemoteFetch,
+        )];
+        let mut series = SeriesData::new(1_000);
+        let mut w = SeriesWindow::empty(2);
+        w.counters.insert("net.posts".to_string(), 7);
+        w.gauges.insert("depth".to_string(), 1.5);
+        let mut h = crate::metrics::HistogramData::new();
+        h.record(4_000);
+        w.histograms.insert("kona.fetch_ns".to_string(), h);
+        series.windows.push(w);
+        let s = spans_to_chrome_trace_with_series(&events, Some(&series));
+        assert!(s.contains("\"ph\":\"C\""));
+        assert!(s.contains("\"name\":\"net.posts\",\"args\":{\"value\":7}"));
+        assert!(s.contains("\"name\":\"depth\",\"args\":{\"value\":1.5}"));
+        assert!(s.contains("\"name\":\"kona.fetch_ns.p99\""));
+        // Counter samples sit at the window start (2µs for window 2).
+        assert!(s.contains("\"ts\":2,\"name\":\"net.posts\""));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+        // Alert instants carry their rule index.
+        let alert = SpanEvent::new(
+            Track::Cluster,
+            Nanos::from_ns(5_000),
+            Nanos::ZERO,
+            EventKind::AlertFiring(2),
+        );
+        let s = spans_to_chrome_trace(&[alert]);
+        assert!(s.contains("\"name\":\"alert_firing\""));
+        assert!(s.contains("\"rule\":2"));
+        assert!(s.contains("\"ph\":\"i\""));
     }
 
     #[test]

@@ -53,28 +53,44 @@ mod attribution;
 mod event;
 mod export;
 mod metrics;
+mod monitor;
 mod recorder;
+mod timeseries;
 mod trace;
 
 pub use attribution::{
     analyze_trace, AttributionEngine, Component, ComponentVec, OpAttribution, TraceAttribution,
 };
 pub use event::{EventKind, FaultKind, SpanEvent, SpanId, Track, TraceId, VerbOpcode};
-pub use export::{snapshot_to_csv, snapshot_to_json, spans_to_chrome_trace};
+pub use export::{
+    snapshot_to_csv, snapshot_to_json, spans_to_chrome_trace, spans_to_chrome_trace_with_series,
+};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramData, HistogramSummary, MetricsDump, MetricsSnapshot,
     Registry,
 };
+pub use monitor::{
+    Alert, AlertTransition, HealthMonitor, HealthReport, Rule, RuleKind, RuleOutcome, Selector,
+    SeriesField,
+};
 pub use recorder::{NoopRecorder, Recorder, TraceRecorder};
+pub use timeseries::{SeriesData, SeriesWindow, DEFAULT_WINDOW_NS};
 pub use trace::{traces_to_json, OpKind, SpanToken, TraceRecord};
 
 use kona_types::Nanos;
 use std::cell::RefCell;
 use std::rc::Rc;
+use timeseries::TimeSeriesCollector;
 use trace::CausalState;
 
 /// Name of the counter tracking spans lost to recorder-ring overflow.
 pub const SPANS_DROPPED: &str = "tel.spans_dropped";
+
+/// Name of the counter tracking health-monitor alert firings.
+pub const ALERTS_FIRED: &str = "mon.alerts_fired";
+
+/// Name of the counter tracking health-monitor alert resolutions.
+pub const ALERTS_RESOLVED: &str = "mon.alerts_resolved";
 
 struct Inner {
     registry: Registry,
@@ -82,6 +98,8 @@ struct Inner {
     causal: CausalState,
     engine: Option<AttributionEngine>,
     spans_dropped: Counter,
+    timeseries: Option<TimeSeriesCollector>,
+    monitor: Option<HealthMonitor>,
 }
 
 impl Inner {
@@ -93,6 +111,65 @@ impl Inner {
         let after = self.recorder.dropped();
         if after > before {
             self.spans_dropped.add(after - before);
+        }
+    }
+
+    /// Feeds freshly closed windows to the monitor, recording every alert
+    /// transition as a zero-width span at its window's closing boundary.
+    /// The `mon.alerts_*` counters are bumped *after* the collector
+    /// re-baselined, so they land in the next window's delta and never
+    /// perturb the window that caused them.
+    fn handle_closed(&mut self, closed: &[SeriesWindow], window_ns: u64) {
+        let Some(monitor) = self.monitor.as_mut() else {
+            return;
+        };
+        let mut transitions = Vec::new();
+        for w in closed {
+            transitions.extend(monitor.push(w));
+        }
+        for t in transitions {
+            let at = Nanos::from_ns((t.window + 1).saturating_mul(window_ns));
+            let rule = t.rule.min(u16::MAX as usize) as u16;
+            let kind = if t.firing {
+                EventKind::AlertFiring(rule)
+            } else {
+                EventKind::AlertResolved(rule)
+            };
+            self.record_one(SpanEvent::new(Track::Cluster, at, Nanos::ZERO, kind));
+            let name = if t.firing { ALERTS_FIRED } else { ALERTS_RESOLVED };
+            self.registry.counter(name).inc();
+        }
+    }
+
+    /// Advances the time-series collector to `now` and runs the monitor
+    /// over any windows that closed.
+    fn observe_time(&mut self, now: Nanos) {
+        let Some(ts) = self.timeseries.as_mut() else {
+            return;
+        };
+        let before = ts.len();
+        ts.observe(now, &self.registry);
+        let after = ts.len();
+        if after != before {
+            let closed: Vec<SeriesWindow> = ts.windows()[before..after].to_vec();
+            let window_ns = ts.window_ns();
+            self.handle_closed(&closed, window_ns);
+        }
+    }
+
+    /// Closes the tail window (and runs the monitor over it) so series
+    /// and report include every recorded delta.
+    fn flush_timeseries(&mut self) {
+        let Some(ts) = self.timeseries.as_mut() else {
+            return;
+        };
+        let before = ts.len();
+        ts.flush(&self.registry);
+        let after = ts.len();
+        if after != before {
+            let closed: Vec<SeriesWindow> = ts.windows()[before..after].to_vec();
+            let window_ns = ts.window_ns();
+            self.handle_closed(&closed, window_ns);
         }
     }
 }
@@ -150,7 +227,71 @@ impl Telemetry {
             causal: CausalState::new(enabled),
             engine: None,
             spans_dropped,
+            timeseries: None,
+            monitor: None,
         })))
+    }
+
+    /// Starts collecting windowed registry deltas on `window_ns`-wide
+    /// simulated-time windows (see [`SeriesData`]). Replaces any existing
+    /// collector.
+    pub fn enable_timeseries(&self, window_ns: u64) {
+        self.0.borrow_mut().timeseries = Some(TimeSeriesCollector::new(window_ns));
+    }
+
+    /// Whether a time-series collector is installed.
+    pub fn timeseries_enabled(&self) -> bool {
+        self.0.borrow().timeseries.is_some()
+    }
+
+    /// Installs a [`HealthMonitor`] evaluating `rules` on every window
+    /// close. Enables time-series collection with
+    /// [`DEFAULT_WINDOW_NS`]-wide windows if none is active yet.
+    pub fn install_monitor(&self, rules: Vec<Rule>) {
+        let mut inner = self.0.borrow_mut();
+        if inner.timeseries.is_none() {
+            inner.timeseries = Some(TimeSeriesCollector::new(DEFAULT_WINDOW_NS));
+        }
+        inner.monitor = Some(HealthMonitor::new(rules));
+    }
+
+    /// Notes that simulated time reached `now`. The runtimes call this on
+    /// every clock advance; when a window boundary is crossed the
+    /// registry delta is snapshotted and any installed monitor runs.
+    /// Near-free when no collector is installed, and non-monotone
+    /// observations from mixed clock sources fold through `max`.
+    pub fn observe_time(&self, now: Nanos) {
+        self.0.borrow_mut().observe_time(now);
+    }
+
+    /// The collected series, tail window included, or `None` when
+    /// time-series collection is off. Collection continues afterwards;
+    /// later activity folds into the (re-opened) final window.
+    pub fn series(&self) -> Option<SeriesData> {
+        let mut inner = self.0.borrow_mut();
+        inner.flush_timeseries();
+        inner.timeseries.as_ref().map(|ts| ts.data().clone())
+    }
+
+    /// The monitor's end-of-run report (tail window flushed first), or
+    /// `None` when no monitor is installed.
+    pub fn health_report(&self) -> Option<HealthReport> {
+        let mut inner = self.0.borrow_mut();
+        inner.flush_timeseries();
+        let window_ns = inner.timeseries.as_ref().map_or(0, |ts| ts.window_ns());
+        inner.monitor.as_ref().map(|m| m.report(window_ns))
+    }
+
+    /// The counter named `{prefix}{id}.{suffix}` via the registry's name
+    /// cache — hot re-registration never formats or allocates.
+    pub fn counter_interned(&self, prefix: &'static str, id: u32, suffix: &'static str) -> Counter {
+        self.0.borrow_mut().registry.counter_interned(prefix, id, suffix)
+    }
+
+    /// The gauge named `{prefix}{id}.{suffix}` via the registry's name
+    /// cache — hot re-registration never formats or allocates.
+    pub fn gauge_interned(&self, prefix: &'static str, id: u32, suffix: &'static str) -> Gauge {
+        self.0.borrow_mut().registry.gauge_interned(prefix, id, suffix)
     }
 
     /// Whether spans are retained (false under [`NoopRecorder`]).
@@ -454,6 +595,67 @@ mod tests {
         assert_eq!(engine.violations(), 0);
         let acc = &engine.ops()[&OpKind::Access];
         assert_eq!(acc.critical.total(), 3_200);
+    }
+
+    #[test]
+    fn timeseries_and_monitor_flow_end_to_end() {
+        let tel = Telemetry::with_tracing(64);
+        assert!(tel.series().is_none(), "off by default");
+        tel.enable_timeseries(100);
+        assert!(tel.timeseries_enabled());
+        tel.install_monitor(vec![Rule::above("busy", "ops", 10.0)]);
+
+        tel.counter("ops").add(20);
+        tel.observe_time(Nanos::from_ns(50));
+        tel.observe_time(Nanos::from_ns(150)); // closes window 0 → fires
+        tel.counter("ops").add(1);
+        tel.observe_time(Nanos::from_ns(250)); // closes window 1 → resolves
+
+        let series = tel.series().expect("collector installed");
+        assert_eq!(series.counter_total("ops"), 21);
+        let report = tel.health_report().expect("monitor installed");
+        assert_eq!(report.alerts_fired(), 1);
+        assert_eq!(report.alerts_resolved(), 1);
+        assert_eq!(report.alerts[0].worst_window, 0);
+        assert!(!report.slo_breached());
+
+        // Alert transitions surface as instants on the cluster track and
+        // as mon.* counters.
+        let events = tel.events();
+        let firing: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::AlertFiring(_)))
+            .collect();
+        assert_eq!(firing.len(), 1);
+        assert_eq!(firing[0].track, Track::Cluster);
+        assert_eq!(firing[0].start, Nanos::from_ns(100));
+        assert!(firing[0].is_instant());
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::AlertResolved(_))));
+        assert_eq!(tel.snapshot().counter(ALERTS_FIRED), Some(1));
+        assert_eq!(tel.snapshot().counter(ALERTS_RESOLVED), Some(1));
+    }
+
+    #[test]
+    fn series_conserves_counter_totals_under_flush() {
+        let tel = Telemetry::disabled();
+        tel.enable_timeseries(1_000);
+        for i in 0..10u64 {
+            tel.counter("ops").add(i);
+            tel.histogram("lat").record(100 * (i + 1));
+            tel.observe_time(Nanos::from_ns(i * 700));
+        }
+        let series = tel.series().expect("enabled");
+        let snap = tel.snapshot();
+        assert_eq!(series.counter_total("ops"), snap.counter("ops").unwrap());
+        let hist_count: u64 = series
+            .windows
+            .iter()
+            .filter_map(|w| w.histograms.get("lat"))
+            .map(HistogramData::count)
+            .sum();
+        assert_eq!(hist_count, snap.histogram("lat").unwrap().count);
     }
 
     #[test]

@@ -191,6 +191,47 @@ impl HistogramData {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// The observations recorded since `base`, where `base` is an earlier
+    /// snapshot of this same histogram (bucket counts subtract per bucket).
+    /// `count` and `sum` are exact; `min`/`max` are exact when the running
+    /// extreme falls inside the delta's boundary buckets and bucket lower
+    /// bounds otherwise (≤6.25% relative error, same as quantiles).
+    pub fn delta_since(&self, base: &HistogramData) -> HistogramData {
+        let count = self.count.saturating_sub(base.count);
+        if count == 0 {
+            return HistogramData::new();
+        }
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .zip(&base.counts)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        let (Some(first), Some(last)) = (
+            counts.iter().position(|&c| c > 0),
+            counts.iter().rposition(|&c| c > 0),
+        ) else {
+            return HistogramData::new();
+        };
+        let min = if bucket_index(self.min) == first {
+            self.min
+        } else {
+            bucket_value(first)
+        };
+        let max = if bucket_index(self.max) == last {
+            self.max
+        } else {
+            bucket_value(last)
+        };
+        HistogramData {
+            counts,
+            count,
+            sum: self.sum.saturating_sub(base.sum),
+            min,
+            max,
+        }
+    }
 }
 
 impl Default for HistogramData {
@@ -229,6 +270,10 @@ pub struct Registry {
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, Gauge>,
     histograms: BTreeMap<String, Histogram>,
+    /// Cache of composed `{prefix}{id}.{suffix}` names, so per-instance
+    /// metrics (e.g. `cluster.node3.backlog_bytes`) format once and every
+    /// later resolution is allocation-free.
+    interned: BTreeMap<(&'static str, u32, &'static str), String>,
 }
 
 impl Registry {
@@ -237,19 +282,64 @@ impl Registry {
         Registry::default()
     }
 
-    /// The counter named `name`, created at zero if absent.
+    /// The counter named `name`, created at zero if absent. Resolving an
+    /// existing name never allocates.
     pub fn counter(&mut self, name: &str) -> Counter {
+        if let Some(c) = self.counters.get(name) {
+            return c.clone();
+        }
         self.counters.entry(name.to_string()).or_default().clone()
     }
 
-    /// The gauge named `name`, created at zero if absent.
+    /// The gauge named `name`, created at zero if absent. Resolving an
+    /// existing name never allocates.
     pub fn gauge(&mut self, name: &str) -> Gauge {
+        if let Some(g) = self.gauges.get(name) {
+            return g.clone();
+        }
         self.gauges.entry(name.to_string()).or_default().clone()
     }
 
-    /// The histogram named `name`, created empty if absent.
+    /// The histogram named `name`, created empty if absent. Resolving an
+    /// existing name never allocates.
     pub fn histogram(&mut self, name: &str) -> Histogram {
+        if let Some(h) = self.histograms.get(name) {
+            return h.clone();
+        }
         self.histograms.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Composes `{prefix}{id}.{suffix}` at most once per triple, returning
+    /// the interned full name.
+    fn intern(&mut self, prefix: &'static str, id: u32, suffix: &'static str) -> &str {
+        self.interned
+            .entry((prefix, id, suffix))
+            .or_insert_with(|| format!("{prefix}{id}.{suffix}"))
+    }
+
+    /// The counter named `{prefix}{id}.{suffix}` (e.g. `("cluster.node",
+    /// 3, "applied")` → `cluster.node3.applied`). The composed name is
+    /// interned, so hot re-registration never formats or allocates.
+    pub fn counter_interned(&mut self, prefix: &'static str, id: u32, suffix: &'static str) -> Counter {
+        if let Some(name) = self.interned.get(&(prefix, id, suffix)) {
+            if let Some(c) = self.counters.get(name.as_str()) {
+                return c.clone();
+            }
+        }
+        let name = self.intern(prefix, id, suffix).to_string();
+        self.counters.entry(name).or_default().clone()
+    }
+
+    /// The gauge named `{prefix}{id}.{suffix}`, with the same interning
+    /// behaviour as [`Registry::counter_interned`].
+    pub fn gauge_interned(&mut self, prefix: &'static str, id: u32, suffix: &'static str) -> Gauge {
+        if let Some(name) = self.interned.get(&(prefix, id, suffix)) {
+            if let Some(g) = self.gauges.get(name.as_str()) {
+                return g.clone();
+            }
+        }
+        let name = self.intern(prefix, id, suffix).to_string();
+        self.gauges.entry(name).or_default().clone()
     }
 
     /// The current value of counter `name`, or 0 if absent.
@@ -488,6 +578,50 @@ mod tests {
             assert_eq!(d.min(), 50);
             assert_eq!(d.max(), 200);
         });
+    }
+
+    #[test]
+    fn interned_names_share_state_with_plain_lookup() {
+        let mut reg = Registry::new();
+        let a = reg.gauge_interned("cluster.node", 3, "backlog_bytes");
+        a.set(42.0);
+        assert_eq!(reg.gauge("cluster.node3.backlog_bytes").get(), 42.0);
+        // Re-resolution returns a handle to the same cell.
+        let b = reg.gauge_interned("cluster.node", 3, "backlog_bytes");
+        b.set(7.0);
+        assert_eq!(a.get(), 7.0);
+        let c = reg.counter_interned("cluster.node", 1, "applied");
+        c.add(2);
+        assert_eq!(reg.counter_value("cluster.node1.applied"), 2);
+    }
+
+    #[test]
+    fn histogram_delta_since_is_exact_on_count_and_sum() {
+        let mut h = HistogramData::new();
+        for v in [10u64, 200, 3_000] {
+            h.record(v);
+        }
+        let base = h.clone();
+        for v in [5u64, 40_000, 41_000] {
+            h.record(v);
+        }
+        let d = h.delta_since(&base);
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.sum(), 5 + 40_000 + 41_000);
+        // min is exact here: the running min (5) lives in the delta's
+        // first occupied bucket.
+        assert_eq!(d.min(), 5);
+        assert_eq!(d.max(), 41_000);
+        // Empty delta.
+        let e = h.delta_since(&h.clone());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.min(), 0);
+        // Merging base + delta reproduces the final totals.
+        let mut rebuilt = base.clone();
+        rebuilt.merge(&d);
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.sum(), h.sum());
+        assert_eq!(rebuilt.p99(), h.p99());
     }
 
     #[test]

@@ -1,0 +1,759 @@
+//! Declarative SLO rules over windowed series — the health monitor.
+//!
+//! A [`HealthMonitor`] evaluates a fixed rule set against each closed
+//! [`SeriesWindow`] in simulated time, in the style of Clio's SLO-aware
+//! runtime machinery: thresholds, rate-of-change guards and multi-window
+//! burn-rate rules over any metric the registry carries. Alert
+//! transitions (firing / resolved) surface as zero-width span events on
+//! the cluster track, and [`HealthMonitor::report`] produces a final
+//! [`HealthReport`] with per-rule worst-window attribution.
+//!
+//! # Rule grammar
+//!
+//! A selector is `<metric>[:<field>]` — the metric name as registered,
+//! plus an optional histogram field (`count`, `sum`, `mean`, `min`,
+//! `max`, `p50`, `p95`, `p99`). Without a field the selector reads the
+//! counter's per-window delta, or — when no counter of that name exists
+//! in the window — the gauge's value (carried forward across windows in
+//! which it did not change). Rules combine a selector with a condition:
+//!
+//! * [`Rule::above`] / [`Rule::below`] — plain threshold on the window
+//!   value;
+//! * [`Rule::rate_of_change`] — fires when the value moves more than
+//!   `max_delta` between consecutive windows (in either direction);
+//! * [`Rule::burn_rate`] — multi-window error-budget burn: the value is
+//!   divided by `budget_per_window`, and the rule fires when both the
+//!   short- and the long-window average burn reach 1.0 — fast spikes are
+//!   caught by the short window, sustained slow burns by the long one,
+//!   and brief blips that the long average forgives do not page.
+//!
+//! `sustained(n)` requires `n` consecutive breaching windows before
+//! firing; `critical()` marks the rule as an SLO gate (breach ⇒ non-zero
+//! exit in `fig_health`). Evaluation is pure: the same series and rules
+//! produce the same alerts, transitions and report bytes on every run
+//! and at any `--jobs` count.
+
+use crate::timeseries::{SeriesData, SeriesWindow};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Which per-window quantity of a metric a rule reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesField {
+    /// Counter delta or gauge value (gauges carry forward).
+    Value,
+    /// Histogram: observations in the window.
+    Count,
+    /// Histogram: sum of observations in the window.
+    Sum,
+    /// Histogram: mean observation in the window.
+    Mean,
+    /// Histogram: smallest observation in the window.
+    Min,
+    /// Histogram: largest observation in the window.
+    Max,
+    /// Histogram: median of the window's observations.
+    P50,
+    /// Histogram: 95th percentile of the window's observations.
+    P95,
+    /// Histogram: 99th percentile of the window's observations.
+    P99,
+}
+
+impl SeriesField {
+    /// The grammar's field name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeriesField::Value => "value",
+            SeriesField::Count => "count",
+            SeriesField::Sum => "sum",
+            SeriesField::Mean => "mean",
+            SeriesField::Min => "min",
+            SeriesField::Max => "max",
+            SeriesField::P50 => "p50",
+            SeriesField::P95 => "p95",
+            SeriesField::P99 => "p99",
+        }
+    }
+
+    fn parse(s: &str) -> Option<SeriesField> {
+        Some(match s {
+            "value" => SeriesField::Value,
+            "count" => SeriesField::Count,
+            "sum" => SeriesField::Sum,
+            "mean" => SeriesField::Mean,
+            "min" => SeriesField::Min,
+            "max" => SeriesField::Max,
+            "p50" => SeriesField::P50,
+            "p95" => SeriesField::P95,
+            "p99" => SeriesField::P99,
+            _ => return None,
+        })
+    }
+}
+
+/// What a rule reads from each window: a metric plus a field.
+#[derive(Debug, Clone)]
+pub struct Selector {
+    /// Metric name as registered (after any shard prefixing).
+    pub metric: String,
+    /// The per-window quantity to read.
+    pub field: SeriesField,
+}
+
+impl Selector {
+    /// Parses `<metric>[:<field>]` (e.g. `kona.fetch_ns:p99`); the field
+    /// defaults to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown field name — selectors are written by the
+    /// experiment author, so a typo should fail loudly.
+    pub fn parse(s: &str) -> Selector {
+        match s.rsplit_once(':') {
+            Some((metric, field)) => Selector {
+                metric: metric.to_string(),
+                field: SeriesField::parse(field)
+                    .unwrap_or_else(|| panic!("unknown series field {field:?} in selector {s:?}")),
+            },
+            None => Selector {
+                metric: s.to_string(),
+                field: SeriesField::Value,
+            },
+        }
+    }
+
+    /// The grammar form, `<metric>:<field>`.
+    pub fn display(&self) -> String {
+        format!("{}:{}", self.metric, self.field.name())
+    }
+
+    /// Reads this selector's value from `window`, consulting `gauges`
+    /// (the carried-forward gauge state) for `Value` selectors with no
+    /// counter delta in the window.
+    fn read(&self, window: &SeriesWindow, gauges: &BTreeMap<String, f64>) -> f64 {
+        match self.field {
+            SeriesField::Value => {
+                if let Some(v) = window.counters.get(&self.metric) {
+                    *v as f64
+                } else {
+                    gauges.get(&self.metric).copied().unwrap_or(0.0)
+                }
+            }
+            field => {
+                let Some(h) = window.histograms.get(&self.metric) else {
+                    return 0.0;
+                };
+                match field {
+                    SeriesField::Count => h.count() as f64,
+                    SeriesField::Sum => h.sum() as f64,
+                    SeriesField::Mean => h.mean(),
+                    SeriesField::Min => h.min() as f64,
+                    SeriesField::Max => h.max() as f64,
+                    SeriesField::P50 => h.p50() as f64,
+                    SeriesField::P95 => h.p95() as f64,
+                    SeriesField::P99 => h.p99() as f64,
+                    SeriesField::Value => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+/// The condition a rule applies to its selector's per-window value.
+#[derive(Debug, Clone)]
+pub enum RuleKind {
+    /// Breaches when the value exceeds the limit.
+    Above(f64),
+    /// Breaches when the value falls below the limit.
+    Below(f64),
+    /// Breaches when the value moves more than `max_delta` between
+    /// consecutive windows (either direction).
+    RateOfChange {
+        /// Largest tolerated window-to-window move.
+        max_delta: f64,
+    },
+    /// Multi-window error-budget burn: breaches when both the short- and
+    /// long-window average of `value / budget_per_window` reach 1.0.
+    BurnRate {
+        /// Budget per window; burn = value / budget.
+        budget_per_window: f64,
+        /// Windows in the fast average (spike detector).
+        short_windows: usize,
+        /// Windows in the slow average (sustained-burn detector).
+        long_windows: usize,
+    },
+}
+
+/// One declarative health rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Rule name, shown in timelines and reports.
+    pub name: String,
+    /// What the rule reads each window.
+    pub selector: Selector,
+    /// The breach condition.
+    pub kind: RuleKind,
+    /// Consecutive breaching windows required before firing (≥ 1).
+    pub for_windows: u32,
+    /// Whether a breach constitutes an SLO violation (non-zero exit).
+    pub critical: bool,
+}
+
+impl Rule {
+    fn new(name: &str, selector: &str, kind: RuleKind) -> Rule {
+        Rule {
+            name: name.to_string(),
+            selector: Selector::parse(selector),
+            kind,
+            for_windows: 1,
+            critical: false,
+        }
+    }
+
+    /// Threshold rule: breach when the value exceeds `limit`.
+    pub fn above(name: &str, selector: &str, limit: f64) -> Rule {
+        Rule::new(name, selector, RuleKind::Above(limit))
+    }
+
+    /// Threshold rule: breach when the value falls below `limit`.
+    pub fn below(name: &str, selector: &str, limit: f64) -> Rule {
+        Rule::new(name, selector, RuleKind::Below(limit))
+    }
+
+    /// Rate-of-change rule over consecutive windows.
+    pub fn rate_of_change(name: &str, selector: &str, max_delta: f64) -> Rule {
+        Rule::new(name, selector, RuleKind::RateOfChange { max_delta })
+    }
+
+    /// Multi-window burn-rate rule (see [`RuleKind::BurnRate`]).
+    pub fn burn_rate(
+        name: &str,
+        selector: &str,
+        budget_per_window: f64,
+        short_windows: usize,
+        long_windows: usize,
+    ) -> Rule {
+        Rule::new(
+            name,
+            selector,
+            RuleKind::BurnRate {
+                budget_per_window,
+                short_windows: short_windows.max(1),
+                long_windows: long_windows.max(1),
+            },
+        )
+    }
+
+    /// Requires `windows` consecutive breaching windows before firing.
+    pub fn sustained(mut self, windows: u32) -> Rule {
+        self.for_windows = windows.max(1);
+        self
+    }
+
+    /// Marks the rule as an SLO gate.
+    pub fn critical(mut self) -> Rule {
+        self.critical = true;
+        self
+    }
+
+    /// Whether lower values are worse for this rule (worst-window
+    /// attribution tracks the minimum instead of the maximum).
+    fn lower_is_worse(&self) -> bool {
+        matches!(self.kind, RuleKind::Below(_))
+    }
+}
+
+/// A firing or resolved transition emitted while evaluating one window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlertTransition {
+    /// Index of the rule in the monitor's rule list.
+    pub rule: usize,
+    /// Window index at which the transition happened.
+    pub window: u64,
+    /// `true` for firing, `false` for resolved.
+    pub firing: bool,
+}
+
+/// One alert episode: a rule fired and (maybe) resolved.
+#[derive(Debug, Clone)]
+pub struct Alert {
+    /// Name of the rule.
+    pub rule: String,
+    /// Window index at which the rule fired.
+    pub fired_window: u64,
+    /// Window index at which it resolved (`None` = still firing at end).
+    pub resolved_window: Option<u64>,
+    /// The worst window of the episode.
+    pub worst_window: u64,
+    /// The selector value in that window.
+    pub worst_value: f64,
+}
+
+/// Final per-rule outcome.
+#[derive(Debug, Clone)]
+pub struct RuleOutcome {
+    /// Name of the rule.
+    pub rule: String,
+    /// The selector in grammar form.
+    pub selector: String,
+    /// Whether this rule is an SLO gate.
+    pub critical: bool,
+    /// Number of alert episodes.
+    pub fired: u64,
+    /// Total windows spent firing.
+    pub windows_firing: u64,
+    /// The worst window across the whole run (breaching or not).
+    pub worst_window: Option<u64>,
+    /// The selector value in that window.
+    pub worst_value: f64,
+    /// Whether the rule was still firing when the run ended.
+    pub still_firing: bool,
+}
+
+/// The monitor's end-of-run summary.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Window width in simulated nanoseconds.
+    pub window_ns: u64,
+    /// Number of windows evaluated (gap windows included).
+    pub windows: u64,
+    /// Every alert episode in firing order.
+    pub alerts: Vec<Alert>,
+    /// Per-rule outcomes, in rule order.
+    pub rules: Vec<RuleOutcome>,
+}
+
+impl HealthReport {
+    /// Whether any critical rule fired (the SLO gate).
+    pub fn slo_breached(&self) -> bool {
+        self.rules.iter().any(|r| r.critical && r.fired > 0)
+    }
+
+    /// Total alert episodes that fired.
+    pub fn alerts_fired(&self) -> usize {
+        self.alerts.len()
+    }
+
+    /// Alert episodes that fired and later resolved.
+    pub fn alerts_resolved(&self) -> usize {
+        self.alerts
+            .iter()
+            .filter(|a| a.resolved_window.is_some())
+            .count()
+    }
+
+    /// Serializes the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        use crate::export::{json_escape, json_f64};
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"window_ns\": {},\n  \"windows\": {},\n  \"slo_breached\": {},\n  \"alerts\": [",
+            self.window_ns,
+            self.windows,
+            self.slo_breached()
+        );
+        for (i, a) in self.alerts.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let resolved = match a.resolved_window {
+                Some(w) => w.to_string(),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"rule\": \"{}\", \"fired_window\": {}, \"resolved_window\": {resolved}, \
+                 \"worst_window\": {}, \"worst_value\": {}}}",
+                json_escape(&a.rule),
+                a.fired_window,
+                a.worst_window,
+                json_f64(a.worst_value)
+            );
+        }
+        out.push_str("\n  ],\n  \"rules\": [");
+        for (i, r) in self.rules.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let worst = match r.worst_window {
+                Some(w) => w.to_string(),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"rule\": \"{}\", \"selector\": \"{}\", \"critical\": {}, \
+                 \"fired\": {}, \"windows_firing\": {}, \"worst_window\": {worst}, \
+                 \"worst_value\": {}, \"still_firing\": {}}}",
+                json_escape(&r.rule),
+                json_escape(&r.selector),
+                r.critical,
+                r.fired,
+                r.windows_firing,
+                json_f64(r.worst_value),
+                r.still_firing
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Per-rule evaluation state.
+#[derive(Debug, Default)]
+struct RuleState {
+    firing: bool,
+    breach_streak: u32,
+    fired: u64,
+    windows_firing: u64,
+    /// Previous window's value (rate-of-change).
+    prev: Option<f64>,
+    /// Recent burn values, newest last (burn-rate long window).
+    burns: VecDeque<f64>,
+    /// Worst window across the whole run.
+    worst: Option<(u64, f64)>,
+    /// Worst window of the current episode.
+    episode_worst: Option<(u64, f64)>,
+    fired_window: u64,
+    alerts: Vec<Alert>,
+}
+
+/// Evaluates a rule set over closed windows in simulated time.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    rules: Vec<Rule>,
+    states: Vec<RuleState>,
+    /// Carried-forward gauge values (delta encoding omits unchanged ones).
+    gauge_carry: BTreeMap<String, f64>,
+    /// Next expected window index; gaps are evaluated as empty windows so
+    /// alerts resolve during quiet periods.
+    next_index: Option<u64>,
+    windows: u64,
+}
+
+impl HealthMonitor {
+    /// A monitor evaluating `rules`.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        let states = rules.iter().map(|_| RuleState::default()).collect();
+        HealthMonitor {
+            rules,
+            states,
+            gauge_carry: BTreeMap::new(),
+            next_index: None,
+            windows: 0,
+        }
+    }
+
+    /// The rule set.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Evaluates one closed window (synthesizing empty windows for any
+    /// index gap since the previous one) and returns the alert
+    /// transitions it caused, in rule order.
+    pub fn push(&mut self, window: &SeriesWindow) -> Vec<AlertTransition> {
+        let mut out = Vec::new();
+        if let Some(next) = self.next_index {
+            for idx in next..window.index {
+                let empty = SeriesWindow::empty(idx);
+                self.eval_one(&empty, &mut out);
+            }
+        }
+        self.eval_one(window, &mut out);
+        self.next_index = Some(window.index + 1);
+        out
+    }
+
+    fn eval_one(&mut self, window: &SeriesWindow, out: &mut Vec<AlertTransition>) {
+        self.windows += 1;
+        for (name, v) in &window.gauges {
+            self.gauge_carry.insert(name.clone(), *v);
+        }
+        for (i, rule) in self.rules.iter().enumerate() {
+            let state = &mut self.states[i];
+            let raw = rule.selector.read(window, &self.gauge_carry);
+            let (breach, shown) = match &rule.kind {
+                RuleKind::Above(limit) => (raw > *limit, raw),
+                RuleKind::Below(limit) => (raw < *limit, raw),
+                RuleKind::RateOfChange { max_delta } => {
+                    let delta = state.prev.map_or(0.0, |p| raw - p);
+                    state.prev = Some(raw);
+                    (delta.abs() > *max_delta, delta)
+                }
+                RuleKind::BurnRate {
+                    budget_per_window,
+                    short_windows,
+                    long_windows,
+                } => {
+                    let burn = if *budget_per_window > 0.0 {
+                        raw / budget_per_window
+                    } else {
+                        raw
+                    };
+                    state.burns.push_back(burn);
+                    while state.burns.len() > *long_windows {
+                        state.burns.pop_front();
+                    }
+                    let avg = |n: usize| {
+                        let take = n.min(state.burns.len());
+                        let sum: f64 = state.burns.iter().rev().take(take).sum();
+                        sum / take.max(1) as f64
+                    };
+                    let short = avg(*short_windows);
+                    let long = avg(*long_windows);
+                    (short >= 1.0 && long >= 1.0, burn)
+                }
+            };
+            // Worst-window attribution over the whole run.
+            let worse = |old: f64| {
+                if rule.lower_is_worse() {
+                    shown < old
+                } else {
+                    shown > old
+                }
+            };
+            if state.worst.is_none_or(|(_, old)| worse(old)) {
+                state.worst = Some((window.index, shown));
+            }
+            if breach {
+                state.breach_streak += 1;
+                if state.episode_worst.is_none_or(|(_, old)| worse(old)) {
+                    state.episode_worst = Some((window.index, shown));
+                }
+                if !state.firing && state.breach_streak >= rule.for_windows {
+                    state.firing = true;
+                    state.fired += 1;
+                    state.fired_window = window.index;
+                    out.push(AlertTransition {
+                        rule: i,
+                        window: window.index,
+                        firing: true,
+                    });
+                }
+            } else {
+                state.breach_streak = 0;
+                if state.firing {
+                    state.firing = false;
+                    let (ww, wv) = state.episode_worst.take().unwrap_or((window.index, shown));
+                    state.alerts.push(Alert {
+                        rule: rule.name.clone(),
+                        fired_window: state.fired_window,
+                        resolved_window: Some(window.index),
+                        worst_window: ww,
+                        worst_value: wv,
+                    });
+                    out.push(AlertTransition {
+                        rule: i,
+                        window: window.index,
+                        firing: false,
+                    });
+                } else {
+                    state.episode_worst = None;
+                }
+            }
+            if state.firing {
+                state.windows_firing += 1;
+            }
+        }
+    }
+
+    /// Builds the end-of-run report. Non-destructive: episodes still
+    /// firing appear as unresolved alerts, and evaluation may continue
+    /// afterwards.
+    pub fn report(&self, window_ns: u64) -> HealthReport {
+        let mut alerts = Vec::new();
+        let mut rules = Vec::new();
+        for (rule, state) in self.rules.iter().zip(&self.states) {
+            alerts.extend(state.alerts.iter().cloned());
+            if state.firing {
+                let (ww, wv) = state
+                    .episode_worst
+                    .unwrap_or((state.fired_window, f64::NAN));
+                alerts.push(Alert {
+                    rule: rule.name.clone(),
+                    fired_window: state.fired_window,
+                    resolved_window: None,
+                    worst_window: ww,
+                    worst_value: wv,
+                });
+            }
+            rules.push(RuleOutcome {
+                rule: rule.name.clone(),
+                selector: rule.selector.display(),
+                critical: rule.critical,
+                fired: state.fired,
+                windows_firing: state.windows_firing,
+                worst_window: state.worst.map(|(w, _)| w),
+                worst_value: state.worst.map_or(0.0, |(_, v)| v),
+                still_firing: state.firing,
+            });
+        }
+        alerts.sort_by_key(|a| a.fired_window);
+        HealthReport {
+            window_ns,
+            windows: self.windows,
+            alerts,
+            rules,
+        }
+    }
+
+    /// Convenience: evaluates `rules` over a complete series offline.
+    pub fn evaluate(rules: Vec<Rule>, series: &SeriesData) -> HealthReport {
+        let mut mon = HealthMonitor::new(rules);
+        for w in &series.windows {
+            mon.push(w);
+        }
+        mon.report(series.window_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(index: u64, ops: u64) -> SeriesWindow {
+        let mut w = SeriesWindow::empty(index);
+        if ops > 0 {
+            w.counters.insert("ops".to_string(), ops);
+        }
+        w
+    }
+
+    #[test]
+    fn selector_grammar() {
+        let s = Selector::parse("kona.fetch_ns:p99");
+        assert_eq!(s.metric, "kona.fetch_ns");
+        assert_eq!(s.field, SeriesField::P99);
+        assert_eq!(s.display(), "kona.fetch_ns:p99");
+        let v = Selector::parse("net.wire_bytes");
+        assert_eq!(v.field, SeriesField::Value);
+    }
+
+    #[test]
+    fn threshold_fires_and_resolves_with_worst_attribution() {
+        let mut mon = HealthMonitor::new(vec![Rule::above("busy", "ops", 10.0)]);
+        let mut tr = Vec::new();
+        for (i, ops) in [(0, 5), (1, 20), (2, 50), (3, 15), (4, 2)] {
+            tr.extend(mon.push(&window(i, ops)));
+        }
+        assert_eq!(
+            tr,
+            vec![
+                AlertTransition { rule: 0, window: 1, firing: true },
+                AlertTransition { rule: 0, window: 4, firing: false },
+            ]
+        );
+        let report = mon.report(100);
+        assert_eq!(report.alerts.len(), 1);
+        let a = &report.alerts[0];
+        assert_eq!(a.fired_window, 1);
+        assert_eq!(a.resolved_window, Some(4));
+        assert_eq!(a.worst_window, 2);
+        assert_eq!(a.worst_value, 50.0);
+        assert!(!report.slo_breached(), "non-critical rule");
+        assert_eq!(report.alerts_resolved(), 1);
+    }
+
+    #[test]
+    fn gap_windows_resolve_alerts() {
+        let mut mon = HealthMonitor::new(vec![Rule::above("busy", "ops", 10.0)]);
+        mon.push(&window(0, 20));
+        // Next real window is 5: indices 1..4 evaluate as empty, so the
+        // alert resolves at window 1, not window 5.
+        let tr = mon.push(&window(5, 20));
+        assert!(tr.contains(&AlertTransition { rule: 0, window: 1, firing: false }));
+        assert!(tr.contains(&AlertTransition { rule: 0, window: 5, firing: true }));
+        assert_eq!(mon.report(100).windows, 6);
+    }
+
+    #[test]
+    fn sustained_requires_streak_and_unresolved_alerts_reported() {
+        let mut mon =
+            HealthMonitor::new(vec![Rule::above("busy", "ops", 10.0).sustained(2).critical()]);
+        assert!(mon.push(&window(0, 20)).is_empty(), "streak of one");
+        let tr = mon.push(&window(1, 30));
+        assert_eq!(tr.len(), 1);
+        assert!(tr[0].firing);
+        let report = mon.report(100);
+        assert_eq!(report.alerts.len(), 1);
+        assert_eq!(report.alerts[0].resolved_window, None);
+        assert!(report.rules[0].still_firing);
+        assert!(report.slo_breached());
+    }
+
+    #[test]
+    fn gauges_carry_forward_across_delta_windows() {
+        let mut mon = HealthMonitor::new(vec![Rule::above("deep", "queue.depth", 5.0)]);
+        let mut w0 = SeriesWindow::empty(0);
+        w0.gauges.insert("queue.depth".to_string(), 9.0);
+        mon.push(&w0);
+        // Window 1 omits the gauge (unchanged); the carried value still
+        // breaches.
+        mon.push(&SeriesWindow::empty(1));
+        let report = mon.report(100);
+        assert_eq!(report.rules[0].windows_firing, 2);
+    }
+
+    #[test]
+    fn rate_of_change_detects_surges() {
+        let mut mon = HealthMonitor::new(vec![Rule::rate_of_change("surge", "ops", 15.0)]);
+        let mut tr = Vec::new();
+        for (i, ops) in [(0, 10), (1, 12), (2, 60), (3, 58)] {
+            tr.extend(mon.push(&window(i, ops)));
+        }
+        assert_eq!(
+            tr,
+            vec![
+                AlertTransition { rule: 0, window: 2, firing: true },
+                AlertTransition { rule: 0, window: 3, firing: false },
+            ]
+        );
+        // Worst value is the delta, not the raw value.
+        assert_eq!(mon.report(100).alerts[0].worst_value, 48.0);
+    }
+
+    #[test]
+    fn burn_rate_needs_short_and_long_windows_hot() {
+        let rule = Rule::burn_rate("burn", "ops", 10.0, 1, 4);
+        let mut mon = HealthMonitor::new(vec![rule]);
+        // One hot window: short avg is 2.0 but long avg is 2.0 too (only
+        // one sample) — fires immediately, then the long window cools.
+        let mut tr = mon.push(&window(0, 20));
+        assert_eq!(tr.len(), 1, "short+long hot");
+        for i in 1..4 {
+            tr.extend(mon.push(&window(i, 0)));
+        }
+        assert!(tr.iter().any(|t| !t.firing), "cooled off");
+        // Sustained burn just above budget keeps it firing.
+        let mut mon = HealthMonitor::new(vec![Rule::burn_rate("burn", "ops", 10.0, 1, 4)]);
+        let mut fired = false;
+        for i in 0..6 {
+            fired |= mon.push(&window(i, 12)).iter().any(|t| t.firing);
+        }
+        assert!(fired);
+        assert!(mon.report(100).rules[0].still_firing);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut mon = HealthMonitor::new(vec![Rule::above("busy", "ops", 10.0).critical()]);
+        mon.push(&window(0, 20));
+        mon.push(&window(1, 0));
+        let json = mon.report(100).to_json();
+        assert!(json.contains("\"slo_breached\": true"));
+        assert!(json.contains("\"rule\": \"busy\""));
+        assert!(json.contains("\"resolved_window\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn evaluate_is_deterministic() {
+        let mut series = SeriesData::new(100);
+        for i in 0..5 {
+            series.windows.push(window(i, if i == 2 { 50 } else { 1 }));
+        }
+        let rules = || vec![Rule::above("busy", "ops", 10.0), Rule::rate_of_change("surge", "ops", 20.0)];
+        let a = HealthMonitor::evaluate(rules(), &series).to_json();
+        let b = HealthMonitor::evaluate(rules(), &series).to_json();
+        assert_eq!(a, b);
+    }
+}
