@@ -9,7 +9,7 @@
 #![warn(missing_docs)]
 
 use kona_telemetry::{SeriesData, Telemetry, DEFAULT_WINDOW_NS};
-use kona_types::{Jobs, Nanos};
+use kona_types::{Jobs, Nanos, Shards};
 use kona_workloads::{
     GraphAlgorithm, GraphWorkload, HistogramWorkload, LinearRegressionWorkload, RedisWorkload,
     VoltDbWorkload, Workload, WorkloadProfile,
@@ -120,6 +120,13 @@ impl ExpOptions {
     /// `--health-out <path>`: health-report JSON destination.
     pub fn health_out(&self) -> Option<&str> {
         self.value_of("health-out")
+    }
+
+    /// `--shards N`: worker threads for the shard-parallel engine
+    /// (default 1 — sharded execution stays opt-in and `--shards 1`
+    /// reproduces the serial merge byte-for-byte).
+    pub fn shards(&self) -> Shards {
+        Shards::from_args(&self.args)
     }
 
     /// `--seed N`: base RNG seed for the experiment (default 42).

@@ -9,7 +9,9 @@
 //! operation-count tick, so identical inputs produce identical traffic.
 
 use crate::node_runtime::{MemoryNodeRuntime, NodeRuntimeConfig};
-use kona::{ClusterConfig, KonaRuntime, NodeOccupancy, RemoteMemoryRuntime, RuntimeStats};
+use kona::{
+    ClusterConfig, KonaRuntime, NodeOccupancy, RemoteMemoryRuntime, RuntimeStats, ShipmentBatch,
+};
 use kona_telemetry::Telemetry;
 use kona_types::{MemAccess, Nanos, Result, VirtAddr};
 
@@ -97,6 +99,7 @@ pub struct ClusterRuntime {
     inner: KonaRuntime,
     nodes: Vec<MemoryNodeRuntime>,
     plane: ControlPlaneConfig,
+    shipments: ShipmentBatch,
     ops: u64,
     ticks: u64,
 }
@@ -133,6 +136,7 @@ impl ClusterRuntime {
             inner,
             nodes,
             plane,
+            shipments: ShipmentBatch::default(),
             ops: 0,
             ticks: 0,
         })
@@ -177,9 +181,10 @@ impl ClusterRuntime {
     /// occupancy summary.
     pub fn tick(&mut self) {
         self.ticks += 1;
-        for (node, at, encoded) in self.inner.drain_log_shipments() {
+        self.inner.drain_log_shipments_into(&mut self.shipments);
+        for (node, at, encoded) in self.shipments.iter() {
             if let Some(nr) = self.nodes.get_mut(node as usize) {
-                nr.ingest(at, encoded);
+                nr.ingest_slice(at, encoded);
             }
         }
         for nr in &mut self.nodes {

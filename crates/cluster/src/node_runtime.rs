@@ -193,14 +193,29 @@ impl MemoryNodeRuntime {
 
     /// Receives one encoded log batch shipped at `at` into the backlog.
     pub fn ingest(&mut self, at: Nanos, encoded: Vec<u8>) {
-        self.stats.batches_ingested += 1;
-        self.stats.entries_ingested += CacheLineLog::decode(&encoded).len() as u64;
-        self.stats.bytes_ingested += encoded.len() as u64;
-        self.backlog_bytes += encoded.len() as u64;
-        self.clock = self.clock.max(at);
+        self.note_ingest(at, &encoded);
         self.backlog.push_back((at, encoded));
         self.backlog_gauge.set(self.backlog_bytes as f64);
         self.telemetry.observe_time(self.clock);
+    }
+
+    /// [`MemoryNodeRuntime::ingest`] for borrowed batches — the shape the
+    /// eviction handler's arena-backed shipment journal hands out.
+    pub fn ingest_slice(&mut self, at: Nanos, encoded: &[u8]) {
+        self.note_ingest(at, encoded);
+        self.backlog.push_back((at, encoded.to_vec()));
+        self.backlog_gauge.set(self.backlog_bytes as f64);
+        self.telemetry.observe_time(self.clock);
+    }
+
+    /// Shared ingest bookkeeping (entry counting walks headers only — no
+    /// decode allocation on the receive path).
+    fn note_ingest(&mut self, at: Nanos, encoded: &[u8]) {
+        self.stats.batches_ingested += 1;
+        self.stats.entries_ingested += CacheLineLog::entry_count(encoded) as u64;
+        self.stats.bytes_ingested += encoded.len() as u64;
+        self.backlog_bytes += encoded.len() as u64;
+        self.clock = self.clock.max(at);
     }
 
     /// Runs the compaction worker then the apply worker over the whole

@@ -63,6 +63,18 @@ pub struct CoherenceStats {
     pub snoops: u64,
 }
 
+impl CoherenceStats {
+    /// Accumulates another domain's counters (shard-merge aggregation).
+    pub fn merge(&mut self, other: &CoherenceStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.directory_transactions += other.directory_transactions;
+        self.invalidations += other.invalidations;
+        self.writebacks += other.writebacks;
+        self.snoops += other.snoops;
+    }
+}
+
 /// A complete single-host coherence domain.
 ///
 /// See the [crate documentation](crate) for an example.

@@ -373,6 +373,29 @@ impl ClusterConfig {
         self
     }
 
+    /// Carves out shard `shard`'s slice of a `logical`-way decomposition:
+    /// the local cache, CPU cache and node capacity are divided `logical`
+    /// ways (respecting FMem-way and slab-size granularity), and the retry
+    /// seed and any fault plan are reseeded with
+    /// [`derive_shard_seed`](kona_types::derive_shard_seed) so each shard
+    /// runs a decorrelated but fully deterministic stream. Slicing the
+    /// *same* config for the *same* `(shard, logical)` always yields the
+    /// same slice, independent of worker count.
+    #[must_use]
+    pub fn shard_slice(&self, shard: u32, logical: u32) -> Self {
+        let logical = logical.max(1) as usize;
+        let mut slice = self.clone();
+        slice.local_cache_pages =
+            (self.local_cache_pages / logical / self.fmem_ways).max(1) * self.fmem_ways;
+        slice.cpu_cache_lines = (self.cpu_cache_lines / logical).max(1);
+        let slab = self.slab_size.bytes();
+        slice.node_capacity =
+            ByteSize(((self.node_capacity.bytes() / logical as u64) / slab).max(1) * slab);
+        slice.retry.seed = kona_types::derive_shard_seed(self.retry.seed, shard);
+        slice.fault_plan = self.fault_plan.clone().map(|plan| plan.for_shard(shard));
+        slice
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors

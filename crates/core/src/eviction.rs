@@ -12,7 +12,7 @@
 //! write**, and **Ack wait**.
 
 use crate::config::RetryPolicy;
-use crate::log::{CacheLineLog, LogEntry, LogReceiver};
+use crate::log::{CacheLineLog, LogReceiver, ShipmentBatch};
 use crate::metrics::names;
 use crate::poller::Poller;
 use kona_fpga::VictimPage;
@@ -119,6 +119,22 @@ pub struct EvictionStats {
     pub repaired_nodes: u64,
 }
 
+impl EvictionStats {
+    /// Accumulates another handler's counters (shard-merge aggregation).
+    pub fn merge(&mut self, other: &EvictionStats) {
+        self.pages_evicted += other.pages_evicted;
+        self.silent_evictions += other.silent_evictions;
+        self.lines_written += other.lines_written;
+        self.dirty_bytes_written += other.dirty_bytes_written;
+        self.flushes += other.flushes;
+        self.flush_retries += other.flush_retries;
+        self.abandoned_flushes += other.abandoned_flushes;
+        self.skipped_targets += other.skipped_targets;
+        self.batched_flushes += other.batched_flushes;
+        self.repaired_nodes += other.repaired_nodes;
+    }
+}
+
 /// The eviction handler.
 ///
 /// One [`CacheLineLog`] per memory node aggregates entries; logs flush when
@@ -156,8 +172,8 @@ pub struct EvictionHandler {
     /// When `Some`, every successfully flushed `(node, time, encoded log)`
     /// batch is journaled here for the cluster layer's memory-node
     /// runtimes to ingest (log application is idempotent, so re-applying
-    /// the journal is safe).
-    journal: Option<Vec<(u32, Nanos, Vec<u8>)>>,
+    /// the journal is safe). Arena-backed: see [`ShipmentBatch`].
+    journal: Option<ShipmentBatch>,
     /// Degraded mode: widen batching by combining every node's log into
     /// one chained post per flush cycle.
     degraded: bool,
@@ -270,15 +286,25 @@ impl EvictionHandler {
     /// [`EvictionHandler::drain_shipments`]).
     pub fn enable_shipment_journal(&mut self) {
         if self.journal.is_none() {
-            self.journal = Some(Vec::new());
+            self.journal = Some(ShipmentBatch::default());
         }
     }
 
     /// Drains the journal of successfully shipped `(node, flush time,
     /// encoded log)` batches accumulated since the last drain. Empty when
     /// journaling was never enabled.
-    pub fn drain_shipments(&mut self) -> Vec<(u32, Nanos, Vec<u8>)> {
+    pub fn drain_shipments(&mut self) -> ShipmentBatch {
         self.journal.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Like [`EvictionHandler::drain_shipments`], but swaps the journal
+    /// into the caller's batch so both sides keep their allocations: a
+    /// steady ship-and-ingest loop reuses the same two arenas forever.
+    pub fn drain_shipments_into(&mut self, out: &mut ShipmentBatch) {
+        out.clear();
+        if let Some(journal) = self.journal.as_mut() {
+            std::mem::swap(journal, out);
+        }
     }
 
     /// Accumulated phase breakdown.
@@ -345,14 +371,14 @@ impl EvictionHandler {
             return Ok(elapsed);
         }
 
-        let segments: Vec<(usize, usize)> = victim.dirty_lines.segments().collect();
-        for &(start, len) in &segments {
+        // Pack straight off the bitmap's segment iterator: no staging of
+        // segment ranges, no per-segment payload buffer — each dirty run
+        // is serialized directly into the per-node log exactly once per
+        // target.
+        for (start, len) in victim.dirty_lines.segments() {
             let byte_off = start as u64 * CACHE_LINE_SIZE;
             let byte_len = len as u64 * CACHE_LINE_SIZE;
-            let data = match page_data {
-                Some(page) => page[byte_off as usize..(byte_off + byte_len) as usize].to_vec(),
-                None => vec![0u8; byte_len as usize],
-            };
+            let src = page_data.map(|page| &page[byte_off as usize..(byte_off + byte_len) as usize]);
             // Gather + copy into the log buffer (charged once per target).
             // Lost nodes take no writebacks; goodput is counted on the
             // first surviving target (normally the primary).
@@ -368,23 +394,24 @@ impl EvictionHandler {
                 self.telemetry
                     .span_leaf(Track::Background, EventKind::SegmentCopy, copy_time);
                 elapsed += copy_time;
-                let entry = LogEntry {
-                    remote: target.add(byte_off),
-                    data: data.clone(),
-                };
-                let log = self
-                    .logs
-                    .entry(node)
-                    .or_insert_with(|| CacheLineLog::new(self.log_capacity));
-                if log.is_full_for(&entry) {
-                    elapsed += self.flush_node(node, fabric, poller)?;
-                }
+                // Try-append first: one map lookup on the fast path, the
+                // flush-then-retry re-lookup only when the log is full
+                // (`append_segment` buffers nothing when it declines).
+                let capacity = self.log_capacity;
                 let appended = self
                     .logs
-                    .get_mut(&node)
-                    .expect("log just ensured")
-                    .append(entry);
-                assert!(appended, "entry must fit after flush");
+                    .entry(node)
+                    .or_insert_with(|| CacheLineLog::new(capacity))
+                    .append_segment(target.add(byte_off), byte_len as usize, src);
+                if !appended {
+                    elapsed += self.flush_node(node, fabric, poller)?;
+                    let retried = self
+                        .logs
+                        .get_mut(&node)
+                        .expect("log just ensured")
+                        .append_segment(target.add(byte_off), byte_len as usize, src);
+                    assert!(retried, "segment must fit after flush");
+                }
                 if !counted {
                     counted = true;
                     self.stats.lines_written += len as u64;
@@ -488,7 +515,7 @@ impl EvictionHandler {
         };
         self.breakdown.rdma_write += rdma_time;
         if let Some(journal) = &mut self.journal {
-            journal.push((node, fabric.now(), encoded.clone()));
+            journal.record(node, fabric.now(), &encoded);
         }
 
         // Remote thread unpacks and acknowledges. "The process is
@@ -505,6 +532,11 @@ impl EvictionHandler {
         self.breakdown.ack_wait += ack_time;
         self.telemetry
             .span_close(wb_span, backoff_total + rdma_time + ack_time);
+        // The drained buffer goes back to the node's log: steady-state
+        // flush cycles reuse one allocation per node.
+        if let Some(log) = self.logs.get_mut(&node) {
+            log.recycle(encoded);
+        }
 
         // The flush resolves every pending page (logs are per-node but
         // clearing conservatively is correct and simple).
@@ -630,20 +662,23 @@ impl EvictionHandler {
         if let Some(journal) = &mut self.journal {
             let now = fabric.now();
             for (node, encoded) in &batch {
-                journal.push((*node, now, encoded.clone()));
+                journal.record(*node, now, encoded);
             }
         }
 
         // Each receiver unpacks its own log; acks ride back together, so
         // only one verb round trip is charged for the whole batch.
         let mut unpack_total = Nanos::ZERO;
-        for (node, encoded) in &batch {
-            let receiver = self.receivers.entry(*node).or_default();
+        for (node, encoded) in batch {
+            let receiver = self.receivers.entry(node).or_default();
             let node_mem = fabric
-                .node_mut(*node)
+                .node_mut(node)
                 .expect("post succeeded, node must exist");
-            let report = receiver.apply(node_mem, encoded);
+            let report = receiver.apply(node_mem, &encoded);
             unpack_total += report.unpack_time;
+            if let Some(log) = self.logs.get_mut(&node) {
+                log.recycle(encoded);
+            }
         }
         let ack_time = (unpack_total + fabric.model().verb_time(0)) / 4;
         self.breakdown.ack_wait += ack_time;
@@ -1035,13 +1070,22 @@ mod tests {
         h.flush_all(&mut f, &mut p).unwrap();
         let shipped = h.drain_shipments();
         assert_eq!(shipped.len(), 2, "one batch per node");
-        let mut nodes: Vec<u32> = shipped.iter().map(|(n, _, _)| *n).collect();
+        let mut nodes: Vec<u32> = shipped.iter().map(|(n, _, _)| n).collect();
         nodes.sort_unstable();
         assert_eq!(nodes, vec![0, 1]);
         // Journaled bytes are the encoded log: header + one line.
         assert!(shipped.iter().all(|(_, _, enc)| enc.len() == 16 + 64));
-        // Drain empties the journal.
+        // Drain empties the journal; the swapping drain keeps reusing the
+        // caller's arena.
         assert!(h.drain_shipments().is_empty());
+        let mut reuse = shipped;
+        h.evict_page(&victim(1, &[0]), Some(&page), RemoteAddr::new(0, 4096), &[], &mut f, &mut p)
+            .unwrap();
+        h.flush_all(&mut f, &mut p).unwrap();
+        h.drain_shipments_into(&mut reuse);
+        assert_eq!(reuse.len(), 1);
+        h.drain_shipments_into(&mut reuse);
+        assert!(reuse.is_empty());
         // Journaling is opt-in: a fresh handler journals nothing.
         let mut h2 = EvictionHandler::new(1 << 20, 65536);
         let mut f2 = fabric_with_nodes(1);

@@ -60,6 +60,7 @@ mod log;
 pub mod metrics;
 mod poller;
 mod runtime;
+pub mod shard;
 mod stats;
 mod vm_runtime;
 
@@ -71,8 +72,9 @@ pub use controller::{
 };
 pub use eviction::{CopyEngine, EvictionBreakdown, EvictionHandler, EvictionStats};
 pub use failure::{FailurePolicy, FailureState, McEvent, PolicyCounts};
-pub use log::{CacheLineLog, LogEntry, LogReceiver, ReceiverReport};
+pub use log::{CacheLineLog, LogEntry, LogReceiver, ReceiverReport, ShipmentBatch};
 pub use poller::Poller;
 pub use runtime::{KonaRuntime, RemoteMemoryRuntime};
+pub use shard::{seeded_script, ShardOp, ShardReport, ShardedRun, ShipmentDigest};
 pub use stats::RuntimeStats;
 pub use vm_runtime::{VmProfile, VmRuntime};

@@ -95,17 +95,42 @@ impl CacheLineLog {
         self.buffer.len() + entry.encoded_len() > self.capacity
     }
 
+    /// Returns `true` if a segment of `payload_len` bytes fits without a
+    /// flush.
+    pub fn has_room_for(&self, payload_len: usize) -> bool {
+        self.buffer.len() + ENTRY_HEADER_BYTES + payload_len <= self.capacity
+    }
+
     /// Appends an entry; returns `false` (and buffers nothing) if it does
     /// not fit — flush first.
     pub fn append(&mut self, entry: LogEntry) -> bool {
-        if self.is_full_for(&entry) {
+        self.append_segment(entry.remote, entry.data.len(), Some(&entry.data))
+    }
+
+    /// Appends one dirty segment without materializing a [`LogEntry`]:
+    /// the header and payload are serialized straight into the log
+    /// buffer. `data` is the segment's bytes (`None` packs zeros, the
+    /// timing-only mode). Returns `false` (and buffers nothing) if the
+    /// segment does not fit — flush first.
+    ///
+    /// This is the eviction hot path: packing from
+    /// [`LineBitmap::segments`](kona_types::LineBitmap::segments) this
+    /// way performs exactly one copy per segment per target, with no
+    /// intermediate allocations.
+    pub fn append_segment(&mut self, remote: RemoteAddr, len: usize, data: Option<&[u8]>) -> bool {
+        if !self.has_room_for(len) {
             return false;
         }
-        self.buffer.extend_from_slice(&entry.remote.node().to_le_bytes());
-        self.buffer.extend_from_slice(&entry.remote.offset().to_le_bytes());
-        self.buffer
-            .extend_from_slice(&(entry.data.len() as u32).to_le_bytes());
-        self.buffer.extend_from_slice(&entry.data);
+        self.buffer.extend_from_slice(&remote.node().to_le_bytes());
+        self.buffer.extend_from_slice(&remote.offset().to_le_bytes());
+        self.buffer.extend_from_slice(&(len as u32).to_le_bytes());
+        match data {
+            Some(d) => {
+                debug_assert_eq!(d.len(), len, "segment length mismatch");
+                self.buffer.extend_from_slice(d);
+            }
+            None => self.buffer.resize(self.buffer.len() + len, 0),
+        }
         self.entries += 1;
         true
     }
@@ -114,6 +139,37 @@ impl CacheLineLog {
     pub fn drain_encoded(&mut self) -> Vec<u8> {
         self.entries = 0;
         std::mem::take(&mut self.buffer)
+    }
+
+    /// Hands a drained buffer's allocation back to the log so the next
+    /// fill cycle reuses it instead of growing a fresh one. No-op if the
+    /// log already holds entries or a larger allocation.
+    pub fn recycle(&mut self, mut buf: Vec<u8>) {
+        if self.buffer.is_empty() && self.buffer.capacity() < buf.capacity() {
+            buf.clear();
+            self.buffer = buf;
+        }
+    }
+
+    /// Counts the entries in an encoded log by walking headers — no
+    /// payload is materialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed buffer, as [`CacheLineLog::decode`] does.
+    pub fn entry_count(encoded: &[u8]) -> usize {
+        let mut count = 0;
+        let mut pos = 0;
+        while pos < encoded.len() {
+            assert!(pos + ENTRY_HEADER_BYTES <= encoded.len(), "truncated header");
+            let len =
+                u32::from_le_bytes(encoded[pos + 12..pos + 16].try_into().expect("4 bytes"))
+                    as usize;
+            pos += ENTRY_HEADER_BYTES + len;
+            assert!(pos <= encoded.len(), "truncated payload");
+            count += 1;
+        }
+        count
     }
 
     /// Decodes an encoded log back into entries.
@@ -143,6 +199,67 @@ impl CacheLineLog {
             pos += len;
         }
         entries
+    }
+}
+
+/// An arena-backed batch of shipped logs: the journal the eviction
+/// handler keeps for the cluster layer's memory-node runtimes.
+///
+/// Earlier versions journaled `Vec<(node, time, Vec<u8>)>`, cloning every
+/// encoded log into its own allocation and reallocating the outer vector
+/// each batch. The batch instead packs all encoded bytes into one arena
+/// with a small index, and the whole structure is reusable: draining
+/// swaps buffers rather than freeing them, so a steady-state
+/// ship-and-ingest loop performs no allocation at all.
+///
+/// # Examples
+///
+/// ```
+/// # use kona::ShipmentBatch;
+/// # use kona_types::Nanos;
+/// let mut batch = ShipmentBatch::default();
+/// batch.record(3, Nanos::from_ns(100), &[1, 2, 3]);
+/// let shipped: Vec<_> = batch.iter().collect();
+/// assert_eq!(shipped, vec![(3, Nanos::from_ns(100), &[1u8, 2, 3][..])]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShipmentBatch {
+    /// `(node, flush time, arena offset, length)` per shipped log.
+    index: Vec<(u32, Nanos, u32, u32)>,
+    arena: Vec<u8>,
+}
+
+impl ShipmentBatch {
+    /// Appends one shipped log, copying `encoded` into the arena.
+    pub fn record(&mut self, node: u32, at: Nanos, encoded: &[u8]) {
+        let offset = u32::try_from(self.arena.len()).expect("shipment arena exceeds 4 GiB");
+        let len = u32::try_from(encoded.len()).expect("encoded log exceeds 4 GiB");
+        self.arena.extend_from_slice(encoded);
+        self.index.push((node, at, offset, len));
+    }
+
+    /// Number of shipped logs in the batch.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the batch holds no shipments.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Empties the batch, keeping both allocations for reuse.
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.arena.clear();
+    }
+
+    /// Iterates the batch as `(node, flush time, encoded log)` views into
+    /// the arena, in shipment order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Nanos, &[u8])> + '_ {
+        self.index.iter().map(move |&(node, at, offset, len)| {
+            (node, at, &self.arena[offset as usize..(offset + len) as usize])
+        })
     }
 }
 

@@ -935,8 +935,15 @@ impl KonaRuntime {
 
     /// Drains the journaled `(node, flush time, encoded batch)`
     /// shipments accumulated since the last drain.
-    pub fn drain_log_shipments(&mut self) -> Vec<(u32, Nanos, Vec<u8>)> {
+    pub fn drain_log_shipments(&mut self) -> crate::log::ShipmentBatch {
         self.eviction.drain_shipments()
+    }
+
+    /// Like [`KonaRuntime::drain_log_shipments`] but swaps into the
+    /// caller's reusable batch, so a steady ship-and-ingest loop
+    /// allocates nothing.
+    pub fn drain_log_shipments_into(&mut self, out: &mut crate::log::ShipmentBatch) {
+        self.eviction.drain_shipments_into(out);
     }
 
     /// Slabs currently missing part of their replication budget: the

@@ -4,7 +4,7 @@ use crate::dirty::DirtyTracker;
 use crate::fmem::FMemCache;
 use crate::prefetch::NextPagePrefetcher;
 use crate::translation::RemoteTranslation;
-use kona_coherence::{AgentId, CoherenceSystem};
+use kona_coherence::{AgentId, CoherenceStats, CoherenceSystem};
 use kona_telemetry::{Counter, Gauge, Telemetry};
 use kona_types::{
     AccessKind, FxHashSet, LineBitmap, LineIndex, PageNumber, RemoteAddr, Result, VfMemAddr,
@@ -112,6 +112,19 @@ pub struct FpgaStats {
     pub page_snoops: u64,
 }
 
+impl FpgaStats {
+    /// Accumulates another device's counters (shard-merge aggregation).
+    pub fn merge(&mut self, other: &FpgaStats) {
+        self.cpu_hits += other.cpu_hits;
+        self.fmem_hits += other.fmem_hits;
+        self.remote_fetches += other.remote_fetches;
+        self.prefetched_pages += other.prefetched_pages;
+        self.prefetches_shed += other.prefetches_shed;
+        self.writebacks_observed += other.writebacks_observed;
+        self.page_snoops += other.page_snoops;
+    }
+}
+
 /// The cache-coherent FPGA: VFMem directory + FMem cache + dirty bitmaps +
 /// remote translation + prefetcher.
 ///
@@ -194,6 +207,11 @@ impl KonaFpga {
     /// Counters.
     pub fn stats(&self) -> FpgaStats {
         self.stats
+    }
+
+    /// The embedded coherence domain's counters.
+    pub fn coherence_stats(&self) -> CoherenceStats {
+        self.coherence.stats()
     }
 
     /// Turns prefetch shedding on or off. While on, the prefetcher still

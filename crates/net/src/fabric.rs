@@ -23,6 +23,17 @@ pub struct NetStats {
     pub faulted_posts: u64,
 }
 
+impl NetStats {
+    /// Accumulates another fabric's counters (shard-merge aggregation).
+    pub fn merge(&mut self, other: &NetStats) {
+        self.requests += other.requests;
+        self.posts += other.posts;
+        self.wire_bytes += other.wire_bytes;
+        self.completions += other.completions;
+        self.faulted_posts += other.faulted_posts;
+    }
+}
+
 /// Pre-resolved telemetry handles for the fabric's hot path (no string
 /// lookups per verb).
 #[derive(Debug, Clone)]

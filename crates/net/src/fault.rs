@@ -150,6 +150,17 @@ impl FaultPlan {
         self
     }
 
+    /// Derives the per-shard variant of this plan: same probabilities,
+    /// spikes and node faults, but the injector PRNG is reseeded with
+    /// [`kona_types::derive_shard_seed`] so shard fault streams are
+    /// decorrelated yet fully determined by `(plan, shard)` — independent
+    /// of how many worker threads execute the shards.
+    #[must_use]
+    pub fn for_shard(mut self, shard: u32) -> Self {
+        self.seed = kona_types::derive_shard_seed(self.seed, shard);
+        self
+    }
+
     /// Sets the drop probability on every verb.
     #[must_use]
     pub fn with_drop_prob(mut self, p: f64) -> Self {
@@ -299,6 +310,15 @@ impl FaultStats {
     /// Total verb-level faults injected.
     pub fn total_verb_faults(&self) -> u64 {
         self.dropped + self.corrupted + self.timed_out
+    }
+
+    /// Accumulates another injector's counters (shard-merge aggregation).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.dropped += other.dropped;
+        self.corrupted += other.corrupted;
+        self.timed_out += other.timed_out;
+        self.node_down_rejections += other.node_down_rejections;
+        self.spiked_chains += other.spiked_chains;
     }
 }
 

@@ -278,6 +278,25 @@ impl SpanEvent {
     }
 }
 
+/// Deterministically merges per-shard span streams into one timeline:
+/// ascending span start time, ties broken by stream index, and within one
+/// stream the original emission order is preserved. Used by the sharded
+/// engine so the merged trace never depends on which worker thread
+/// finished first (give each stream a distinct
+/// [`Telemetry::set_trace_id_base`](crate::Telemetry::set_trace_id_base)
+/// so trace ids stay globally unique).
+pub fn merge_span_streams(streams: Vec<Vec<SpanEvent>>) -> Vec<SpanEvent> {
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut tagged: Vec<(Nanos, usize, usize, SpanEvent)> = Vec::with_capacity(total);
+    for (stream, events) in streams.into_iter().enumerate() {
+        for (pos, event) in events.into_iter().enumerate() {
+            tagged.push((event.start, stream, pos, event));
+        }
+    }
+    tagged.sort_by_key(|&(start, stream, pos, _)| (start, stream, pos));
+    tagged.into_iter().map(|(_, _, _, event)| event).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

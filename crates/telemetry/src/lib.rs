@@ -61,7 +61,9 @@ mod trace;
 pub use attribution::{
     analyze_trace, AttributionEngine, Component, ComponentVec, OpAttribution, TraceAttribution,
 };
-pub use event::{EventKind, FaultKind, SpanEvent, SpanId, Track, TraceId, VerbOpcode};
+pub use event::{
+    merge_span_streams, EventKind, FaultKind, SpanEvent, SpanId, Track, TraceId, VerbOpcode,
+};
 pub use export::{
     snapshot_to_csv, snapshot_to_json, spans_to_chrome_trace, spans_to_chrome_trace_with_series,
 };

@@ -29,6 +29,7 @@ mod error;
 mod fx;
 pub mod par;
 pub mod rng;
+pub mod shard;
 mod size;
 mod slab_lru;
 mod time;
@@ -39,6 +40,7 @@ pub use bitmap::LineBitmap;
 pub use error::{KonaError, Result, VerbFaultKind};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use par::{par_map, Jobs};
+pub use shard::{derive_shard_seed, sequence_streams, ShardPlan, Shards, DEFAULT_LOGICAL_SHARDS};
 pub use slab_lru::SlabLru;
 pub use size::{
     align_down, align_up, is_aligned, ByteSize, Page, PageGeometry, CACHE_LINE_SIZE,
