@@ -1,0 +1,210 @@
+//! Lease/epoch membership for the cluster control plane.
+//!
+//! The controller grants every memory node a time-bound *lease* stamped
+//! with a monotonically increasing *epoch*. A node that keeps answering
+//! on the fabric renews for free each control tick; a node cut off by a
+//! network partition misses renewals, its lease expires, and the
+//! controller *fences* it — the epoch is bumped so any log batch
+//! stamped with the old epoch is recognisably stale. Fencing is what
+//! turns a partition from a split-brain hazard into an availability
+//! event: the reachable side keeps the write path (stale-epoch applies
+//! are rejected with [`kona_types::KonaError::FencedEpoch`]) while the
+//! cut-off node's slabs are re-replicated among the survivors. When the
+//! partition heals the stale node rejoins through a full re-sync at the
+//! bumped epoch instead of silently applying pre-partition writes.
+
+use kona_types::{FxHashMap, Nanos};
+
+/// One node's lease as the controller sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// The grantor epoch: every shipment to the node carries the epoch
+    /// current at drain time, and the node rejects batches older than
+    /// its granted epoch once fencing bumps it.
+    pub epoch: u64,
+    /// Simulated time at which the lease lapses unless renewed.
+    pub expires: Nanos,
+    /// Whether the node is currently fenced (lease expired while the
+    /// node was unreachable; epoch bumped; rejoin pending).
+    pub fenced: bool,
+    /// When the fence was raised — shipments journaled before this
+    /// instant carry the pre-fence epoch.
+    pub fenced_at: Option<Nanos>,
+}
+
+/// Lifetime lease-protocol totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaseStats {
+    /// Initial lease grants (one per node, plus one per rejoin).
+    pub grants: u64,
+    /// Successful renewals.
+    pub renewals: u64,
+    /// Leases that lapsed because the holder was unreachable.
+    pub expirations: u64,
+    /// Fenced nodes readmitted after evacuation and heal.
+    pub rejoins: u64,
+}
+
+/// The controller's lease table: per-node epoch, expiry and fence state.
+#[derive(Debug, Clone, Default)]
+pub struct LeaseTable {
+    leases: FxHashMap<u32, Lease>,
+    stats: LeaseStats,
+}
+
+impl LeaseTable {
+    /// An empty table; nodes are admitted through [`LeaseTable::grant`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The lease for `node`, if granted.
+    pub fn get(&self, node: u32) -> Option<Lease> {
+        self.leases.get(&node).copied()
+    }
+
+    /// The epoch currently granted to `node` (0 before any grant).
+    pub fn epoch(&self, node: u32) -> u64 {
+        self.leases.get(&node).map_or(0, |l| l.epoch)
+    }
+
+    /// Whether `node` is currently fenced.
+    pub fn fenced(&self, node: u32) -> bool {
+        self.leases.get(&node).is_some_and(|l| l.fenced)
+    }
+
+    /// Admits `node` with a fresh epoch-1 lease running until `expires`.
+    /// Granting an already-leased node is a no-op (use
+    /// [`LeaseTable::renew`] / [`LeaseTable::rejoin`]).
+    pub fn grant(&mut self, node: u32, expires: Nanos) {
+        if self.leases.contains_key(&node) {
+            return;
+        }
+        self.leases.insert(
+            node,
+            Lease {
+                epoch: 1,
+                expires,
+                fenced: false,
+                fenced_at: None,
+            },
+        );
+        self.stats.grants += 1;
+    }
+
+    /// Extends `node`'s lease to `expires`. Fenced nodes cannot renew —
+    /// they must [`rejoin`](LeaseTable::rejoin).
+    pub fn renew(&mut self, node: u32, expires: Nanos) {
+        if let Some(l) = self.leases.get_mut(&node) {
+            if !l.fenced {
+                l.expires = expires;
+                self.stats.renewals += 1;
+            }
+        }
+    }
+
+    /// Whether `node`'s lease has lapsed at `now` (and it is not yet
+    /// fenced).
+    pub fn expired(&self, node: u32, now: Nanos) -> bool {
+        self.leases
+            .get(&node)
+            .is_some_and(|l| !l.fenced && now >= l.expires)
+    }
+
+    /// Fences `node` at `now`: the epoch is bumped so in-flight batches
+    /// stamped with the old epoch are recognisably stale, and the node
+    /// stays out of the write path until it rejoins.
+    pub fn fence(&mut self, node: u32, now: Nanos) {
+        if let Some(l) = self.leases.get_mut(&node) {
+            if !l.fenced {
+                l.fenced = true;
+                l.fenced_at = Some(now);
+                l.epoch += 1;
+                self.stats.expirations += 1;
+            }
+        }
+    }
+
+    /// Readmits a fenced node with a fresh lease at the bumped epoch.
+    pub fn rejoin(&mut self, node: u32, expires: Nanos) {
+        if let Some(l) = self.leases.get_mut(&node) {
+            if l.fenced {
+                l.fenced = false;
+                l.fenced_at = None;
+                l.expires = expires;
+                self.stats.rejoins += 1;
+            }
+        }
+    }
+
+    /// The epoch to stamp on a shipment journaled at `at` for `node`:
+    /// batches that were flushed before the fence went up carry the
+    /// pre-fence epoch (that is the grantor epoch they were shipped
+    /// under), so the node's apply worker can tell them from
+    /// post-rejoin traffic.
+    pub fn stamp_epoch(&self, node: u32, at: Nanos) -> u64 {
+        match self.leases.get(&node) {
+            Some(l) if l.fenced && l.fenced_at.is_some_and(|f| at < f) => l.epoch - 1,
+            Some(l) => l.epoch,
+            None => 0,
+        }
+    }
+
+    /// Lifetime protocol totals.
+    pub fn stats(&self) -> LeaseStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_renew_expire_fence_rejoin_lifecycle() {
+        let mut t = LeaseTable::new();
+        t.grant(0, Nanos::from_ns(100));
+        assert_eq!(t.epoch(0), 1);
+        assert!(!t.fenced(0));
+        // Double grant is a no-op.
+        t.grant(0, Nanos::from_ns(999));
+        assert_eq!(t.get(0).unwrap().expires, Nanos::from_ns(100));
+        assert_eq!(t.stats().grants, 1);
+
+        t.renew(0, Nanos::from_ns(200));
+        assert!(!t.expired(0, Nanos::from_ns(150)));
+        assert!(t.expired(0, Nanos::from_ns(200)));
+
+        t.fence(0, Nanos::from_ns(210));
+        assert!(t.fenced(0));
+        assert_eq!(t.epoch(0), 2);
+        // Fenced nodes cannot renew and never re-expire.
+        t.renew(0, Nanos::from_ns(900));
+        assert!(!t.expired(0, Nanos::from_ns(900)));
+        // Double fence does not bump twice.
+        t.fence(0, Nanos::from_ns(220));
+        assert_eq!(t.epoch(0), 2);
+        assert_eq!(t.stats().expirations, 1);
+
+        t.rejoin(0, Nanos::from_ns(300));
+        assert!(!t.fenced(0));
+        assert_eq!(t.epoch(0), 2, "rejoin keeps the bumped epoch");
+        assert_eq!(t.stats().rejoins, 1);
+    }
+
+    #[test]
+    fn stamp_epoch_splits_at_the_fence() {
+        let mut t = LeaseTable::new();
+        t.grant(3, Nanos::from_ns(100));
+        assert_eq!(t.stamp_epoch(3, Nanos::from_ns(50)), 1);
+        t.fence(3, Nanos::from_ns(120));
+        // Shipments flushed before the fence carry the old epoch…
+        assert_eq!(t.stamp_epoch(3, Nanos::from_ns(119)), 1);
+        // …and anything at or after it carries the bumped epoch.
+        assert_eq!(t.stamp_epoch(3, Nanos::from_ns(120)), 2);
+        t.rejoin(3, Nanos::from_ns(500));
+        assert_eq!(t.stamp_epoch(3, Nanos::from_ns(50)), 2);
+        // Ungranted nodes stamp epoch 0.
+        assert_eq!(t.stamp_epoch(9, Nanos::from_ns(50)), 0);
+    }
+}

@@ -16,6 +16,13 @@
 //!   through [`kona::PlacementKind`]), slab migration and rebalancing on
 //!   occupancy skew, and post-crash re-replication that restores the
 //!   K-way replication budget.
+//! - [`lease`] / [`scrub`] — partition tolerance: time-bound leases
+//!   with epoch fencing (a node cut off by a network partition misses
+//!   renewal, is fenced, and its stale-epoch writes are rejected with
+//!   [`kona_types::KonaError::FencedEpoch`] while its slabs
+//!   re-replicate on the reachable side), plus a cursor-driven
+//!   integrity scrub that digests compute-node truth against every
+//!   replica and re-copies divergent slabs.
 //!
 //! Everything is deterministic: control work is keyed to operation
 //! counts and simulated clocks, never the wall clock, so runs are
@@ -25,7 +32,11 @@
 #![warn(missing_docs)]
 
 mod control;
+pub mod lease;
 mod node_runtime;
+pub mod scrub;
 
 pub use control::{ClusterRuntime, ClusterStats, ControlPlaneConfig};
+pub use lease::{Lease, LeaseStats, LeaseTable};
 pub use node_runtime::{MemoryNodeRuntime, NodeRuntimeConfig, NodeRuntimeStats};
+pub use scrub::{ScrubStats, TruthStore};

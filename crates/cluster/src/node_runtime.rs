@@ -11,7 +11,8 @@
 use kona::{CacheLineLog, LogEntry};
 use kona_telemetry::{EventKind, Gauge, Telemetry, Track};
 use kona_types::{
-    FxHashMap, LineBitmap, Nanos, RemoteAddr, CACHE_LINE_SIZE, LINES_PER_PAGE_4K, PAGE_SIZE_4K,
+    FxHashMap, KonaError, LineBitmap, Nanos, RemoteAddr, CACHE_LINE_SIZE, LINES_PER_PAGE_4K,
+    PAGE_SIZE_4K,
 };
 use std::collections::VecDeque;
 
@@ -61,6 +62,14 @@ pub struct NodeRuntimeStats {
     pub compaction_pages: u64,
     /// Dirty lines observed across compacted pages (numerator).
     pub compaction_dirty_lines: u64,
+    /// Entries refused because their batch carried a stale grantor
+    /// epoch while fencing was enforced (each refusal surfaces a
+    /// [`KonaError::FencedEpoch`]).
+    pub stale_rejected: u64,
+    /// Entries from stale-epoch batches applied anyway because fencing
+    /// enforcement was off — the split-brain writes integrity
+    /// scrubbing exists to catch.
+    pub stale_applied: u64,
     /// Simulated time the apply worker has spent.
     pub apply_time: Nanos,
 }
@@ -104,9 +113,19 @@ pub struct MemoryNodeRuntime {
     pages: FxHashMap<u64, Vec<u8>>,
     /// Per-page dirty-line bitmaps accumulated across applied batches.
     dirty: FxHashMap<u64, LineBitmap>,
-    /// Received-but-unapplied batches, in arrival order.
-    backlog: VecDeque<(Nanos, Vec<u8>)>,
+    /// Received-but-unapplied `(shipped at, grantor epoch, encoded)`
+    /// batches, in arrival order.
+    backlog: VecDeque<(Nanos, u64, Vec<u8>)>,
     backlog_bytes: u64,
+    /// The grantor epoch of this node's current lease. Batches stamped
+    /// with an older epoch were shipped before the node was fenced.
+    epoch: u64,
+    /// Whether stale-epoch batches are rejected (lease fencing) or
+    /// applied anyway (the naive heal).
+    fencing: bool,
+    /// Typed rejections accumulated by the apply worker, drained by the
+    /// control plane via [`MemoryNodeRuntime::take_fence_rejections`].
+    fence_rejections: Vec<KonaError>,
     /// The node's local apply clock: tracks the latest shipment time seen,
     /// advanced by apply work.
     clock: Nanos,
@@ -134,6 +153,9 @@ impl MemoryNodeRuntime {
             dirty: FxHashMap::default(),
             backlog: VecDeque::new(),
             backlog_bytes: 0,
+            epoch: 0,
+            fencing: true,
+            fence_rejections: Vec::new(),
             clock: Nanos::ZERO,
             stats: NodeRuntimeStats::default(),
             telemetry,
@@ -191,10 +213,50 @@ impl MemoryNodeRuntime {
         out
     }
 
-    /// Receives one encoded log batch shipped at `at` into the backlog.
+    /// The grantor epoch of this node's current lease (0 before any
+    /// grant — everything is accepted).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Installs a lease at `epoch`. Epochs only move forward; a stale
+    /// grant is ignored.
+    pub fn grant_lease(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
+    }
+
+    /// Turns stale-epoch rejection on (lease fencing, the default) or
+    /// off (apply everything and count it — the naive heal the
+    /// integrity scrubber backstops).
+    pub fn set_fencing(&mut self, on: bool) {
+        self.fencing = on;
+    }
+
+    /// Rejoins after a fence: the page store, dirty accounting and
+    /// apply backlog are wiped — the node re-syncs from scratch rather
+    /// than trusting pre-partition state — and the lease is re-granted
+    /// at the bumped `epoch`. Lifetime stats and the local clock are
+    /// kept.
+    pub fn rejoin(&mut self, epoch: u64) {
+        self.pages.clear();
+        self.dirty.clear();
+        self.backlog.clear();
+        self.backlog_bytes = 0;
+        self.backlog_gauge.set(0.0);
+        self.epoch = self.epoch.max(epoch);
+    }
+
+    /// Typed [`KonaError::FencedEpoch`] rejections recorded by the
+    /// apply worker since the last drain.
+    pub fn take_fence_rejections(&mut self) -> Vec<KonaError> {
+        std::mem::take(&mut self.fence_rejections)
+    }
+
+    /// Receives one encoded log batch shipped at `at` into the backlog,
+    /// stamped with the node's current lease epoch.
     pub fn ingest(&mut self, at: Nanos, encoded: Vec<u8>) {
         self.note_ingest(at, &encoded);
-        self.backlog.push_back((at, encoded));
+        self.backlog.push_back((at, self.epoch, encoded));
         self.backlog_gauge.set(self.backlog_bytes as f64);
         self.telemetry.observe_time(self.clock);
     }
@@ -202,8 +264,16 @@ impl MemoryNodeRuntime {
     /// [`MemoryNodeRuntime::ingest`] for borrowed batches — the shape the
     /// eviction handler's arena-backed shipment journal hands out.
     pub fn ingest_slice(&mut self, at: Nanos, encoded: &[u8]) {
+        self.ingest_stamped(at, encoded, self.epoch);
+    }
+
+    /// [`MemoryNodeRuntime::ingest_slice`] with an explicit grantor
+    /// epoch — the control plane stamps each drained shipment with the
+    /// epoch its lease table held when the batch was flushed, so the
+    /// apply worker can tell pre-fence traffic from live traffic.
+    pub fn ingest_stamped(&mut self, at: Nanos, encoded: &[u8], epoch: u64) {
         self.note_ingest(at, encoded);
-        self.backlog.push_back((at, encoded.to_vec()));
+        self.backlog.push_back((at, epoch, encoded.to_vec()));
         self.backlog_gauge.set(self.backlog_bytes as f64);
         self.telemetry.observe_time(self.clock);
     }
@@ -252,13 +322,29 @@ impl MemoryNodeRuntime {
     /// full-page image once its dirty ratio crosses the fold threshold.
     fn compact_backlog(&mut self) -> Vec<LogEntry> {
         let mut input: Vec<LogEntry> = Vec::new();
-        while let Some((_, encoded)) = self.backlog.pop_front() {
+        while let Some((_, epoch, encoded)) = self.backlog.pop_front() {
             self.backlog_bytes -= encoded.len() as u64;
-            input.extend(
-                CacheLineLog::decode(&encoded)
-                    .into_iter()
-                    .filter(|e| e.remote.node() == self.id),
-            );
+            let mine: Vec<LogEntry> = CacheLineLog::decode(&encoded)
+                .into_iter()
+                .filter(|e| e.remote.node() == self.id)
+                .collect();
+            if epoch < self.epoch {
+                // The batch was shipped under a lease this node no
+                // longer holds — it predates a fence.
+                if self.fencing {
+                    self.stats.stale_rejected += mine.len() as u64;
+                    if !mine.is_empty() {
+                        self.fence_rejections.push(KonaError::FencedEpoch {
+                            node: self.id,
+                            stale: epoch,
+                            current: self.epoch,
+                        });
+                    }
+                    continue;
+                }
+                self.stats.stale_applied += mine.len() as u64;
+            }
+            input.extend(mine);
         }
         let span = self
             .telemetry
@@ -479,6 +565,62 @@ mod tests {
         node.apply();
         assert_eq!(node.read_bytes(3968, 64), vec![0x55; 64]);
         assert_eq!(node.read_bytes(0, 64), vec![0x77; 64]);
+    }
+
+    #[test]
+    fn stale_epoch_batches_are_fenced() {
+        let mut node = MemoryNodeRuntime::new(0);
+        node.grant_lease(1);
+        // Shipped under epoch 1, then the node is fenced to epoch 2
+        // before the batch is applied.
+        node.ingest(Nanos::ZERO, batch(&[(0, 0, 0x01, 64)]));
+        node.grant_lease(2);
+        node.apply();
+        assert_eq!(node.stats().stale_rejected, 1);
+        assert_eq!(node.stats().entries_applied, 0);
+        assert_eq!(node.read_bytes(0, 64), vec![0; 64], "stale write must not land");
+        let errs = node.take_fence_rejections();
+        assert_eq!(errs.len(), 1);
+        match &errs[0] {
+            KonaError::FencedEpoch { node: n, stale, current } => {
+                assert_eq!((*n, *stale, *current), (0, 1, 2));
+            }
+            other => panic!("expected FencedEpoch, got {other:?}"),
+        }
+        assert!(node.take_fence_rejections().is_empty(), "drain empties the ring");
+    }
+
+    #[test]
+    fn fencing_off_applies_and_counts_stale_batches() {
+        let mut node = MemoryNodeRuntime::new(0);
+        node.set_fencing(false);
+        node.grant_lease(1);
+        node.ingest(Nanos::ZERO, batch(&[(0, 0, 0x77, 64)]));
+        node.grant_lease(2);
+        node.apply();
+        assert_eq!(node.stats().stale_applied, 1);
+        assert_eq!(node.stats().stale_rejected, 0);
+        assert_eq!(node.read_bytes(0, 64), vec![0x77; 64], "naive heal applies stale writes");
+        assert!(node.take_fence_rejections().is_empty());
+    }
+
+    #[test]
+    fn rejoin_wipes_state_and_installs_the_bumped_epoch() {
+        let mut node = MemoryNodeRuntime::new(0);
+        node.grant_lease(1);
+        node.ingest(Nanos::ZERO, batch(&[(0, 0, 0x42, 64)]));
+        node.apply();
+        assert_eq!(node.read_bytes(0, 64), vec![0x42; 64]);
+        node.ingest(Nanos::from_ns(5), batch(&[(0, 64, 0x43, 64)]));
+        node.rejoin(3);
+        assert_eq!(node.epoch(), 3);
+        assert_eq!(node.backlog_batches(), 0, "rejoin drops the backlog");
+        assert_eq!(node.backlog_bytes(), 0);
+        assert_eq!(node.read_bytes(0, 64), vec![0; 64], "rejoin wipes the page store");
+        // Fresh post-rejoin traffic applies normally.
+        node.ingest(Nanos::from_ns(10), batch(&[(0, 0, 0x44, 64)]));
+        node.apply();
+        assert_eq!(node.read_bytes(0, 64), vec![0x44; 64]);
     }
 
     #[test]

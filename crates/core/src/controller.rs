@@ -260,6 +260,22 @@ impl Controller {
         }
     }
 
+    /// Resurrects a removed node with a clean slate: it becomes
+    /// grantable again from offset zero, its old grants forgotten. Only
+    /// correct once every slab it hosted has been evacuated
+    /// (re-replicated elsewhere) and its contents re-synced — the
+    /// lease/fencing rejoin path guarantees both. No-op for a live or
+    /// never-registered node.
+    pub fn reinstate_node(&mut self, id: u32) {
+        for n in &mut self.nodes {
+            if n.id == id && n.removed {
+                n.removed = false;
+                n.cursor = 0;
+                n.free.clear();
+            }
+        }
+    }
+
     /// Whether `id` is registered and not removed.
     pub fn is_live(&self, id: u32) -> bool {
         self.nodes.iter().any(|n| n.id == id && !n.removed)

@@ -273,6 +273,40 @@ impl EvictionHandler {
         }
     }
 
+    /// Proactively marks `node` lost — the control plane fencing a node
+    /// whose lease expired, rather than waiting for a flush to it to
+    /// fail. Consumes the same loss budget as a flush abandonment.
+    /// Returns `false` (and leaves the node alone) when the budget is
+    /// already exhausted: fencing the node would leave some page with no
+    /// up-to-date copy, so the caller must keep retrying instead.
+    pub fn note_node_lost(&mut self, node: u32) -> bool {
+        if self.lost_nodes.contains(&node) {
+            return true;
+        }
+        if self.unrepaired_losses() >= self.max_node_losses {
+            return false;
+        }
+        self.lost_nodes.insert(node);
+        self.stats.abandoned_flushes += 1;
+        true
+    }
+
+    /// Fully reinstates a node the control plane has re-synced: it
+    /// leaves the lost set entirely, takes writebacks and serves reads
+    /// again, and a *future* loss of it consumes fresh budget. Compare
+    /// [`EvictionHandler::note_node_repaired`], which only returns the
+    /// budget while keeping the node quarantined.
+    pub fn reinstate_node(&mut self, node: u32) {
+        self.lost_nodes.remove(&node);
+        self.repaired_nodes.remove(&node);
+    }
+
+    /// Whether a lost node's data has been re-replicated elsewhere
+    /// (see [`EvictionHandler::note_node_repaired`]).
+    pub fn node_repaired(&self, node: u32) -> bool {
+        self.repaired_nodes.contains(&node)
+    }
+
     /// Lost nodes still counting against the loss budget (lost minus
     /// repaired).
     pub fn unrepaired_losses(&self) -> usize {

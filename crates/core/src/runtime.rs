@@ -1193,6 +1193,91 @@ impl KonaRuntime {
         Ok(created)
     }
 
+    /// Nodes out of service right now — lost, whether or not their
+    /// data has since been re-replicated — sorted for determinism.
+    pub fn lost_nodes(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.eviction.lost_nodes().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Whether no live slab still depends on `node`: either it was
+    /// never lost, or every slab it held has been re-replicated onto
+    /// healthy nodes. A fenced node may only rejoin once this holds —
+    /// its quarantined (possibly stale) copies are no longer load-
+    /// bearing, so a wipe-and-resync cannot lose data.
+    pub fn node_evacuated(&self, node: u32) -> bool {
+        !self.eviction.lost_nodes().contains(&node) || self.eviction.node_repaired(node)
+    }
+
+    /// Proactively marks `node` lost — the control plane fencing a
+    /// member whose lease expired, rather than waiting for a flush to
+    /// time out against it. Returns `false` when the `replicas − 1`
+    /// loss budget is already spent, in which case the node is left
+    /// unfenced and the caller must wait for a repair to complete.
+    pub fn fence_node(&mut self, node: u32) -> bool {
+        self.eviction.note_node_lost(node)
+    }
+
+    /// Brings a previously lost node back into service. With `wipe`
+    /// the node rejoins empty — its controller entry is resurrected
+    /// with a clean free list and its memory pool is zeroed, so stale
+    /// pre-partition contents cannot be served (the fenced-rejoin
+    /// path). Without `wipe` the node is simply unmarked, keeping
+    /// whatever it held — the naive heal that integrity scrubbing
+    /// exists to catch.
+    pub fn reinstate_node(&mut self, node: u32, wipe: bool) {
+        self.eviction.reinstate_node(node);
+        if wipe {
+            self.controller.reinstate_node(node);
+            if let Some(mem) = self.fabric.node_mut(node) {
+                mem.wipe();
+            }
+        }
+    }
+
+    /// Every mapped slab as `(base, len, copies)` with the primary
+    /// first — the scrub walker's view of where each byte should live.
+    pub fn slab_copies(&self) -> Vec<(u64, u64, Vec<RemoteAddr>)> {
+        self.slabs
+            .iter()
+            .map(|(&base, info)| {
+                let mut copies = Vec::with_capacity(1 + info.replicas.len());
+                if let Ok(primary) =
+                    self.fpga.translate_page(VfMemAddr::new(base).page_number())
+                {
+                    copies.push(primary);
+                }
+                copies.extend(info.replicas.iter().copied());
+                (base, info.len, copies)
+            })
+            .collect()
+    }
+
+    /// Writes `data` to `dst` over the fabric in
+    /// [`KonaRuntime::COPY_CHUNK`] pieces, retrying transient faults —
+    /// the scrubber re-copying a divergent replica from a good copy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable network failures; chunks written
+    /// before the error stay written (re-scrub picks up the rest).
+    pub fn write_remote_retrying(&mut self, dst: RemoteAddr, data: &[u8]) -> Result<Nanos> {
+        let mut elapsed = Nanos::ZERO;
+        let mut off = 0usize;
+        while off < data.len() {
+            let chunk = (Self::COPY_CHUNK as usize).min(data.len() - off);
+            let piece = data[off..off + chunk].to_vec();
+            let (t, _) = self.post_retrying(|id| {
+                WorkRequest::write(id, dst.add(off as u64), piece.clone()).signaled()
+            })?;
+            elapsed += t;
+            off += chunk;
+        }
+        self.counters.charge_background(elapsed);
+        Ok(elapsed)
+    }
+
     fn slab_references_node(&self, node: u32) -> bool {
         self.slabs.iter().any(|(&base, info)| {
             self.fpga

@@ -200,12 +200,24 @@ impl Fabric {
         self.injector.as_ref().map(FaultInjector::stats).unwrap_or_default()
     }
 
-    /// When `node` — currently down per the fault plan — is scheduled to
-    /// recover. `None` for a healthy, manually-failed or
-    /// permanently-crashed node; the recovery engine uses this to decide
-    /// whether an outage is worth waiting out (`PageFaultFallback`).
+    /// When `node` — currently down or partitioned per the fault plan —
+    /// is scheduled to become reachable again. `None` for a healthy,
+    /// manually-failed or permanently-crashed node; the recovery engine
+    /// uses this to decide whether an outage is worth waiting out
+    /// (`PageFaultFallback`). A node that is both flapping and
+    /// partitioned is back only when the later of the two clears.
     pub fn node_back_at(&self, node: u32) -> Option<Nanos> {
-        self.injector.as_ref().and_then(|inj| inj.node_back_at(node))
+        let inj = self.injector.as_ref()?;
+        let flap_back = inj.node_back_at(node);
+        if inj.node_down_at(node, self.clock) && flap_back.is_none() {
+            // Crashed for good: no heal time makes it reachable.
+            return None;
+        }
+        let heal = inj.partition_heals_at(node, self.clock);
+        match (flap_back, heal) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Whether `node` is unreachable right now, by manual `fail_node` or
@@ -216,6 +228,17 @@ impl Fabric {
                 .injector
                 .as_ref()
                 .is_some_and(|inj| inj.node_down_at(node, self.clock))
+    }
+
+    /// Whether `node` cannot currently serve the initiator at all: down
+    /// ([`Fabric::node_down`]) or on the far side of an active partition
+    /// cut. The cluster control plane keys lease renewal on this.
+    pub fn unreachable(&self, node: u32) -> bool {
+        self.node_down(node)
+            || self
+                .injector
+                .as_ref()
+                .is_some_and(|inj| inj.cut_at(node, self.clock))
     }
 
     /// Adds a memory node with `capacity` bytes.
@@ -376,9 +399,21 @@ impl Fabric {
             if let Some(inj) = &mut self.injector {
                 // Time at which this request hits the wire.
                 let wire_at = self.clock + self.model.chain_time(&sizes[..=idx], 0);
+                // `ack_lost`: the request crosses to the node (its side
+                // effect happens) but the reverse path is cut, so the
+                // verb still times out at the initiator.
+                let mut ack_lost = false;
                 let fault = if inj.node_down_at(node_id, wire_at) {
                     // The node vanished under the chain: the verb hangs
                     // until its transport deadline.
+                    Some(kona_types::VerbFaultKind::TimedOut)
+                } else if inj.request_cut_at(node_id, wire_at) {
+                    // The request dies at an active partition cut.
+                    inj.note_partitioned_verb();
+                    Some(kona_types::VerbFaultKind::TimedOut)
+                } else if inj.ack_cut_at(node_id, wire_at) {
+                    inj.note_partitioned_verb();
+                    ack_lost = true;
                     Some(kona_types::VerbFaultKind::TimedOut)
                 } else {
                     inj.decide(wr.opcode)
@@ -390,6 +425,19 @@ impl Fabric {
                         // ack timeout / NAK round trip.
                         _ => self.model.rtt(),
                     };
+                    if ack_lost {
+                        // The write landed before its ack was lost; the
+                        // executed-prefix count tells the caller so, and
+                        // idempotent re-posts are safe either way.
+                        let node = self
+                            .nodes
+                            .get_mut(&node_id)
+                            .expect("validated above");
+                        if wr.opcode == Opcode::Write {
+                            node.write_bytes(wr.remote.offset(), &wr.payload)
+                                .expect("validated above");
+                        }
+                    }
                     self.net.for_fault(kind).inc();
                     self.stats.faulted_posts += 1;
                     self.stats.posts += 1;
@@ -404,7 +452,7 @@ impl Fabric {
                     return Err(KonaError::VerbFault {
                         node: node_id,
                         kind,
-                        executed: idx as u32,
+                        executed: if ack_lost { idx as u32 + 1 } else { idx as u32 },
                     });
                 }
             }
@@ -832,6 +880,72 @@ mod tests {
         assert_eq!(f.node(0).unwrap().read_bytes(0, 8), &[0u8; 8]);
         assert_eq!(f.fault_stats().node_down_rejections, 1);
         assert_eq!(f.node_back_at(0), None);
+    }
+
+    #[test]
+    fn partitioned_verbs_time_out_and_nothing_lands() {
+        let mut f = fabric();
+        let plan = FaultPlan::calm(1).with_partition(
+            &[&[0]],
+            Nanos::ZERO,
+            Nanos::micros(100),
+        );
+        f.set_fault_injector(FaultInjector::new(plan));
+        let before = f.now();
+        let err = f
+            .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![9; 8])])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            KonaError::VerbFault {
+                node: 0,
+                kind: VerbFaultKind::TimedOut,
+                executed: 0,
+            }
+        );
+        // Nothing landed; the verb hung for the timeout penalty.
+        assert_eq!(f.node(0).unwrap().read_bytes(0, 8), &[0u8; 8]);
+        assert!(f.now() >= before + Nanos::micros(30));
+        assert_eq!(f.fault_stats().partitioned_verbs, 1);
+        // The node is not *down* — it is alive on the far side.
+        assert!(!f.node_down(0));
+        assert!(f.unreachable(0));
+        assert_eq!(f.node_back_at(0), Some(Nanos::micros(100)));
+        // The partition heals on schedule and the same verb succeeds.
+        let wait = Nanos::micros(100).saturating_sub(f.now());
+        f.advance_time(wait);
+        assert!(!f.unreachable(0));
+        assert!(f
+            .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![9; 8])])
+            .is_ok());
+        assert_eq!(f.node(0).unwrap().read_bytes(0, 8), &[9u8; 8]);
+    }
+
+    #[test]
+    fn ack_lost_write_lands_but_times_out() {
+        let mut f = fabric();
+        let plan = FaultPlan::calm(1).with_link_cut(
+            0,
+            Nanos::ZERO,
+            Nanos::micros(100),
+            crate::fault::CutDirection::AckLost,
+        );
+        f.set_fault_injector(FaultInjector::new(plan));
+        let err = f
+            .post(vec![WorkRequest::write(1, RemoteAddr::new(0, 0), vec![7; 8])])
+            .unwrap_err();
+        // The initiator sees a timeout, but the write crossed the cut
+        // before the ack was lost — the executed count says so.
+        assert_eq!(
+            err,
+            KonaError::VerbFault {
+                node: 0,
+                kind: VerbFaultKind::TimedOut,
+                executed: 1,
+            }
+        );
+        assert_eq!(f.node(0).unwrap().read_bytes(0, 8), &[7u8; 8]);
+        assert_eq!(f.fault_stats().partitioned_verbs, 1);
     }
 
     #[test]

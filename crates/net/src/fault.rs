@@ -79,6 +79,51 @@ pub struct NodeFault {
     pub kind: NodeFaultKind,
 }
 
+/// Logical id of the verb initiator (the compute node) in partition
+/// group specs. The fabric is initiator-centric — every verb originates
+/// at the compute node — so a partition group containing [`INITIATOR`]
+/// is the mainland and groups without it are cut-off islands.
+pub const INITIATOR: u32 = u32::MAX;
+
+/// Which direction of a link the cut severs. The fabric models the
+/// initiator ↔ memory-node link; a symmetric cut kills both directions,
+/// the asymmetric variants model one-way loss (requests vanish, or
+/// requests land but acknowledgments never return).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutDirection {
+    /// Both directions severed: requests never reach the node.
+    Symmetric,
+    /// Initiator → node severed: requests vanish, nothing lands.
+    RequestLost,
+    /// Node → initiator severed: requests land (side effects happen) but
+    /// the acknowledgment is lost, so the verb still times out. Verbs are
+    /// idempotent, so the retry that follows is safe.
+    AckLost,
+}
+
+/// One scheduled link cut between the initiator and a memory node,
+/// active during `[at, heal_at)`. Verbs crossing an active cut
+/// deterministically time out (charged the plan's `timeout_penalty`);
+/// the link heals on schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkCut {
+    /// The memory node on the far side of the cut.
+    pub node: u32,
+    /// Simulated time the cut opens.
+    pub at: Nanos,
+    /// Simulated time the cut heals (exclusive).
+    pub heal_at: Nanos,
+    /// Which direction(s) the cut severs.
+    pub direction: CutDirection,
+}
+
+impl LinkCut {
+    /// Whether the cut is active at `now`.
+    pub fn active_at(&self, now: Nanos) -> bool {
+        self.at <= now && now < self.heal_at
+    }
+}
+
 /// A window of simulated time during which chains pay extra latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencySpike {
@@ -126,6 +171,8 @@ pub struct FaultPlan {
     pub spikes: Vec<LatencySpike>,
     /// Scheduled node flaps and crashes.
     pub node_faults: Vec<NodeFault>,
+    /// Scheduled network partitions / link cuts.
+    pub cuts: Vec<LinkCut>,
 }
 
 impl FaultPlan {
@@ -140,6 +187,7 @@ impl FaultPlan {
             timeout_penalty: Nanos::micros(30),
             spikes: Vec::new(),
             node_faults: Vec::new(),
+            cuts: Vec::new(),
         }
     }
 
@@ -221,6 +269,49 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a symmetric network partition active during
+    /// `[at, heal_at)`: `groups` are isolated islands, and every node in
+    /// a group that does not contain [`INITIATOR`] is cut off from the
+    /// initiator both ways. Unlisted nodes stay on the initiator's side.
+    /// Verbs crossing a cut deterministically time out; the partition
+    /// heals on schedule.
+    #[must_use]
+    pub fn with_partition(mut self, groups: &[&[u32]], at: Nanos, heal_at: Nanos) -> Self {
+        for group in groups {
+            if group.contains(&INITIATOR) {
+                continue;
+            }
+            for &node in *group {
+                self.cuts.push(LinkCut {
+                    node,
+                    at,
+                    heal_at,
+                    direction: CutDirection::Symmetric,
+                });
+            }
+        }
+        self
+    }
+
+    /// Schedules an asymmetric (or explicit single-link) cut between the
+    /// initiator and `node`, active during `[at, heal_at)`.
+    #[must_use]
+    pub fn with_link_cut(
+        mut self,
+        node: u32,
+        at: Nanos,
+        heal_at: Nanos,
+        direction: CutDirection,
+    ) -> Self {
+        self.cuts.push(LinkCut {
+            node,
+            at,
+            heal_at,
+            direction,
+        });
+        self
+    }
+
     /// The bundled chaos scenarios the integration test and `fig_failure`
     /// run, from benign to hostile. `victim` is the node targeted by flap
     /// and crash scenarios (crash scenarios need a replicated runtime to
@@ -246,6 +337,32 @@ impl FaultPlan {
             FaultPlan::calm(seed)
                 .named("crash")
                 .with_crash(victim, Nanos::millis(2)),
+            // A one-way ack-loss prelude, then a full symmetric cut that
+            // heals: the victim is alive the whole time, just unreachable.
+            FaultPlan::calm(seed)
+                .named("partitioned")
+                .with_link_cut(
+                    victim,
+                    Nanos::micros(500),
+                    Nanos::micros(700),
+                    CutDirection::AckLost,
+                )
+                .with_partition(&[&[victim]], Nanos::micros(700), Nanos::micros(2500)),
+            // The partition heals, then the same node later dies for real
+            // — the cut was a warning, not a false alarm. The ack-loss
+            // prelude means in-flight writebacks are already failing when
+            // the cut lands, so the outage is witnessed op by op rather
+            // than slept through in one fallback wait.
+            FaultPlan::calm(seed)
+                .named("partition_then_crash")
+                .with_link_cut(
+                    victim,
+                    Nanos::micros(250),
+                    Nanos::micros(600),
+                    CutDirection::AckLost,
+                )
+                .with_partition(&[&[victim]], Nanos::micros(600), Nanos::millis(2))
+                .with_crash(victim, Nanos::millis(5)),
             FaultPlan::calm(seed)
                 .named("chaos")
                 .with_drop_prob(0.015)
@@ -279,6 +396,21 @@ impl FaultPlan {
                 )));
             }
         }
+        for cut in &self.cuts {
+            if cut.heal_at <= cut.at {
+                return Err(kona_types::KonaError::InvalidConfig(format!(
+                    "link cut on node {} heals at {} before it opens at {}",
+                    cut.node,
+                    cut.heal_at.as_ns(),
+                    cut.at.as_ns()
+                )));
+            }
+            if cut.node == INITIATOR {
+                return Err(kona_types::KonaError::InvalidConfig(
+                    "link cut targets the initiator itself".into(),
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -304,6 +436,8 @@ pub struct FaultStats {
     pub node_down_rejections: u64,
     /// Chains that paid spike latency.
     pub spiked_chains: u64,
+    /// Verbs that timed out crossing an active partition cut.
+    pub partitioned_verbs: u64,
 }
 
 impl FaultStats {
@@ -319,6 +453,7 @@ impl FaultStats {
         self.timed_out += other.timed_out;
         self.node_down_rejections += other.node_down_rejections;
         self.spiked_chains += other.spiked_chains;
+        self.partitioned_verbs += other.partitioned_verbs;
     }
 }
 
@@ -457,6 +592,58 @@ impl FaultInjector {
         extra
     }
 
+    /// Whether a cut severing the initiator → `node` direction is active
+    /// at `now` (symmetric or request-lost): a verb posted now would
+    /// never reach the node.
+    pub fn request_cut_at(&self, node: u32, now: Nanos) -> bool {
+        self.plan.cuts.iter().any(|c| {
+            c.node == node
+                && c.active_at(now)
+                && matches!(
+                    c.direction,
+                    CutDirection::Symmetric | CutDirection::RequestLost
+                )
+        })
+    }
+
+    /// Whether a cut severing only the `node` → initiator direction is
+    /// active at `now`: the verb lands, but its acknowledgment is lost.
+    pub fn ack_cut_at(&self, node: u32, now: Nanos) -> bool {
+        !self.request_cut_at(node, now)
+            && self
+                .plan
+                .cuts
+                .iter()
+                .any(|c| {
+                    c.node == node
+                        && c.active_at(now)
+                        && c.direction == CutDirection::AckLost
+                })
+    }
+
+    /// Whether any cut to `node` is active at `now`, in either direction.
+    pub fn cut_at(&self, node: u32, now: Nanos) -> bool {
+        self.plan.cuts.iter().any(|c| c.node == node && c.active_at(now))
+    }
+
+    /// When every cut to `node` active at `now` will have healed:
+    /// `Some(t)` with the latest heal time if any cut is active, `None`
+    /// if the link is whole. Scheduled partitions always heal, so —
+    /// unlike a crash — this outage is worth waiting out.
+    pub fn partition_heals_at(&self, node: u32, now: Nanos) -> Option<Nanos> {
+        self.plan
+            .cuts
+            .iter()
+            .filter(|c| c.node == node && c.active_at(now))
+            .map(|c| c.heal_at)
+            .max()
+    }
+
+    /// Records a verb that timed out crossing an active cut.
+    pub(crate) fn note_partitioned_verb(&mut self) {
+        self.stats.partitioned_verbs += 1;
+    }
+
     /// Records a post rejected because its target node was down.
     pub(crate) fn note_down_rejection(&mut self) {
         self.stats.node_down_rejections += 1;
@@ -571,6 +758,100 @@ mod tests {
         let names: Vec<_> = plans.iter().map(|p| p.name).collect();
         assert!(names.contains(&"calm"));
         assert!(names.contains(&"chaos"));
+        assert!(names.contains(&"partitioned"));
+        assert!(names.contains(&"partition_then_crash"));
+    }
+
+    #[test]
+    fn partition_cuts_open_and_heal_on_schedule() {
+        let plan = FaultPlan::calm(1).with_partition(
+            &[&[2, 3]],
+            Nanos::micros(10),
+            Nanos::micros(20),
+        );
+        let inj = FaultInjector::new(plan);
+        for node in [2, 3] {
+            assert!(!inj.request_cut_at(node, Nanos::micros(9)));
+            assert!(inj.request_cut_at(node, Nanos::micros(10)));
+            assert!(inj.request_cut_at(node, Nanos::micros(19)));
+            assert!(!inj.request_cut_at(node, Nanos::micros(20)));
+            assert_eq!(
+                inj.partition_heals_at(node, Nanos::micros(15)),
+                Some(Nanos::micros(20))
+            );
+            assert_eq!(inj.partition_heals_at(node, Nanos::micros(25)), None);
+        }
+        // Unlisted nodes ride with the initiator mainland.
+        assert!(!inj.cut_at(0, Nanos::micros(15)));
+    }
+
+    #[test]
+    fn initiator_group_is_the_mainland() {
+        let plan = FaultPlan::calm(1).with_partition(
+            &[&[INITIATOR, 1], &[2]],
+            Nanos::micros(5),
+            Nanos::micros(15),
+        );
+        let inj = FaultInjector::new(plan);
+        assert!(!inj.cut_at(1, Nanos::micros(10)), "initiator's island stays reachable");
+        assert!(inj.request_cut_at(2, Nanos::micros(10)));
+    }
+
+    #[test]
+    fn ack_lost_cut_is_one_directional() {
+        let plan = FaultPlan::calm(1).with_link_cut(
+            4,
+            Nanos::micros(10),
+            Nanos::micros(20),
+            CutDirection::AckLost,
+        );
+        let inj = FaultInjector::new(plan);
+        assert!(!inj.request_cut_at(4, Nanos::micros(15)));
+        assert!(inj.ack_cut_at(4, Nanos::micros(15)));
+        assert!(!inj.ack_cut_at(4, Nanos::micros(25)));
+        assert!(inj.cut_at(4, Nanos::micros(15)));
+    }
+
+    #[test]
+    fn overlapping_cuts_heal_at_the_latest_edge() {
+        let plan = FaultPlan::calm(1)
+            .with_link_cut(7, Nanos::micros(10), Nanos::micros(30), CutDirection::Symmetric)
+            .with_link_cut(7, Nanos::micros(20), Nanos::micros(50), CutDirection::Symmetric);
+        let inj = FaultInjector::new(plan);
+        assert_eq!(
+            inj.partition_heals_at(7, Nanos::micros(25)),
+            Some(Nanos::micros(50))
+        );
+    }
+
+    #[test]
+    fn invalid_cuts_rejected() {
+        let backwards = FaultPlan::calm(0).with_link_cut(
+            1,
+            Nanos::micros(20),
+            Nanos::micros(10),
+            CutDirection::Symmetric,
+        );
+        assert!(backwards.validate().is_err());
+        let own_link = FaultPlan::calm(0).with_link_cut(
+            INITIATOR,
+            Nanos::micros(1),
+            Nanos::micros(2),
+            CutDirection::Symmetric,
+        );
+        assert!(own_link.validate().is_err());
+    }
+
+    #[test]
+    fn for_shard_preserves_the_cut_schedule() {
+        let plan = FaultPlan::calm(9).with_partition(
+            &[&[1]],
+            Nanos::micros(10),
+            Nanos::micros(20),
+        );
+        let sharded = plan.clone().for_shard(3);
+        assert_eq!(sharded.cuts, plan.cuts);
+        assert_ne!(sharded.seed, plan.seed);
     }
 
     #[test]

@@ -48,7 +48,8 @@ mod verbs;
 pub use bytes::Bytes;
 pub use fabric::{Fabric, NetStats};
 pub use fault::{
-    FaultInjector, FaultPlan, FaultStats, LatencySpike, NodeFault, NodeFaultKind, VerbFaultProbs,
+    CutDirection, FaultInjector, FaultPlan, FaultStats, LatencySpike, LinkCut, NodeFault,
+    NodeFaultKind, VerbFaultProbs, INITIATOR,
 };
 pub use latency::{CopyModel, NetworkModel};
 pub use node::NodeMemory;

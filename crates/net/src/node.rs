@@ -174,6 +174,13 @@ impl NodeMemory {
     pub fn local_write(&mut self, offset: u64, data: &[u8]) {
         self.bytes[offset as usize..offset as usize + data.len()].copy_from_slice(data);
     }
+
+    /// Zeroes the whole pool, keeping registrations. A fenced node
+    /// rejoining the cluster re-syncs from scratch: its pre-partition
+    /// contents must not be mistaken for live data.
+    pub fn wipe(&mut self) {
+        self.bytes.fill(0);
+    }
 }
 
 #[cfg(test)]

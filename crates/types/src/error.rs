@@ -91,6 +91,18 @@ pub enum KonaError {
         /// Acks required.
         required: usize,
     },
+    /// A write carrying a stale membership epoch was rejected by a fenced
+    /// memory node: the controller bumped the node's epoch (lease expiry
+    /// during a partition) and applies stamped with the old epoch must
+    /// never land. Permanent for that batch — the node re-syncs instead.
+    FencedEpoch {
+        /// The node that rejected the apply.
+        node: u32,
+        /// The stale epoch the write carried.
+        stale: u64,
+        /// The node's current (fenced) epoch.
+        current: u64,
+    },
     /// An operation was attempted on a runtime that has been shut down.
     RuntimeShutDown,
     /// A configuration value was invalid (message explains which).
@@ -169,6 +181,14 @@ impl fmt::Display for KonaError {
                 f,
                 "replication quorum failed: {acked} of {required} acks"
             ),
+            KonaError::FencedEpoch {
+                node,
+                stale,
+                current,
+            } => write!(
+                f,
+                "write with stale epoch {stale} fenced at node {node} (current epoch {current})"
+            ),
             KonaError::RuntimeShutDown => f.write_str("runtime has been shut down"),
             KonaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
@@ -220,6 +240,23 @@ mod tests {
             required: 3,
         };
         assert!(e.to_string().contains("1 of 3"));
+    }
+
+    #[test]
+    fn fenced_epoch_is_permanent_and_displays_epochs() {
+        let e = KonaError::FencedEpoch {
+            node: 2,
+            stale: 1,
+            current: 3,
+        };
+        // Retrying a fenced write can never succeed: the epoch stays
+        // stale. Re-sync, not retry, is the recovery path.
+        assert!(!e.is_transient());
+        assert_eq!(e.failed_node(), None);
+        let msg = e.to_string();
+        assert!(msg.contains("node 2"));
+        assert!(msg.contains("stale epoch 1"));
+        assert!(msg.contains("current epoch 3"));
     }
 
     #[test]

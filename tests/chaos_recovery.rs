@@ -98,10 +98,11 @@ fn run_chaos(plan: FaultPlan, seed: u64) -> String {
 #[test]
 fn every_bundled_plan_completes_with_correct_data() {
     let seed = chaos_seed();
-    let lines = par_map(Jobs::available(), FaultPlan::bundled(seed, VICTIM), |_, plan| {
-        run_chaos(plan, seed)
-    });
-    assert_eq!(lines.len(), 7, "all bundled plans ran");
+    let plans = FaultPlan::bundled(seed, VICTIM);
+    let expected = plans.len();
+    let lines = par_map(Jobs::available(), plans, |_, plan| run_chaos(plan, seed));
+    assert_eq!(lines.len(), expected, "all bundled plans ran");
+    assert!(expected >= 9, "bundle includes the partition plans");
 }
 
 #[test]

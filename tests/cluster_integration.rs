@@ -5,7 +5,7 @@
 use kona::{
     ClusterConfig, KonaRuntime, PlacementKind, RemoteMemoryRuntime, SlabAllocator,
 };
-use kona_cluster::{ClusterRuntime, ControlPlaneConfig, NodeRuntimeConfig};
+use kona_cluster::{ClusterRuntime, ControlPlaneConfig};
 use kona_net::FaultPlan;
 use kona_telemetry::Telemetry;
 use kona_types::rng::{Rng, StdRng};
@@ -254,7 +254,7 @@ fn cluster_runs_are_deterministic() {
             ControlPlaneConfig {
                 tick_ops: 8,
                 rebalance_skew_slabs: 1,
-                node: NodeRuntimeConfig::default(),
+                ..ControlPlaneConfig::default()
             },
             Telemetry::disabled(),
         )
