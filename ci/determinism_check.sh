@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Generic determinism check: runs one kona-bench binary twice with
+# different parallelism arguments and requires byte-identical output.
+#
+#   ci/determinism_check.sh BIN LABEL "ARGS_A" "ARGS_B" [fileA=fileB ...]
+#
+# The two transcripts land in LABEL-a.txt / LABEL-b.txt. Lines echoing
+# artifact destinations (they contain "written to") are filtered before
+# the transcript compare, since the two runs write to different paths;
+# every fileA=fileB pair listed after the args is then compared
+# byte-for-byte with cmp.
+set -euo pipefail
+
+if [ "$#" -lt 4 ]; then
+  echo "usage: $0 BIN LABEL \"ARGS_A\" \"ARGS_B\" [fileA=fileB ...]" >&2
+  exit 2
+fi
+
+bin=$1
+label=$2
+args_a=$3
+args_b=$4
+shift 4
+
+# shellcheck disable=SC2086
+cargo run --release -p kona-bench --bin "$bin" -- $args_a | tee "$label-a.txt"
+# shellcheck disable=SC2086
+cargo run --release -p kona-bench --bin "$bin" -- $args_b | tee "$label-b.txt"
+
+cmp <(grep -v 'written to' "$label-a.txt") <(grep -v 'written to' "$label-b.txt")
+for pair in "$@"; do
+  cmp "${pair%%=*}" "${pair#*=}"
+done
+echo "determinism check passed: $bin [$args_a] == [$args_b]"

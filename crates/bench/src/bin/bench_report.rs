@@ -18,19 +18,27 @@
 //! The shard speedup *is* gated — on a multi-core runner the engine
 //! must hit > 0.7·N at N workers (single-core runners skip the gate,
 //! since N = 1 has nothing to parallelize).
+//!
+//! On any gate failure the report diffs a fresh quick profile-scenario
+//! run against the committed `PROFILE_BASELINE.json` (override with
+//! `--profile-baseline PATH`) and prints the blamed simulated-time
+//! path — "something regressed" upgraded to "path X grew N×". The
+//! host-scope wall-clock table (eviction_pack, shard_merge, ...) prints
+//! on every run for the host-side view.
 
 use kona::{
     seeded_script, ClusterConfig, EvictionHandler, Poller, RetryPolicy, ShardedRun,
 };
-use kona_bench::ExpOptions;
+use kona_bench::{profile_scenario, ExpOptions};
 use kona_coherence::{AgentId, CoherenceSystem};
 use kona_fpga::{DirtyTracker, RemoteTranslation, VictimPage};
 use kona_kcachesim::{sweep_cache_size_jobs, SystemModel};
 use kona_net::{Fabric, FaultInjector, FaultPlan, NetworkModel, Opcode};
 use kona_types::rng::{Rng, StdRng};
+use kona_telemetry::{host_profile_start, host_profile_stop, Profile, ProfileDiff};
 use kona_types::{
-    Jobs, LineBitmap, LineIndex, PageNumber, RemoteAddr, ShardPlan, Shards, SlabLru, VfMemAddr,
-    LINES_PER_PAGE_4K, PAGE_SIZE_4K,
+    Jobs, LineBitmap, LineIndex, Nanos, PageNumber, RemoteAddr, ShardPlan, Shards, SlabLru,
+    VfMemAddr, LINES_PER_PAGE_4K, PAGE_SIZE_4K,
 };
 use kona_workloads::{RedisWorkload, Workload, WorkloadProfile};
 use std::time::Instant;
@@ -410,10 +418,61 @@ fn baseline_value(json: &str, name: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Noise floor for blame: paths below this current self time never blame.
+const BLAME_MIN_SELF_NS: u64 = 10_000;
+
+/// On gate failure, names the simulated-time path that regressed: diffs
+/// a fresh quick profile-scenario run (deterministic, host-independent)
+/// against the committed profile baseline. When no simulated path grew,
+/// the regression is host-side — the host-scope table is the lead.
+fn print_blame(opts: &ExpOptions) {
+    let path = opts.value_of("profile-baseline").unwrap_or("PROFILE_BASELINE.json");
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("  blame: no profile baseline at {path} — run fig_profile --quick --profile-out {path}");
+        return;
+    };
+    let Some(base) = Profile::from_json(&text) else {
+        eprintln!("  blame: {path} is not a folded profile JSON");
+        return;
+    };
+    // Always quick + serial: the baseline is committed from
+    // `fig_profile --quick`, and the profile is deterministic at any
+    // shard count anyway.
+    let report = profile_scenario(opts.seed(), true, Shards::serial(), opts.trace_capacity(), Nanos::ZERO);
+    let current = report.profile.expect("profile_scenario traces spans");
+    let diff = ProfileDiff::between(&base, &current);
+    match diff.worst_regression(BLAME_MIN_SELF_NS) {
+        Some(w) => eprintln!(
+            "  blame: {} grew {:.2}x ({} -> {} ns self) vs {path}",
+            w.path, w.ratio, w.base_self_ns, w.current_self_ns
+        ),
+        None => eprintln!(
+            "  blame: no simulated-time path grew vs {path} — regression is \
+             host-side (see the host-scope table above)"
+        ),
+    }
+}
+
+/// Prints the wall-clock host-scope table accumulated across the run.
+fn print_host_scopes() {
+    let rows = host_profile_stop();
+    if rows.is_empty() {
+        return;
+    }
+    println!("  host scopes (wall clock, informational — never gated):");
+    for r in &rows {
+        println!(
+            "    {:<16} {:>8} calls {:>12} ns total {:>10} ns max",
+            r.name, r.calls, r.total_ns, r.max_ns
+        );
+    }
+}
+
 fn main() {
     let opts = ExpOptions::from_env();
     let quick = opts.quick;
     println!("bench_report: timing hot paths ({} mode)", if quick { "quick" } else { "full" });
+    host_profile_start();
 
     let micros = [
         Micro { name: "coherence_touch", ns_per_op: coherence_touch(quick) },
@@ -481,6 +540,7 @@ fn main() {
     let out = opts.value_of("out").unwrap_or("BENCH_PR7.json");
     std::fs::write(out, &json).expect("write report");
     println!("report written to {out}");
+    print_host_scopes();
 
     // Scaling gate: only meaningful with >1 hardware thread (on a
     // single-core runner both walls time the same serial path).
@@ -489,6 +549,7 @@ fn main() {
             "bench_report: shard speedup {shard_speedup:.2}x < 0.7*{shards_n} at \
              {shards_n} workers"
         );
+        print_blame(&opts);
         std::process::exit(1);
     }
 
@@ -508,6 +569,7 @@ fn main() {
         }
         if regressed {
             eprintln!("bench_report: micro-bench regressed >2x vs {path}");
+            print_blame(&opts);
             std::process::exit(1);
         }
     }

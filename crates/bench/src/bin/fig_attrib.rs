@@ -23,7 +23,7 @@
 use kona::{ClusterConfig, KonaRuntime, RemoteMemoryRuntime};
 use kona_bench::{banner, workload_by_name, ExpOptions, TextTable, WORKLOAD_NAMES};
 use kona_telemetry::{
-    AttributionEngine, Component, MetricsDump, SpanEvent, Telemetry, TraceAttribution,
+    AttributionEngine, Component, MetricsDump, Profile, SpanEvent, Telemetry, TraceAttribution,
 };
 use kona_types::{align_up, par_map, ByteSize, PAGE_SIZE_4K};
 use kona_workloads::WorkloadProfile;
@@ -130,7 +130,9 @@ fn main() -> ExitCode {
     };
 
     let quick = opts.quick;
-    let span_capacity = if opts.trace_out().is_some() {
+    // Span retention feeds both the `--trace-out` timeline and the
+    // folded profile (`--profile-out`/`--flame-out`).
+    let span_capacity = if opts.trace_out().is_some() || opts.profiling() {
         opts.trace_capacity()
     } else {
         0
@@ -226,6 +228,21 @@ fn main() -> ExitCode {
         println!("attribution csv written to {path}");
     }
     opts.write_outputs(&tel);
+    if opts.profiling() {
+        // Fold per workload (span ids are per-telemetry), namespace by
+        // workload name, then merge by path key — order-independent.
+        let mut profile: Option<Profile> = None;
+        for r in &results {
+            let p = Profile::from_spans(&r.events).prefixed(&r.name);
+            match &mut profile {
+                Some(all) => all.merge(&p),
+                None => profile = Some(p),
+            }
+        }
+        if let Some(p) = &profile {
+            opts.write_profile(p);
+        }
+    }
 
     if violations > 0 || dropped > 0 {
         eprintln!("FAIL: {violations} invariant violations, {dropped} dropped spans");

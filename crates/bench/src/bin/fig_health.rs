@@ -167,9 +167,11 @@ fn skew_monitor(series: &SeriesData, logical: u32, window_ns: u64) -> (f64, Heal
     let skew_gauge = tel.gauge("shard.skew");
     let mut cumulative = vec![0u64; logical as usize];
     let mut skew = 1.0;
+    // Build the per-shard counter names once — not per window.
+    let names: Vec<String> = (0..logical).map(|i| format!("shard.{i}.ops")).collect();
     for w in &series.windows {
         for (i, total) in cumulative.iter_mut().enumerate() {
-            if let Some(delta) = w.counters.get(&format!("shard.{i}.ops")) {
+            if let Some(delta) = w.counters.get(&names[i]) {
                 *total += delta;
             }
         }
@@ -282,9 +284,12 @@ fn main() -> ExitCode {
         cfg.cpu_cache_lines = 512;
         cfg
     };
-    let shard_run = ShardedRun::new(shard_cfg, shard_pages)
+    let mut shard_run = ShardedRun::new(shard_cfg, shard_pages)
         .with_plan(plan)
         .with_windows(window_ns);
+    if opts.profiling() {
+        shard_run = shard_run.with_tracing(opts.trace_capacity());
+    }
     let balanced_script = seeded_script(shard_pages, ops as usize, seed);
     let hotspot_script: Vec<ShardOp> = (0..ops)
         .map(|i| ShardOp::Write {
@@ -350,6 +355,23 @@ fn main() -> ExitCode {
         println!("\nhealth report written to {path}");
     }
     opts.write_outputs_with_series(&tel, Some(&merged));
+    if opts.profiling() {
+        // Both sharded runs fold profiles (tracing enabled above); the
+        // balanced/hotspot prefixes keep their paths distinct.
+        let mut profile = balanced
+            .profile
+            .as_ref()
+            .expect("tracing enabled when profiling")
+            .prefixed("balanced");
+        profile.merge(
+            &hotspot
+                .profile
+                .as_ref()
+                .expect("tracing enabled when profiling")
+                .prefixed("hotspot"),
+        );
+        opts.write_profile(&profile);
+    }
 
     if breaches > 0 {
         eprintln!("\nhealth gate FAILED: SLO breached under {breaches} plan(s)");

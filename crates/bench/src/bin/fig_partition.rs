@@ -33,7 +33,7 @@ use kona::{ClusterConfig, FailurePolicy, RemoteMemoryRuntime};
 use kona_bench::{banner, f2, ExpOptions, TextTable};
 use kona_cluster::{ClusterRuntime, ControlPlaneConfig};
 use kona_net::FaultPlan;
-use kona_telemetry::{Rule, Telemetry, DEFAULT_WINDOW_NS};
+use kona_telemetry::{Profile, Rule, Telemetry, DEFAULT_WINDOW_NS};
 use kona_types::rng::{Rng, StdRng};
 use kona_types::{par_map, Nanos};
 use std::process::ExitCode;
@@ -60,6 +60,9 @@ struct Outcome {
     end_divergence: u64,
     split_brain_fired: u64,
     fence_errors: usize,
+    /// Folded simulated-time profile (present when `--profile-out` /
+    /// `--flame-out` requested span tracing).
+    profile: Option<Profile>,
 }
 
 impl Outcome {
@@ -74,15 +77,19 @@ impl Outcome {
 
 /// Drives the seeded workload under `plan` with fencing on or off,
 /// then audits the end state with two full scrub passes.
-fn run_mode(
-    plan: FaultPlan,
-    fencing: bool,
+/// Scalar knobs shared by every (plan, fencing) point.
+#[derive(Clone, Copy)]
+struct Knobs {
     seed: u64,
     ops: u64,
     lease_ns: u64,
     scrub_interval: u64,
     window_ns: u64,
-) -> Outcome {
+    trace_capacity: usize,
+}
+
+fn run_mode(plan: FaultPlan, fencing: bool, knobs: Knobs) -> Outcome {
+    let Knobs { seed, ops, lease_ns, scrub_interval, window_ns, trace_capacity } = knobs;
     let name = plan.name;
     let mut cfg = ClusterConfig::small().with_local_cache_pages(8).with_replicas(2);
     cfg.cpu_cache_lines = 64;
@@ -95,7 +102,11 @@ fn run_mode(
         fencing,
         ..ControlPlaneConfig::default()
     };
-    let tel = Telemetry::disabled();
+    let tel = if trace_capacity > 0 {
+        Telemetry::with_tracing(trace_capacity)
+    } else {
+        Telemetry::disabled()
+    };
     tel.enable_timeseries(window_ns);
     tel.install_monitor(vec![
         // The split-brain SLO: any scrub-detected divergence in a
@@ -195,6 +206,9 @@ fn run_mode(
         .find(|o| o.rule == "mon.split_brain")
         .map_or(0, |o| o.fired);
     let fence_errors = rt.drain_fence_errors().len();
+    // Fold this mode's profile from its own span stream (span ids are
+    // per-telemetry, so folding happens before any cross-mode merge).
+    let profile = (trace_capacity > 0).then(|| Profile::from_spans(&tel.events()));
     Outcome {
         plan: name,
         fencing,
@@ -206,6 +220,7 @@ fn run_mode(
         end_divergence,
         split_brain_fired,
         fence_errors,
+        profile,
     }
 }
 
@@ -241,9 +256,16 @@ fn main() -> ExitCode {
         .iter()
         .flat_map(|p| modes.iter().map(|&m| (p.clone(), m)))
         .collect();
-    let results = par_map(opts.jobs, points, |_, (plan, fencing)| {
-        run_mode(plan, fencing, seed, ops, lease_ns, scrub_interval, window_ns)
-    });
+    let knobs = Knobs {
+        seed,
+        ops,
+        lease_ns,
+        scrub_interval,
+        window_ns,
+        trace_capacity: if opts.profiling() { opts.trace_capacity() } else { 0 },
+    };
+    let results =
+        par_map(opts.jobs, points, move |_, (plan, fencing)| run_mode(plan, fencing, knobs));
 
     let tel = opts.telemetry();
     let mut table = TextTable::new(&[
@@ -368,6 +390,26 @@ fn main() -> ExitCode {
     );
 
     opts.write_outputs(&tel);
+    if opts.profiling() {
+        // Merge per-mode profiles under `<plan>.<fencing>` frames, in
+        // result order — deterministic at any --jobs.
+        let mut profile: Option<Profile> = None;
+        for r in &results {
+            let mode = if r.fencing { "on" } else { "off" };
+            let p = r
+                .profile
+                .as_ref()
+                .expect("tracing enabled when profiling")
+                .prefixed(&format!("{}.{mode}", r.plan));
+            match &mut profile {
+                Some(all) => all.merge(&p),
+                None => profile = Some(p),
+            }
+        }
+        if let Some(p) = &profile {
+            opts.write_profile(p);
+        }
+    }
     if gate_failures > 0 {
         eprintln!("\n{gate_failures} partition gate(s) FAILED");
         return ExitCode::FAILURE;

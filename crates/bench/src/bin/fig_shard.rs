@@ -68,10 +68,14 @@ fn main() {
 
     let script = seeded_script(PAGES, ops, seed);
     let plans = FaultPlan::bundled(seed, VICTIM);
+    // Span tracing (profile folding) stays off unless an artifact asked
+    // for it — the rings cost memory and the digests don't need them.
+    let trace_capacity = if opts.profiling() { opts.trace_capacity() } else { 0 };
     let results: Vec<(FaultPlan, ShardReport)> = par_map(opts.jobs, plans, |_, plan| {
         let run = ShardedRun::new(shard_config(plan.clone()), PAGES)
             .with_plan(ShardPlan::new(logical))
             .with_windows(DEFAULT_WINDOW_NS)
+            .with_tracing(trace_capacity)
             .with_failure_policy(FailurePolicy::PageFaultFallback);
         let report = run.execute(&script, shards).expect("sharded run completes");
         (plan, report)
@@ -136,6 +140,25 @@ fn main() {
     }
 
     opts.write_outputs(&tel);
+    if opts.profiling() {
+        // Merge the per-plan profiles (folded per shard inside the
+        // engine) under plan-name frames, in plan order.
+        let mut profile: Option<kona_telemetry::Profile> = None;
+        for (plan, report) in &results {
+            let p = report
+                .profile
+                .as_ref()
+                .expect("tracing enabled when profiling")
+                .prefixed(plan.name);
+            match &mut profile {
+                Some(all) => all.merge(&p),
+                None => profile = Some(p),
+            }
+        }
+        if let Some(p) = &profile {
+            opts.write_profile(p);
+        }
+    }
     if replay_failures > 0 {
         std::process::exit(1);
     }

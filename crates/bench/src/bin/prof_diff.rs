@@ -1,0 +1,103 @@
+//! Per-path regression blame between two folded profiles.
+//!
+//! Compares a baseline profile JSON (e.g. the committed
+//! `PROFILE_BASELINE.json`) against a current one (e.g. a fresh
+//! `fig_profile --profile-out`) and prints the per-path self-time
+//! movements, largest first — upgrading "something got slower" to
+//! "regression attributed to path X".
+//!
+//! With `--gate RATIO`, exits non-zero when any path with at least
+//! `--min-self-ns` current self time grew by more than `RATIO`× — the CI
+//! bench gate uses this to fail with a named path instead of a bare
+//! number.
+//!
+//! ```bash
+//! prof_diff PROFILE_BASELINE.json profile.json --top 10
+//! prof_diff PROFILE_BASELINE.json profile.json --gate 1.5 --min-self-ns 10000
+//! ```
+
+use kona_telemetry::{Profile, ProfileDiff};
+use std::process::ExitCode;
+
+/// Default paths shown.
+const TOP: usize = 10;
+/// Default noise floor: paths below this current self time never gate.
+const MIN_SELF_NS: u64 = 10_000;
+
+fn load(path: &str) -> Profile {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("prof_diff: cannot read {path}: {e}"));
+    Profile::from_json(&text)
+        .unwrap_or_else(|| panic!("prof_diff: {path} is not a folded profile JSON"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Every flag takes a value, so skip flags two at a time; what's
+    // left are the two profile paths.
+    let mut positional: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            positional.push(&args[i]);
+            i += 1;
+        }
+    }
+    let value_of = |key: &str| -> Option<&str> {
+        let flag = format!("--{key}");
+        args.iter()
+            .position(|a| a == &flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let [base_path, cur_path] = positional.as_slice() else {
+        eprintln!(
+            "usage: prof_diff <base.json> <current.json> \
+             [--top K] [--min-self-ns N] [--gate RATIO]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let top: usize = value_of("top")
+        .map(|s| s.parse().expect("--top takes an integer"))
+        .unwrap_or(TOP);
+    let min_self_ns: u64 = value_of("min-self-ns")
+        .map(|s| s.parse().expect("--min-self-ns takes nanoseconds"))
+        .unwrap_or(MIN_SELF_NS);
+    let gate: Option<f64> =
+        value_of("gate").map(|s| s.parse().expect("--gate takes a ratio"));
+
+    let base = load(base_path);
+    let current = load(cur_path);
+    let diff = ProfileDiff::between(&base, &current);
+
+    println!("profile diff: {base_path} -> {cur_path}");
+    println!(
+        "base self total: {} ns, current self total: {} ns",
+        base.track_totals().values().sum::<u64>(),
+        current.track_totals().values().sum::<u64>(),
+    );
+    print!("{}", diff.render(top));
+
+    match diff.worst_regression(min_self_ns) {
+        Some(worst) => {
+            println!(
+                "\nblame: {} grew {:.2}x ({} -> {} ns self)",
+                worst.path, worst.ratio, worst.base_self_ns, worst.current_self_ns
+            );
+            if let Some(threshold) = gate {
+                if worst.ratio > threshold {
+                    eprintln!(
+                        "FAIL: {} regressed {:.2}x > {threshold}x gate",
+                        worst.path, worst.ratio
+                    );
+                    return ExitCode::FAILURE;
+                }
+                println!("gate: worst ratio {:.2} within {threshold}x", worst.ratio);
+            }
+        }
+        None => println!("\nblame: no path grew (above the {min_self_ns} ns floor)"),
+    }
+    ExitCode::SUCCESS
+}

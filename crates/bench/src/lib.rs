@@ -8,8 +8,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use kona_telemetry::{SeriesData, Telemetry, DEFAULT_WINDOW_NS};
-use kona_types::{Jobs, Nanos, Shards};
+use kona::{seeded_script, ClusterConfig, FailurePolicy, ShardReport, ShardedRun};
+use kona_net::FaultPlan;
+use kona_telemetry::{Profile, SeriesData, Telemetry, DEFAULT_WINDOW_NS};
+use kona_types::{Jobs, Nanos, ShardPlan, Shards};
 use kona_workloads::{
     GraphAlgorithm, GraphWorkload, HistogramWorkload, LinearRegressionWorkload, RedisWorkload,
     VoltDbWorkload, Workload, WorkloadProfile,
@@ -122,6 +124,26 @@ impl ExpOptions {
         self.value_of("health-out")
     }
 
+    /// `--profile-out <path>`: folded simulated-time profile JSON
+    /// destination (the format `prof_diff` and [`Profile::from_json`]
+    /// read).
+    pub fn profile_out(&self) -> Option<&str> {
+        self.value_of("profile-out")
+    }
+
+    /// `--flame-out <path>`: collapsed-stack destination
+    /// (flamegraph.pl/inferno input, weighted by self simulated ns).
+    pub fn flame_out(&self) -> Option<&str> {
+        self.value_of("flame-out")
+    }
+
+    /// Whether any profile artifact was requested (`--profile-out` or
+    /// `--flame-out`) — this turns span tracing on just like
+    /// `--trace-out` does, since profiles fold from the span stream.
+    pub fn profiling(&self) -> bool {
+        self.profile_out().is_some() || self.flame_out().is_some()
+    }
+
     /// `--shards N`: worker threads for the shard-parallel engine
     /// (default 1 — sharded execution stays opt-in and `--shards 1`
     /// reproduces the serial merge byte-for-byte).
@@ -164,11 +186,12 @@ impl ExpOptions {
     }
 
     /// Telemetry for the run: span tracing is enabled only when
-    /// `--trace-out` asks for a timeline (the metrics registry records
-    /// either way), and windowed series collection only when
-    /// `--window-ns`/`--series-out` ask for it.
+    /// `--trace-out` asks for a timeline or `--profile-out`/`--flame-out`
+    /// ask for a profile (the metrics registry records either way), and
+    /// windowed series collection only when `--window-ns`/`--series-out`
+    /// ask for it.
     pub fn telemetry(&self) -> Telemetry {
-        let tel = if self.trace_out().is_some() {
+        let tel = if self.trace_out().is_some() || self.profiling() {
             Telemetry::with_tracing(self.trace_capacity())
         } else {
             Telemetry::disabled()
@@ -190,6 +213,21 @@ impl ExpOptions {
             };
             std::fs::write(path, body).expect("write series");
             println!("\ntime series written to {path}");
+        }
+    }
+
+    /// Writes the folded profile to `--profile-out` (line-oriented JSON)
+    /// and/or `--flame-out` (collapsed stacks). Both artifacts are
+    /// deterministic: byte-identical across `--jobs` and `--shards`
+    /// values for the same experiment.
+    pub fn write_profile(&self, profile: &Profile) {
+        if let Some(path) = self.profile_out() {
+            std::fs::write(path, profile.to_json()).expect("write profile");
+            println!("\nprofile written to {path}");
+        }
+        if let Some(path) = self.flame_out() {
+            std::fs::write(path, profile.to_collapsed()).expect("write flame stacks");
+            println!("\nflame stacks written to {path}");
         }
     }
 
@@ -238,6 +276,64 @@ impl Default for ExpOptions {
             args: Vec::new(),
         }
     }
+}
+
+/// Global pages in the canonical profiling scenario's page space.
+pub const PROFILE_SCENARIO_PAGES: u64 = 256;
+/// Logical shards in the canonical profiling scenario.
+pub const PROFILE_SCENARIO_LOGICAL: u32 = 8;
+
+/// Runs the canonical profiling scenario: the fig_shard shrunken-cache
+/// cluster (3 memory nodes, replication 2, caches smaller than the page
+/// stripe so eviction/writeback paths stay hot) over a seeded mixed
+/// read/write script, with span tracing and windowed series on.
+///
+/// The logical decomposition is fixed at [`PROFILE_SCENARIO_LOGICAL`], so
+/// the merged report — profile included — is byte-identical at any
+/// `shards` worker count. `fig_profile`, `bench_report` and the
+/// determinism tests all fold profiles from this one scenario, which is
+/// what makes the committed `PROFILE_BASELINE.json` comparable across
+/// all of them.
+///
+/// `slow_wire_extra` adds a deterministic congestion window covering the
+/// whole run (every posted chain pays the extra latency) — the CI blame
+/// demo uses it to inject a regression that `prof_diff` must attribute
+/// to the verb path.
+///
+/// # Panics
+///
+/// Panics if the sharded run fails — the calm plan injects no faults, so
+/// any error is a simulator bug.
+pub fn profile_scenario(
+    seed: u64,
+    quick: bool,
+    shards: Shards,
+    trace_capacity: usize,
+    slow_wire_extra: Nanos,
+) -> ShardReport {
+    let ops = if quick { 2_000 } else { 12_000 };
+    let script = seeded_script(PROFILE_SCENARIO_PAGES, ops, seed);
+    let mut plan = FaultPlan::calm(seed);
+    if slow_wire_extra > Nanos::ZERO {
+        // One long congestion window instead of a point spike: the demo
+        // regression must be visible regardless of where simulated time
+        // lands, and a whole-run window keeps the blame unambiguous.
+        plan = plan
+            .named("slow-wire")
+            .with_spike(Nanos::ZERO, Nanos::secs(3_600), slow_wire_extra);
+    }
+    let mut cfg = ClusterConfig::small().with_replicas(2);
+    cfg.memory_nodes = 3;
+    cfg.local_cache_pages = 64;
+    cfg.cpu_cache_lines = 512;
+    cfg.fault_plan = Some(plan);
+    ShardedRun::new(cfg, PROFILE_SCENARIO_PAGES)
+        .with_plan(ShardPlan::new(PROFILE_SCENARIO_LOGICAL))
+        .with_windows(DEFAULT_WINDOW_NS)
+        .with_tracing(trace_capacity)
+        .with_failure_policy(FailurePolicy::PageFaultFallback)
+        .execute(&script, shards)
+        .expect("profile scenario completes")
 }
 
 /// A fixed-width text table, printed in the paper's row/column structure.

@@ -9,7 +9,7 @@
 //! per-entry decode plus streaming-copy costs to the node's local clock.
 
 use kona::{CacheLineLog, LogEntry};
-use kona_telemetry::{EventKind, Gauge, Telemetry, Track};
+use kona_telemetry::{host_scope, EventKind, Gauge, Histogram, Telemetry, Track};
 use kona_types::{
     FxHashMap, KonaError, LineBitmap, Nanos, RemoteAddr, CACHE_LINE_SIZE, LINES_PER_PAGE_4K,
     PAGE_SIZE_4K,
@@ -132,6 +132,12 @@ pub struct MemoryNodeRuntime {
     stats: NodeRuntimeStats,
     telemetry: Telemetry,
     backlog_gauge: Gauge,
+    backlog_batches_gauge: Gauge,
+    /// Backlog depths observed at ingest. Gauges only land at window
+    /// close, so a backlog that drains within one control-plane tick is
+    /// invisible to them; the histograms keep the within-window peaks.
+    backlog_depth_hist: Histogram,
+    backlog_bytes_hist: Histogram,
     ratio_gauge: Gauge,
 }
 
@@ -145,6 +151,10 @@ impl MemoryNodeRuntime {
     /// `cluster.node<id>.*` gauges and Cluster-track spans to `telemetry`.
     pub fn with_telemetry(id: u32, config: NodeRuntimeConfig, telemetry: Telemetry) -> Self {
         let backlog_gauge = telemetry.gauge_interned("cluster.node", id, "backlog_bytes");
+        let backlog_batches_gauge = telemetry.gauge_interned("cluster.node", id, "backlog_batches");
+        let backlog_depth_hist = telemetry.histogram_interned("cluster.node", id, "backlog_depth");
+        let backlog_bytes_hist =
+            telemetry.histogram_interned("cluster.node", id, "backlog_bytes_depth");
         let ratio_gauge = telemetry.gauge_interned("cluster.node", id, "compaction_ratio");
         MemoryNodeRuntime {
             id,
@@ -160,6 +170,9 @@ impl MemoryNodeRuntime {
             stats: NodeRuntimeStats::default(),
             telemetry,
             backlog_gauge,
+            backlog_batches_gauge,
+            backlog_depth_hist,
+            backlog_bytes_hist,
             ratio_gauge,
         }
     }
@@ -243,6 +256,7 @@ impl MemoryNodeRuntime {
         self.backlog.clear();
         self.backlog_bytes = 0;
         self.backlog_gauge.set(0.0);
+        self.backlog_batches_gauge.set(0.0);
         self.epoch = self.epoch.max(epoch);
     }
 
@@ -257,7 +271,7 @@ impl MemoryNodeRuntime {
     pub fn ingest(&mut self, at: Nanos, encoded: Vec<u8>) {
         self.note_ingest(at, &encoded);
         self.backlog.push_back((at, self.epoch, encoded));
-        self.backlog_gauge.set(self.backlog_bytes as f64);
+        self.publish_backlog_depth();
         self.telemetry.observe_time(self.clock);
     }
 
@@ -274,8 +288,19 @@ impl MemoryNodeRuntime {
     pub fn ingest_stamped(&mut self, at: Nanos, encoded: &[u8], epoch: u64) {
         self.note_ingest(at, encoded);
         self.backlog.push_back((at, epoch, encoded.to_vec()));
-        self.backlog_gauge.set(self.backlog_bytes as f64);
+        self.publish_backlog_depth();
         self.telemetry.observe_time(self.clock);
+    }
+
+    /// Publishes the post-ingest backlog depth: gauges carry the value
+    /// visible at the next window boundary; the histograms record every
+    /// ingest-time sample so peaks inside a window survive even when the
+    /// apply worker drains the backlog before the boundary.
+    fn publish_backlog_depth(&mut self) {
+        self.backlog_gauge.set(self.backlog_bytes as f64);
+        self.backlog_batches_gauge.set(self.backlog.len() as f64);
+        self.backlog_depth_hist.record(self.backlog.len() as u64);
+        self.backlog_bytes_hist.record(self.backlog_bytes);
     }
 
     /// Shared ingest bookkeeping (entry counting walks headers only — no
@@ -294,6 +319,7 @@ impl MemoryNodeRuntime {
         if self.backlog.is_empty() {
             return Nanos::ZERO;
         }
+        let _wall = host_scope("shipment_apply");
         let entries = self.compact_backlog();
         let span = self.telemetry.span_open(Track::Cluster, EventKind::LogApply);
         let mut elapsed = Nanos::ZERO;
@@ -310,6 +336,7 @@ impl MemoryNodeRuntime {
         self.stats.apply_time += elapsed;
         self.clock += elapsed;
         self.backlog_gauge.set(self.backlog_bytes as f64);
+        self.backlog_batches_gauge.set(self.backlog.len() as f64);
         self.ratio_gauge.set(self.stats.compaction_ratio());
         self.telemetry.observe_time(self.clock);
         elapsed
@@ -321,6 +348,7 @@ impl MemoryNodeRuntime {
     /// completely), and folds a page's surviving entries into one
     /// full-page image once its dirty ratio crosses the fold threshold.
     fn compact_backlog(&mut self) -> Vec<LogEntry> {
+        let _wall = host_scope("compaction");
         let mut input: Vec<LogEntry> = Vec::new();
         while let Some((_, epoch, encoded)) = self.backlog.pop_front() {
             self.backlog_bytes -= encoded.len() as u64;

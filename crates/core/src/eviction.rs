@@ -375,6 +375,7 @@ impl EvictionHandler {
         fabric: &mut Fabric,
         poller: &mut Poller,
     ) -> Result<Nanos> {
+        let _wall = kona_telemetry::host_scope("eviction_pack");
         let span = self.telemetry.span_open(Track::Background, EventKind::Evict);
         let res = self.evict_page_inner(victim, page_data, primary, replicas, fabric, poller);
         self.telemetry

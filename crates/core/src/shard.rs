@@ -54,7 +54,10 @@ use crate::stats::RuntimeStats;
 use kona_coherence::CoherenceStats;
 use kona_fpga::FpgaStats;
 use kona_net::{FaultStats, NetStats};
-use kona_telemetry::{merge_span_streams, MetricsDump, Registry, SeriesData, SpanEvent, Telemetry};
+use kona_telemetry::{
+    host_scope, merge_span_streams, MetricsDump, Profile, Registry, SeriesData, SpanEvent,
+    Telemetry,
+};
 use kona_types::rng::{Rng, StdRng};
 use kona_types::{
     par_map, sequence_streams, Jobs, Nanos, Result, ShardPlan, Shards, VirtAddr, CACHE_LINE_SIZE,
@@ -154,6 +157,7 @@ struct ShardOutcome {
     dump: MetricsDump,
     series: Option<SeriesData>,
     events: Vec<SpanEvent>,
+    profile: Option<Profile>,
     shipments: Vec<(Nanos, ShipmentDigest)>,
     ops: u64,
     failed: u64,
@@ -191,6 +195,12 @@ pub struct ShardReport {
     pub series: Option<SeriesData>,
     /// Trace spans merged by `(start, shard)` (when tracing was on).
     pub events: Vec<SpanEvent>,
+    /// Path-keyed merge of the per-shard simulated-time profiles (when
+    /// tracing was on). Each shard folds its own span stream — span ids
+    /// are per-telemetry, so folding before the merge is what keeps
+    /// paths unambiguous — and path-keyed addition is order-independent,
+    /// so the merged profile is byte-identical at any worker count.
+    pub profile: Option<Profile>,
     /// Shipment-journal batches sequenced by `(flush time, shard)`.
     pub shipments: Vec<(Nanos, u32, ShipmentDigest)>,
     /// Ops executed by each logical shard (skew diagnosis).
@@ -433,7 +443,9 @@ impl ShardedRun {
         let mut faults = FaultStats::default();
         let mut registry = Registry::new();
         let mut series: Option<SeriesData> = None;
+        let mut profile: Option<Profile> = None;
         let mut app_time_max = Nanos::ZERO;
+        let _wall = host_scope("shard_merge");
         for outcome in &merged {
             stats.merge(&outcome.stats);
             eviction.merge(&outcome.eviction);
@@ -446,6 +458,12 @@ impl ShardedRun {
                 match &mut series {
                     Some(all) => all.merge(shard_series),
                     None => series = Some(shard_series.clone()),
+                }
+            }
+            if let Some(shard_profile) = &outcome.profile {
+                match &mut profile {
+                    Some(all) => all.merge(shard_profile),
+                    None => profile = Some(shard_profile.clone()),
                 }
             }
             app_time_max = app_time_max.max(outcome.app_time);
@@ -469,6 +487,7 @@ impl ShardedRun {
             faults,
             dump: registry.dump(),
             series,
+            profile,
             events: merge_span_streams(event_streams),
             shipments: sequence_streams(shipment_streams),
             shard_ops,
@@ -578,6 +597,12 @@ impl ShardedRun {
             })
             .collect();
 
+        // Fold this shard's profile from its own span stream *before* the
+        // merge: span ids are allocated per telemetry instance, so parent
+        // links only resolve against the stream that produced them.
+        let events = telemetry.events();
+        let profile = (self.trace_capacity > 0).then(|| Profile::from_spans(&events));
+
         Ok(ShardOutcome {
             stats: rt.stats(),
             eviction: rt.eviction_stats(),
@@ -587,7 +612,8 @@ impl ShardedRun {
             faults: rt.fabric_mut().fault_stats(),
             dump: telemetry.dump(),
             series: telemetry.series(),
-            events: telemetry.events(),
+            events,
+            profile,
             shipments,
             ops,
             failed,

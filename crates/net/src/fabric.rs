@@ -54,6 +54,29 @@ struct NetCounters {
     faults_node_down: Counter,
 }
 
+/// Pre-resolved queueing metrics for one fabric link (initiator → memory
+/// node): `net.link<id>.{wrs,inflight_ns,depth}`. The time-integral
+/// `inflight_ns` counter divided by a window's width gives that window's
+/// mean in-flight depth; the `depth` histogram records per-chain WR
+/// counts. Windowed sampling turns these into the congestion table
+/// `kona_telemetry::QueueStats` folds.
+#[derive(Debug, Clone)]
+struct LinkStats {
+    wrs: Counter,
+    inflight_ns: Counter,
+    depth: Histogram,
+}
+
+impl LinkStats {
+    fn new(telemetry: &Telemetry, node_id: u32) -> Self {
+        LinkStats {
+            wrs: telemetry.counter_interned("net.link", node_id, "wrs"),
+            inflight_ns: telemetry.counter_interned("net.link", node_id, "inflight_ns"),
+            depth: telemetry.histogram_interned("net.link", node_id, "depth"),
+        }
+    }
+}
+
 impl NetCounters {
     fn new(telemetry: &Telemetry) -> Self {
         NetCounters {
@@ -124,6 +147,8 @@ pub struct Fabric {
     clock: Nanos,
     injector: Option<FaultInjector>,
     net: NetCounters,
+    /// Per-destination-node queue metrics, resolved lazily on first post.
+    links: FxHashMap<u32, LinkStats>,
     /// Span sink: posted chains become Net-track verb leaves and injected
     /// faults become instant markers inside whatever trace is open.
     telemetry: Telemetry,
@@ -141,6 +166,7 @@ impl Fabric {
             clock: Nanos::ZERO,
             injector: None,
             net: NetCounters::new(&Telemetry::disabled()),
+            links: FxHashMap::default(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -151,6 +177,7 @@ impl Fabric {
     /// `telemetry`'s causal tracer.
     pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
         self.net = NetCounters::new(telemetry);
+        self.links.clear();
         self.telemetry = telemetry.clone();
     }
 
@@ -390,6 +417,13 @@ impl Fabric {
         let sizes: Vec<u64> = chain.iter().map(WorkRequest::wire_bytes).collect();
         let signaled = chain.iter().filter(|w| w.is_signaled).count();
         let lead_opcode = chain.first().map(|w| w.opcode);
+        // WRs per destination node, for per-link queue depth accounting
+        // (BTreeMap so links are visited in node order, deterministically).
+        let mut wrs_per_node: std::collections::BTreeMap<u32, u64> =
+            std::collections::BTreeMap::new();
+        for wr in &chain {
+            *wrs_per_node.entry(wr.remote.node()).or_default() += 1;
+        }
         let mut completions = Vec::with_capacity(signaled);
 
         for (idx, wr) in chain.into_iter().enumerate() {
@@ -493,6 +527,19 @@ impl Fabric {
         };
         let time = self.model.chain_time(&sizes, signaled) + self.injected_delay + spike;
         self.clock += time;
+        // Per-link occupancy: each of the chain's WRs was in flight on its
+        // destination link for the chain's duration. The time-integral
+        // counter (WR·ns) divided by a sampling window's width yields that
+        // window's mean queue depth; the histogram keeps chain depths.
+        for (node_id, n) in wrs_per_node {
+            let link = self
+                .links
+                .entry(node_id)
+                .or_insert_with(|| LinkStats::new(&self.telemetry, node_id));
+            link.wrs.add(n);
+            link.inflight_ns.add(time.as_ns().saturating_mul(n));
+            link.depth.record(n);
+        }
         if signaled > 0 {
             self.net.signaled_chain_ns.record(time.as_ns());
         }

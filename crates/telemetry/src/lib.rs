@@ -54,6 +54,7 @@ mod event;
 mod export;
 mod metrics;
 mod monitor;
+mod profile;
 mod recorder;
 mod timeseries;
 mod trace;
@@ -74,6 +75,10 @@ pub use metrics::{
 pub use monitor::{
     Alert, AlertTransition, HealthMonitor, HealthReport, Rule, RuleKind, RuleOutcome, Selector,
     SeriesField,
+};
+pub use profile::{
+    host_profile_start, host_profile_stop, host_scope, DiffRow, HostScope, HostScopeStats,
+    LinkQueue, NodeQueue, PathStats, Profile, ProfileDiff, QueueStats,
 };
 pub use recorder::{NoopRecorder, Recorder, TraceRecorder};
 pub use timeseries::{SeriesData, SeriesWindow, DEFAULT_WINDOW_NS};
@@ -294,6 +299,17 @@ impl Telemetry {
     /// cache — hot re-registration never formats or allocates.
     pub fn gauge_interned(&self, prefix: &'static str, id: u32, suffix: &'static str) -> Gauge {
         self.0.borrow_mut().registry.gauge_interned(prefix, id, suffix)
+    }
+
+    /// The histogram named `{prefix}{id}.{suffix}` via the registry's name
+    /// cache, for per-instance metrics on hot paths.
+    pub fn histogram_interned(
+        &self,
+        prefix: &'static str,
+        id: u32,
+        suffix: &'static str,
+    ) -> Histogram {
+        self.0.borrow_mut().registry.histogram_interned(prefix, id, suffix)
     }
 
     /// Whether spans are retained (false under [`NoopRecorder`]).

@@ -342,6 +342,23 @@ impl Registry {
         self.gauges.entry(name).or_default().clone()
     }
 
+    /// The histogram named `{prefix}{id}.{suffix}`, with the same
+    /// interning behaviour as [`Registry::counter_interned`].
+    pub fn histogram_interned(
+        &mut self,
+        prefix: &'static str,
+        id: u32,
+        suffix: &'static str,
+    ) -> Histogram {
+        if let Some(name) = self.interned.get(&(prefix, id, suffix)) {
+            if let Some(h) = self.histograms.get(name.as_str()) {
+                return h.clone();
+            }
+        }
+        let name = self.intern(prefix, id, suffix).to_string();
+        self.histograms.entry(name).or_default().clone()
+    }
+
     /// The current value of counter `name`, or 0 if absent.
     pub fn counter_value(&self, name: &str) -> u64 {
         self.counters.get(name).map_or(0, Counter::get)

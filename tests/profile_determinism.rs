@@ -1,0 +1,171 @@
+//! Cross-crate integration tests for the deterministic profiling layer:
+//! byte-identity of folded profiles across worker counts and replays,
+//! exact conservation of simulated time (per-path self sums equal
+//! per-track totals), regression blame via `ProfileDiff`, and the
+//! queueing/occupancy fold (`QueueStats`).
+
+use kona_bench::profile_scenario;
+use kona_cluster::MemoryNodeRuntime;
+use kona_telemetry::{
+    host_profile_start, host_profile_stop, host_scope, Profile, ProfileDiff, QueueStats,
+    Telemetry,
+};
+use kona_types::{Nanos, Shards};
+
+/// Span-ring capacity for the scenario runs — large enough that the
+/// quick scenario never drops (drops are tolerated by the fold, but a
+/// drop-free run makes conservation checks maximally strict).
+const CAPACITY: usize = 1 << 16;
+
+const SEED: u64 = 42;
+
+fn scenario(shards: Shards, slow_wire: Nanos) -> (String, String, String) {
+    let report = profile_scenario(SEED, true, shards, CAPACITY, slow_wire);
+    let profile = report.profile.as_ref().expect("tracing enabled");
+    let series = report.series.as_ref().expect("windows enabled");
+    let queues = QueueStats::from_series(series);
+    let mut queue_text = String::new();
+    for (id, link) in &queues.links {
+        queue_text.push_str(&format!(
+            "link{id} wrs={} inflight={} chain={}\n",
+            link.wrs, link.inflight_ns, link.peak_chain_depth
+        ));
+    }
+    (profile.to_json(), profile.to_collapsed(), queue_text)
+}
+
+#[test]
+fn profiles_are_byte_identical_across_shard_counts_and_replay() {
+    let serial = scenario(Shards::serial(), Nanos::ZERO);
+    for workers in [1usize, 2, 8] {
+        let wide = scenario(Shards::new(workers), Nanos::ZERO);
+        assert_eq!(serial.0, wide.0, "profile JSON diverged at {workers} workers");
+        assert_eq!(serial.1, wide.1, "collapsed stacks diverged at {workers} workers");
+        assert_eq!(serial.2, wide.2, "queue fold diverged at {workers} workers");
+    }
+    // Replay: the same configuration reproduces the same bytes.
+    let again = scenario(Shards::serial(), Nanos::ZERO);
+    assert_eq!(serial, again, "replay diverged");
+}
+
+#[test]
+fn self_times_sum_exactly_to_track_totals() {
+    // Property over seeds: conservation is exact, not approximate —
+    // same-charge children are sequential on the charge clock, so
+    // parent duration covers them and self = duration − Σ(children).
+    for seed in [7u64, 42, 1234] {
+        let report = profile_scenario(seed, true, Shards::new(2), CAPACITY, Nanos::ZERO);
+        let profile = report.profile.as_ref().expect("tracing enabled");
+        assert_eq!(
+            profile.conservation_violations(),
+            0,
+            "seed {seed}: per-path self times must sum to per-track totals"
+        );
+        for (track, &total) in profile.track_totals() {
+            assert_eq!(
+                profile.self_total(track),
+                total,
+                "seed {seed}: track {track} self-sum != root total"
+            );
+        }
+    }
+}
+
+#[test]
+fn profile_json_round_trips() {
+    let report = profile_scenario(SEED, true, Shards::serial(), CAPACITY, Nanos::ZERO);
+    let profile = report.profile.as_ref().expect("tracing enabled");
+    let json = profile.to_json();
+    let parsed = Profile::from_json(&json).expect("own JSON parses");
+    assert_eq!(parsed.to_json(), json, "round trip must be byte-exact");
+    assert_eq!(parsed.to_collapsed(), profile.to_collapsed());
+}
+
+#[test]
+fn diff_blames_the_congested_wire_path() {
+    // A fabric spike is the deliberate slowdown: wire time grows, so
+    // blame must land on a `;verb` leaf, and the rendered diff must be
+    // deterministic across renders.
+    let base = profile_scenario(SEED, true, Shards::serial(), CAPACITY, Nanos::ZERO);
+    let slow = profile_scenario(
+        SEED,
+        true,
+        Shards::serial(),
+        CAPACITY,
+        Nanos::from_ns(3_000),
+    );
+    let base_p = base.profile.as_ref().expect("profile");
+    let slow_p = slow.profile.as_ref().expect("profile");
+    let diff = ProfileDiff::between(base_p, slow_p);
+    let worst = diff.worst_regression(10_000).expect("the spike must show");
+    assert!(
+        worst.path.ends_with(";verb"),
+        "wire slowdown must blame a verb leaf, got {}",
+        worst.path
+    );
+    assert!(worst.ratio > 1.0);
+    assert_eq!(diff.render(10), diff.render(10));
+    // Identical inputs never blame.
+    assert!(ProfileDiff::between(base_p, base_p).worst_regression(0).is_none());
+}
+
+#[test]
+fn queue_stats_fold_links_from_the_scenario_and_nodes_from_a_runtime() {
+    // Links: the shard scenario's fabric traffic must surface per-link
+    // WR counts and in-flight time.
+    let report = profile_scenario(SEED, true, Shards::serial(), CAPACITY, Nanos::ZERO);
+    let series = report.series.as_ref().expect("windows enabled");
+    let queues = QueueStats::from_series(series);
+    assert!(!queues.links.is_empty(), "fabric traffic must appear per link");
+    let total_wrs: u64 = queues.links.values().map(|l| l.wrs).sum();
+    assert!(total_wrs > 0);
+    assert!(queues.links.values().any(|l| l.inflight_ns > 0));
+
+    // Nodes: a memory-node runtime ingesting batches must surface its
+    // backlog peak even when apply drains it before the window closes
+    // (the ingest-time histograms carry the peak).
+    let tel = Telemetry::disabled();
+    tel.enable_timeseries(1_000);
+    let mut node = MemoryNodeRuntime::with_telemetry(3, Default::default(), tel.clone());
+    let mut log = kona::CacheLineLog::new(1 << 16);
+    for i in 0..4u64 {
+        log.append(kona::LogEntry {
+            remote: kona_types::RemoteAddr::new(3, i * 64),
+            data: vec![i as u8; 64],
+        });
+        node.ingest(Nanos::from_ns(100 + i), log.drain_encoded());
+    }
+    node.apply();
+    tel.observe_time(Nanos::from_ns(1_000_000));
+    let q = QueueStats::from_series(&tel.series().expect("series enabled"));
+    let nq = q.nodes.get(&3).expect("node 3 must have a row");
+    assert_eq!(nq.peak_backlog_batches, 4, "peak depth reached before apply");
+    assert!(nq.peak_backlog_bytes > 0);
+}
+
+#[test]
+fn host_scopes_accumulate_across_a_profiled_run() {
+    // Wall-clock values are nondeterministic — assert presence and call
+    // counts only, never timing.
+    host_profile_start();
+    {
+        let _outer = host_scope("itest_outer");
+        let _inner = host_scope("itest_inner");
+    }
+    let _ = profile_scenario(SEED, true, Shards::serial(), CAPACITY, Nanos::ZERO);
+    let rows = host_profile_stop();
+    let names: Vec<&str> = rows.iter().map(|r| r.name).collect();
+    assert!(names.contains(&"itest_outer"));
+    assert!(names.contains(&"itest_inner"));
+    // The scenario drives eviction and the shard merge under the hood.
+    assert!(names.contains(&"shard_merge"), "scenario must time its merge");
+    assert!(
+        rows.iter().all(|r| r.calls > 0),
+        "every reported scope was entered"
+    );
+    // Stopped: further scopes are not recorded.
+    {
+        let _late = host_scope("itest_late");
+    }
+    assert!(host_profile_stop().is_empty());
+}
