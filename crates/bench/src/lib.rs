@@ -158,6 +158,28 @@ impl ExpOptions {
             .unwrap_or(42)
     }
 
+    /// `--tenants N`: tenant count for multi-tenant serving experiments
+    /// (default 8, the ROADMAP experiment's floor).
+    pub fn tenants(&self) -> u32 {
+        self.value_of("tenants")
+            .map(|s| s.parse().expect("--tenants takes an integer"))
+            .unwrap_or(8)
+    }
+
+    /// `--tenant-quota N`: per-tenant remote-memory quota in slabs
+    /// (default 2).
+    pub fn tenant_quota(&self) -> u64 {
+        self.value_of("tenant-quota")
+            .map(|s| s.parse().expect("--tenant-quota takes an integer"))
+            .unwrap_or(2)
+    }
+
+    /// `--no-balloon`: skips the live balloon grow/shrink demo inside
+    /// serving experiments (on by default).
+    pub fn balloon(&self) -> bool {
+        !self.args.iter().any(|a| a == "--no-balloon")
+    }
+
     /// `--trace-capacity N`: span-ring capacity for instrumented runs
     /// (default [`TRACE_RING_CAPACITY`]). Spans beyond the capacity drop
     /// oldest-first and are counted in `tel.spans_dropped`.
@@ -449,6 +471,32 @@ mod tests {
         assert_eq!(opts.value_of("missing"), None);
         assert_eq!(opts.table_profile().windows, 10);
         assert_eq!(opts.jobs.get(), 3);
+    }
+
+    #[test]
+    fn tenant_knobs_parse_with_defaults() {
+        let opts = ExpOptions {
+            quick: true,
+            jobs: Jobs::serial(),
+            args: vec![],
+        };
+        assert_eq!(opts.tenants(), 8);
+        assert_eq!(opts.tenant_quota(), 2);
+        assert!(opts.balloon());
+        let opts = ExpOptions {
+            quick: true,
+            jobs: Jobs::serial(),
+            args: vec![
+                "--tenants".into(),
+                "12".into(),
+                "--tenant-quota".into(),
+                "4".into(),
+                "--no-balloon".into(),
+            ],
+        };
+        assert_eq!(opts.tenants(), 12);
+        assert_eq!(opts.tenant_quota(), 4);
+        assert!(!opts.balloon());
     }
 
     #[test]

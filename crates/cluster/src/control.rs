@@ -560,6 +560,36 @@ impl ClusterRuntime {
         std::mem::take(&mut self.fence_errors)
     }
 
+    /// Balloon support: allocates `bytes` of fresh remote memory (whole
+    /// slabs when `bytes` exceeds half a slab, which is how the serving
+    /// front end always calls it) and runs the control-plane upkeep the
+    /// allocation's fabric traffic earned.
+    pub fn balloon_grow(&mut self, bytes: u64) -> Result<VirtAddr> {
+        let addr = self.inner.allocate(bytes)?;
+        self.after_op();
+        Ok(addr)
+    }
+
+    /// Balloon support: evacuates and releases `[addr, addr + bytes)`.
+    /// Dirty lines are flushed to their home nodes first (the evacuation
+    /// step — its failure propagates to the caller *before* anything is
+    /// freed, so a failed shrink leaves the region intact), then the
+    /// region's truth records are cleared and its slabs returned to the
+    /// controller through the slab-reclamation machinery.
+    pub fn balloon_release(&mut self, addr: VirtAddr, bytes: u64) -> Result<()> {
+        self.inner.sync()?;
+        self.truth.clear_range(addr.raw(), bytes);
+        self.inner.free(addr, bytes);
+        self.tick();
+        Ok(())
+    }
+
+    /// QoS passthrough: FMem eviction priority for the pages backing
+    /// `[base, base + bytes)` (see [`KonaRuntime::set_eviction_priority`]).
+    pub fn set_eviction_priority(&mut self, base: VirtAddr, bytes: u64, priority: i8) {
+        self.inner.set_eviction_priority(base, bytes, priority);
+    }
+
     /// Rolled-up cluster health.
     pub fn cluster_stats(&self) -> ClusterStats {
         let rt = self.inner.stats();

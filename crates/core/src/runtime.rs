@@ -121,6 +121,10 @@ pub struct KonaRuntime {
     /// Whether degraded mode is currently applied to the components
     /// (prefetch shedding, widened eviction batching).
     degraded_active: bool,
+    /// QoS override: prefetch shedding forced on by the serving front end
+    /// (graceful degradation of a low-priority tenant), independent of
+    /// the failure-driven degraded mode.
+    qos_shed: bool,
     /// Whether a new node abandonment immediately triggers
     /// [`KonaRuntime::repair_lost_nodes`] (the cluster control plane
     /// turns this on; off by default to keep single-rack behaviour
@@ -206,6 +210,7 @@ impl KonaRuntime {
             config,
             next_wr_id: 0,
             degraded_active: false,
+            qos_shed: false,
             auto_repair: false,
             flight_dumps: Vec::new(),
             seen_abandoned: 0,
@@ -276,9 +281,33 @@ impl KonaRuntime {
                 self.counters.degraded_entries.inc();
                 self.note_flight_dump("degraded_mode_entered");
             }
-            self.fpga.set_prefetch_shedding(degraded);
+            self.fpga.set_prefetch_shedding(degraded || self.qos_shed);
             self.eviction.set_degraded(degraded);
         }
+    }
+
+    /// QoS hook: forces prefetch shedding on or off for the current
+    /// caller, on top of the failure-driven degraded mode (shedding stays
+    /// on while either wants it). The serving front end brackets a shed
+    /// tenant's operations with this so only that tenant's speculative
+    /// traffic is dropped — demand fetches are never affected.
+    pub fn set_prefetch_shedding(&mut self, shed: bool) {
+        self.qos_shed = shed;
+        self.fpga.set_prefetch_shedding(shed || self.degraded_active);
+    }
+
+    /// QoS hook: assigns FMem eviction priority `priority` to the pages
+    /// backing `[base, base + bytes)`. Higher priority means protected;
+    /// when an FMem set overflows, the lowest-priority way is evicted
+    /// first (ties fall back to LRU, so priority 0 everywhere is exactly
+    /// the historical policy). Setting 0 restores the default.
+    pub fn set_eviction_priority(&mut self, base: VirtAddr, bytes: u64, priority: i8) {
+        if bytes == 0 {
+            return;
+        }
+        let start = base.page_number().raw();
+        let end = VirtAddr::new(base.raw() + bytes - 1).page_number().raw() + 1;
+        self.fpga.set_page_priority(start, end, priority);
     }
 
     /// Black-box dumps captured whenever recovery abandoned a node or

@@ -222,6 +222,20 @@ impl KonaFpga {
         self.shed_prefetches = shed;
     }
 
+    /// Assigns FMem eviction priority `priority` to the VFMem page range
+    /// `[start_page, end_page)` — the QoS hook behind per-tenant eviction
+    /// protection. See [`FMemCache::set_page_priority`] for the policy.
+    ///
+    /// [`FMemCache::set_page_priority`]: crate::FMemCache::set_page_priority
+    pub fn set_page_priority(&mut self, start_page: u64, end_page: u64, priority: i8) {
+        self.fmem.set_page_priority(start_page, end_page, priority);
+    }
+
+    /// The FMem eviction priority of `page` (0 unless a range was set).
+    pub fn page_priority(&self, page: PageNumber) -> i8 {
+        self.fmem.page_priority(page)
+    }
+
     /// Whether prefetch shedding is currently on.
     pub fn prefetch_shedding(&self) -> bool {
         self.shed_prefetches

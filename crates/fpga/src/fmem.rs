@@ -8,6 +8,7 @@
 //! translate VFMem to FMem".
 
 use kona_types::PageNumber;
+use std::collections::BTreeMap;
 
 /// A set-associative, page-granularity residency cache for FMem.
 ///
@@ -28,6 +29,11 @@ use kona_types::PageNumber;
 pub struct FMemCache {
     sets: Vec<Vec<u64>>, // MRU-first page numbers
     ways: usize,
+    /// QoS eviction priorities: `start_page → (end_page, priority)` for
+    /// non-overlapping half-open page ranges. Pages outside every range
+    /// have priority 0. Empty in the common case, so the insert hot path
+    /// keeps its plain-LRU fast path.
+    priorities: BTreeMap<u64, (u64, i8)>,
 }
 
 impl FMemCache {
@@ -44,7 +50,11 @@ impl FMemCache {
     pub fn new(capacity_pages: usize, ways: usize) -> Self {
         assert!(ways > 0, "associativity must be positive");
         if capacity_pages == 0 {
-            return FMemCache { sets: vec![], ways };
+            return FMemCache {
+                sets: vec![],
+                ways,
+                priorities: BTreeMap::new(),
+            };
         }
         assert!(
             capacity_pages.is_multiple_of(ways),
@@ -53,7 +63,53 @@ impl FMemCache {
         FMemCache {
             sets: vec![Vec::with_capacity(ways); capacity_pages / ways],
             ways,
+            priorities: BTreeMap::new(),
         }
+    }
+
+    /// Assigns eviction priority `priority` to the half-open page range
+    /// `[start_page, end_page)`. Higher priority means *protected*: when a
+    /// set overflows, the victim is the lowest-priority resident way, with
+    /// ties broken by LRU position — so with no ranges set (or all equal)
+    /// the policy is exactly the classic evict-LRU. Overlapping parts of
+    /// previously set ranges are overwritten; setting priority 0 restores
+    /// the default for the range.
+    pub fn set_page_priority(&mut self, start_page: u64, end_page: u64, priority: i8) {
+        if start_page >= end_page {
+            return;
+        }
+        // Collect every existing range that overlaps the new one.
+        let overlapping: Vec<(u64, (u64, i8))> = self
+            .priorities
+            .range(..end_page)
+            .rev()
+            .take_while(|&(_, &(end, _))| end > start_page)
+            .filter(|&(&start, &(end, _))| start < end_page && end > start_page)
+            .map(|(&s, &v)| (s, v))
+            .collect();
+        for (s, (e, p)) in overlapping {
+            self.priorities.remove(&s);
+            // Re-insert the non-overlapping remainders.
+            if s < start_page {
+                self.priorities.insert(s, (start_page, p));
+            }
+            if e > end_page {
+                self.priorities.insert(end_page, (e, p));
+            }
+        }
+        if priority != 0 {
+            self.priorities.insert(start_page, (end_page, priority));
+        }
+    }
+
+    /// The eviction priority of `page` (0 unless a covering range was set
+    /// with [`FMemCache::set_page_priority`]).
+    pub fn page_priority(&self, page: PageNumber) -> i8 {
+        self.priorities
+            .range(..=page.raw())
+            .next_back()
+            .filter(|&(_, &(end, _))| end > page.raw())
+            .map_or(0, |(_, &(_, p))| p)
     }
 
     /// Total capacity in pages.
@@ -103,13 +159,30 @@ impl FMemCache {
             return None;
         }
         let set_idx = (page.raw() % self.sets.len() as u64) as usize;
-        let set = &mut self.sets[set_idx];
-        set.insert(0, page.raw());
-        if set.len() > self.ways {
-            set.pop().map(PageNumber)
-        } else {
-            None
+        self.sets[set_idx].insert(0, page.raw());
+        if self.sets[set_idx].len() <= self.ways {
+            return None;
         }
+        let victim_idx = if self.priorities.is_empty() {
+            // Fast path, and the exact historical policy: evict the LRU way.
+            self.sets[set_idx].len() - 1
+        } else {
+            // QoS policy: evict the lowest-priority way; ties go to the
+            // least recently used. The just-inserted MRU way (index 0) is
+            // never the victim, so demand fills always land.
+            let set = &self.sets[set_idx];
+            let mut idx = set.len() - 1;
+            let mut best = self.page_priority(PageNumber(set[idx]));
+            for i in (1..set.len() - 1).rev() {
+                let p = self.page_priority(PageNumber(set[i]));
+                if p < best {
+                    best = p;
+                    idx = i;
+                }
+            }
+            idx
+        };
+        Some(PageNumber(self.sets[set_idx].remove(victim_idx)))
     }
 
     /// Drops `page` from residency (eviction-handler initiated); returns
@@ -200,6 +273,61 @@ mod tests {
     #[should_panic]
     fn indivisible_capacity_panics() {
         FMemCache::new(5, 4);
+    }
+
+    #[test]
+    fn priority_protects_high_and_targets_low() {
+        // One set of 2 ways; pages 0, 1, 2 all map to it.
+        let mut f = FMemCache::new(2, 2);
+        f.insert(PageNumber(0));
+        f.insert(PageNumber(1)); // MRU order: [1, 0]
+        // Protect page 0 (the LRU way); page 1 becomes the victim even
+        // though it is more recently used.
+        f.set_page_priority(0, 1, 1);
+        assert_eq!(f.page_priority(PageNumber(0)), 1);
+        assert_eq!(f.page_priority(PageNumber(1)), 0);
+        assert_eq!(f.insert(PageNumber(2)), Some(PageNumber(1)));
+        assert!(f.contains(PageNumber(0)));
+        // Clearing the range restores plain LRU.
+        f.set_page_priority(0, 1, 0);
+        assert_eq!(f.page_priority(PageNumber(0)), 0);
+    }
+
+    #[test]
+    fn equal_priorities_reproduce_lru() {
+        let mut f = FMemCache::new(2, 2);
+        // A non-empty priority table where every resident page has the
+        // same priority must still evict the LRU way.
+        f.set_page_priority(0, 100, 1);
+        f.insert(PageNumber(0));
+        f.insert(PageNumber(1));
+        f.touch(PageNumber(0)); // 1 becomes LRU
+        assert_eq!(f.insert(PageNumber(2)), Some(PageNumber(1)));
+    }
+
+    #[test]
+    fn fresh_insert_is_never_the_victim() {
+        let mut f = FMemCache::new(2, 2);
+        f.set_page_priority(0, 2, 1); // resident pages protected
+        f.insert(PageNumber(0));
+        f.insert(PageNumber(1));
+        // Page 2 has priority 0 (lower than both residents) but demand
+        // fills always land: the LRU protected way goes instead.
+        assert_eq!(f.insert(PageNumber(2)), Some(PageNumber(0)));
+        assert!(f.contains(PageNumber(2)));
+    }
+
+    #[test]
+    fn priority_range_overwrite_splits_old_ranges() {
+        let mut f = FMemCache::new(4, 2);
+        f.set_page_priority(0, 10, 2);
+        f.set_page_priority(3, 5, -1); // carve a penalty window out
+        assert_eq!(f.page_priority(PageNumber(2)), 2);
+        assert_eq!(f.page_priority(PageNumber(3)), -1);
+        assert_eq!(f.page_priority(PageNumber(4)), -1);
+        assert_eq!(f.page_priority(PageNumber(5)), 2);
+        assert_eq!(f.page_priority(PageNumber(9)), 2);
+        assert_eq!(f.page_priority(PageNumber(10)), 0);
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Multi-tenant serving front end for the Kona simulator.
+//!
+//! The paper's runtime serves one application; real disaggregated racks
+//! are shared. This crate multiplexes N tenants — each with its own
+//! virtual address space — over one [`ClusterRuntime`], in the spirit of
+//! Clio's per-process address-space isolation and MIND's control-plane
+//! QoS enforcement:
+//!
+//! * **Isolation** — every tenant gets a private translation namespace.
+//!   An access outside a tenant's own regions fails with a typed
+//!   [`KonaError::TenantFault`](kona_types::KonaError::TenantFault)
+//!   before it ever reaches the shared runtime, so tenants can never
+//!   read or clobber each other's lines.
+//! * **Admission control** — a deterministic token bucket per tenant
+//!   gates demand traffic; over-rate operations are shed at the front
+//!   door ([`Admission::Throttled`]) instead of queueing behind everyone
+//!   else.
+//! * **QoS** — a windowed review compares each tenant's p99 against its
+//!   SLO. A compliant tenant burning its budget gets FMem eviction
+//!   protection; a tenant breaching its quota or rate gets evicted
+//!   first; under pressure the lowest-priority tenants' *prefetches*
+//!   are shed before anyone's demand traffic is touched.
+//! * **Ballooning** — [`ServeRuntime::grow_tenant`] /
+//!   [`ServeRuntime::shrink_tenant`] resize a tenant's remote
+//!   allocation live, shrink evacuating the coldest regions first
+//!   through the cluster's slab-reclamation machinery. Evacuation
+//!   failures surface in the `serve.balloon_errors` counter.
+//! * **Observability** — per-tenant `tenant.<id>.*` metrics through the
+//!   registry's interned-name cache (no per-op formatting), plus a
+//!   [`ServeReport`] with one row per tenant and an FNV fingerprint for
+//!   byte-identity checks.
+//!
+//! # Examples
+//!
+//! ```
+//! use kona::ClusterConfig;
+//! use kona_serve::{Admission, ServeConfig, ServeRuntime, TenantConfig};
+//! use kona_types::VirtAddr;
+//!
+//! let mut serve = ServeRuntime::new(ClusterConfig::small(), ServeConfig::default()).unwrap();
+//! serve.register_tenant(TenantConfig::new(1).with_quota_bytes(4 << 20)).unwrap();
+//! let base = serve.grow_tenant(1, 1 << 20).unwrap();
+//! assert!(matches!(serve.write(1, base, b"hello").unwrap(), Admission::Ran(_)));
+//! let mut buf = [0u8; 5];
+//! serve.read(1, base, &mut buf).unwrap();
+//! assert_eq!(&buf, b"hello");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod serve;
+mod tenant;
+
+pub use serve::{Admission, ServeConfig, ServeReport, ServeRuntime, TenantSnapshot};
+pub use tenant::{TenantConfig, TokenBucket};

@@ -1,0 +1,793 @@
+//! The multi-tenant serving runtime.
+
+use crate::tenant::{Region, Tenant, TenantConfig};
+use kona::{ClusterConfig, RemoteMemoryRuntime};
+use kona_cluster::{ClusterRuntime, ControlPlaneConfig};
+use kona_telemetry::{Counter, HistogramData, Telemetry};
+use kona_types::{KonaError, MemAccess, Nanos, Result, VirtAddr};
+use std::collections::BTreeMap;
+
+/// FNV-1a offset basis (shared with the shard engine's fingerprints).
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Outcome of one tenant operation that passed isolation checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The operation ran against the shared runtime; simulated elapsed
+    /// time.
+    Ran(Nanos),
+    /// The tenant's token bucket was dry: the operation was shed at the
+    /// front door and never generated cluster traffic. Callers treat it
+    /// as load shedding, not an error.
+    Throttled,
+}
+
+/// Tuning for the serving front end.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Master QoS switch. Off = pure multiplexing: admission buckets,
+    /// eviction priorities and prefetch shedding are all disabled
+    /// (isolation and quotas stay on — they are correctness, not QoS).
+    pub qos: bool,
+    /// Simulated-time width of the QoS review window.
+    pub review_window: Nanos,
+    /// Minimum demand ops a tenant must complete inside a window before
+    /// its windowed p99 is trusted for SLO decisions.
+    pub min_window_ops: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            qos: true,
+            review_window: Nanos::micros(50),
+            min_window_ops: 16,
+        }
+    }
+}
+
+/// `serve.*` counters, resolved once at construction.
+#[derive(Debug, Clone)]
+struct ServeCounters {
+    admitted: Counter,
+    throttled: Counter,
+    isolation_faults: Counter,
+    quota_rejections: Counter,
+    balloon_grows: Counter,
+    balloon_shrinks: Counter,
+    balloon_errors: Counter,
+    slo_breaches: Counter,
+    prefetch_shed: Counter,
+}
+
+impl ServeCounters {
+    fn new(tel: &Telemetry) -> Self {
+        ServeCounters {
+            admitted: tel.counter("serve.admitted"),
+            throttled: tel.counter("serve.throttled"),
+            isolation_faults: tel.counter("serve.isolation_faults"),
+            quota_rejections: tel.counter("serve.quota_rejections"),
+            balloon_grows: tel.counter("serve.balloon_grows"),
+            balloon_shrinks: tel.counter("serve.balloon_shrinks"),
+            balloon_errors: tel.counter("serve.balloon_errors"),
+            slo_breaches: tel.counter("serve.slo_breaches"),
+            prefetch_shed: tel.counter("serve.prefetch_shed"),
+        }
+    }
+}
+
+/// Front-door totals mirrored as plain integers so reports and
+/// fingerprints never read back through the shared registry.
+#[derive(Debug, Clone, Copy, Default)]
+struct ServeTotals {
+    admitted: u64,
+    throttled: u64,
+    isolation_faults: u64,
+    quota_rejections: u64,
+    balloon_grows: u64,
+    balloon_shrinks: u64,
+    balloon_errors: u64,
+    slo_breaches: u64,
+    prefetch_shed: u64,
+}
+
+/// A deterministic multi-tenant front end over one [`ClusterRuntime`].
+///
+/// See the crate docs for the model. All decisions key off simulated
+/// time and deterministic state, so identical call sequences produce
+/// byte-identical reports and fingerprints.
+#[derive(Debug, Clone)]
+pub struct ServeRuntime {
+    cluster: ClusterRuntime,
+    cfg: ServeConfig,
+    tenants: BTreeMap<u32, Tenant>,
+    telemetry: Telemetry,
+    counters: ServeCounters,
+    totals: ServeTotals,
+    slab_bytes: u64,
+    last_review: Nanos,
+}
+
+impl ServeRuntime {
+    /// A serving runtime over a fresh cluster with default control-plane
+    /// tuning and no telemetry.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ClusterRuntime::new`].
+    pub fn new(config: ClusterConfig, cfg: ServeConfig) -> Result<Self> {
+        Self::with_telemetry(
+            config,
+            ControlPlaneConfig::default(),
+            cfg,
+            Telemetry::disabled(),
+        )
+    }
+
+    /// A serving runtime publishing `serve.*` and `tenant.<id>.*`
+    /// metrics to `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ClusterRuntime::new`].
+    pub fn with_telemetry(
+        config: ClusterConfig,
+        plane: ControlPlaneConfig,
+        cfg: ServeConfig,
+        telemetry: Telemetry,
+    ) -> Result<Self> {
+        let slab_bytes = config.slab_size.bytes();
+        let cluster = ClusterRuntime::with_telemetry(config, plane, telemetry.clone())?;
+        let counters = ServeCounters::new(&telemetry);
+        Ok(ServeRuntime {
+            cluster,
+            cfg,
+            tenants: BTreeMap::new(),
+            telemetry,
+            counters,
+            totals: ServeTotals::default(),
+            slab_bytes,
+            last_review: Nanos::ZERO,
+        })
+    }
+
+    /// The wrapped cluster runtime (read-only).
+    pub fn cluster(&self) -> &ClusterRuntime {
+        &self.cluster
+    }
+
+    /// Mutable access to the wrapped cluster runtime (fault injection,
+    /// manual control-plane ticks).
+    pub fn cluster_mut(&mut self) -> &mut ClusterRuntime {
+        &mut self.cluster
+    }
+
+    /// The telemetry handle the front end publishes into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Slab size in bytes — the balloon's grow/shrink granularity.
+    pub fn slab_bytes(&self) -> u64 {
+        self.slab_bytes
+    }
+
+    /// Whether QoS (admission buckets, eviction priority, prefetch
+    /// shedding) is on.
+    pub fn qos_enabled(&self) -> bool {
+        self.cfg.qos
+    }
+
+    /// Registered tenant ids, ascending.
+    pub fn tenant_ids(&self) -> Vec<u32> {
+        self.tenants.keys().copied().collect()
+    }
+
+    /// Bytes currently allocated to tenant `id`, or `None` if unknown.
+    pub fn tenant_used(&self, id: u32) -> Option<u64> {
+        self.tenants.get(&id).map(|t| t.used)
+    }
+
+    /// The lifetime demand-latency histogram of tenant `id`.
+    pub fn tenant_latency(&self, id: u32) -> Option<HistogramData> {
+        self.tenants.get(&id).map(|t| t.hist.clone())
+    }
+
+    /// Registers a tenant. Fails with
+    /// [`KonaError::InvalidConfig`] on a duplicate id or a zero quota.
+    pub fn register_tenant(&mut self, cfg: TenantConfig) -> Result<()> {
+        if cfg.quota_bytes == 0 {
+            return Err(KonaError::InvalidConfig(format!(
+                "tenant {} has a zero quota",
+                cfg.id
+            )));
+        }
+        if self.tenants.contains_key(&cfg.id) {
+            return Err(KonaError::InvalidConfig(format!(
+                "tenant {} already registered",
+                cfg.id
+            )));
+        }
+        let tenant = Tenant::new(cfg, &self.telemetry);
+        self.tenants.insert(tenant.cfg.id, tenant);
+        Ok(())
+    }
+
+    fn unknown_tenant(id: u32) -> KonaError {
+        KonaError::InvalidConfig(format!("unknown tenant {id}"))
+    }
+
+    /// The simulated clock.
+    fn now(&mut self) -> Nanos {
+        self.cluster.inner_mut().fabric_mut().now()
+    }
+
+    /// Grows tenant `id`'s remote allocation by `bytes` (rounded up to
+    /// whole slabs), returning the tenant-local base of the new region.
+    ///
+    /// # Errors
+    ///
+    /// [`KonaError::QuotaExceeded`] when the rounded request would push
+    /// the tenant past its quota — rejected before any slab is granted,
+    /// so enforcement is exact. Allocation failures from the cluster
+    /// propagate unchanged.
+    pub fn grow_tenant(&mut self, id: u32, bytes: u64) -> Result<VirtAddr> {
+        if bytes == 0 {
+            return Err(KonaError::InvalidConfig("grow of zero bytes".into()));
+        }
+        let bytes = bytes.div_ceil(self.slab_bytes) * self.slab_bytes;
+        {
+            let t = self
+                .tenants
+                .get_mut(&id)
+                .ok_or_else(|| Self::unknown_tenant(id))?;
+            if t.used + bytes > t.cfg.quota_bytes {
+                t.quota_rejections += 1;
+                t.quota_rejects_in_window += 1;
+                t.metrics.quota_rejections.inc();
+                self.counters.quota_rejections.inc();
+                self.totals.quota_rejections += 1;
+                return Err(KonaError::QuotaExceeded {
+                    tenant: id,
+                    requested: bytes,
+                    quota: t.cfg.quota_bytes,
+                    used: t.used,
+                });
+            }
+        }
+        let cbase = self.cluster.balloon_grow(bytes)?;
+        self.counters.balloon_grows.inc();
+        self.totals.balloon_grows += 1;
+        let qos = self.cfg.qos;
+        let (tbase, prio) = {
+            let t = self.tenants.get_mut(&id).expect("checked above");
+            let tbase = t.cursor;
+            t.cursor += bytes;
+            t.regions.insert(
+                tbase,
+                Region {
+                    cluster_base: cbase.raw(),
+                    len: bytes,
+                    touches: 0,
+                },
+            );
+            t.used += bytes;
+            t.metrics.bytes.set(t.used as f64);
+            (tbase, t.priority())
+        };
+        if qos && prio != 0 {
+            self.cluster.set_eviction_priority(cbase, bytes, prio);
+        }
+        Ok(VirtAddr::new(tbase))
+    }
+
+    /// Shrinks tenant `id`'s allocation by at least `bytes` (rounded up
+    /// to whole slabs), evacuating and releasing the *coldest* regions
+    /// first (fewest demand touches, ties by address). Regions are
+    /// released whole; returns the bytes actually freed, which can be
+    /// less than asked when the tenant has little left, or more when a
+    /// warm boundary region tips past the target.
+    ///
+    /// Evacuation failures leave the region allocated, are counted in
+    /// `serve.balloon_errors`, and the shrink moves on to the next
+    /// region; the last error is returned only if *nothing* could be
+    /// released.
+    pub fn shrink_tenant(&mut self, id: u32, bytes: u64) -> Result<u64> {
+        let want = bytes.div_ceil(self.slab_bytes) * self.slab_bytes;
+        let mut order: Vec<(u64, u64, u64, u64)> = self
+            .tenants
+            .get(&id)
+            .ok_or_else(|| Self::unknown_tenant(id))?
+            .regions
+            .iter()
+            .map(|(&base, r)| (r.touches, base, r.cluster_base, r.len))
+            .collect();
+        order.sort_unstable();
+        let mut released = 0u64;
+        let mut last_err = None;
+        for (_, base, cbase, len) in order {
+            if released >= want {
+                break;
+            }
+            match self.cluster.balloon_release(VirtAddr::new(cbase), len) {
+                Ok(()) => {
+                    // Clear any QoS priority range so recycled slabs
+                    // start neutral.
+                    self.cluster
+                        .set_eviction_priority(VirtAddr::new(cbase), len, 0);
+                    let t = self.tenants.get_mut(&id).expect("checked above");
+                    t.regions.remove(&base);
+                    t.used -= len;
+                    t.metrics.bytes.set(t.used as f64);
+                    released += len;
+                    self.counters.balloon_shrinks.inc();
+                    self.totals.balloon_shrinks += 1;
+                }
+                Err(e) => {
+                    // Surfaced, not swallowed: the operator sees failed
+                    // evacuations even though the shrink keeps going.
+                    self.counters.balloon_errors.inc();
+                    self.totals.balloon_errors += 1;
+                    last_err = Some(e);
+                }
+            }
+        }
+        if released == 0 {
+            if let Some(e) = last_err {
+                return Err(e);
+            }
+        }
+        Ok(released)
+    }
+
+    /// Isolation + admission front door. `Ok(None)` means throttled;
+    /// `Ok(Some((cluster_addr, shed)))` means admitted.
+    fn admit(&mut self, id: u32, addr: VirtAddr, len: u64) -> Result<Option<(VirtAddr, bool)>> {
+        let now = self.now();
+        let qos = self.cfg.qos;
+        let t = self
+            .tenants
+            .get_mut(&id)
+            .ok_or_else(|| Self::unknown_tenant(id))?;
+        // Translate through the tenant's private namespace. Anything not
+        // covered by one of its regions faults typed — including other
+        // tenants' addresses, which simply do not exist in this space.
+        let end = addr.raw().checked_add(len.max(1));
+        let cluster_addr = match (t.regions.range(..=addr.raw()).next_back(), end) {
+            (Some((&base, r)), Some(end)) if end <= base + r.len => {
+                r.cluster_base + (addr.raw() - base)
+            }
+            _ => {
+                t.faults += 1;
+                t.metrics.faults.inc();
+                self.counters.isolation_faults.inc();
+                self.totals.isolation_faults += 1;
+                return Err(KonaError::TenantFault {
+                    tenant: id,
+                    addr,
+                    len,
+                });
+            }
+        };
+        if qos && !t.bucket.admit(now) {
+            t.throttled += 1;
+            t.throttled_in_window += 1;
+            t.metrics.throttled.inc();
+            self.counters.throttled.inc();
+            self.totals.throttled += 1;
+            return Ok(None);
+        }
+        t.ops += 1;
+        t.metrics.ops.inc();
+        self.counters.admitted.inc();
+        self.totals.admitted += 1;
+        Ok(Some((VirtAddr::new(cluster_addr), t.shed)))
+    }
+
+    /// Post-op bookkeeping: coldness signal, latency histograms, QoS
+    /// review cadence.
+    fn finish_op(&mut self, id: u32, addr: VirtAddr, elapsed: Nanos) {
+        let t = self.tenants.get_mut(&id).expect("admitted above");
+        if let Some((_, r)) = t.regions.range_mut(..=addr.raw()).next_back() {
+            r.touches += 1;
+        }
+        t.hist.record(elapsed.as_ns());
+        t.metrics.lat.record(elapsed.as_ns());
+        self.maybe_review();
+    }
+
+    /// Runs `access` for tenant `id` at a tenant-local address.
+    ///
+    /// # Errors
+    ///
+    /// [`KonaError::TenantFault`] outside the tenant's namespace;
+    /// runtime errors propagate unchanged.
+    pub fn access(&mut self, id: u32, access: MemAccess) -> Result<Admission> {
+        let Some((caddr, shed)) = self.admit(id, access.addr, access.len as u64)? else {
+            return Ok(Admission::Throttled);
+        };
+        let res = self.run_shed(shed, |c| {
+            c.access(MemAccess {
+                addr: caddr,
+                len: access.len,
+                kind: access.kind,
+            })
+        })?;
+        self.finish_op(id, access.addr, res);
+        Ok(Admission::Ran(res))
+    }
+
+    /// Writes `data` at tenant-local `addr` for tenant `id`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeRuntime::access`].
+    pub fn write(&mut self, id: u32, addr: VirtAddr, data: &[u8]) -> Result<Admission> {
+        let Some((caddr, shed)) = self.admit(id, addr, data.len() as u64)? else {
+            return Ok(Admission::Throttled);
+        };
+        let res = self.run_shed(shed, |c| c.write_bytes(caddr, data))?;
+        self.finish_op(id, addr, res);
+        Ok(Admission::Ran(res))
+    }
+
+    /// Reads into `buf` from tenant-local `addr` for tenant `id`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServeRuntime::access`].
+    pub fn read(&mut self, id: u32, addr: VirtAddr, buf: &mut [u8]) -> Result<Admission> {
+        let Some((caddr, shed)) = self.admit(id, addr, buf.len() as u64)? else {
+            return Ok(Admission::Throttled);
+        };
+        let res = self.run_shed(shed, |c| c.read_bytes(caddr, buf))?;
+        self.finish_op(id, addr, res);
+        Ok(Admission::Ran(res))
+    }
+
+    /// Flushes all dirty state to remote memory (all tenants).
+    ///
+    /// # Errors
+    ///
+    /// Propagates network failures.
+    pub fn sync(&mut self) -> Result<Nanos> {
+        self.cluster.sync()
+    }
+
+    /// Brackets one cluster operation with the tenant's prefetch-shed
+    /// state: only a shed tenant's speculative traffic is dropped, and
+    /// the override never leaks into other tenants' operations.
+    fn run_shed<T>(
+        &mut self,
+        shed: bool,
+        op: impl FnOnce(&mut ClusterRuntime) -> Result<T>,
+    ) -> Result<T> {
+        if shed {
+            self.cluster.inner_mut().set_prefetch_shedding(true);
+        }
+        let res = op(&mut self.cluster);
+        if shed {
+            self.cluster.inner_mut().set_prefetch_shedding(false);
+        }
+        res
+    }
+
+    /// Runs a QoS review if the current window has closed.
+    fn maybe_review(&mut self) {
+        let now = self.now();
+        if now.as_ns() < self.last_review.as_ns() + self.cfg.review_window.as_ns() {
+            return;
+        }
+        self.last_review = now;
+        self.review();
+    }
+
+    /// The windowed QoS review: SLO protection, breach penalties,
+    /// graceful prefetch degradation — all from deterministic windowed
+    /// state, applied in ascending tenant order.
+    fn review(&mut self) {
+        if !self.cfg.qos {
+            for t in self.tenants.values_mut() {
+                t.window_mark = t.hist.clone();
+                t.throttled_in_window = 0;
+                t.quota_rejects_in_window = 0;
+            }
+            return;
+        }
+        let mut apply: Vec<(u64, u64, i8)> = Vec::new();
+        let mut pressure = false;
+        for t in self.tenants.values_mut() {
+            let delta = t.hist.delta_since(&t.window_mark);
+            let burning =
+                delta.count() >= self.cfg.min_window_ops && delta.p99() > t.cfg.slo_p99.as_ns();
+            let breaching = t.throttled_in_window > 0 || t.quota_rejects_in_window > 0;
+            // A compliant tenant burning its SLO budget earns eviction
+            // protection; a breacher earns eviction priority (evicted
+            // first). A protected breacher nets out to neutral.
+            t.protected = burning && !breaching;
+            t.penalized = breaching;
+            if t.protected {
+                pressure = true;
+                t.protected_windows += 1;
+                t.metrics.protected_windows.inc();
+                self.counters.slo_breaches.inc();
+                self.totals.slo_breaches += 1;
+            }
+            let prio = t.priority();
+            for r in t.regions.values() {
+                apply.push((r.cluster_base, r.len, prio));
+            }
+        }
+        // Graceful degradation: while any tenant is burning its SLO,
+        // shed the lowest-QoS-class unprotected tenants' prefetches.
+        // Demand traffic is never touched here.
+        let min_class = self
+            .tenants
+            .values()
+            .filter(|t| !t.protected)
+            .map(|t| t.cfg.qos_class)
+            .min();
+        for t in self.tenants.values_mut() {
+            let shed = pressure && !t.protected && Some(t.cfg.qos_class) == min_class;
+            if shed {
+                t.shed_windows += 1;
+                t.metrics.shed_windows.inc();
+                self.counters.prefetch_shed.inc();
+                self.totals.prefetch_shed += 1;
+            }
+            t.shed = shed;
+            t.window_mark = t.hist.clone();
+            t.throttled_in_window = 0;
+            t.quota_rejects_in_window = 0;
+        }
+        for (base, len, prio) in apply {
+            self.cluster
+                .set_eviction_priority(VirtAddr::new(base), len, prio);
+        }
+    }
+
+    /// One row per tenant plus front-door totals.
+    pub fn report(&self) -> ServeReport {
+        let tenants = self
+            .tenants
+            .values()
+            .map(|t| TenantSnapshot {
+                id: t.cfg.id,
+                ops: t.ops,
+                throttled: t.throttled,
+                faults: t.faults,
+                quota_rejections: t.quota_rejections,
+                used_bytes: t.used,
+                regions: t.regions.len() as u64,
+                lat_count: t.hist.count(),
+                lat_sum: t.hist.sum(),
+                p50: t.hist.p50(),
+                p95: t.hist.p95(),
+                p99: t.hist.p99(),
+                shed_windows: t.shed_windows,
+                protected_windows: t.protected_windows,
+            })
+            .collect();
+        ServeReport {
+            tenants,
+            admitted: self.totals.admitted,
+            throttled: self.totals.throttled,
+            isolation_faults: self.totals.isolation_faults,
+            quota_rejections: self.totals.quota_rejections,
+            balloon_grows: self.totals.balloon_grows,
+            balloon_shrinks: self.totals.balloon_shrinks,
+            balloon_errors: self.totals.balloon_errors,
+            slo_breaches: self.totals.slo_breaches,
+            prefetch_shed: self.totals.prefetch_shed,
+        }
+    }
+
+    /// FNV-1a fingerprint of the full report — byte-identical runs have
+    /// identical fingerprints.
+    pub fn fingerprint(&self) -> u64 {
+        self.report().fingerprint()
+    }
+}
+
+/// One tenant's row in a [`ServeReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// Tenant id.
+    pub id: u32,
+    /// Admitted demand operations.
+    pub ops: u64,
+    /// Operations shed by the admission gate.
+    pub throttled: u64,
+    /// Typed tenant faults (isolation violations attempted).
+    pub faults: u64,
+    /// Typed quota rejections.
+    pub quota_rejections: u64,
+    /// Bytes currently ballooned in.
+    pub used_bytes: u64,
+    /// Live regions backing the tenant's namespace.
+    pub regions: u64,
+    /// Demand ops recorded in the latency histogram.
+    pub lat_count: u64,
+    /// Sum of demand latencies (ns).
+    pub lat_sum: u64,
+    /// Median demand latency (ns).
+    pub p50: u64,
+    /// 95th percentile demand latency (ns).
+    pub p95: u64,
+    /// 99th percentile demand latency (ns).
+    pub p99: u64,
+    /// QoS windows this tenant spent with prefetches shed.
+    pub shed_windows: u64,
+    /// QoS windows this tenant spent under eviction protection.
+    pub protected_windows: u64,
+}
+
+/// Point-in-time rollup of a [`ServeRuntime`]: per-tenant rows in id
+/// order plus front-door totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeReport {
+    /// One row per tenant, ascending id.
+    pub tenants: Vec<TenantSnapshot>,
+    /// Operations admitted across all tenants.
+    pub admitted: u64,
+    /// Operations throttled across all tenants.
+    pub throttled: u64,
+    /// Isolation faults across all tenants (each also failed typed).
+    pub isolation_faults: u64,
+    /// Quota rejections across all tenants (each also failed typed).
+    pub quota_rejections: u64,
+    /// Successful balloon grows.
+    pub balloon_grows: u64,
+    /// Successful balloon region releases.
+    pub balloon_shrinks: u64,
+    /// Failed balloon evacuations (region kept; surfaced, not
+    /// swallowed).
+    pub balloon_errors: u64,
+    /// QoS windows in which some compliant tenant burned its SLO.
+    pub slo_breaches: u64,
+    /// QoS windows × tenants with prefetches shed.
+    pub prefetch_shed: u64,
+}
+
+impl ServeReport {
+    /// FNV-1a fold of every field, in declaration order.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        let mut fold = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        fold(self.tenants.len() as u64);
+        for t in &self.tenants {
+            for v in [
+                t.id as u64,
+                t.ops,
+                t.throttled,
+                t.faults,
+                t.quota_rejections,
+                t.used_bytes,
+                t.regions,
+                t.lat_count,
+                t.lat_sum,
+                t.p50,
+                t.p95,
+                t.p99,
+                t.shed_windows,
+                t.protected_windows,
+            ] {
+                fold(v);
+            }
+        }
+        for v in [
+            self.admitted,
+            self.throttled,
+            self.isolation_faults,
+            self.quota_rejections,
+            self.balloon_grows,
+            self.balloon_shrinks,
+            self.balloon_errors,
+            self.slo_breaches,
+            self.prefetch_shed,
+        ] {
+            fold(v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantConfig;
+
+    fn small_serve() -> ServeRuntime {
+        ServeRuntime::new(ClusterConfig::small(), ServeConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn registration_validates() {
+        let mut s = small_serve();
+        s.register_tenant(TenantConfig::new(1)).unwrap();
+        let dup = s.register_tenant(TenantConfig::new(1));
+        assert!(matches!(dup, Err(KonaError::InvalidConfig(_))));
+        let zero = s.register_tenant(TenantConfig::new(2).with_quota_bytes(0));
+        assert!(matches!(zero, Err(KonaError::InvalidConfig(_))));
+        assert_eq!(s.tenant_ids(), vec![1]);
+    }
+
+    #[test]
+    fn unmapped_address_faults_typed() {
+        let mut s = small_serve();
+        s.register_tenant(TenantConfig::new(1)).unwrap();
+        let mut buf = [0u8; 8];
+        let err = s.read(1, VirtAddr::new(0x4000), &mut buf).unwrap_err();
+        assert!(matches!(
+            err,
+            KonaError::TenantFault { tenant: 1, .. }
+        ));
+        assert_eq!(s.report().isolation_faults, 1);
+    }
+
+    #[test]
+    fn quota_is_exact_and_typed() {
+        let mut s = small_serve();
+        let slab = s.slab_bytes();
+        s.register_tenant(TenantConfig::new(1).with_quota_bytes(2 * slab))
+            .unwrap();
+        s.grow_tenant(1, slab).unwrap();
+        s.grow_tenant(1, slab).unwrap();
+        let err = s.grow_tenant(1, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            KonaError::QuotaExceeded { tenant: 1, used, quota, .. }
+                if used == 2 * slab && quota == 2 * slab
+        ));
+        assert_eq!(s.tenant_used(1), Some(2 * slab));
+        // Shrinking frees quota headroom again.
+        assert_eq!(s.shrink_tenant(1, slab).unwrap(), slab);
+        s.grow_tenant(1, slab).unwrap();
+    }
+
+    #[test]
+    fn write_read_roundtrip_and_region_reuse_faults() {
+        let mut s = small_serve();
+        s.register_tenant(TenantConfig::new(7)).unwrap();
+        let base = s.grow_tenant(7, 1).unwrap();
+        let data = [0xA5u8; 256];
+        assert!(matches!(
+            s.write(7, base, &data).unwrap(),
+            Admission::Ran(_)
+        ));
+        let mut buf = [0u8; 256];
+        s.read(7, base, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        // After shrink the namespace entry dies; the old pointer faults.
+        let released = s.shrink_tenant(7, 1).unwrap();
+        assert_eq!(released, s.slab_bytes());
+        let err = s.read(7, base, &mut buf).unwrap_err();
+        assert!(matches!(err, KonaError::TenantFault { tenant: 7, .. }));
+    }
+
+    #[test]
+    fn fingerprints_replay_identically() {
+        let run = || {
+            let mut s = small_serve();
+            s.register_tenant(TenantConfig::new(1).with_rate(4, 8)).unwrap();
+            s.register_tenant(TenantConfig::new(2)).unwrap();
+            let b1 = s.grow_tenant(1, 1).unwrap();
+            let b2 = s.grow_tenant(2, 1).unwrap();
+            for i in 0..200u64 {
+                let off = (i * 64) % 4096;
+                let _ = s.write(1, VirtAddr::new(b1.raw() + off), &[i as u8; 64]).unwrap();
+                let mut buf = [0u8; 64];
+                let _ = s.read(2, VirtAddr::new(b2.raw() + off), &mut buf).unwrap();
+            }
+            s.fingerprint()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -522,6 +522,33 @@ impl MetricsSnapshot {
             .find(|(n, _)| n == name)
             .map(|(_, s)| s)
     }
+
+    /// The subset of metrics whose names start with `prefix`, preserving
+    /// order. Per-instance metric families share a name prefix (e.g.
+    /// `tenant.3.` or `cluster.node0.`), so this is how attribution
+    /// tables pull one instance's rows out of the shared registry.
+    pub fn with_prefix(&self, prefix: &str) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(n, _)| n.starts_with(prefix))
+                .cloned()
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(n, _)| n.starts_with(prefix))
+                .cloned()
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(n, _)| n.starts_with(prefix))
+                .cloned()
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -570,6 +597,22 @@ mod tests {
         assert_eq!(snap.gauge("g"), Some(1.25));
         assert_eq!(snap.histogram("h").unwrap().count, 1);
         assert_eq!(snap.counter("nope"), None);
+    }
+
+    #[test]
+    fn snapshot_prefix_filter() {
+        let mut reg = Registry::new();
+        reg.counter_interned("tenant.", 1, "ops").add(5);
+        reg.counter_interned("tenant.", 12, "ops").add(7);
+        reg.counter("serve.admitted").add(9);
+        reg.gauge_interned("tenant.", 1, "bytes").set(3.0);
+        reg.histogram_interned("tenant.", 1, "lat_ns").record(100);
+        let t1 = reg.snapshot().with_prefix("tenant.1.");
+        assert_eq!(t1.counters.len(), 1, "tenant.12.* must not match tenant.1.");
+        assert_eq!(t1.counter("tenant.1.ops"), Some(5));
+        assert_eq!(t1.gauge("tenant.1.bytes"), Some(3.0));
+        assert_eq!(t1.histograms.len(), 1);
+        assert!(reg.snapshot().with_prefix("serve.").counter("serve.admitted") == Some(9));
     }
 
     #[test]

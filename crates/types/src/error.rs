@@ -103,6 +103,34 @@ pub enum KonaError {
         /// The node's current (fenced) epoch.
         current: u64,
     },
+    /// A tenant's allocation request would push it past its remote-memory
+    /// quota. The serving front end rejects the request before any slab is
+    /// granted, so quota enforcement is exact — `used` never exceeds
+    /// `quota`. Permanent for that request: retrying cannot help until the
+    /// tenant shrinks its balloon or its quota is raised.
+    QuotaExceeded {
+        /// The tenant whose request was rejected.
+        tenant: u32,
+        /// Bytes the tenant asked for.
+        requested: u64,
+        /// The tenant's configured quota in bytes.
+        quota: u64,
+        /// Bytes already allocated to the tenant.
+        used: u64,
+    },
+    /// A tenant touched an address outside its own translation namespace —
+    /// either unmapped in its address space or belonging to another
+    /// tenant. The access never reaches the shared runtime, so tenants
+    /// cannot read or clobber each other's lines. Permanent: the address
+    /// is simply not the tenant's to use.
+    TenantFault {
+        /// The tenant that issued the faulting access.
+        tenant: u32,
+        /// The tenant-local virtual address it touched.
+        addr: VirtAddr,
+        /// Length of the attempted access in bytes.
+        len: u64,
+    },
     /// An operation was attempted on a runtime that has been shut down.
     RuntimeShutDown,
     /// A configuration value was invalid (message explains which).
@@ -189,6 +217,19 @@ impl fmt::Display for KonaError {
                 f,
                 "write with stale epoch {stale} fenced at node {node} (current epoch {current})"
             ),
+            KonaError::QuotaExceeded {
+                tenant,
+                requested,
+                quota,
+                used,
+            } => write!(
+                f,
+                "tenant {tenant} quota exceeded: requested {requested} bytes with {used} of {quota} in use"
+            ),
+            KonaError::TenantFault { tenant, addr, len } => write!(
+                f,
+                "tenant {tenant} fault: {addr} len {len} is outside its address space"
+            ),
             KonaError::RuntimeShutDown => f.write_str("runtime has been shut down"),
             KonaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
@@ -257,6 +298,36 @@ mod tests {
         assert!(msg.contains("node 2"));
         assert!(msg.contains("stale epoch 1"));
         assert!(msg.contains("current epoch 3"));
+    }
+
+    #[test]
+    fn tenant_errors_are_permanent_and_carry_context() {
+        let e = KonaError::QuotaExceeded {
+            tenant: 4,
+            requested: 2 << 20,
+            quota: 4 << 20,
+            used: 3 << 20,
+        };
+        // Retrying an over-quota request cannot succeed: the tenant must
+        // shrink its balloon (or be granted more quota) first.
+        assert!(!e.is_transient());
+        assert_eq!(e.failed_node(), None);
+        let msg = e.to_string();
+        assert!(msg.contains("tenant 4"));
+        assert!(msg.contains(&format!("{}", 2 << 20)));
+        assert!(msg.contains(&format!("{} of {} in use", 3 << 20, 4 << 20)));
+
+        let e = KonaError::TenantFault {
+            tenant: 7,
+            addr: VirtAddr::new(0x1000),
+            len: 64,
+        };
+        assert!(!e.is_transient());
+        assert_eq!(e.failed_node(), None);
+        let msg = e.to_string();
+        assert!(msg.contains("tenant 7"));
+        assert!(msg.contains("0x1000"));
+        assert!(msg.contains("len 64"));
     }
 
     #[test]
